@@ -1,0 +1,68 @@
+"""E1 — Theorem 4: checking time is linear in the document size ``n``.
+
+The paper's claim: for a fixed DTD, ECRecognizer solves Problem ECPV in
+``O(kD·n)``; solving Problem PV over the whole document stays linear in the
+total token count.  We sweep document sizes on a realistic non-recursive
+document-centric DTD (``manuscript``) and fit the scaling exponent for
+
+* the Figure-5 ECRecognizer (the paper's algorithm),
+* the exact PVMachine (our GSS extension),
+
+expecting both near 1.0.  (The adversarial single-wide-node case where the
+exact machine degrades is measured separately in E2's discussion.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.bench.scenarios import degraded_document
+from repro.core.pv import PVChecker
+from repro.xmlmodel.delta import delta_tokens
+
+SIZES = (100, 200, 400, 800, 1600)
+
+
+def _documents(dtd):
+    return {size: degraded_document(dtd, size) for size in SIZES}
+
+
+def test_e1_linear_scaling(benchmark, manuscript_dtd):
+    documents = _documents(manuscript_dtd)
+    checkers = {
+        "figure5": PVChecker(manuscript_dtd, algorithm="figure5"),
+        "machine": PVChecker(manuscript_dtd, algorithm="machine"),
+    }
+    table = Table(
+        "E1: Problem PV wall time vs document size (manuscript DTD)",
+        ["tokens", "figure5 (s)", "machine (s)"],
+    )
+    tokens_counts = []
+    times: dict[str, list[float]] = {"figure5": [], "machine": []}
+    for size in SIZES:
+        document = documents[size]
+        token_count = len(delta_tokens(document.root))
+        tokens_counts.append(token_count)
+        row = [token_count]
+        for name, checker in checkers.items():
+            assert checker.is_potentially_valid(document)
+            elapsed = time_callable(
+                lambda c=checker, d=document: c.check_document(d), repeat=3
+            )
+            times[name].append(elapsed)
+            row.append(elapsed)
+        table.add_row(*row)
+    slopes = {
+        name: fit_power_law(tokens_counts, series) for name, series in times.items()
+    }
+    table.add_row("slope", slopes["figure5"], slopes["machine"])
+    table.print()
+
+    # Theorem 4 shape: near-linear scaling for both recognizers.
+    assert 0.6 <= slopes["figure5"] <= 1.5, slopes
+    assert 0.6 <= slopes["machine"] <= 1.6, slopes
+
+    # Headline number: the paper's algorithm on the largest document.
+    biggest = documents[SIZES[-1]]
+    benchmark(lambda: checkers["figure5"].check_document(biggest))

@@ -1,0 +1,92 @@
+"""E2 — Section 3.3: general CFG parsing of ``G'`` is impractical.
+
+The paper motivates its linear-time algorithm by observing that the PV
+grammar is highly ambiguous and "standard CFG parsing algorithms such as
+Earley's are not practical".  We measure, on growing documents:
+
+* whole-document Earley over the expanded ``G'_{T,r}`` (the baseline),
+* per-node content-grammar Earley (a fairer, localized baseline),
+* the Figure-5 ECRecognizer,
+* the exact PVMachine,
+
+and report the speedup of the dedicated recognizers over the Earley
+baseline — expecting it to grow with document size (superlinear baseline
+vs linear recognizers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import random
+
+from repro.baselines.earley_pv import EarleyDocumentChecker
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.core.pv import PVChecker
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.delta import delta_tokens
+
+SIZES = (60, 120, 240, 480)
+
+
+def _document(dtd, size):
+    """A degraded document whose token count actually tracks *size* (the
+    Figure 1 DTD is shallow, so repetition must be widened explicitly)."""
+    generator = DocumentGenerator(dtd, seed=3, max_repeat=max(3, size // 8))
+    document = generator.document(target_nodes=size, max_depth=8)
+    degraded, _removed = degrade(document, random.Random(3), 0.5)
+    return degraded
+
+
+def test_e2_earley_vs_recognizers(benchmark, figure1_dtd):
+    dtd = figure1_dtd
+    whole_earley = EarleyDocumentChecker(dtd)
+    node_earley = PVChecker(dtd, algorithm="earley")
+    figure5 = PVChecker(dtd, algorithm="figure5")
+    machine = PVChecker(dtd, algorithm="machine")
+
+    table = Table(
+        "E2: wall time vs size — Earley baselines vs linear recognizers "
+        "(Figure 1 DTD)",
+        ["tokens", "G' Earley (s)", "node Earley (s)", "figure5 (s)",
+         "machine (s)", "speedup G'/fig5"],
+    )
+    token_counts = []
+    earley_times = []
+    figure5_times = []
+    for size in SIZES:
+        document = _document(dtd, size)
+        token_counts.append(len(delta_tokens(document.root)))
+        t_whole = time_callable(
+            lambda d=document: whole_earley.is_potentially_valid(d), repeat=2
+        )
+        t_node = time_callable(
+            lambda d=document: node_earley.check_document(d), repeat=2
+        )
+        t_fig5 = time_callable(
+            lambda d=document: figure5.check_document(d), repeat=3
+        )
+        t_machine = time_callable(
+            lambda d=document: machine.check_document(d), repeat=3
+        )
+        earley_times.append(t_whole)
+        figure5_times.append(t_fig5)
+        table.add_row(
+            token_counts[-1], t_whole, t_node, t_fig5, t_machine,
+            f"{t_whole / max(t_fig5, 1e-9):.0f}x",
+        )
+    earley_slope = fit_power_law(token_counts, earley_times)
+    figure5_slope = fit_power_law(token_counts, figure5_times)
+    table.add_row("slope", earley_slope, "", figure5_slope, "", "")
+    table.print()
+
+    # The qualitative claim: the Earley baseline is markedly slower than
+    # the dedicated recognizer, increasingly so as documents grow.
+    assert earley_times[-1] > figure5_times[-1] * 3
+    ratios = [e / max(f, 1e-9) for e, f in zip(earley_times, figure5_times)]
+    assert ratios[-1] >= ratios[0] * 0.8  # the gap does not close
+    assert earley_slope > 0.7, earley_slope  # clearly grows with n
+
+    biggest = _document(dtd, SIZES[-1])
+    benchmark(lambda: figure5.check_document(biggest))

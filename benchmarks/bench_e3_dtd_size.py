@@ -1,0 +1,59 @@
+"""E3 — Theorem 4: scaling in the DTD size ``k``.
+
+``O(kD·n)``: for fixed documents the per-token cost grows at most linearly
+in ``k`` (total element occurrences across content models).  We sweep
+random non-recursive DTDs of growing size, generate comparable documents
+for each, and fit the exponent of checking time against ``k``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.bench.scenarios import degraded_document
+from repro.core.pv import PVChecker
+from repro.dtd.random_gen import RandomDTDConfig, random_dtd
+from repro.xmlmodel.delta import delta_tokens
+
+ELEMENT_COUNTS = (8, 16, 32, 64)
+
+
+def test_e3_dtd_size_scaling(benchmark):
+    table = Table(
+        "E3: wall time vs DTD size k (random non-recursive DTDs, ~600-token documents)",
+        ["m", "k", "tokens", "figure5 (s)", "machine (s)"],
+    )
+    ks = []
+    figure5_times = []
+    machine_times = []
+    last_checker = None
+    last_document = None
+    for elements in ELEMENT_COUNTS:
+        dtd = random_dtd(RandomDTDConfig(elements=elements, seed=1, fanout=4))
+        document = degraded_document(dtd, 300, seed=2)
+        figure5 = PVChecker(dtd, algorithm="figure5")
+        machine = PVChecker(dtd, algorithm="machine")
+        t_fig5 = time_callable(lambda: figure5.check_document(document), repeat=3)
+        t_machine = time_callable(lambda: machine.check_document(document), repeat=3)
+        ks.append(dtd.occurrence_count)
+        figure5_times.append(t_fig5)
+        machine_times.append(t_machine)
+        table.add_row(
+            elements,
+            dtd.occurrence_count,
+            len(delta_tokens(document.root)),
+            t_fig5,
+            t_machine,
+        )
+        last_checker, last_document = figure5, document
+    slope = fit_power_law(ks, figure5_times)
+    table.add_row("slope vs k", "", "", slope, fit_power_law(ks, machine_times))
+    table.print()
+
+    # At-most-linear growth in k (generous cap: the document shape also
+    # shifts slightly between DTDs).
+    assert slope < 1.8, slope
+
+    assert last_checker is not None and last_document is not None
+    benchmark(lambda: last_checker.check_document(last_document))

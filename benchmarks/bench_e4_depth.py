@@ -1,0 +1,96 @@
+"""E4 — Theorem 4's ``D`` axis and the Figure-7 depth-bound story.
+
+On a PV-strong recursive DTD (Example 6's ``T2``) the recognizer's work
+grows with the depth budget ``D``:
+
+* the Figure-5 ECRecognizer creates one nested sub-recognizer per budget
+  level (Section 4.3.1), so its time on a fixed input grows ~linearly in D;
+* the chain-mode PVMachine implements the same bounded semantics;
+* the merged (GSS) PVMachine needs **no** bound: PV-strong recursion
+  becomes a cycle in the graph-structured stack, so its cost on ``b^n``
+  content is flat in D and linear in n — the reproduction's algorithmic
+  extension over the paper.
+
+The table also re-measures Figure 7's termination claim: T1's pathological
+input terminates at every budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.core.machine import PVMachine
+from repro.core.recognizer import ECRecognizer
+from repro.dtd import catalog
+
+DEPTHS = (4, 8, 16, 32, 64)
+TOKENS = ["b"] * 12
+
+
+def test_e4_depth_scaling(benchmark, t2_dtd):
+    table = Table(
+        "E4: wall time vs depth budget D (T2, content b^12)",
+        ["D", "figure5 (s)", "chain machine (s)", "merged machine (s)"],
+    )
+    figure5_times = []
+    for depth in DEPTHS:
+        t_fig5 = time_callable(
+            lambda d=depth: ECRecognizer.for_dtd(t2_dtd, "a", depth=d).accepts(
+                TOKENS
+            ),
+            repeat=5,
+        )
+        t_chain = time_callable(
+            lambda d=depth: PVMachine.for_dtd(t2_dtd, "a", depth=d).recognize(
+                TOKENS
+            ),
+            repeat=5,
+        )
+        t_merged = time_callable(
+            lambda: PVMachine.for_dtd(t2_dtd, "a").recognize(TOKENS),
+            repeat=5,
+        )
+        figure5_times.append(t_fig5)
+        table.add_row(depth, t_fig5, t_chain, t_merged)
+    slope = fit_power_law(list(DEPTHS), figure5_times)
+    table.add_row("fig5 slope vs D", slope, "", "")
+    table.print()
+
+    # Figure-5 work grows with D but stays polynomial (≈ linear per
+    # Theorem 4; generous cap to absorb timing noise).
+    assert slope < 2.0, slope
+
+    # Figure 7: T1's pathological input terminates at every depth.
+    t1 = catalog.example5_t1()
+    for depth in DEPTHS:
+        assert ECRecognizer.for_dtd(t1, "a", depth=depth).accepts(["b", "b"])
+
+    benchmark(
+        lambda: ECRecognizer.for_dtd(t2_dtd, "a", depth=32).accepts(TOKENS)
+    )
+
+
+def test_e4_merged_machine_linear_in_n_unbounded(benchmark, t2_dtd):
+    """The GSS machine handles b^n exactly, with no depth bound, in ~O(n)."""
+    sizes = (32, 64, 128, 256)
+    table = Table(
+        "E4b: merged machine on T2 content b^n (no depth bound)",
+        ["n", "time (s)", "GSS nodes"],
+    )
+    times = []
+    for n in sizes:
+        tokens = ["b"] * n
+        machine = PVMachine.for_dtd(t2_dtd, "a")
+        assert machine.recognize(tokens)
+        elapsed = time_callable(
+            lambda t=tokens: PVMachine.for_dtd(t2_dtd, "a").recognize(t), repeat=3
+        )
+        times.append(elapsed)
+        table.add_row(n, elapsed, machine.allocated_nodes)
+    slope = fit_power_law(list(sizes), times)
+    table.add_row("slope", slope, "")
+    table.print()
+    assert slope < 1.8, slope
+
+    benchmark(lambda: PVMachine.for_dtd(t2_dtd, "a").recognize(["b"] * 128))

@@ -1,0 +1,76 @@
+"""E5 — Section 3.3 / Proposition 3: O(1) character-data update checks.
+
+"Checking for potential validity on character data insertion reduces to
+checking whether or not an element type declaration contains #PCDATA
+(hence, O(1) time complexity)" — we measure the update-time checks against
+document size and fit exponents:
+
+* text *update* check — constant (Theorem 2: always allowed),
+* text *insert* fast rule (Prop 3 lookup) — constant,
+* full document re-check — linear: the cost the incremental rules avoid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.bench.scenarios import degraded_document
+from repro.core.incremental import IncrementalChecker
+from repro.core.pv import PVChecker
+from repro.xmlmodel.delta import delta_tokens
+
+SIZES = (100, 200, 400, 800, 1600)
+
+
+def test_e5_constant_time_updates(benchmark, manuscript_dtd):
+    incremental = IncrementalChecker(manuscript_dtd)
+    full = PVChecker(manuscript_dtd)
+    table = Table(
+        "E5: update-check wall time vs document size (manuscript DTD)",
+        ["tokens", "update chk (s)", "Prop3 insert chk (s)", "full recheck (s)"],
+    )
+    token_counts = []
+    fast_times = []
+    insert_times = []
+    full_times = []
+    for size in SIZES:
+        document = degraded_document(manuscript_dtd, size, seed=7)
+        token_counts.append(len(delta_tokens(document.root)))
+        # Pick a text-bearing node deep in the document.
+        target = next(
+            element
+            for element in document.iter_elements()
+            if element.name == "textline"
+        )
+        t_update = time_callable(
+            lambda t=target: incremental.check_text_update(t, 0), repeat=5
+        )
+        t_insert = time_callable(
+            lambda t=target: incremental.check_text_insert_fast(t), repeat=5
+        )
+        t_full = time_callable(
+            lambda d=document: full.check_document(d), repeat=3
+        )
+        fast_times.append(t_update)
+        insert_times.append(t_insert)
+        full_times.append(t_full)
+        table.add_row(token_counts[-1], t_update, t_insert, t_full)
+    update_slope = fit_power_law(token_counts, fast_times)
+    insert_slope = fit_power_law(token_counts, insert_times)
+    full_slope = fit_power_law(token_counts, full_times)
+    table.add_row("slope", update_slope, insert_slope, full_slope)
+    table.print()
+
+    # O(1) rules: flat in document size.  Full recheck: clearly growing.
+    assert abs(update_slope) < 0.35, update_slope
+    assert abs(insert_slope) < 0.35, insert_slope
+    assert full_slope > 0.6, full_slope
+
+    document = degraded_document(manuscript_dtd, SIZES[-1], seed=7)
+    target = next(
+        element
+        for element in document.iter_elements()
+        if element.name == "textline"
+    )
+    benchmark(lambda: incremental.check_text_insert_fast(target))

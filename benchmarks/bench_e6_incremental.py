@@ -1,0 +1,79 @@
+"""E6 — Section 4: markup insertion checks are two local ECPV runs.
+
+"Checking potential validity for markup insertion into a potentially valid
+document reduces to solving twice Problem ECPV: for the node inserted and
+for its parent."  We measure the local two-node check against a full
+document re-check across document sizes: the local check's cost tracks the
+*node width*, not the document size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.bench.scenarios import degraded_document
+from repro.core.incremental import IncrementalChecker
+from repro.core.pv import PVChecker
+from repro.xmlmodel.delta import delta_tokens
+
+SIZES = (100, 200, 400, 800, 1600)
+
+
+def test_e6_local_insert_check_vs_full_recheck(benchmark, manuscript_dtd):
+    incremental = IncrementalChecker(manuscript_dtd)
+    full = PVChecker(manuscript_dtd)
+    rng = random.Random(3)
+    table = Table(
+        "E6: markup-insert check — local 2xECPV vs full re-check (manuscript DTD)",
+        ["tokens", "local check (s)", "full recheck (s)", "ratio"],
+    )
+    token_counts = []
+    local_times = []
+    full_times = []
+    for size in SIZES:
+        document = degraded_document(manuscript_dtd, size, seed=5)
+        token_counts.append(len(delta_tokens(document.root)))
+        # A realistic operation: wrap a run of a textline's children in
+        # <damage> (allowed by the DTD).
+        target = next(
+            element
+            for element in document.iter_elements()
+            if element.name == "textline" and element.children
+        )
+        end = rng.randint(1, len(target.children))
+        t_local = time_callable(
+            lambda t=target, e=end: incremental.check_markup_insert(
+                t, 0, e, "damage"
+            ),
+            repeat=5,
+        )
+        t_full = time_callable(lambda d=document: full.check_document(d), repeat=3)
+        local_times.append(t_local)
+        full_times.append(t_full)
+        table.add_row(
+            token_counts[-1],
+            t_local,
+            t_full,
+            f"{t_full / max(t_local, 1e-9):.0f}x",
+        )
+    local_slope = fit_power_law(token_counts, local_times)
+    full_slope = fit_power_law(token_counts, full_times)
+    table.add_row("slope", local_slope, full_slope, "")
+    table.print()
+
+    # Locality: the two-ECPV check does not scale with document size.
+    assert local_slope < 0.4, local_slope
+    assert full_times[-1] > local_times[-1] * 5
+
+    document = degraded_document(manuscript_dtd, SIZES[-1], seed=5)
+    target = next(
+        element
+        for element in document.iter_elements()
+        if element.name == "textline" and element.children
+    )
+    benchmark(
+        lambda: incremental.check_markup_insert(target, 0, len(target.children), "damage")
+    )

@@ -1,0 +1,65 @@
+"""E7 — Definitions 6-8: DTD classification cost and the catalog's class mix.
+
+Classification (recursive / PV-weak / PV-strong, plus usability and the
+reachability lookup table) is a pre-processing step the paper assumes
+cheap: reading the DTD is O(k).  We confirm near-linear scaling of the full
+analysis in ``k`` over random DTDs, and report the classification of every
+catalog DTD — reproducing the paper's qualitative observations (XHTML-like
+DTDs are PV-weak recursive; the running examples T1/T2 are PV-strong).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+from repro.core.classify import classify_dtd
+from repro.dtd import catalog
+from repro.dtd.analysis import analyze
+from repro.dtd.random_gen import RandomDTDConfig, random_dtd
+
+ELEMENT_COUNTS = (8, 16, 32, 64, 128)
+
+
+def test_e7_classification_cost(benchmark):
+    table = Table(
+        "E7a: full DTD analysis wall time vs k (random weak-recursive DTDs)",
+        ["m", "k", "analysis (s)"],
+    )
+    ks = []
+    times = []
+    for elements in ELEMENT_COUNTS:
+        dtd = random_dtd(
+            RandomDTDConfig(elements=elements, seed=2, recursion="weak")
+        )
+        elapsed = time_callable(
+            lambda d=dtd: analyze.__wrapped__(d), repeat=3  # bypass the cache
+        )
+        ks.append(dtd.occurrence_count)
+        times.append(elapsed)
+        table.add_row(elements, dtd.occurrence_count, elapsed)
+    slope = fit_power_law(ks, times)
+    table.add_row("slope", "", slope)
+    table.print()
+    # Near-linear-in-k preprocessing (closure construction adds a small
+    # superlinear term; cap generously).
+    assert slope < 2.2, slope
+
+    table2 = Table(
+        "E7b: catalog classification (paper Section 4.3 observations)",
+        ["DTD", "class", "m", "k", "recursive", "strong"],
+    )
+    for name in catalog.catalog_names():
+        report = classify_dtd(catalog.load(name))
+        table2.add_row(
+            name,
+            report.dtd_class.value,
+            report.element_count,
+            report.occurrence_count,
+            len(report.recursive_elements),
+            len(report.strong_recursive_elements),
+        )
+    table2.print()
+
+    big = random_dtd(RandomDTDConfig(elements=128, seed=2, recursion="weak"))
+    benchmark(lambda: analyze.__wrapped__(big))

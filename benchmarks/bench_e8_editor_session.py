@@ -1,0 +1,107 @@
+"""E8 — the end-to-end editorial workload (the paper's motivating scenario).
+
+A human editor incrementally marks up pre-existing text; every operation is
+guarded by the incremental checks.  We replay generated markup scripts
+(every intermediate state is potentially valid by Theorem 2) and measure:
+
+* guarded operations per second (the per-keystroke budget),
+* the overhead of the PV guard versus applying operations unchecked,
+* plain validation vs PV checking of the final document (the "validator
+  can't do this mid-edit" comparison implicit in the paper's introduction:
+  the intermediate documents are all invalid yet all potentially valid).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import Table, time_callable
+from repro.bench.scenarios import valid_document
+from repro.core.pv import PVChecker
+from repro.editor.document import apply_operation
+from repro.editor.session import EditingSession
+from repro.validity.validator import DTDValidator
+from repro.workloads.editscript import markup_script
+
+
+def _script(dtd, size, seed=19):
+    document = valid_document(dtd, size, seed=seed)
+    skeleton, operations = markup_script(document, random.Random(seed))
+    return document, skeleton, operations
+
+
+def test_e8_editor_session_throughput(benchmark, manuscript_dtd):
+    dtd = manuscript_dtd
+    document, skeleton, operations = _script(dtd, 120)
+    validator = DTDValidator(dtd)
+    checker = PVChecker(dtd)
+
+    def replay_guarded() -> None:
+        session = EditingSession(dtd, skeleton.copy())
+        for operation in operations:
+            session.apply(operation)
+
+    def replay_unchecked() -> None:
+        working = skeleton.copy()
+        for operation in operations:
+            apply_operation(working, operation)
+
+    t_guarded = time_callable(replay_guarded, repeat=3)
+    t_unchecked = time_callable(replay_unchecked, repeat=3)
+    t_validate = time_callable(lambda: validator.is_valid(document), repeat=3)
+    t_pv = time_callable(lambda: checker.check_document(document), repeat=3)
+
+    ops = len(operations)
+    table = Table(
+        "E8: guarded editing replay (manuscript DTD)",
+        ["metric", "value"],
+    )
+    table.add_row("wrap operations", ops)
+    table.add_row("guarded replay (s)", t_guarded)
+    table.add_row("unchecked replay (s)", t_unchecked)
+    table.add_row("guard overhead per op (ms)", (t_guarded - t_unchecked) / ops * 1e3)
+    table.add_row("guarded ops/s", ops / t_guarded)
+    table.add_row("final validate (s)", t_validate)
+    table.add_row("final PV check (s)", t_pv)
+    table.print()
+
+    # The guard must be usable per keystroke: well under 50 ms/op here.
+    assert (t_guarded / ops) < 0.05
+
+    # Every intermediate state is invalid-yet-PV: spot-check the skeleton.
+    assert not validator.is_valid(skeleton)
+    assert checker.is_potentially_valid(skeleton)
+
+    benchmark(replay_guarded)
+
+
+def test_e8_rejection_path_cost(benchmark, figure1_dtd):
+    """Rejected operations must be as cheap as accepted ones."""
+    from repro.core.incremental import IncrementalChecker
+    from repro.xmlmodel.parser import parse_xml
+
+    document = parse_xml(
+        "<r><a><b>A quick brown</b><c> fox jumps over a lazy</c>"
+        " dog<e></e></a></r>"
+    )
+    checker = IncrementalChecker(figure1_dtd)
+    a = document.root.element_children()[0]
+
+    accept = lambda: checker.check_markup_insert(a, 0, 1, "d")
+    reject = lambda: checker.check_markup_insert(a, 0, 4, "e")
+    assert not reject()
+
+    t_accept = time_callable(accept, repeat=5)
+    t_reject = time_callable(reject, repeat=5)
+    table = Table(
+        "E8b: accept vs reject path (Figure 1 DTD)",
+        ["path", "time (s)"],
+    )
+    table.add_row("accepted wrap", t_accept)
+    table.add_row("rejected wrap", t_reject)
+    table.print()
+    assert t_reject < t_accept * 20 + 1e-3
+
+    benchmark(reject)

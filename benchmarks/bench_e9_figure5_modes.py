@@ -1,0 +1,104 @@
+"""E9 (ablation) — the cost and effect of the F-A1 refinement rules.
+
+The verbatim Figure-5 pseudocode over-accepts (finding F-A1); the refined
+mode adds two node-retirement rules.  This ablation measures, on random
+content sequences over the paper's own DTD:
+
+* how often the two modes disagree with the exact machine (error rates),
+* the runtime overhead of the refinement (expected: none — the rules only
+  prune state).
+
+This quantifies how much the published algorithm's greediness costs in
+correctness, which the paper does not evaluate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import Table, time_callable
+from repro.core.machine import PVMachine
+from repro.core.recognizer import ECRecognizer
+from repro.dtd import catalog
+from repro.xmlmodel.delta import SIGMA
+
+SEQUENCES = 400
+LENGTH = 5
+
+
+def _random_sequences(dtd, count, length, seed=17):
+    rng = random.Random(seed)
+    alphabet = list(dtd.element_names()) + [SIGMA]
+    sequences = []
+    for _ in range(count):
+        tokens: list[str] = []
+        while len(tokens) < length:
+            token = rng.choice(alphabet)
+            if tokens and tokens[-1] == SIGMA and token == SIGMA:
+                continue
+            tokens.append(token)
+        sequences.append(tokens)
+    return sequences
+
+
+def test_e9_verbatim_vs_refined(benchmark, figure1_dtd):
+    dtd = figure1_dtd
+    element = "a"
+    sequences = _random_sequences(dtd, SEQUENCES, LENGTH)
+
+    exact = [
+        PVMachine.for_dtd(dtd, element).recognize(tokens) for tokens in sequences
+    ]
+    results = {}
+    times = {}
+    for mode in ("verbatim", "refined"):
+        verdicts = []
+        for tokens in sequences:
+            verdicts.append(
+                ECRecognizer.for_dtd(dtd, element, depth=16, mode=mode).accepts(
+                    tokens
+                )
+            )
+        results[mode] = verdicts
+        times[mode] = time_callable(
+            lambda m=mode: [
+                ECRecognizer.for_dtd(dtd, element, depth=16, mode=m).accepts(t)
+                for t in sequences
+            ],
+            repeat=3,
+        )
+
+    table = Table(
+        f"E9: Figure-5 modes vs exact machine "
+        f"({SEQUENCES} random length-{LENGTH} contents of <a>, Figure 1 DTD)",
+        ["mode", "disagreements", "over-accepts", "under-accepts", "time (s)"],
+    )
+    for mode in ("verbatim", "refined"):
+        overs = sum(
+            1 for got, want in zip(results[mode], exact) if got and not want
+        )
+        unders = sum(
+            1 for got, want in zip(results[mode], exact) if not got and want
+        )
+        table.add_row(mode, overs + unders, overs, unders, times[mode])
+    table.print()
+
+    verbatim_errors = sum(
+        1 for got, want in zip(results["verbatim"], exact) if got != want
+    )
+    refined_errors = sum(
+        1 for got, want in zip(results["refined"], exact) if got != want
+    )
+    # The refinement strictly improves agreement and costs nothing.
+    assert refined_errors <= verbatim_errors
+    assert refined_errors == 0, refined_errors
+    assert verbatim_errors > 0  # F-A1 is observable on random inputs
+
+    benchmark(
+        lambda: [
+            ECRecognizer.for_dtd(dtd, element, depth=16).accepts(t)
+            for t in sequences[:50]
+        ]
+    )

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures and workload builders.
+
+Every benchmark module regenerates one claim of the paper as a measured
+table (the paper itself publishes no numbers — Section 4.4 argues the
+complexity analytically, and Section 3.3 argues qualitatively against
+general CFG parsing).  EXPERIMENTS.md records the measured shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import catalog
+
+
+@pytest.fixture(scope="session")
+def manuscript_dtd():
+    return catalog.manuscript()
+
+
+@pytest.fixture(scope="session")
+def figure1_dtd():
+    return catalog.paper_figure1()
+
+
+@pytest.fixture(scope="session")
+def t2_dtd():
+    return catalog.example6_t2()

@@ -1,0 +1,66 @@
+"""A guarded document-centric editing session (the xTagger scenario).
+
+Start from bare text under the root, add markup step by step; the session
+guarantees each accepted operation leaves the document completable into a
+valid one, and rejects operations that would paint the editor into a
+corner.  This is the workflow the paper builds its algorithms for.
+
+Run:  python examples/editor_session.py
+"""
+
+from repro import DTDValidator, EditRejected, parse_dtd, parse_xml, to_xml
+from repro.editor import EditingSession, InsertMarkup
+
+POEM_DTD = """
+<!ELEMENT poem   (title?, stanza+)>
+<!ELEMENT title  (#PCDATA)>
+<!ELEMENT stanza (line+)>
+<!ELEMENT line   (#PCDATA | emph)*>
+<!ELEMENT emph   (#PCDATA)>
+"""
+
+
+def show(step: str, session: EditingSession) -> None:
+    print(f"{step}:")
+    print(f"  {to_xml(session.document)}")
+    print(f"  potentially valid: {session.is_potentially_valid()}\n")
+
+
+def main() -> None:
+    dtd = parse_dtd(POEM_DTD)
+    # The editor's starting point: raw text inside the root element.
+    document = parse_xml(
+        "<poem>The quick brown fox jumps over the lazy dog</poem>"
+    )
+    session = EditingSession(dtd, document)
+    show("start (bare text)", session)
+
+    # Wrap the whole text in a line, the line in a stanza.
+    session.apply(InsertMarkup(parent=(), start=0, end=1, name="line"))
+    show("after wrapping text in <line>", session)
+
+    session.apply(InsertMarkup(parent=(), start=0, end=1, name="stanza"))
+    show("after wrapping in <stanza>", session)
+
+    # Mark "quick brown fox" (characters inside the line) — first split is
+    # structural: wrap part of the line's text in <emph>.  The editor would
+    # first split the text node; here we emphasise the whole line content.
+    session.apply(InsertMarkup(parent=(0, 0), start=0, end=1, name="emph"))
+    show("after <emph> inside the line", session)
+
+    # A doomed operation: a second <stanza> wrapped around nothing *before*
+    # a title would be fine, but wrapping the existing stanza in a <line>
+    # can never be completed — lines live inside stanzas, not around them.
+    try:
+        session.apply(InsertMarkup(parent=(), start=0, end=1, name="line"))
+    except EditRejected as error:
+        print(f"rejected as hoped: {error}\n")
+
+    print(f"operations applied: {session.stats.applied}, "
+          f"rejected: {session.stats.rejected}")
+    print(f"final document valid: {DTDValidator(dtd).is_valid(session.document)}")
+    print("(valid because every required element is now present)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: the paper's Example 1, end to end.
+
+Two encodings of "A quick brown fox jumps over a lazy dog" against the
+Figure 1 DTD: both are invalid, but one is merely *incomplete* (potentially
+valid — more markup can finish it) while the other is broken beyond repair.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DTDValidator,
+    PVChecker,
+    complete_document,
+    parse_dtd,
+    parse_xml,
+    to_xml,
+)
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+
+
+def main() -> None:
+    dtd = parse_dtd(FIGURE1)
+    validator = DTDValidator(dtd)
+    checker = PVChecker(dtd)
+
+    w = parse_xml(
+        "<r><a><b>A quick brown</b><e></e>"
+        "<c> fox jumps over a lazy</c> dog</a></r>"
+    )
+    s = parse_xml(
+        "<r><a><b>A quick brown</b>"
+        "<c> fox jumps over a lazy</c> dog<e></e></a></r>"
+    )
+
+    print("Both encodings carry the same text:",
+          repr(w.content()), "\n")
+
+    for name, document in (("w", w), ("s", s)):
+        valid = validator.is_valid(document)
+        verdict = checker.check_document(document)
+        print(f"document {name}:")
+        print(f"  valid?             {valid}")
+        print(f"  potentially valid? {verdict.potentially_valid}")
+        for failure in verdict.failures:
+            print(f"    blocked at {failure.path}: content {failure.symbols}")
+        print()
+
+    print("s can be completed by inserting markup (the paper's Figure 3):")
+    result = complete_document(dtd, s)
+    print(" ", to_xml(result.document))
+    print(f"  inserted elements: {result.inserted}")
+    print(f"  completed document valid? {validator.is_valid(result.document)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no ``wheel`` package (and no network to
+fetch one), so PEP 517 editable installs cannot build. This shim keeps
+``pip install -e . --no-build-isolation --no-use-pep517`` working; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Reference baselines.
+
+* :mod:`repro.baselines.earley_pv` — whole-document checking by Earley
+  parsing ``delta_T(w)`` against the expanded ``G'_{T,r}`` (Theorem 1) and
+  ``G_{T,r}`` (plain validity).  Exact for every DTD, with the heavy
+  constants the paper attributes to general CFG parsing (Section 3.3).
+* :mod:`repro.baselines.naive` — a bounded breadth-first search over
+  ``Ext(w, T)`` implementing Definitions 2-3 *literally*: ground truth for
+  small property-test instances.
+"""
+
+from repro.baselines.earley_pv import EarleyDocumentChecker
+from repro.baselines.naive import naive_potential_validity
+
+__all__ = ["EarleyDocumentChecker", "naive_potential_validity"]

@@ -1,0 +1,53 @@
+"""Whole-document checking via Earley parsing (the paper's baseline).
+
+Theorem 1: ``w`` is potentially valid iff ``delta_T(w)`` belongs to
+``L(G'_{T,r})``.  This module materializes exactly that statement: build
+``G'_{T,r}`` (Section 3.2), expand it to a plain CFG, and run the Earley
+recognizer over the ``delta_T`` token stream.  The same machinery with
+``G_{T,r}`` decides plain validity, giving an independent cross-check of
+the structural validator.
+
+This is the correctness anchor for the fast recognizers and the comparator
+of benchmark E2; Section 3.3's observation that ``G'`` is "highly
+ambiguous" shows up as the heavy constants the benchmark measures.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.grammar.build import build_pv_ecfg, build_validity_ecfg
+from repro.grammar.earley import EarleyRecognizer
+from repro.grammar.ecfg import ecfg_to_cfg
+from repro.xmlmodel.delta import delta_tokens
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = ["EarleyDocumentChecker"]
+
+
+class EarleyDocumentChecker:
+    """Exact whole-document validity and potential-validity via Earley."""
+
+    def __init__(self, dtd: DTD) -> None:
+        self.dtd = dtd
+        self._pv = EarleyRecognizer(ecfg_to_cfg(build_pv_ecfg(dtd)))
+        self._validity = EarleyRecognizer(ecfg_to_cfg(build_validity_ecfg(dtd)))
+
+    def _tokens(self, document: XmlDocument | XmlElement) -> tuple[str, ...]:
+        root = document.root if isinstance(document, XmlDocument) else document
+        return delta_tokens(root)
+
+    def is_potentially_valid(self, document: XmlDocument | XmlElement) -> bool:
+        """Theorem 1's right-hand side: ``delta_T(w) ∈ L(G'_{T,r})``."""
+        root = document.root if isinstance(document, XmlDocument) else document
+        if root.name != self.dtd.root:
+            return False
+        # Undeclared element types surface as unknown tag terminals, which
+        # the Earley recognizer rejects on its own.
+        return self._pv.recognizes(self._tokens(root))
+
+    def is_valid(self, document: XmlDocument | XmlElement) -> bool:
+        """Membership in ``D(T, r)`` via ``G_{T,r}``."""
+        root = document.root if isinstance(document, XmlDocument) else document
+        if root.name != self.dtd.root:
+            return False
+        return self._validity.recognizes(self._tokens(root))

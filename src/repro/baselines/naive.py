@@ -1,0 +1,95 @@
+"""Naive potential-validity: bounded search over ``Ext(w, T)``.
+
+Definitions 2-3 taken literally: a document is potentially valid iff *some*
+finite sequence of tag-pair insertions (each wrapping a contiguous child
+range of some node) produces a valid document.  This module enumerates those
+extensions breadth-first — insertion-count order, so the first hit is a
+minimal extension — with deduplication on the serialized form.
+
+The search space is infinite (insertions can nest forever), so the search
+is bounded by a maximum insertion count and a node budget; the result is
+three-valued:
+
+* ``True``  — a valid extension was found (definitely potentially valid),
+* ``False`` — the bounded space was exhausted: **no extension with at most
+  ``max_insertions`` insertions exists** (a definitive answer to the
+  bounded question; the unbounded answer may still be "yes" when more
+  insertions would be needed),
+* ``None``  — the node budget interrupted the search (inconclusive).
+
+Property tests use ``True`` as a soundness oracle for the fast checkers;
+``False`` is cross-checked against the constructive completion's insertion
+count, which tells whether the bound sufficed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import NAIVE_SEARCH_NODE_LIMIT
+from repro.dtd.model import DTD
+from repro.validity.validator import DTDValidator
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = ["naive_potential_validity"]
+
+
+def naive_potential_validity(
+    dtd: DTD,
+    document: XmlDocument,
+    max_insertions: int = 6,
+    node_limit: int = NAIVE_SEARCH_NODE_LIMIT,
+) -> bool | None:
+    """Decide potential validity by bounded breadth-first extension search."""
+    validator = DTDValidator(dtd)
+    root = document.root
+    if root.name != dtd.root:
+        return False
+    if any(element.name not in dtd for element in root.iter_elements()):
+        return False
+
+    names = dtd.element_names()
+    start = root.copy()
+    if validator.is_valid(start):
+        return True
+    seen: set[str] = {to_xml(start)}
+    queue: deque[tuple[XmlElement, int]] = deque([(start, 0)])
+    explored = 0
+
+    while queue:
+        candidate, insertions = queue.popleft()
+        if insertions >= max_insertions:
+            continue
+        for successor in _successors(candidate, names):
+            key = to_xml(successor)
+            if key in seen:
+                continue
+            seen.add(key)
+            explored += 1
+            if explored > node_limit:
+                return None
+            # Validity is checked at enqueue time so a hit never pays for
+            # expanding the states queued before it.
+            if validator.is_valid(successor):
+                return True
+            queue.append((successor, insertions + 1))
+    return False
+
+
+def _successors(root: XmlElement, names: tuple[str, ...]):
+    """All single-insertion extensions of *root* (Definition 2, step (2)).
+
+    Yields fresh copies; nodes are addressed by preorder index so each copy
+    can be mutated independently.
+    """
+    nodes = list(root.iter_elements())
+    for node_index, node in enumerate(nodes):
+        child_count = len(node.children)
+        for start in range(child_count + 1):
+            for end in range(start, child_count + 1):
+                for name in names:
+                    clone_root = root.copy()
+                    clone_node = list(clone_root.iter_elements())[node_index]
+                    clone_node.wrap_children(start, end, name)
+                    yield clone_root

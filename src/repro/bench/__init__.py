@@ -1,0 +1,5 @@
+"""Benchmark support: timing, table rendering, scaling fits."""
+
+from repro.bench.harness import Table, fit_power_law, time_callable
+
+__all__ = ["Table", "fit_power_law", "time_callable"]

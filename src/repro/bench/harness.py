@@ -1,0 +1,100 @@
+"""Benchmark harness utilities.
+
+The paper publishes no measured tables (it argues complexity analytically),
+so each benchmark in ``benchmarks/`` regenerates the corresponding *claim*
+as a measured table: the helpers here time callables robustly, render
+aligned tables the way the paper's prose states its results ("linear in
+n", "O(1)", "general CFG parsing is impractical"), and fit power laws so
+the claimed exponents are checked numerically rather than eyeballed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["time_callable", "Table", "fit_power_law"]
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeat: int = 5,
+    warmup: int = 1,
+) -> float:
+    """Best-of-*repeat* wall time of ``fn()`` in seconds (after warmup runs)."""
+    for _ in range(warmup):
+        fn()
+    best = math.inf
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best
+
+
+@dataclass
+class Table:
+    """A fixed-column text table printed the way EXPERIMENTS.md records results."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        header = [str(column) for column in self.columns]
+        body = [[_format(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in body:
+            lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    An empirical scaling exponent: ~1.0 confirms "linear in n" (Theorem 4),
+    ~0.0 confirms "O(1)" (Proposition 3), and the Earley baseline lands
+    visibly above both.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired samples")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(log_x)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    numerator = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    return numerator / denominator

@@ -1,0 +1,28 @@
+"""Reusable benchmark scenarios (document builders shared across modules)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtd.model import DTD
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.tree import XmlDocument
+
+__all__ = ["degraded_document", "valid_document"]
+
+
+def valid_document(dtd: DTD, target_nodes: int, seed: int = 11) -> XmlDocument:
+    """A random valid document of roughly *target_nodes* elements."""
+    return DocumentGenerator(dtd, seed=seed).document(
+        target_nodes=target_nodes, max_depth=10
+    )
+
+
+def degraded_document(
+    dtd: DTD, target_nodes: int, seed: int = 11, fraction: float = 0.5
+) -> XmlDocument:
+    """A potentially valid mid-edit document (Theorem 2 degradation)."""
+    document = valid_document(dtd, target_nodes, seed=seed)
+    result, _removed = degrade(document, random.Random(seed), fraction)
+    return result

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands wrap the library for shell use:
+
+``classify SCHEMA.dtd``
+    Print the Definition 6-8 classification report of a DTD.
+
+``validate SCHEMA.dtd DOC.xml``
+    Standard validation (``D(T, r)`` membership) with per-node issues.
+
+``check SCHEMA.dtd DOC.xml``
+    Potential-validity check (Problem PV) with per-node failures — the
+    editor-facing verdict: can this document still be completed?
+
+``complete SCHEMA.dtd DOC.xml``
+    Compute a valid extension (Definition 2) and print it, or explain why
+    none exists.
+
+Exit status: 0 for "yes" verdicts, 1 for "no", 2 for usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.classify import classify_dtd
+from repro.core.completion import CompletionError, complete_document
+from repro.core.pv import Algorithm, PVChecker
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.errors import ReproError
+from repro.validity.validator import DTDValidator
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.tree import XmlDocument
+
+__all__ = ["main"]
+
+
+def _load_dtd(path: str, root: str | None) -> DTD:
+    return parse_dtd(Path(path).read_text(), root=root, name=Path(path).stem)
+
+
+def _load_document(path: str) -> XmlDocument:
+    return parse_xml(Path(path).read_text())
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    report = classify_dtd(_load_dtd(args.schema, args.root))
+    print(report.summary())
+    if report.recursive_elements:
+        print(f"  recursive elements: {', '.join(report.recursive_elements)}")
+    if report.strong_recursive_elements:
+        print(
+            "  PV-strong recursive elements: "
+            f"{', '.join(report.strong_recursive_elements)}"
+        )
+    if report.unusable_elements:
+        print(f"  unusable elements: {', '.join(report.unusable_elements)}")
+    if report.needs_depth_bound:
+        print(
+            "  note: PV-strong recursion — the Figure-5 recognizer needs a "
+            "depth bound; the exact machine does not."
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.schema, args.root)
+    report = DTDValidator(dtd).validate(_load_document(args.document))
+    if report.valid:
+        print("valid")
+        return 0
+    print(f"invalid ({len(report.issues)} issue(s)):")
+    for issue in report.issues:
+        print(f"  {issue}")
+    return 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.schema, args.root)
+    checker = PVChecker(dtd, algorithm=args.algorithm)
+    verdict = checker.check_document(_load_document(args.document))
+    if verdict.potentially_valid:
+        print("potentially valid — the encoding can be completed")
+        return 0
+    print(f"NOT potentially valid ({len(verdict.failures)} blocked node(s)):")
+    for failure in verdict.failures:
+        print(f"  {failure}")
+    if verdict.depth_limited:
+        print("  (verdict is relative to the configured depth bound)")
+    return 1
+
+
+def _cmd_complete(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.schema, args.root)
+    document = _load_document(args.document)
+    try:
+        result = complete_document(dtd, document)
+    except CompletionError as error:
+        print(f"no completion exists: {error}", file=sys.stderr)
+        return 1
+    print(to_xml(result.document))
+    print(f"-- inserted {result.inserted} element(s)", file=sys.stderr)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Potential validity of document-centric XML (ICDE 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify = sub.add_parser("classify", help="classify a DTD (Defs 6-8)")
+    classify.add_argument("schema")
+    classify.add_argument("--root", default=None, help="root element type")
+    classify.set_defaults(handler=_cmd_classify)
+
+    validate = sub.add_parser("validate", help="standard DTD validation")
+    validate.add_argument("schema")
+    validate.add_argument("document")
+    validate.add_argument("--root", default=None)
+    validate.set_defaults(handler=_cmd_validate)
+
+    check = sub.add_parser("check", help="potential-validity check (Problem PV)")
+    check.add_argument("schema")
+    check.add_argument("document")
+    check.add_argument("--root", default=None)
+    check.add_argument(
+        "--algorithm",
+        choices=("machine", "figure5", "earley"),
+        default="machine",
+        help="checking backend (default: the exact machine)",
+    )
+    check.set_defaults(handler=_cmd_check)
+
+    complete = sub.add_parser("complete", help="compute a valid extension")
+    complete.add_argument("schema")
+    complete.add_argument("document")
+    complete.add_argument("--root", default=None)
+    complete.set_defaults(handler=_cmd_complete)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Library-wide configuration defaults.
+
+The single knob the paper exposes is the *document depth bound* ``D`` of the
+ECRecognizer (Section 4.3.1): for PV-strong recursive DTDs the recognizer
+answers "potentially valid within valid-documents of depth at most D".  The
+paper motivates a small default by citing the XML web study (its ref [12]):
+"most XML documents' depths are of one digit magnitude".  We default to a
+comfortably larger bound so that non-adversarial documents are never
+misjudged, while still guaranteeing termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default depth bound for recognizers (paper Section 4.3.1).  Large enough
+#: for realistic document-centric documents (the paper cites one-digit depths
+#: in the wild) yet finite so PV-strong recursive DTDs terminate.
+DEFAULT_DEPTH_BOUND: int = 64
+
+#: Hard cap on the naive extension-search baseline (number of candidate tag
+#: insertions explored).  The naive baseline exists only as ground truth for
+#: small property-test instances.
+NAIVE_SEARCH_NODE_LIMIT: int = 200_000
+
+#: Maximum number of GSS nodes the exact machine may allocate per token
+#: before concluding the configuration space is pathological.  This is a
+#: safety valve; no test or benchmark workload approaches it.
+MACHINE_NODE_LIMIT: int = 1_000_000
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """Configuration for potential-validity checkers.
+
+    Parameters
+    ----------
+    depth_bound:
+        Maximum nesting depth of *inserted* (missing) elements the checker
+        will hypothesize, mirroring the ``depth`` parameter of the paper's
+        ECRecognizer.  ``None`` means "derive a sufficient bound from the
+        DTD": safe for non-recursive and PV-weak recursive DTDs, where a
+        bound of ``|T| + 1`` per nesting chain suffices because no
+        missing-element chain can repeat an element.
+    strict_depth:
+        When ``True``, a "no" verdict that may have been caused by the depth
+        bound raises :class:`repro.errors.DepthBoundExceeded` instead of
+        being reported, so callers never confuse "not PV" with "not PV
+        within D".
+    require_usable:
+        When ``True`` (the paper's standing assumption) constructing a
+        checker for a DTD with unusable elements raises
+        :class:`repro.errors.UnusableElementError`.  When ``False`` the
+        exact checkers handle unusable elements via productivity guards.
+    """
+
+    depth_bound: int | None = None
+    strict_depth: bool = False
+    require_usable: bool = False
+
+    def resolved_depth(self, dtd_element_count: int, is_pv_strong: bool) -> int:
+        """Return the effective depth bound for a DTD with the given traits.
+
+        For DTDs that are not PV-strong recursive, a missing-element chain
+        never needs to repeat an element type (repeating would make the DTD
+        PV-strong), so ``element count + 1`` levels always suffice and the
+        bound is *exact*.  For PV-strong recursive DTDs there is no finite
+        exact bound in general (paper Example 5/6), so we fall back to
+        :data:`DEFAULT_DEPTH_BOUND`.
+        """
+        if self.depth_bound is not None:
+            return self.depth_bound
+        if not is_pv_strong:
+            return dtd_element_count + 1
+        return DEFAULT_DEPTH_BOUND
+
+
+#: Shared immutable default configuration.
+DEFAULT_CONFIG = CheckerConfig()

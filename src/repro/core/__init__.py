@@ -1,0 +1,38 @@
+"""The paper's contribution: potential-validity checking.
+
+* :mod:`repro.core.dag` — the Section 4.2 DAG model ``DAG_T``,
+* :mod:`repro.core.recognizer` — the Figure 5 ``ECRecognizer`` algorithm,
+  transcribed faithfully (greedy active-node set, cached sub-recognizers,
+  depth countdown),
+* :mod:`repro.core.machine` — ``PVMachine``, an exact recognizer for the
+  same problem that tracks the full hypothesis set as a graph-structured
+  stack; the library's production checker,
+* :mod:`repro.core.pv` — Problem PV / Problem ECPV drivers over documents,
+* :mod:`repro.core.incremental` — update-time checks (Theorem 2,
+  Proposition 3, the O(1) character-data rules, markup insertion as two
+  ECPV calls),
+* :mod:`repro.core.witness` — minimal valid instance synthesis,
+* :mod:`repro.core.completion` — constructive completion: compute the tag
+  insertions that turn a potentially valid document into a valid one
+  (regenerates Figure 3),
+* :mod:`repro.core.classify` — Definition 6-8 DTD classification reports.
+"""
+
+from repro.core.pv import PVChecker, PVVerdict
+from repro.core.recognizer import ECRecognizer
+from repro.core.machine import PVMachine
+from repro.core.classify import classify_dtd, ClassificationReport
+from repro.core.witness import minimal_instance
+from repro.core.completion import complete_document, CompletionError
+
+__all__ = [
+    "PVChecker",
+    "PVVerdict",
+    "ECRecognizer",
+    "PVMachine",
+    "classify_dtd",
+    "ClassificationReport",
+    "minimal_instance",
+    "complete_document",
+    "CompletionError",
+]

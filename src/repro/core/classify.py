@@ -1,0 +1,62 @@
+"""DTD classification reports (Definitions 6-8).
+
+A thin presentation layer over :mod:`repro.dtd.analysis`: the paper's three
+DTD classes plus the size measures of Section 4.4 (``m``, ``k``) and the
+usability summary, bundled for examples and the E7 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.analysis import DTDClass, analyze
+from repro.dtd.model import DTD
+
+__all__ = ["ClassificationReport", "classify_dtd"]
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Everything Section 4.3 wants to know about a DTD before checking."""
+
+    name: str
+    dtd_class: DTDClass
+    element_count: int          # the paper's m
+    occurrence_count: int       # the paper's k
+    recursive_elements: tuple[str, ...]
+    strong_recursive_elements: tuple[str, ...]
+    unusable_elements: tuple[str, ...]
+
+    @property
+    def is_recursive(self) -> bool:
+        return self.dtd_class is not DTDClass.NON_RECURSIVE
+
+    @property
+    def needs_depth_bound(self) -> bool:
+        """Only PV-strong recursive DTDs can make greedy recognition loop
+        (Figure 7); everything else admits an exact derived bound."""
+        return self.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+
+    def summary(self) -> str:
+        """A one-line, table-friendly description."""
+        return (
+            f"{self.name}: {self.dtd_class.value} "
+            f"(m={self.element_count}, k={self.occurrence_count}, "
+            f"recursive={len(self.recursive_elements)}, "
+            f"strong={len(self.strong_recursive_elements)}, "
+            f"unusable={len(self.unusable_elements)})"
+        )
+
+
+def classify_dtd(dtd: DTD) -> ClassificationReport:
+    """Classify *dtd* per Definitions 6-8 and collect its size measures."""
+    analysis = analyze(dtd)
+    return ClassificationReport(
+        name=dtd.name,
+        dtd_class=analysis.dtd_class,
+        element_count=dtd.element_count,
+        occurrence_count=dtd.occurrence_count,
+        recursive_elements=tuple(sorted(analysis.recursive_elements)),
+        strong_recursive_elements=tuple(sorted(analysis.strong_recursive_elements)),
+        unusable_elements=tuple(sorted(analysis.unusable)),
+    )

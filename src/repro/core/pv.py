@@ -1,0 +1,185 @@
+"""Problem PV and Problem ECPV drivers.
+
+Section 4's observation: solving Problem PV (is the whole document
+potentially valid?) reduces to solving Problem ECPV (is this node's child
+sequence a potentially valid content?) at **every** element node, because
+extensions never move existing nodes across element boundaries — each
+node's children are wrapped independently.  The differential test suite
+verifies this decomposition against the whole-document Earley baseline on
+``G'_{T,r}``.
+
+:class:`PVChecker` is the public entry point; it supports three backends:
+
+* ``"machine"`` — the exact :class:`~repro.core.machine.PVMachine` (default),
+* ``"figure5"`` — the paper's greedy :class:`~repro.core.recognizer.ECRecognizer`,
+* ``"earley"`` — the per-node content-grammar Earley reference (exact but
+  slow; the paper's Section 3.3 baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.config import CheckerConfig, DEFAULT_CONFIG
+from repro.core.dag import DtdDag, build_dag
+from repro.core.machine import PVMachine
+from repro.core.recognizer import ECRecognizer
+from repro.dtd.analysis import DTDClass, analyze
+from repro.dtd.model import DTD
+from repro.errors import DepthBoundExceeded, UnusableElementError
+from repro.grammar.build import build_content_cfg, content_nonterminal
+from repro.grammar.earley import EarleyRecognizer
+from repro.xmlmodel.delta import content_symbols
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = ["Algorithm", "NodeFailure", "PVVerdict", "PVChecker"]
+
+Algorithm = Literal["machine", "figure5", "earley"]
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One node at which Problem ECPV answered "no"."""
+
+    path: str
+    element: str
+    symbols: tuple[str, ...]
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path} <{self.element}>: {self.reason}"
+
+
+@dataclass(frozen=True)
+class PVVerdict:
+    """The answer to Problem PV for one document.
+
+    Attributes
+    ----------
+    potentially_valid:
+        The verdict.
+    failures:
+        Every node whose content check failed (empty when valid).
+    depth_limited:
+        True when the verdict is "no", the DTD is PV-strong recursive and
+        the configured depth bound may therefore have cut a witness — i.e.
+        the precise reading is "not potentially valid within the bound".
+    """
+
+    potentially_valid: bool
+    failures: tuple[NodeFailure, ...] = field(default=())
+    depth_limited: bool = False
+
+    def __bool__(self) -> bool:
+        return self.potentially_valid
+
+
+class PVChecker:
+    """Checks documents and contents for potential validity w.r.t. one DTD."""
+
+    def __init__(
+        self,
+        dtd: DTD,
+        config: CheckerConfig = DEFAULT_CONFIG,
+        algorithm: Algorithm = "machine",
+    ) -> None:
+        self.dtd = dtd
+        self.config = config
+        self.algorithm: Algorithm = algorithm
+        self.analysis = analyze(dtd)
+        if config.require_usable and not self.analysis.all_usable:
+            raise UnusableElementError(tuple(self.analysis.unusable))
+        self.dag: DtdDag = build_dag(dtd)
+        self._is_strong = self.analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+        #: Depth used by the Figure-5 recognizer (which always needs one).
+        self.depth = config.resolved_depth(dtd.element_count, self._is_strong)
+        #: Depth for the exact machine: ``None`` (unbounded, exact for all
+        #: DTD classes thanks to GSS merging) unless the caller explicitly
+        #: requested the paper's bounded semantics.
+        self.machine_depth: int | None = config.depth_bound
+        self._earley: EarleyRecognizer | None = None
+
+    # -- Problem ECPV --------------------------------------------------------
+
+    def check_content(self, element: str, symbols: Sequence[str]) -> bool:
+        """Problem ECPV: is *symbols* a potentially valid content of *element*?
+
+        *symbols* is a ``Delta_T`` output: element names and
+        :data:`~repro.xmlmodel.delta.SIGMA` markers.
+        """
+        if self.algorithm == "machine":
+            return PVMachine(self.dag, element, self.machine_depth).recognize(symbols)
+        if self.algorithm == "figure5":
+            recognizer = ECRecognizer(self.dag, element, self.depth)
+            return recognizer.accepts(symbols)
+        if self._earley is None:
+            self._earley = EarleyRecognizer(build_content_cfg(self.dtd))
+        return self._earley.recognizes(symbols, start=content_nonterminal(element))
+
+    def check_node(self, node: XmlElement) -> bool:
+        """Problem ECPV for a DOM node (children converted via ``Delta_T``)."""
+        return self.check_content(node.name, content_symbols(node))
+
+    # -- Problem PV ------------------------------------------------------------
+
+    def check_document(self, document: XmlDocument | XmlElement) -> PVVerdict:
+        """Problem PV: check every node of *document* (Section 4's reduction)."""
+        root = document.root if isinstance(document, XmlDocument) else document
+        failures: list[NodeFailure] = []
+        if root.name != self.dtd.root:
+            failures.append(
+                NodeFailure(
+                    path="/",
+                    element=root.name,
+                    symbols=(),
+                    reason=(
+                        f"document root is <{root.name}> but the DTD root is "
+                        f"<{self.dtd.root}>"
+                    ),
+                )
+            )
+            return PVVerdict(False, tuple(failures), depth_limited=False)
+        self._check_subtree(root, f"/{root.name}", failures)
+        verdict_ok = not failures
+        # A "no" can only be an artifact of the depth bound when a bound is
+        # actually in force: the default machine is exact and unbounded;
+        # the figure5 backend always carries one; Earley never does.
+        bounded = (
+            self.algorithm == "figure5"
+            or (self.algorithm == "machine" and self.machine_depth is not None)
+        )
+        depth_limited = bool(failures) and self._is_strong and bounded
+        if depth_limited and self.config.strict_depth:
+            raise DepthBoundExceeded(self.depth)
+        return PVVerdict(verdict_ok, tuple(failures), depth_limited=depth_limited)
+
+    def is_potentially_valid(self, document: XmlDocument | XmlElement) -> bool:
+        """Boolean convenience wrapper over :meth:`check_document`."""
+        return self.check_document(document).potentially_valid
+
+    def _check_subtree(
+        self, node: XmlElement, path: str, failures: list[NodeFailure]
+    ) -> None:
+        if node.name not in self.dtd:
+            failures.append(
+                NodeFailure(
+                    path=path,
+                    element=node.name,
+                    symbols=(),
+                    reason=f"element type <{node.name}> is not declared in the DTD",
+                )
+            )
+            return
+        symbols = tuple(content_symbols(node))
+        if not self.check_content(node.name, symbols):
+            failures.append(
+                NodeFailure(
+                    path=path,
+                    element=node.name,
+                    symbols=symbols,
+                    reason="content cannot be completed by tag insertions alone",
+                )
+            )
+        for index, child in enumerate(node.element_children()):
+            self._check_subtree(child, f"{path}/{child.name}[{index}]", failures)

@@ -1,0 +1,64 @@
+"""DTD substrate: content-model AST, parser, analysis, normalization, corpora.
+
+This package implements everything the paper calls ``T = <Gamma, T>`` — the
+set of Element Type Declarations and the set of element types — plus the
+derived artifacts Sections 3.3 and 4 rely on:
+
+* :mod:`repro.dtd.ast` — content-model regular expressions,
+* :mod:`repro.dtd.lexer` / :mod:`repro.dtd.parser` — DTD text parsing,
+* :mod:`repro.dtd.model` — the :class:`~repro.dtd.model.DTD` and
+  :class:`~repro.dtd.model.ElementDecl` objects,
+* :mod:`repro.dtd.normalize` — Corollary 3.1 normal form,
+* :mod:`repro.dtd.stargroups` — Definition 4 star-groups and the
+  Proposition 1 flattening,
+* :mod:`repro.dtd.analysis` — usability, the reachability graph ``R_T``
+  (Definition 5) with its lookup table ``LT``, and the recursion
+  classification of Definitions 6-8,
+* :mod:`repro.dtd.catalog` — the paper's DTDs plus realistic
+  document-centric corpora,
+* :mod:`repro.dtd.random_gen` — a seeded random DTD generator.
+"""
+
+from repro.dtd.ast import (
+    Choice,
+    ContentNode,
+    Name,
+    Opt,
+    PCData,
+    Plus,
+    Seq,
+    Star,
+)
+from repro.dtd.model import (
+    PCDATA,
+    AnyContent,
+    ChildrenContent,
+    ContentSpec,
+    DTD,
+    ElementDecl,
+    EmptyContent,
+    MixedContent,
+)
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serialize import dtd_to_text
+
+__all__ = [
+    "Choice",
+    "ContentNode",
+    "Name",
+    "Opt",
+    "PCData",
+    "Plus",
+    "Seq",
+    "Star",
+    "PCDATA",
+    "AnyContent",
+    "ChildrenContent",
+    "ContentSpec",
+    "DTD",
+    "ElementDecl",
+    "EmptyContent",
+    "MixedContent",
+    "parse_dtd",
+    "dtd_to_text",
+]

@@ -1,0 +1,279 @@
+"""Content-model abstract syntax trees.
+
+A DTD Element Type Declaration right-hand side (the paper's ``r_x``) is a
+regular expression over element names and ``#PCDATA``.  This module defines
+the immutable AST for those regular expressions together with the structural
+algorithms the rest of the library builds on:
+
+* word-existence predicates (:func:`language_nullable`, :func:`can_mention`)
+  used for productivity/usability analysis (paper Section 3.3) and for the
+  embed-reachability refinement of the reachability graph (Definition 5),
+* the minimal-witness dynamic program (:func:`min_cost_word`) used to
+  synthesize the cheapest valid instance of an element (Figure 3 completions),
+* generic traversal helpers shared by the normalizer, the star-group
+  analysis, the Glushkov construction and the grammar builders.
+
+All nodes are frozen dataclasses: structural equality and hashing come for
+free, and sub-expressions can be shared safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Union
+
+__all__ = [
+    "ContentNode",
+    "PCData",
+    "Name",
+    "Seq",
+    "Choice",
+    "Star",
+    "Plus",
+    "Opt",
+    "children",
+    "walk",
+    "element_names",
+    "mentions_pcdata",
+    "language_nullable",
+    "can_mention",
+    "min_cost_word",
+    "node_size",
+    "to_text",
+]
+
+
+@dataclass(frozen=True)
+class PCData:
+    """An occurrence of ``#PCDATA`` in a content model."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PCData()"
+
+
+@dataclass(frozen=True)
+class Name:
+    """A reference to an element type by name (the paper's ``y`` in ``r_x``)."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Name({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Seq:
+    """A comma sequence ``(e1, e2, ..., en)``; requires ``len(items) >= 1``."""
+
+    items: tuple["ContentNode", ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("Seq requires at least one item")
+
+
+@dataclass(frozen=True)
+class Choice:
+    """An alternation ``(e1 | e2 | ... | en)``; requires ``len(items) >= 1``."""
+
+    items: tuple["ContentNode", ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("Choice requires at least one item")
+
+
+@dataclass(frozen=True)
+class Star:
+    """Kleene repetition ``e*`` (zero or more)."""
+
+    item: "ContentNode"
+
+
+@dataclass(frozen=True)
+class Plus:
+    """Positive repetition ``e+`` (one or more)."""
+
+    item: "ContentNode"
+
+
+@dataclass(frozen=True)
+class Opt:
+    """Optionality ``e?`` (zero or one)."""
+
+    item: "ContentNode"
+
+
+ContentNode = Union[PCData, Name, Seq, Choice, Star, Plus, Opt]
+
+
+def children(node: ContentNode) -> tuple[ContentNode, ...]:
+    """Return the immediate sub-expressions of *node* (empty for leaves)."""
+    if isinstance(node, (Seq, Choice)):
+        return node.items
+    if isinstance(node, (Star, Plus, Opt)):
+        return (node.item,)
+    return ()
+
+
+def walk(node: ContentNode) -> Iterator[ContentNode]:
+    """Yield *node* and all of its sub-expressions in preorder."""
+    stack: list[ContentNode] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(children(current)))
+
+
+def element_names(node: ContentNode) -> frozenset[str]:
+    """Return the set of element names mentioned anywhere in *node*."""
+    return frozenset(n.name for n in walk(node) if isinstance(n, Name))
+
+
+def mentions_pcdata(node: ContentNode) -> bool:
+    """Return ``True`` if ``#PCDATA`` occurs anywhere in *node*."""
+    return any(isinstance(n, PCData) for n in walk(node))
+
+
+def language_nullable(
+    node: ContentNode,
+    name_nullable: Callable[[str], bool],
+) -> bool:
+    """Decide whether ``L(node)`` contains a word made only of "nullable" symbols.
+
+    *name_nullable(y)* says whether symbol ``y`` counts as erasable for the
+    purpose at hand.  Two standing uses:
+
+    * productivity analysis — ``name_nullable = productive`` decides whether
+      the content model admits *some* word over productive element types
+      (``#PCDATA`` always counts: character data is always realizable);
+    * potential-validity skip analysis — ``name_nullable(y)`` = "a complete
+      valid subtree for ``y`` can be inserted", which is the same predicate.
+
+    The recursion is purely structural, so callers handle fixpoints (the
+    mutual recursion through element declarations) themselves.
+    """
+    if isinstance(node, PCData):
+        return True
+    if isinstance(node, Name):
+        return name_nullable(node.name)
+    if isinstance(node, Seq):
+        return all(language_nullable(item, name_nullable) for item in node.items)
+    if isinstance(node, Choice):
+        return any(language_nullable(item, name_nullable) for item in node.items)
+    if isinstance(node, (Star, Opt)):
+        return True
+    if isinstance(node, Plus):
+        return language_nullable(node.item, name_nullable)
+    raise TypeError(f"unexpected content node {node!r}")
+
+
+def can_mention(
+    node: ContentNode,
+    target: str | None,
+    name_nullable: Callable[[str], bool],
+) -> bool:
+    """Decide whether some word of ``L(node)`` over completable symbols mentions *target*.
+
+    *target* is an element name, or ``None`` to ask about ``#PCDATA``.  A
+    word "mentions" the target when it contains the target symbol itself and
+    every *other* symbol of the word satisfies *name_nullable* (i.e. the
+    rest of the word can be completed into valid subtrees).
+
+    This is the edge predicate of the *embed-reachability* graph: under the
+    paper's standing assumption that every element is usable it coincides
+    with plain syntactic occurrence (Definition 5's ``R_T``), but it stays
+    correct for DTDs with unusable element types.
+    """
+    if isinstance(node, PCData):
+        return target is None
+    if isinstance(node, Name):
+        return target is not None and node.name == target
+    if isinstance(node, Choice):
+        return any(can_mention(item, target, name_nullable) for item in node.items)
+    if isinstance(node, Seq):
+        for index, item in enumerate(node.items):
+            if not can_mention(item, target, name_nullable):
+                continue
+            others_ok = all(
+                language_nullable(other, name_nullable)
+                for position, other in enumerate(node.items)
+                if position != index
+            )
+            if others_ok:
+                return True
+        return False
+    if isinstance(node, (Star, Plus, Opt)):
+        # One iteration carries the mention; Star/Opt need nothing else and
+        # Plus is satisfied by that same single iteration.
+        return can_mention(node.item, target, name_nullable)
+    raise TypeError(f"unexpected content node {node!r}")
+
+
+def min_cost_word(
+    node: ContentNode,
+    name_cost: Callable[[str], float],
+) -> float:
+    """Return the minimum total cost of a word in ``L(node)``.
+
+    *name_cost(y)* is the cost of symbol ``y`` (``float('inf')`` when ``y``
+    cannot be completed at all); ``#PCDATA`` costs 0 because an empty text
+    node satisfies it.  Used by the minimal-witness synthesizer: the cost of
+    an element is ``1 +`` the min-cost word of its content model, computed
+    to fixpoint over the whole DTD.
+    """
+    if isinstance(node, PCData):
+        return 0.0
+    if isinstance(node, Name):
+        return name_cost(node.name)
+    if isinstance(node, Seq):
+        return sum(min_cost_word(item, name_cost) for item in node.items)
+    if isinstance(node, Choice):
+        return min(min_cost_word(item, name_cost) for item in node.items)
+    if isinstance(node, (Star, Opt)):
+        return 0.0
+    if isinstance(node, Plus):
+        return min_cost_word(node.item, name_cost)
+    raise TypeError(f"unexpected content node {node!r}")
+
+
+def node_size(node: ContentNode) -> int:
+    """Return the number of AST nodes in *node* (the paper's ``k`` counts leaves)."""
+    return sum(1 for _ in walk(node))
+
+
+def _needs_parens(node: ContentNode) -> bool:
+    return isinstance(node, (Seq, Choice))
+
+
+def to_text(node: ContentNode) -> str:
+    """Render *node* in DTD syntax (canonical spacing, minimal parentheses)."""
+    if isinstance(node, PCData):
+        return "#PCDATA"
+    if isinstance(node, Name):
+        return node.name
+    if isinstance(node, Seq):
+        return "(" + ", ".join(to_text(item) for item in node.items) + ")"
+    if isinstance(node, Choice):
+        return "(" + " | ".join(to_text(item) for item in node.items) + ")"
+    if isinstance(node, (Star, Plus, Opt)):
+        suffix = {"Star": "*", "Plus": "+", "Opt": "?"}[type(node).__name__]
+        inner = to_text(node.item)
+        if not _needs_parens(node.item) and not isinstance(node.item, (Star, Plus, Opt)):
+            inner = "(" + inner + ")" if isinstance(node.item, PCData) else inner
+        return inner + suffix
+    raise TypeError(f"unexpected content node {node!r}")
+
+
+def seq(*items: ContentNode) -> ContentNode:
+    """Convenience constructor: a :class:`Seq`, collapsing the 1-item case."""
+    if len(items) == 1:
+        return items[0]
+    return Seq(tuple(items))
+
+
+def choice(*items: ContentNode) -> ContentNode:
+    """Convenience constructor: a :class:`Choice`, collapsing the 1-item case."""
+    if len(items) == 1:
+        return items[0]
+    return Choice(tuple(items))

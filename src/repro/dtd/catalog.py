@@ -1,0 +1,341 @@
+"""A catalog of DTDs: every DTD from the paper plus realistic corpora.
+
+The paper's running examples:
+
+* :func:`paper_figure1` — the Figure 1 DTD used by Examples 1-4 and Figure 6,
+* :func:`example5_t1` — ``T1``, the PV-strong recursive DTD whose greedy
+  recognition loops without a depth bound (Figure 7),
+* :func:`example6_t2` — ``T2``, where one recursive descent step is
+  *necessary* to accept a potentially valid string.
+
+Realistic document-centric schemas (the paper's motivating domain is
+digital-library text encoding — its authors built the xTagger editor for
+manuscript markup):
+
+* :func:`tei_lite` — a TEI-flavoured subset for scholarly editions,
+* :func:`xhtml_basic` — an XHTML-flavoured subset; its inline elements
+  (``b``/``i``/``em``...) nest mutually through mixed content, making it
+  **PV-weak recursive** exactly as the paper observes about XHTML,
+* :func:`docbook_article` — a DocBook-flavoured article subset,
+* :func:`play` — dramatic text markup (acts/scenes/speeches),
+* :func:`dictionary` — dictionary entry markup,
+* :func:`manuscript` — diplomatic-transcription markup with damage/gap/
+  correction layers, the paper's own editorial use case.
+
+Pathological DTDs for edge-case tests:
+
+* :func:`strong_recursive_chain` — PV-strong recursion through a 3-cycle,
+* :func:`with_unproductive` — contains an element with no finite valid
+  subtree (violates the paper's usability assumption),
+* :func:`with_any` — exercises ``ANY`` content,
+* :func:`deep_chain` — a long non-recursive chain (stresses descend depth).
+
+Every function returns a freshly parsed, independent :class:`~repro.dtd.model.DTD`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+
+__all__ = [
+    "paper_figure1",
+    "example5_t1",
+    "example6_t2",
+    "tei_lite",
+    "xhtml_basic",
+    "docbook_article",
+    "play",
+    "dictionary",
+    "manuscript",
+    "strong_recursive_chain",
+    "with_unproductive",
+    "with_any",
+    "deep_chain",
+    "CATALOG",
+    "catalog_names",
+    "load",
+]
+
+_PAPER_FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+
+
+def paper_figure1() -> DTD:
+    """The sample DTD of Figure 1 (root ``r``).
+
+    Note: the paper prints ``<!ELEMENT c #PCDATA>`` without parentheses and
+    declares ``f`` as ``(c, e)`` in Figure 1 while Example 3's grammar lists
+    ``F -> C, B, E``; we follow Figure 1, which is what Examples 1-4 and
+    Figure 6 actually use.
+    """
+    return parse_dtd(_PAPER_FIGURE1, root="r", name="paper-figure1")
+
+
+_T1 = """
+<!ELEMENT a (a | b*)>
+<!ELEMENT b EMPTY>
+"""
+
+
+def example5_t1() -> DTD:
+    """Example 5's ``T1``: ``a`` is PV-strong recursive; naive greedy loops."""
+    return parse_dtd(_T1, root="a", name="example5-T1")
+
+
+_T2 = """
+<!ELEMENT a ((a | b), b)>
+<!ELEMENT b EMPTY>
+"""
+
+
+def example6_t2() -> DTD:
+    """Example 6's ``T2``: one recursive descent step is necessary."""
+    return parse_dtd(_T2, root="a", name="example6-T2")
+
+
+_TEI_LITE = """
+<!ELEMENT tei       (header, text)>
+<!ELEMENT header    (title, author*, sourceDesc?)>
+<!ELEMENT title     (#PCDATA)>
+<!ELEMENT author    (#PCDATA)>
+<!ELEMENT sourceDesc (#PCDATA | bibl)*>
+<!ELEMENT bibl      (#PCDATA)>
+<!ELEMENT text      (front?, body, back?)>
+<!ELEMENT front     (titlePage?, div*)>
+<!ELEMENT titlePage (title, author*)>
+<!ELEMENT body      (div+)>
+<!ELEMENT back      (div*)>
+<!ELEMENT div       (head?, (p | lg | quote | div)+)>
+<!ELEMENT head      (#PCDATA | hi)*>
+<!ELEMENT p         (#PCDATA | hi | ref | note | name | date)*>
+<!ELEMENT lg        (l+)>
+<!ELEMENT l         (#PCDATA | hi | note)*>
+<!ELEMENT quote     (p+)>
+<!ELEMENT hi        (#PCDATA | hi)*>
+<!ELEMENT ref       (#PCDATA)>
+<!ELEMENT note      (#PCDATA | hi | ref)*>
+<!ELEMENT name      (#PCDATA)>
+<!ELEMENT date      (#PCDATA)>
+"""
+
+
+def tei_lite() -> DTD:
+    """A TEI-flavoured scholarly-edition subset (recursive ``div``/``hi``)."""
+    return parse_dtd(_TEI_LITE, root="tei", name="tei-lite")
+
+
+_XHTML_BASIC = """
+<!ELEMENT html   (head, body)>
+<!ELEMENT head   (title)>
+<!ELEMENT title  (#PCDATA)>
+<!ELEMENT body   (p | ul | ol | blockquote | pre | h1 | h2 | table)*>
+<!ELEMENT p      (#PCDATA | b | i | em | strong | code | a | span | br)*>
+<!ELEMENT h1     (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT h2     (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT b      (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT i      (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT em     (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT strong (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT code   (#PCDATA)>
+<!ELEMENT a      (#PCDATA | b | i | em | strong | code | span)*>
+<!ELEMENT span   (#PCDATA | b | i | em | strong | code | a | span)*>
+<!ELEMENT br     EMPTY>
+<!ELEMENT ul     (li+)>
+<!ELEMENT ol     (li+)>
+<!ELEMENT li     (#PCDATA | b | i | em | strong | code | a | span | ul | ol)*>
+<!ELEMENT blockquote (p+)>
+<!ELEMENT pre    (#PCDATA)>
+<!ELEMENT table  (tr+)>
+<!ELEMENT tr     (td+)>
+<!ELEMENT td     (#PCDATA | b | i | em | strong | code | a | span | p)*>
+"""
+
+
+def xhtml_basic() -> DTD:
+    """An XHTML-flavoured subset; inline nesting makes it PV-weak recursive."""
+    return parse_dtd(_XHTML_BASIC, root="html", name="xhtml-basic")
+
+
+_DOCBOOK = """
+<!ELEMENT article   (info, section+)>
+<!ELEMENT info      (title, subtitle?, author+, pubdate?)>
+<!ELEMENT title     (#PCDATA | emphasis)*>
+<!ELEMENT subtitle  (#PCDATA)>
+<!ELEMENT author    (firstname, surname, affiliation?)>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT surname   (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT pubdate   (#PCDATA)>
+<!ELEMENT section   (title, (para | itemizedlist | orderedlist | programlisting | figure | section)*)>
+<!ELEMENT para      (#PCDATA | emphasis | literal | link | footnote)*>
+<!ELEMENT emphasis  (#PCDATA | emphasis | literal)*>
+<!ELEMENT literal   (#PCDATA)>
+<!ELEMENT link      (#PCDATA)>
+<!ELEMENT footnote  (para+)>
+<!ELEMENT itemizedlist (listitem+)>
+<!ELEMENT orderedlist  (listitem+)>
+<!ELEMENT listitem  (para+)>
+<!ELEMENT programlisting (#PCDATA)>
+<!ELEMENT figure    (title, mediaobject)>
+<!ELEMENT mediaobject (imageobject | textobject)>
+<!ELEMENT imageobject (#PCDATA)>
+<!ELEMENT textobject  (para)>
+"""
+
+
+def docbook_article() -> DTD:
+    """A DocBook-flavoured article subset (recursive ``section``/``emphasis``)."""
+    return parse_dtd(_DOCBOOK, root="article", name="docbook-article")
+
+
+_PLAY = """
+<!ELEMENT play      (title, personae, act+)>
+<!ELEMENT title     (#PCDATA)>
+<!ELEMENT personae  (persona+)>
+<!ELEMENT persona   (#PCDATA)>
+<!ELEMENT act       (acttitle, scene+)>
+<!ELEMENT acttitle  (#PCDATA)>
+<!ELEMENT scene     (scenetitle, (speech | stagedir)+)>
+<!ELEMENT scenetitle (#PCDATA)>
+<!ELEMENT speech    (speaker, (line | stagedir)+)>
+<!ELEMENT speaker   (#PCDATA)>
+<!ELEMENT line      (#PCDATA)>
+<!ELEMENT stagedir  (#PCDATA)>
+"""
+
+
+def play() -> DTD:
+    """Dramatic-text markup (non-recursive; a classic document-centric DTD)."""
+    return parse_dtd(_PLAY, root="play", name="play")
+
+
+_DICTIONARY = """
+<!ELEMENT dictionary (entry+)>
+<!ELEMENT entry     (headword, pronunciation?, pos, sense+)>
+<!ELEMENT headword  (#PCDATA)>
+<!ELEMENT pronunciation (#PCDATA)>
+<!ELEMENT pos       (#PCDATA)>
+<!ELEMENT sense     (definition, example*, crossref*)>
+<!ELEMENT definition (#PCDATA | term)*>
+<!ELEMENT term      (#PCDATA)>
+<!ELEMENT example   (#PCDATA | term)*>
+<!ELEMENT crossref  (#PCDATA)>
+"""
+
+
+def dictionary() -> DTD:
+    """Dictionary-entry markup (non-recursive, sequence heavy)."""
+    return parse_dtd(_DICTIONARY, root="dictionary", name="dictionary")
+
+
+_MANUSCRIPT = """
+<!ELEMENT manuscript (msheader, folio+)>
+<!ELEMENT msheader  (title, repository, shelfmark)>
+<!ELEMENT title     (#PCDATA)>
+<!ELEMENT repository (#PCDATA)>
+<!ELEMENT shelfmark (#PCDATA)>
+<!ELEMENT folio     (column+)>
+<!ELEMENT column    (textline+)>
+<!ELEMENT textline  (#PCDATA | damage | gap | add | del | corr | abbr | gloss)*>
+<!ELEMENT damage    (#PCDATA | gap | abbr)*>
+<!ELEMENT gap       EMPTY>
+<!ELEMENT add       (#PCDATA | abbr)*>
+<!ELEMENT del       (#PCDATA | abbr)*>
+<!ELEMENT corr      (#PCDATA)>
+<!ELEMENT abbr      (#PCDATA)>
+<!ELEMENT gloss     (#PCDATA | abbr)*>
+"""
+
+
+def manuscript() -> DTD:
+    """Diplomatic-transcription markup — the xTagger editorial use case."""
+    return parse_dtd(_MANUSCRIPT, root="manuscript", name="manuscript")
+
+
+_STRONG_CHAIN = """
+<!ELEMENT x ((y | leaf), leaf)>
+<!ELEMENT y ((z | leaf), leaf?)>
+<!ELEMENT z ((x | leaf))>
+<!ELEMENT leaf EMPTY>
+"""
+
+
+def strong_recursive_chain() -> DTD:
+    """PV-strong recursion through the 3-cycle ``x -> y -> z -> x``."""
+    return parse_dtd(_STRONG_CHAIN, root="x", name="strong-chain")
+
+
+_WITH_UNPRODUCTIVE = """
+<!ELEMENT root (ok | bad)>
+<!ELEMENT ok   (#PCDATA)>
+<!ELEMENT bad  (worse)>
+<!ELEMENT worse (bad)>
+"""
+
+
+def with_unproductive() -> DTD:
+    """``bad``/``worse`` have no finite valid subtree (usability violated)."""
+    return parse_dtd(_WITH_UNPRODUCTIVE, root="root", name="with-unproductive")
+
+
+_WITH_ANY = """
+<!ELEMENT doc  (meta, payload)>
+<!ELEMENT meta (#PCDATA)>
+<!ELEMENT payload ANY>
+<!ELEMENT widget (meta?)>
+"""
+
+
+def with_any() -> DTD:
+    """Exercises ``ANY`` content (Section 3.1's rewrite)."""
+    return parse_dtd(_WITH_ANY, root="doc", name="with-any")
+
+
+def deep_chain(length: int = 12) -> DTD:
+    """A non-recursive chain ``c0 -> c1 -> ... -> c<length>`` of optional nesting.
+
+    Used to stress missing-element descent depth without recursion.
+    """
+    lines = []
+    for index in range(length):
+        lines.append(f"<!ELEMENT c{index} (c{index + 1}?, leaf?)>")
+    lines.append(f"<!ELEMENT c{length} (#PCDATA)>")
+    lines.append("<!ELEMENT leaf EMPTY>")
+    return parse_dtd("\n".join(lines), root="c0", name=f"deep-chain-{length}")
+
+
+#: Name -> constructor registry for scripted experiments.
+CATALOG: dict[str, Callable[[], DTD]] = {
+    "paper-figure1": paper_figure1,
+    "example5-T1": example5_t1,
+    "example6-T2": example6_t2,
+    "tei-lite": tei_lite,
+    "xhtml-basic": xhtml_basic,
+    "docbook-article": docbook_article,
+    "play": play,
+    "dictionary": dictionary,
+    "manuscript": manuscript,
+    "strong-chain": strong_recursive_chain,
+    "with-unproductive": with_unproductive,
+    "with-any": with_any,
+}
+
+
+def catalog_names() -> tuple[str, ...]:
+    """All registered catalog DTD names, in a stable order."""
+    return tuple(CATALOG)
+
+
+def load(name: str) -> DTD:
+    """Instantiate a catalog DTD by name (raises ``KeyError`` for unknown names)."""
+    return CATALOG[name]()

@@ -1,0 +1,126 @@
+"""Tokenizer for DTD (internal-subset style) text.
+
+Supports exactly the subset of DTD syntax that matters for potential
+validity: ``<!ELEMENT ...>`` declarations and their content-model
+punctuation.  ``<!ATTLIST>``, ``<!ENTITY>`` and ``<!NOTATION>`` declarations
+are recognized and skipped — the paper's footnote 3 notes that attribute
+declarations do not affect the problem — and comments are ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from repro.errors import DTDSyntaxError
+
+__all__ = ["TokenKind", "Token", "tokenize_dtd"]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class TokenKind(Enum):
+    """Lexical categories of DTD tokens."""
+
+    ELEMENT_OPEN = auto()  # '<!ELEMENT'
+    NAME = auto()          # element type name or EMPTY/ANY keyword
+    PCDATA = auto()        # '#PCDATA'
+    LPAREN = auto()
+    RPAREN = auto()
+    PIPE = auto()
+    COMMA = auto()
+    QUESTION = auto()
+    STAR = auto()
+    PLUS = auto()
+    GT = auto()            # '>' closing a declaration
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single DTD token with its source offset (for error reporting)."""
+
+    kind: TokenKind
+    text: str
+    offset: int
+
+
+_PUNCT = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "|": TokenKind.PIPE,
+    ",": TokenKind.COMMA,
+    "?": TokenKind.QUESTION,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    ">": TokenKind.GT,
+}
+
+_SKIPPED_DECLS = ("<!ATTLIST", "<!ENTITY", "<!NOTATION")
+
+
+def _scan_name(source: str, start: int) -> int:
+    """Return the end offset of the name starting at *start*."""
+    end = start + 1
+    while end < len(source) and source[end] in _NAME_CHARS:
+        end += 1
+    return end
+
+
+def tokenize_dtd(source: str) -> Iterator[Token]:
+    """Yield the tokens of *source*, ending with a single ``EOF`` token.
+
+    Raises :class:`~repro.errors.DTDSyntaxError` on characters that cannot
+    start any token, unterminated comments, or unterminated skipped
+    declarations.
+    """
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char in _WHITESPACE:
+            position += 1
+            continue
+        if source.startswith("<!--", position):
+            end = source.find("-->", position + 4)
+            if end < 0:
+                raise DTDSyntaxError("unterminated comment", position)
+            position = end + 3
+            continue
+        if source.startswith("<?", position):
+            end = source.find("?>", position + 2)
+            if end < 0:
+                raise DTDSyntaxError("unterminated processing instruction", position)
+            position = end + 2
+            continue
+        skipped = next(
+            (kw for kw in _SKIPPED_DECLS if source.startswith(kw, position)), None
+        )
+        if skipped is not None:
+            end = source.find(">", position)
+            if end < 0:
+                raise DTDSyntaxError(f"unterminated {skipped} declaration", position)
+            position = end + 1
+            continue
+        if source.startswith("<!ELEMENT", position):
+            yield Token(TokenKind.ELEMENT_OPEN, "<!ELEMENT", position)
+            position += len("<!ELEMENT")
+            continue
+        if source.startswith("#PCDATA", position):
+            yield Token(TokenKind.PCDATA, "#PCDATA", position)
+            position += len("#PCDATA")
+            continue
+        if char in _PUNCT:
+            yield Token(_PUNCT[char], char, position)
+            position += 1
+            continue
+        if char in _NAME_START:
+            end = _scan_name(source, position)
+            yield Token(TokenKind.NAME, source[position:end], position)
+            position = end
+            continue
+        raise DTDSyntaxError(f"unexpected character {char!r}", position)
+    yield Token(TokenKind.EOF, "", length)

@@ -1,0 +1,285 @@
+"""The DTD object model: ``T = <Gamma, T>`` plus content-spec categories.
+
+XML 1.0 distinguishes four content-spec categories for an element type
+declaration (paper ref [2], production [46] ``contentspec``):
+
+* ``EMPTY`` — no content at all,
+* ``ANY`` — any sequence of declared elements and character data,
+* *mixed* — ``(#PCDATA | a | b | ...)*`` (or bare ``(#PCDATA)``),
+* *children* — a deterministic regular expression over element names built
+  from ``,``, ``|``, ``?``, ``*``, ``+``.
+
+Potential validity only depends on this structure (attribute declarations are
+irrelevant — paper footnote 3), so the model stores exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.dtd import ast
+from repro.dtd.ast import Choice, ContentNode, Name, PCData, Star
+from repro.errors import DTDSemanticError, UnknownElementError
+
+__all__ = [
+    "PCDATA",
+    "ContentSpec",
+    "EmptyContent",
+    "AnyContent",
+    "MixedContent",
+    "ChildrenContent",
+    "ElementDecl",
+    "DTD",
+]
+
+#: Sentinel used throughout the library to denote the ``#PCDATA`` "symbol"
+#: wherever element names are used (reachability targets, DAG star-group
+#: member sets, token alphabets).  A plain module-level constant string that
+#: can never collide with an XML element name because ``#`` is not a name
+#: character.
+PCDATA: str = "#PCDATA"
+
+
+@dataclass(frozen=True)
+class EmptyContent:
+    """``EMPTY`` content: the element may contain nothing."""
+
+    def regex(self, dtd: "DTD") -> ContentNode | None:
+        return None
+
+
+@dataclass(frozen=True)
+class AnyContent:
+    """``ANY`` content: any mix of declared elements and character data.
+
+    The paper (Section 3.1) rewrites ``ANY`` as
+    ``(Z1 | Z2 | ... | Zn | PCDATA)*`` over *all* element types; ``regex``
+    performs exactly that expansion against the owning DTD.
+    """
+
+    def regex(self, dtd: "DTD") -> ContentNode:
+        alternatives: tuple[ContentNode, ...] = tuple(
+            Name(name) for name in dtd.element_names()
+        ) + (PCData(),)
+        return Star(Choice(alternatives))
+
+
+@dataclass(frozen=True)
+class MixedContent:
+    """Mixed content ``(#PCDATA | n1 | ... | nk)*``; ``names`` may be empty.
+
+    A bare ``(#PCDATA)`` declaration is represented as ``MixedContent(())``
+    — over the collapsed-text token alphabet the two forms accept the same
+    content (any run of character data), matching the paper's treatment of
+    all content as strings.
+    """
+
+    names: tuple[str, ...] = ()
+
+    def regex(self, dtd: "DTD") -> ContentNode:
+        alternatives: tuple[ContentNode, ...] = (PCData(),) + tuple(
+            Name(name) for name in self.names
+        )
+        return Star(Choice(alternatives))
+
+
+@dataclass(frozen=True)
+class ChildrenContent:
+    """Element (children) content: a regular expression over element names."""
+
+    model: ContentNode
+
+    def __post_init__(self) -> None:
+        if ast.mentions_pcdata(self.model):
+            raise DTDSemanticError(
+                "#PCDATA may only appear in mixed content (XML 1.0 [51])"
+            )
+
+    def regex(self, dtd: "DTD") -> ContentNode:
+        return self.model
+
+
+ContentSpec = EmptyContent | AnyContent | MixedContent | ChildrenContent
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """A single ``<!ELEMENT name contentspec>`` declaration."""
+
+    name: str
+    content: ContentSpec
+
+    @property
+    def is_empty(self) -> bool:
+        return isinstance(self.content, EmptyContent)
+
+    @property
+    def is_any(self) -> bool:
+        return isinstance(self.content, AnyContent)
+
+    @property
+    def is_mixed(self) -> bool:
+        return isinstance(self.content, MixedContent)
+
+    @property
+    def is_children(self) -> bool:
+        return isinstance(self.content, ChildrenContent)
+
+    def allows_pcdata_directly(self) -> bool:
+        """True iff character data is legal *directly* inside this element.
+
+        This is the exact predicate behind the paper's O(1) character-data
+        insertion rule in the mixed-content case (Proposition 3 discussion).
+        """
+        return isinstance(self.content, (MixedContent, AnyContent))
+
+    def referenced_names(self) -> frozenset[str]:
+        """Element names occurring syntactically in this declaration's RHS.
+
+        These are exactly the targets of this element's out-edges in the
+        paper's reachability graph ``R_T`` (Definition 5).
+        """
+        if isinstance(self.content, EmptyContent):
+            return frozenset()
+        if isinstance(self.content, AnyContent):
+            # Resolved against the owning DTD by DTD.referenced_names().
+            return frozenset()
+        if isinstance(self.content, MixedContent):
+            return frozenset(self.content.names)
+        return ast.element_names(self.content.model)
+
+
+class DTD:
+    """A parsed DTD: ordered element declarations plus a designated root.
+
+    The declaration order is preserved (it matters for serialization and for
+    stable iteration in experiments), lookups are by name, and the object is
+    immutable after construction.  Derived analyses (normalization,
+    reachability, classification, DAGs) live in their own modules and are
+    cached per-DTD by the callers that need them.
+    """
+
+    __slots__ = ("_decls", "_by_name", "root", "name")
+
+    def __init__(
+        self,
+        decls: Iterator[ElementDecl] | list[ElementDecl] | tuple[ElementDecl, ...],
+        root: str,
+        name: str = "dtd",
+    ) -> None:
+        decls = tuple(decls)
+        by_name: dict[str, ElementDecl] = {}
+        for decl in decls:
+            if decl.name in by_name:
+                raise DTDSemanticError(
+                    f"duplicate element type declaration for {decl.name!r}"
+                )
+            by_name[decl.name] = decl
+        if root not in by_name:
+            raise UnknownElementError(root)
+        self._decls = decls
+        self._by_name: Mapping[str, ElementDecl] = by_name
+        self.root = root
+        self.name = name
+        self._validate_references()
+
+    def _validate_references(self) -> None:
+        declared = set(self._by_name)
+        for decl in self._decls:
+            missing = decl.referenced_names() - declared
+            if missing:
+                listed = ", ".join(sorted(missing))
+                raise DTDSemanticError(
+                    f"element {decl.name!r} references undeclared element(s): {listed}"
+                )
+
+    # -- basic access -----------------------------------------------------
+
+    def __iter__(self) -> Iterator[ElementDecl]:
+        return iter(self._decls)
+
+    def __len__(self) -> int:
+        return len(self._decls)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ElementDecl:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownElementError(name) from None
+
+    def get(self, name: str) -> ElementDecl | None:
+        return self._by_name.get(name)
+
+    def element_names(self) -> tuple[str, ...]:
+        """All declared element type names, in declaration order."""
+        return tuple(decl.name for decl in self._decls)
+
+    def content_regex(self, name: str) -> ContentNode | None:
+        """The content model of *name* as a plain regex (``None`` for EMPTY).
+
+        ``ANY`` and mixed content are expanded per the paper's Section 3.1
+        conventions; children content is returned as declared.
+        """
+        return self[name].content.regex(self)
+
+    def referenced_names(self, name: str) -> frozenset[str]:
+        """Out-neighbours of *name* in the reachability graph ``R_T``.
+
+        For ``ANY`` content every declared element (and ``#PCDATA``) is
+        referenced, matching the paper's rewrite of ``ANY``.
+        """
+        decl = self[name]
+        if isinstance(decl.content, AnyContent):
+            return frozenset(self.element_names())
+        return decl.referenced_names()
+
+    def mentions_pcdata(self, name: str) -> bool:
+        """True iff ``#PCDATA`` occurs in the declaration of *name*."""
+        decl = self[name]
+        return isinstance(decl.content, (MixedContent, AnyContent))
+
+    # -- size measures used by the complexity experiments -------------------
+
+    @property
+    def element_count(self) -> int:
+        """The paper's ``m = |T|``."""
+        return len(self._decls)
+
+    @property
+    def occurrence_count(self) -> int:
+        """The paper's ``k``: element occurrences over all ``r_x`` expressions.
+
+        ``k >= m`` and reading all rules costs ``O(k)`` (Section 4.4).  We
+        count ``Name`` and ``PCData`` leaves of every content model, with
+        ``ANY`` counting as one occurrence of every element plus ``#PCDATA``
+        (its Section 3.1 expansion).
+        """
+        total = 0
+        for decl in self._decls:
+            regex = decl.content.regex(self)
+            if regex is None:
+                continue
+            total += sum(
+                1 for node in ast.walk(regex) if isinstance(node, (Name, PCData))
+            )
+        return total
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DTD(name={self.name!r}, root={self.root!r}, "
+            f"elements={self.element_count})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DTD):
+            return NotImplemented
+        return self._decls == other._decls and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash((self._decls, self.root))

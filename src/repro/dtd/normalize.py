@@ -1,0 +1,66 @@
+"""Corollary 3.1 normal form for content models.
+
+The paper proves (Corollary 3.1) that for the *potential validity* language
+the ``?`` operator can be removed outright and every ``+`` replaced by ``*``
+without changing ``L(G'_{T,r})`` — a consequence of Theorem 3 (every
+nonterminal of ``G'`` derives the empty string).  All PV machinery
+(star-groups, the DAG model, the recognizers) operates on this normal form;
+the *standard* validator keeps the original models, where ``?``/``+`` of
+course still matter.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.ast import (
+    Choice,
+    ContentNode,
+    Name,
+    Opt,
+    PCData,
+    Plus,
+    Seq,
+    Star,
+)
+from repro.dtd.model import DTD
+
+__all__ = ["normalize_node", "normalized_content"]
+
+
+def normalize_node(node: ContentNode) -> ContentNode:
+    """Return *node* with every ``?`` dropped and every ``+`` turned into ``*``.
+
+    The transformation is purely structural and preserves the paper's
+    position counting: no ``Name``/``PCData`` leaf is added or removed.
+
+    >>> from repro.dtd.parser import parse_content_spec
+    >>> from repro.dtd.ast import to_text
+    >>> model = parse_content_spec("(b?, (c | f)+, d)").model
+    >>> to_text(normalize_node(model))
+    '(b, (c | f)*, d)'
+    """
+    if isinstance(node, (PCData, Name)):
+        return node
+    if isinstance(node, Seq):
+        return Seq(tuple(normalize_node(item) for item in node.items))
+    if isinstance(node, Choice):
+        return Choice(tuple(normalize_node(item) for item in node.items))
+    if isinstance(node, Star):
+        return Star(normalize_node(node.item))
+    if isinstance(node, Plus):
+        return Star(normalize_node(node.item))
+    if isinstance(node, Opt):
+        return normalize_node(node.item)
+    raise TypeError(f"unexpected content node {node!r}")
+
+
+def normalized_content(dtd: DTD, name: str) -> ContentNode | None:
+    """The Corollary 3.1 normal form of *name*'s content model.
+
+    Returns ``None`` for ``EMPTY`` content.  ``ANY`` and mixed content are
+    first expanded to their regex form (Section 3.1), which is already
+    ``?``/``+`` free, and then normalized for uniformity.
+    """
+    regex = dtd.content_regex(name)
+    if regex is None:
+        return None
+    return normalize_node(regex)

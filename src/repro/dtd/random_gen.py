@@ -1,0 +1,207 @@
+"""Seeded random DTD generation.
+
+Benchmark E3 sweeps the paper's ``k`` (total element occurrences across all
+content models) and the classification experiment needs populations of each
+Definition 6-8 class, so the generator controls:
+
+* the element count and reference fan-out (driving ``k``),
+* the recursion style: ``"none"`` builds a DAG of references (elements only
+  reference later-declared ones), ``"weak"`` adds self/backward references
+  *inside* star-groups (mixed content), ``"strong"`` adds a backward
+  reference at a non-star-group position.
+
+Productivity/usability hold by construction: the reference DAG bottoms out
+in ``EMPTY``/``(#PCDATA)`` leaves, recursion is only ever *added* as an
+extra alternative, and every element is reachable from the root.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.dtd.ast import Choice, ContentNode, Name, Opt, Plus, Seq, Star
+from repro.dtd.model import (
+    ChildrenContent,
+    DTD,
+    ElementDecl,
+    EmptyContent,
+    MixedContent,
+)
+
+__all__ = ["RandomDTDConfig", "random_dtd"]
+
+RecursionStyle = Literal["none", "weak", "strong"]
+
+
+@dataclass(frozen=True)
+class RandomDTDConfig:
+    """Knobs for :func:`random_dtd`.
+
+    ``elements`` includes the root; ``fanout`` bounds how many distinct
+    later elements one content model references (the main ``k`` driver);
+    ``mixed_fraction``/``empty_fraction`` control leaf-ish declarations;
+    ``recursion`` selects the Definition 6-8 class the result should land
+    in (``"none"`` guarantees non-recursive; ``"weak"``/``"strong"`` make
+    the corresponding class *likely by construction* and the tests assert
+    it exactly).
+    """
+
+    elements: int = 10
+    seed: int = 0
+    fanout: int = 4
+    mixed_fraction: float = 0.25
+    empty_fraction: float = 0.15
+    recursion: RecursionStyle = "none"
+    name_prefix: str = "e"
+
+
+def random_dtd(config: RandomDTDConfig) -> DTD:
+    """Generate a DTD per *config* (deterministic for a given config)."""
+    if config.elements < 2:
+        raise ValueError("need at least 2 elements (root plus a leaf)")
+    # Seed from a string: random.Random seeds strings via a stable hash,
+    # unlike tuple hashing, which PYTHONHASHSEED randomizes per process.
+    rng = random.Random(f"{config.seed}|{config.elements}|{config.recursion}")
+    names = [f"{config.name_prefix}{index}" for index in range(config.elements)]
+    decls: list[ElementDecl] = []
+    for index, name in enumerate(names):
+        later = names[index + 1 :]
+        decls.append(ElementDecl(name, _content_for(rng, later, config)))
+    decls = _ensure_reachable(decls, names)
+    decls = _add_recursion(rng, decls, names, config)
+    return DTD(
+        decls,
+        root=names[0],
+        name=f"random-{config.recursion}-m{config.elements}-s{config.seed}",
+    )
+
+
+def _ensure_reachable(
+    decls: list[ElementDecl], names: list[str]
+) -> list[ElementDecl]:
+    """Attach optional references from the root so every element is usable.
+
+    All elements are productive by construction (the reference DAG bottoms
+    out), so syntactic reachability from the root is exactly usability.
+    Unreached elements are appended to the root content as ``name?`` items,
+    which cannot break productivity or introduce recursion.
+    """
+    by_name = {decl.name: decl for decl in decls}
+    reached = {names[0]}
+    frontier = [names[0]]
+    while frontier:
+        current = by_name[frontier.pop()]
+        targets = (
+            current.content.names
+            if isinstance(current.content, MixedContent)
+            else current.referenced_names()
+        )
+        for target in targets:
+            if target not in reached:
+                reached.add(target)
+                frontier.append(target)
+    missing = [name for name in names if name not in reached]
+    if not missing:
+        return decls
+    root = decls[0]
+    extras = tuple(Opt(Name(name)) for name in missing)
+    if isinstance(root.content, ChildrenContent):
+        model: ContentNode = Seq((root.content.model,) + extras)
+    elif isinstance(root.content, MixedContent):
+        return [
+            ElementDecl(
+                root.name,
+                MixedContent(
+                    tuple(dict.fromkeys(root.content.names + tuple(missing)))
+                ),
+            )
+        ] + decls[1:]
+    else:  # EMPTY root: replace with an all-optional children model.
+        model = Seq(extras)
+    return [ElementDecl(root.name, ChildrenContent(model))] + decls[1:]
+
+
+def _content_for(
+    rng: random.Random, later: list[str], config: RandomDTDConfig
+):
+    """A content spec referencing only *later* elements (productive DAG)."""
+    if not later or rng.random() < config.empty_fraction:
+        return EmptyContent() if rng.random() < 0.5 else MixedContent(())
+    if rng.random() < config.mixed_fraction:
+        count = min(len(later), rng.randint(1, config.fanout))
+        return MixedContent(tuple(rng.sample(later, count)))
+    count = min(len(later), rng.randint(1, config.fanout))
+    refs = rng.sample(later, count)
+    return ChildrenContent(_random_regex(rng, refs))
+
+
+def _random_regex(rng: random.Random, refs: list[str]) -> ContentNode:
+    """A parser-shaped regex over *refs* (occurrences only on names/groups)."""
+    leaves: list[ContentNode] = [_decorate(rng, Name(ref)) for ref in refs]
+    while len(leaves) > 1:
+        take = min(len(leaves), rng.randint(2, 3))
+        group_items = tuple(leaves[:take])
+        combiner = Choice if rng.random() < 0.4 else Seq
+        combined: ContentNode = combiner(group_items)
+        if rng.random() < 0.4:
+            combined = _decorate_group(rng, combined)
+        leaves = [combined] + leaves[take:]
+    top = leaves[0]
+    if isinstance(top, (Name, Star, Plus, Opt)):
+        top = Seq((top,))
+    return top
+
+
+def _decorate(rng: random.Random, node: ContentNode) -> ContentNode:
+    roll = rng.random()
+    if roll < 0.2:
+        return Opt(node)
+    if roll < 0.35:
+        return Star(node)
+    if roll < 0.45:
+        return Plus(node)
+    return node
+
+
+def _decorate_group(rng: random.Random, node: ContentNode) -> ContentNode:
+    roll = rng.random()
+    if roll < 0.4:
+        return Star(node)
+    if roll < 0.7:
+        return Opt(node)
+    return Plus(node)
+
+
+def _add_recursion(
+    rng: random.Random,
+    decls: list[ElementDecl],
+    names: list[str],
+    config: RandomDTDConfig,
+) -> list[ElementDecl]:
+    if config.recursion == "none" or len(names) < 2:
+        return decls
+    target_index = rng.randrange(0, max(1, len(names) // 2))
+    target = decls[target_index]
+    if config.recursion == "weak":
+        # Self-reference inside a star-group: mixed content mentioning the
+        # element itself (the XHTML <b>/<i> pattern the paper cites).
+        existing = (
+            target.content.names
+            if isinstance(target.content, MixedContent)
+            else ()
+        )
+        members = tuple(dict.fromkeys(existing + (target.name,)))
+        decls[target_index] = ElementDecl(target.name, MixedContent(members))
+        return decls
+    # Strong: a self-reference at a non-star-group position, kept productive
+    # by making it one branch of a choice whose other branch is the original
+    # content (or EMPTY-equivalent epsilon via Opt when original is EMPTY).
+    original = target.content
+    if isinstance(original, ChildrenContent):
+        new_model: ContentNode = Choice((Name(target.name), original.model))
+    else:
+        new_model = Seq((Opt(Name(target.name)),))
+    decls[target_index] = ElementDecl(target.name, ChildrenContent(new_model))
+    return decls

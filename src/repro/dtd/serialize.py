@@ -1,0 +1,47 @@
+"""Render a :class:`~repro.dtd.model.DTD` back to declaration text.
+
+Round-tripping (``parse_dtd(dtd_to_text(dtd)) == dtd``) is covered by
+property tests; canonical spacing follows the paper's Figure 1 style.
+"""
+
+from __future__ import annotations
+
+from repro.dtd import ast
+from repro.dtd.model import (
+    AnyContent,
+    ChildrenContent,
+    DTD,
+    ElementDecl,
+    EmptyContent,
+    MixedContent,
+)
+
+__all__ = ["decl_to_text", "dtd_to_text"]
+
+
+def decl_to_text(decl: ElementDecl) -> str:
+    """Render one element type declaration in DTD syntax."""
+    content = decl.content
+    if isinstance(content, EmptyContent):
+        body = "EMPTY"
+    elif isinstance(content, AnyContent):
+        body = "ANY"
+    elif isinstance(content, MixedContent):
+        if content.names:
+            alternatives = " | ".join(("#PCDATA",) + content.names)
+            body = f"({alternatives})*"
+        else:
+            body = "(#PCDATA)"
+    elif isinstance(content, ChildrenContent):
+        body = ast.to_text(content.model)
+        if not body.startswith("("):
+            # Top-level children content must be parenthesized (XML [47]).
+            body = f"({body})"
+    else:  # pragma: no cover - exhaustive over ContentSpec
+        raise TypeError(f"unexpected content spec {content!r}")
+    return f"<!ELEMENT {decl.name} {body}>"
+
+
+def dtd_to_text(dtd: DTD) -> str:
+    """Render all declarations of *dtd*, one per line, in declaration order."""
+    return "\n".join(decl_to_text(decl) for decl in dtd) + "\n"

@@ -1,0 +1,128 @@
+"""Star-groups (Definition 4) and the Proposition 1 flattening.
+
+After Corollary 3.1 normalization a content model contains only ``Seq``,
+``Choice``, ``Star``, ``Name`` and ``PCData`` nodes.  Definition 4 singles
+out the *maximal* starred subexpressions — the **star-groups**: every ``e*``
+is either a star-group or nested inside one, and no star-group contains
+another.  Proposition 1 then licenses replacing each star-group by
+``(a1, ..., an)*`` over its member element set: the PV language only depends
+on *which* symbols a star-group contains, not on its internal expression.
+
+The flattened form is the input of the paper's DAG model (Section 4.2):
+a tree over ``Seq``/``Choice`` whose leaves are either simple ``Name``
+occurrences or opaque :class:`StarGroup` leaves.  Because all ``Star``
+operators are swallowed by the groups, the flattened model is star-free and
+its position graph (the paper's ``DAG_x``) is acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.dtd.ast import (
+    Choice,
+    ContentNode,
+    Name,
+    PCData,
+    Plus,
+    Opt,
+    Seq,
+    Star,
+    element_names,
+    mentions_pcdata,
+)
+from repro.dtd.model import DTD, PCDATA
+from repro.dtd.normalize import normalized_content
+
+__all__ = ["StarGroup", "FlatNode", "find_star_groups", "flatten", "flattened_content"]
+
+
+@dataclass(frozen=True)
+class StarGroup:
+    """A flattened star-group leaf: the set of symbols it may repeat.
+
+    ``members`` contains element names, plus the :data:`~repro.dtd.model.PCDATA`
+    sentinel when ``#PCDATA`` occurred inside the group (mixed content).
+    The paper labels star-group DAG nodes with exactly this list.
+    """
+
+    members: frozenset[str]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        listed = ", ".join(sorted(self.members))
+        return f"StarGroup({{{listed}}})"
+
+
+#: A flattened content model node: plain ``Seq``/``Choice`` structure over
+#: ``Name`` occurrences and :class:`StarGroup` leaves.
+FlatNode = Union[Seq, Choice, Name, StarGroup]
+
+
+def find_star_groups(node: ContentNode) -> list[ContentNode]:
+    """Return the star-groups of a *normalized* content model, in document order.
+
+    Star-groups are the outermost ``Star`` nodes (Definition 4): every
+    ``Star`` either appears in the result or is a descendant of one that
+    does.
+
+    >>> from repro.dtd.parser import parse_content_spec
+    >>> from repro.dtd.normalize import normalize_node
+    >>> from repro.dtd.ast import to_text
+    >>> model = normalize_node(parse_content_spec("(a, (b* | (c, d*, e)*))").model)
+    >>> [to_text(group) for group in find_star_groups(model)]
+    ['b*', '(c, d*, e)*']
+    """
+    groups: list[ContentNode] = []
+
+    def visit(current: ContentNode) -> None:
+        if isinstance(current, Star):
+            groups.append(current)
+            return  # nested stars are subexpressions of this group
+        if isinstance(current, (Seq, Choice)):
+            for item in current.items:
+                visit(item)
+        elif isinstance(current, (Plus, Opt)):  # pragma: no cover - normalized input
+            visit(current.item)
+
+    visit(node)
+    return groups
+
+
+def _group_members(star: Star) -> frozenset[str]:
+    members: set[str] = set(element_names(star.item))
+    if mentions_pcdata(star.item):
+        members.add(PCDATA)
+    return frozenset(members)
+
+
+def flatten(node: ContentNode) -> FlatNode:
+    """Apply the Proposition 1 flattening to a *normalized* content model.
+
+    Each outermost ``Star`` becomes a :class:`StarGroup` over its member
+    symbols; ``Seq``/``Choice`` structure outside star-groups is preserved;
+    ``Name`` leaves pass through.  ``PCData`` cannot occur outside a star
+    after normalization (XML only allows ``#PCDATA`` in mixed content, which
+    is starred), so encountering one is an internal error.
+    """
+    if isinstance(node, Star):
+        return StarGroup(_group_members(node))
+    if isinstance(node, Name):
+        return node
+    if isinstance(node, Seq):
+        return Seq(tuple(flatten(item) for item in node.items))  # type: ignore[arg-type]
+    if isinstance(node, Choice):
+        return Choice(tuple(flatten(item) for item in node.items))  # type: ignore[arg-type]
+    if isinstance(node, PCData):
+        raise AssertionError(
+            "#PCDATA outside a star-group; content model was not normalized mixed content"
+        )
+    raise AssertionError(f"non-normalized node in flatten: {node!r}")
+
+
+def flattened_content(dtd: DTD, name: str) -> FlatNode | None:
+    """Normalize then flatten the content model of *name* (``None`` for EMPTY)."""
+    normalized = normalized_content(dtd, name)
+    if normalized is None:
+        return None
+    return flatten(normalized)

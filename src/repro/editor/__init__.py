@@ -1,0 +1,37 @@
+"""A guarded document-centric editing session (the paper's xTagger use case).
+
+The paper's motivation (Section 1, ref [10]) is an editor in which a human
+incrementally marks up pre-existing text and the system guarantees, after
+every operation, that the document can still be completed into a valid one.
+This package provides that substrate:
+
+* :mod:`repro.editor.operations` — the operation vocabulary (markup
+  insert/delete, text insert/update/delete) with tree addresses,
+* :mod:`repro.editor.document` — address resolution and operation
+  application over the DOM,
+* :mod:`repro.editor.session` — the guarded session: every operation is
+  checked with the incremental checker (Sections 3.2/4.1) before being
+  applied, rejected operations raise or are recorded, and undo is
+  supported.
+"""
+
+from repro.editor.operations import (
+    DeleteMarkup,
+    DeleteText,
+    EditOperation,
+    InsertMarkup,
+    InsertText,
+    UpdateText,
+)
+from repro.editor.session import EditingSession, SessionStats
+
+__all__ = [
+    "EditOperation",
+    "InsertMarkup",
+    "DeleteMarkup",
+    "InsertText",
+    "UpdateText",
+    "DeleteText",
+    "EditingSession",
+    "SessionStats",
+]

@@ -1,0 +1,105 @@
+"""Address resolution and operation application over the DOM."""
+
+from __future__ import annotations
+
+from repro.editor.operations import (
+    DeleteMarkup,
+    DeleteText,
+    EditOperation,
+    InsertMarkup,
+    InsertText,
+    NodePath,
+    UpdateText,
+)
+from repro.errors import XmlStructureError
+from repro.xmlmodel.tree import XmlDocument, XmlElement, XmlNode, XmlText
+
+__all__ = ["resolve", "resolve_element", "resolve_text", "apply_operation", "invert"]
+
+
+def resolve(document: XmlDocument, path: NodePath) -> XmlNode:
+    """Return the node addressed by *path* (empty path = root element)."""
+    node: XmlNode = document.root
+    for depth, index in enumerate(path):
+        if not isinstance(node, XmlElement):
+            raise XmlStructureError(
+                f"path {path} descends through a text node at depth {depth}"
+            )
+        if not 0 <= index < len(node.children):
+            raise XmlStructureError(
+                f"path {path} index {index} out of range at depth {depth}"
+            )
+        node = node.children[index]
+    return node
+
+
+def resolve_element(document: XmlDocument, path: NodePath) -> XmlElement:
+    node = resolve(document, path)
+    if not isinstance(node, XmlElement):
+        raise XmlStructureError(f"path {path} does not address an element")
+    return node
+
+
+def resolve_text(document: XmlDocument, path: NodePath) -> XmlText:
+    node = resolve(document, path)
+    if not isinstance(node, XmlText):
+        raise XmlStructureError(f"path {path} does not address a text node")
+    return node
+
+
+def apply_operation(document: XmlDocument, operation: EditOperation) -> None:
+    """Apply *operation* to *document* in place (no validity checking)."""
+    if isinstance(operation, InsertMarkup):
+        parent = resolve_element(document, operation.parent)
+        parent.wrap_children(operation.start, operation.end, operation.name)
+    elif isinstance(operation, DeleteMarkup):
+        if not operation.target:
+            raise XmlStructureError("cannot delete the root element's markup")
+        target = resolve_element(document, operation.target)
+        assert target.parent is not None
+        target.parent.unwrap_child(target)
+    elif isinstance(operation, InsertText):
+        parent = resolve_element(document, operation.parent)
+        parent.insert(operation.index, XmlText(operation.text))
+    elif isinstance(operation, UpdateText):
+        resolve_text(document, operation.target).text = operation.text
+    elif isinstance(operation, DeleteText):
+        text = resolve_text(document, operation.target)
+        assert text.parent is not None
+        text.parent.remove(text)
+    else:  # pragma: no cover - exhaustive over EditOperation
+        raise TypeError(f"unknown operation {operation!r}")
+
+
+def invert(document: XmlDocument, operation: EditOperation) -> EditOperation:
+    """Return the inverse of *operation* against the *current* document state.
+
+    Must be computed **before** applying the operation; applying the
+    operation and then its inverse restores the original tree.  Used by the
+    session's undo stack.
+    """
+    if isinstance(operation, InsertMarkup):
+        # The wrapper will sit at child index `start` of the parent.
+        return DeleteMarkup(target=operation.parent + (operation.start,))
+    if isinstance(operation, DeleteMarkup):
+        target = resolve_element(document, operation.target)
+        parent_path = operation.target[:-1]
+        index = operation.target[-1]
+        return InsertMarkup(
+            parent=parent_path,
+            start=index,
+            end=index + len(target.children),
+            name=target.name,
+        )
+    if isinstance(operation, InsertText):
+        return DeleteText(target=operation.parent + (operation.index,))
+    if isinstance(operation, UpdateText):
+        current = resolve_text(document, operation.target)
+        return UpdateText(target=operation.target, text=current.text)
+    if isinstance(operation, DeleteText):
+        current = resolve_text(document, operation.target)
+        parent_path = operation.target[:-1]
+        return InsertText(
+            parent=parent_path, index=operation.target[-1], text=current.text
+        )
+    raise TypeError(f"unknown operation {operation!r}")  # pragma: no cover

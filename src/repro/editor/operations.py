@@ -1,0 +1,79 @@
+"""Editing operations over a document tree.
+
+Nodes are addressed by *paths*: tuples of child indices from the root
+element (the empty tuple addresses the root itself).  Paths index the full
+children list — text nodes included — because document-centric editing is
+precisely about positioning markup relative to character data.
+
+The vocabulary matches the paper's update taxonomy (Section 3.2):
+
+* :class:`InsertMarkup` — wrap a contiguous child range in a new element
+  (Definition 2's extension step; the only operation that can *create*
+  invalidity beyond repair, hence the two-ECPV check),
+* :class:`DeleteMarkup` — unwrap an element (closed under PV, Theorem 2),
+* :class:`InsertText` — create a new text node (Proposition 3's case),
+* :class:`UpdateText` — change an existing text node (always PV-safe),
+* :class:`DeleteText` — remove a text node (a content deletion, PV-safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "NodePath",
+    "InsertMarkup",
+    "DeleteMarkup",
+    "InsertText",
+    "UpdateText",
+    "DeleteText",
+    "EditOperation",
+]
+
+#: Address of a node: child indices from the root element.
+NodePath = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InsertMarkup:
+    """Wrap children ``[start:end)`` of the element at *parent* in ``<name>``."""
+
+    parent: NodePath
+    start: int
+    end: int
+    name: str
+
+
+@dataclass(frozen=True)
+class DeleteMarkup:
+    """Unwrap the element at *target*, splicing its children into its parent."""
+
+    target: NodePath
+
+
+@dataclass(frozen=True)
+class InsertText:
+    """Insert a new text node at *index* under the element at *parent*."""
+
+    parent: NodePath
+    index: int
+    text: str
+
+
+@dataclass(frozen=True)
+class UpdateText:
+    """Replace the content of the text node at *target* with *text*."""
+
+    target: NodePath
+    text: str
+
+
+@dataclass(frozen=True)
+class DeleteText:
+    """Remove the text node at *target*."""
+
+    target: NodePath
+
+
+EditOperation = Union[InsertMarkup, DeleteMarkup, InsertText, UpdateText, DeleteText]

@@ -1,0 +1,144 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers embedding the checker into an editor loop can catch one type.  The
+subtypes mirror the major subsystems: DTD handling, XML parsing, grammar
+construction, and potential-validity checking itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DTDError(ReproError):
+    """Base class for DTD-related errors."""
+
+
+class DTDSyntaxError(DTDError):
+    """The DTD text could not be tokenized or parsed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Character offset into the DTD source at which the problem was
+        detected, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.message = message
+        self.position = position
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(message + suffix)
+
+
+class DTDSemanticError(DTDError):
+    """The DTD parsed but is not a legal DTD.
+
+    Examples: duplicate element declarations, ``#PCDATA`` used outside a
+    mixed-content model, references to the reserved names.
+    """
+
+
+class UnknownElementError(DTDError):
+    """An operation referenced an element type not declared in the DTD."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"element type {name!r} is not declared in the DTD")
+
+
+class UnusableElementError(DTDError):
+    """An element type can never occur in any finite valid document.
+
+    The paper (Section 3.3) assumes all element types are *usable*; this
+    error is raised by APIs that enforce that assumption.  Callers that want
+    graceful handling of unusable elements should use the exact checkers,
+    which guard skip/descend/acceptance on productivity instead of raising.
+    """
+
+    def __init__(self, names: tuple[str, ...]) -> None:
+        self.names = names
+        listed = ", ".join(sorted(names))
+        super().__init__(f"unusable element type(s) in DTD: {listed}")
+
+
+class XmlError(ReproError):
+    """Base class for XML-document errors."""
+
+
+class XmlSyntaxError(XmlError):
+    """The XML text is not well formed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description.
+    line / column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        if line is not None:
+            suffix = f" (line {line}, column {column})"
+        else:
+            suffix = ""
+        super().__init__(message + suffix)
+
+
+class XmlStructureError(XmlError):
+    """A tree-manipulation request was structurally impossible.
+
+    Examples: wrapping a non-contiguous range of children, deleting the
+    document root's tag, addressing a child index out of range.
+    """
+
+
+class GrammarError(ReproError):
+    """A context-free grammar was malformed or used inconsistently."""
+
+
+class PVError(ReproError):
+    """Base class for potential-validity checking errors."""
+
+
+class DepthBoundExceeded(PVError):
+    """The recognizer hit its document-depth bound before reaching a verdict.
+
+    Only PV-strong recursive DTDs can require unbounded insertion depth
+    (paper Section 4.3.1); for those the verdict is relative to the bound.
+    This error is raised only by APIs configured in *strict* mode where an
+    inconclusive bounded verdict must not be silently reported as "no".
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        super().__init__(
+            f"depth bound {depth} exceeded; verdict would be relative to the bound"
+        )
+
+
+class EditRejected(ReproError):
+    """An editor operation was rejected because it would break potential validity.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable explanation of which check failed.
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)

@@ -1,0 +1,39 @@
+"""Grammar substrate: CFGs, the paper's ECFG constructions, Earley, Glushkov.
+
+* :mod:`repro.grammar.cfg` — plain context-free grammars and nullability,
+* :mod:`repro.grammar.ecfg` — extended CFGs (regex right-hand sides) and
+  their expansion to plain CFGs,
+* :mod:`repro.grammar.build` — the paper's ``G_{T,r}`` (validity, Section
+  3.1), ``G'_{T,r}`` (potential validity, Section 3.2) and the per-element
+  content grammar used by the exact ECPV reference,
+* :mod:`repro.grammar.earley` — the Earley recognizer (the paper's general
+  CFG parsing baseline, its reference [6]),
+* :mod:`repro.grammar.glushkov` — position automata for content models,
+  shared by the standard validator and the Section 4.2 DAG model.
+"""
+
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.ecfg import ECFG, ecfg_to_cfg
+from repro.grammar.build import (
+    build_content_cfg,
+    build_pv_ecfg,
+    build_validity_ecfg,
+    content_nonterminal,
+    hat_nonterminal,
+    element_nonterminal,
+)
+from repro.grammar.earley import EarleyRecognizer
+
+__all__ = [
+    "Grammar",
+    "Production",
+    "ECFG",
+    "ecfg_to_cfg",
+    "build_content_cfg",
+    "build_pv_ecfg",
+    "build_validity_ecfg",
+    "content_nonterminal",
+    "hat_nonterminal",
+    "element_nonterminal",
+    "EarleyRecognizer",
+]

@@ -1,0 +1,120 @@
+"""Plain context-free grammars.
+
+Symbols are strings.  A symbol is a nonterminal iff it appears in the
+grammar's ``nonterminals`` set; every other symbol occurring in a production
+body is a terminal.  The library's conventions keep the two disjoint by
+construction (nonterminals carry prefixes like ``N:``/``H:``/``C:`` that
+never collide with tag terminals ``<x>``/``</x>``, element-name tokens, or
+the ``#PCDATA`` sigma sentinel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import GrammarError
+
+__all__ = ["Production", "Grammar"]
+
+
+@dataclass(frozen=True)
+class Production:
+    """A production ``head -> body`` (empty body = epsilon production)."""
+
+    head: str
+    body: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rhs = " ".join(self.body) if self.body else "ε"
+        return f"{self.head} -> {rhs}"
+
+
+class Grammar:
+    """An immutable CFG with precomputed per-head indices and nullable set."""
+
+    __slots__ = (
+        "start",
+        "nonterminals",
+        "productions",
+        "_by_head",
+        "_nullable",
+    )
+
+    def __init__(
+        self,
+        start: str,
+        productions: Iterable[Production | tuple[str, Sequence[str]]],
+    ) -> None:
+        normalized: list[Production] = []
+        for production in productions:
+            if isinstance(production, Production):
+                normalized.append(production)
+            else:
+                head, body = production
+                normalized.append(Production(head, tuple(body)))
+        if not normalized:
+            raise GrammarError("grammar has no productions")
+        self.productions: tuple[Production, ...] = tuple(normalized)
+        self.nonterminals: frozenset[str] = frozenset(
+            production.head for production in self.productions
+        )
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} has no productions")
+        self.start = start
+        by_head: dict[str, list[Production]] = {}
+        for production in self.productions:
+            by_head.setdefault(production.head, []).append(production)
+        self._by_head: dict[str, tuple[Production, ...]] = {
+            head: tuple(rules) for head, rules in by_head.items()
+        }
+        self._nullable = self._compute_nullable()
+
+    def alternatives(self, head: str) -> tuple[Production, ...]:
+        """All productions with the given *head*."""
+        return self._by_head.get(head, ())
+
+    def is_nonterminal(self, symbol: str) -> bool:
+        return symbol in self.nonterminals
+
+    def is_nullable(self, symbol: str) -> bool:
+        """True iff *symbol* is a nonterminal deriving the empty string."""
+        return symbol in self._nullable
+
+    @property
+    def nullable(self) -> frozenset[str]:
+        """The set of nullable nonterminals (Theorem 3 checks this covers all)."""
+        return self._nullable
+
+    def terminals(self) -> frozenset[str]:
+        """All terminal symbols occurring in production bodies."""
+        symbols: set[str] = set()
+        for production in self.productions:
+            for symbol in production.body:
+                if symbol not in self.nonterminals:
+                    symbols.add(symbol)
+        return frozenset(symbols)
+
+    def _compute_nullable(self) -> frozenset[str]:
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.head in nullable:
+                    continue
+                if all(
+                    symbol in nullable for symbol in production.body
+                ):  # vacuously true for epsilon bodies
+                    nullable.add(production.head)
+                    changed = True
+        return frozenset(nullable)
+
+    def __len__(self) -> int:
+        return len(self.productions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Grammar(start={self.start!r}, nonterminals={len(self.nonterminals)}, "
+            f"productions={len(self.productions)})"
+        )

@@ -1,0 +1,139 @@
+"""An Earley recognizer for plain CFGs.
+
+This is the paper's explicitly named baseline: Section 1 and Section 3.3
+point out that because ``G'_{T,r}`` is highly ambiguous, "such standard CFG
+parsing algorithms as Earley's are not practical" — but they are *correct*
+for arbitrary CFGs, which makes this implementation the exact reference
+against which the linear-time recognizers are differentially tested, and the
+comparator for the E2 benchmark.
+
+Implementation notes
+--------------------
+* Items are ``(production_index, dot, origin)`` triples, deduplicated per
+  chart position.
+* Epsilon productions are handled with the Aycock–Horspool refinement:
+  when the predictor meets a *nullable* nonterminal it also advances the
+  dot immediately, which makes the classic completer sound in the presence
+  of the many epsilon rules Theorem 3 guarantees ``G'`` has.
+* Complexity is the textbook ``O(|G|^2 · n^3)`` worst case; ambiguity in
+  ``G'`` makes the constants heavy — that is precisely the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GrammarError
+from repro.grammar.cfg import Grammar
+
+__all__ = ["EarleyRecognizer"]
+
+
+class EarleyRecognizer:
+    """Recognize token sequences against a :class:`~repro.grammar.cfg.Grammar`."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self._productions = grammar.productions
+        self._by_head: dict[str, list[int]] = {}
+        for index, production in enumerate(self._productions):
+            self._by_head.setdefault(production.head, []).append(index)
+
+    def recognizes(
+        self, tokens: Sequence[str], start: str | None = None
+    ) -> bool:
+        """Return ``True`` iff *tokens* is derivable from *start*.
+
+        Parameters
+        ----------
+        tokens:
+            Terminal symbols (strings).
+        start:
+            Start nonterminal; defaults to the grammar's start symbol.
+        """
+        grammar = self.grammar
+        start = start if start is not None else grammar.start
+        if start not in grammar.nonterminals:
+            raise GrammarError(f"unknown start symbol {start!r}")
+
+        productions = self._productions
+        by_head = self._by_head
+        nullable = grammar.nullable
+        n = len(tokens)
+
+        # chart[i]: set of items; wants[i]: symbol -> items awaiting it.
+        chart: list[set[tuple[int, int, int]]] = [set() for _ in range(n + 1)]
+        wants: list[dict[str, list[tuple[int, int, int]]]] = [
+            {} for _ in range(n + 1)
+        ]
+
+        def add(position: int, item: tuple[int, int, int], agenda: list) -> None:
+            if item in chart[position]:
+                return
+            chart[position].add(item)
+            agenda.append(item)
+
+        agenda: list[tuple[int, int, int]] = []
+        for production_index in by_head.get(start, ()):
+            add(0, (production_index, 0, 0), agenda)
+
+        position = 0
+        while True:
+            while agenda:
+                production_index, dot, origin = agenda.pop()
+                production = productions[production_index]
+                body = production.body
+                if dot == len(body):
+                    # Completer.  Empty-span completions (origin == position)
+                    # are covered by the predictor's nullable advance, so the
+                    # waiter list being extended later cannot lose parses.
+                    head = production.head
+                    for waiting in wants[origin].get(head, ()):  # advance waiters
+                        w_production, w_dot, w_origin = waiting
+                        add(position, (w_production, w_dot + 1, w_origin), agenda)
+                    continue
+                symbol = body[dot]
+                if grammar.is_nonterminal(symbol):
+                    # Predictor (with nullable advance).
+                    item = (production_index, dot, origin)
+                    wants[position].setdefault(symbol, []).append(item)
+                    for predicted_index in by_head.get(symbol, ()):
+                        add(position, (predicted_index, 0, position), agenda)
+                    if symbol in nullable:
+                        add(position, (production_index, dot + 1, origin), agenda)
+                    # A completion of `symbol` spanning [position, position]
+                    # may already have happened; the nullable advance covers
+                    # exactly that epsilon case, and non-epsilon completions
+                    # within a single position are impossible.
+                else:
+                    # Scanner handled in the position advance below; items
+                    # whose next symbol is a terminal simply wait there.
+                    pass
+            if position == n:
+                break
+            token = tokens[position]
+            next_agenda: list[tuple[int, int, int]] = []
+            for production_index, dot, origin in chart[position]:
+                body = productions[production_index].body
+                if dot < len(body):
+                    symbol = body[dot]
+                    if symbol == token and not grammar.is_nonterminal(symbol):
+                        add(
+                            position + 1,
+                            (production_index, dot + 1, origin),
+                            next_agenda,
+                        )
+            position += 1
+            if not next_agenda:
+                return False
+            agenda = next_agenda
+
+        for production_index, dot, origin in chart[n]:
+            production = productions[production_index]
+            if (
+                production.head == start
+                and origin == 0
+                and dot == len(production.body)
+            ):
+                return True
+        return False

@@ -1,0 +1,122 @@
+"""Extended context-free grammars (regular right-part grammars).
+
+An ECFG rule maps a nonterminal to a *regular expression* over grammar
+symbols (the paper's footnote 4: languages recognized by ECFGs are context
+free).  We reuse the content-model AST of :mod:`repro.dtd.ast` for the
+regex structure, with :class:`~repro.dtd.ast.Name` leaves naming grammar
+symbols (terminal or nonterminal) and ``PCData`` unused at this layer.
+
+:func:`ecfg_to_cfg` performs the standard expansion into a plain CFG by
+introducing fresh auxiliary nonterminals for ``Choice``/``Star``/``Opt``/
+``Plus`` nodes; the result feeds the Earley baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dtd.ast import Choice, ContentNode, Name, Opt, PCData, Plus, Seq, Star
+from repro.errors import GrammarError
+from repro.grammar.cfg import Grammar, Production
+
+__all__ = ["ECFG", "ecfg_to_cfg"]
+
+
+@dataclass(frozen=True)
+class ECFG:
+    """An extended CFG.
+
+    Attributes
+    ----------
+    start:
+        The start nonterminal (the paper's ``S``).
+    rules:
+        Mapping from nonterminal to a *tuple of alternative* regexes.  The
+        paper writes one regex per nonterminal; alternatives make the
+        ``X -> <x> X̂ </x>`` / ``X -> X̂`` pair of ``G'`` direct to express.
+        ``None`` as an alternative denotes the epsilon production (used for
+        ``PCDATA -> ε`` and ``EMPTY`` content).
+    nonterminals:
+        The domain of ``rules``.
+    """
+
+    start: str
+    rules: Mapping[str, tuple[ContentNode | None, ...]]
+
+    def __post_init__(self) -> None:
+        if self.start not in self.rules:
+            raise GrammarError(f"ECFG start symbol {self.start!r} has no rule")
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        return frozenset(self.rules)
+
+    def rule_count(self) -> int:
+        return sum(len(alternatives) for alternatives in self.rules.values())
+
+
+class _Expander:
+    """Stateful regex-to-productions compiler with fresh-name generation."""
+
+    def __init__(self, ecfg: ECFG) -> None:
+        self._ecfg = ecfg
+        self._productions: list[Production] = []
+        self._fresh = 0
+
+    def _fresh_name(self, head: str, kind: str) -> str:
+        self._fresh += 1
+        return f"{head}%{kind}{self._fresh}"
+
+    def expand(self) -> Grammar:
+        for head, alternatives in self._ecfg.rules.items():
+            for regex in alternatives:
+                body = () if regex is None else self._compile(regex, head)
+                self._productions.append(Production(head, body))
+        return Grammar(self._ecfg.start, self._productions)
+
+    def _compile(self, node: ContentNode, head: str) -> tuple[str, ...]:
+        """Compile *node* into a symbol sequence, emitting aux productions."""
+        if isinstance(node, Name):
+            return (node.name,)
+        if isinstance(node, PCData):
+            raise GrammarError("PCData leaves are not valid ECFG symbols")
+        if isinstance(node, Seq):
+            body: list[str] = []
+            for item in node.items:
+                body.extend(self._compile(item, head))
+            return tuple(body)
+        if isinstance(node, Choice):
+            aux = self._fresh_name(head, "alt")
+            for item in node.items:
+                self._productions.append(Production(aux, self._compile(item, head)))
+            return (aux,)
+        if isinstance(node, Star):
+            aux = self._fresh_name(head, "star")
+            inner = self._compile(node.item, head)
+            self._productions.append(Production(aux, ()))
+            self._productions.append(Production(aux, inner + (aux,)))
+            return (aux,)
+        if isinstance(node, Opt):
+            aux = self._fresh_name(head, "opt")
+            self._productions.append(Production(aux, ()))
+            self._productions.append(Production(aux, self._compile(node.item, head)))
+            return (aux,)
+        if isinstance(node, Plus):
+            aux = self._fresh_name(head, "plus")
+            star = self._fresh_name(head, "star")
+            inner = self._compile(node.item, head)
+            self._productions.append(Production(star, ()))
+            self._productions.append(Production(star, inner + (star,)))
+            self._productions.append(Production(aux, inner + (star,)))
+            return (aux,)
+        raise GrammarError(f"unexpected regex node {node!r}")
+
+
+def ecfg_to_cfg(ecfg: ECFG) -> Grammar:
+    """Expand *ecfg* into a plain CFG (fresh aux nonterminals, epsilon rules).
+
+    Auxiliary nonterminals are named ``<head>%<kind><n>`` — ``%`` cannot
+    occur in element names or tag terminals, so they never collide.
+    """
+    return _Expander(ecfg).expand()

@@ -1,0 +1,5 @@
+"""Standard DTD validation (the paper's ``D(T, r)`` membership test)."""
+
+from repro.validity.validator import DTDValidator, ValidationIssue, ValidationReport
+
+__all__ = ["DTDValidator", "ValidationIssue", "ValidationReport"]

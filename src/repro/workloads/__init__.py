@@ -1,0 +1,33 @@
+"""Workload generators for tests and benchmarks.
+
+Everything is deterministic given a seed:
+
+* :mod:`repro.workloads.textgen` — pseudo-prose character data,
+* :mod:`repro.workloads.docgen` — random *valid* documents for a DTD
+  (size- and depth-controlled; the depth axis matters because the paper's
+  complexity bound is ``O(kD·n)``),
+* :mod:`repro.workloads.degrade` — Theorem 2 degradation: deleting random
+  markup from a valid document yields a potentially valid one,
+* :mod:`repro.workloads.corrupt` — structure-breaking mutations used to
+  produce (probably) non-potentially-valid inputs,
+* :mod:`repro.workloads.editscript` — realistic guarded editing sessions:
+  deconstruct a valid document into a wrap-operation script whose
+  intermediate states are all potentially valid.
+"""
+
+from repro.workloads.textgen import words, phrase
+from repro.workloads.docgen import DocumentGenerator
+from repro.workloads.degrade import degrade
+from repro.workloads.corrupt import corrupt_rename, corrupt_swap, corrupt_inject
+from repro.workloads.editscript import markup_script
+
+__all__ = [
+    "words",
+    "phrase",
+    "DocumentGenerator",
+    "degrade",
+    "corrupt_rename",
+    "corrupt_swap",
+    "corrupt_inject",
+    "markup_script",
+]

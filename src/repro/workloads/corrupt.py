@@ -1,0 +1,80 @@
+"""Structure-breaking mutations.
+
+These produce documents that are *usually* not potentially valid — the
+Example 1 string ``w`` is exactly a "swap" corruption of ``s``.  None of the
+mutations is guaranteed to break potential validity for every DTD (a mixed
+content model forgives reordering, for instance), so tests use them as
+differential fodder (all checkers must still agree) and benchmarks pair them
+with DTDs where the breakage is known.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = ["corrupt_swap", "corrupt_rename", "corrupt_inject"]
+
+
+def _elements_with_parent(document: XmlDocument) -> list[XmlElement]:
+    return [
+        element
+        for element in document.root.iter_elements()
+        if element.parent is not None
+    ]
+
+
+def corrupt_swap(document: XmlDocument, rng: random.Random) -> XmlDocument | None:
+    """Swap two adjacent element children somewhere (order violation).
+
+    Returns a mutated copy, or ``None`` when no node has two adjacent
+    element children to swap.
+    """
+    copy = document.copy()
+    candidates: list[tuple[XmlElement, int, int]] = []
+    for element in copy.root.iter_elements():
+        element_positions = [
+            index
+            for index, child in enumerate(element.children)
+            if isinstance(child, XmlElement)
+        ]
+        for first, second in zip(element_positions, element_positions[1:]):
+            first_child = element.children[first]
+            second_child = element.children[second]
+            assert isinstance(first_child, XmlElement)
+            assert isinstance(second_child, XmlElement)
+            if first_child.name != second_child.name:
+                candidates.append((element, first, second))
+    if not candidates:
+        return None
+    parent, first, second = rng.choice(candidates)
+    parent.children[first], parent.children[second] = (
+        parent.children[second],
+        parent.children[first],
+    )
+    return copy
+
+
+def corrupt_rename(
+    document: XmlDocument, rng: random.Random, names: tuple[str, ...]
+) -> XmlDocument | None:
+    """Rename one non-root element to a different declared name."""
+    copy = document.copy()
+    candidates = _elements_with_parent(copy)
+    if not candidates or len(names) < 2:
+        return None
+    target = rng.choice(candidates)
+    others = [name for name in names if name != target.name]
+    target.name = rng.choice(others)
+    return copy
+
+
+def corrupt_inject(
+    document: XmlDocument, rng: random.Random, name: str
+) -> XmlDocument:
+    """Append a fresh empty ``<name>`` under a random element."""
+    copy = document.copy()
+    elements = list(copy.root.iter_elements())
+    rng.choice(elements).append(XmlElement(name))
+    return copy

@@ -1,0 +1,55 @@
+"""Theorem 2 degradation: valid documents → potentially valid documents.
+
+The paper proves potential validity is closed under markup deletion, so
+removing random element tags (splicing children into the parent) from a
+*valid* document always produces a *potentially valid* one.  This is the
+canonical way to manufacture realistic "mid-edit" documents: it simulates
+running the editorial process backwards.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = ["degrade"]
+
+
+def degrade(
+    document: XmlDocument,
+    rng: random.Random,
+    fraction: float = 0.5,
+    keep: frozenset[str] = frozenset(),
+) -> tuple[XmlDocument, int]:
+    """Unwrap a random *fraction* of non-root elements of a copy of *document*.
+
+    Parameters
+    ----------
+    document:
+        Source document (not modified).
+    rng:
+        Seeded randomness.
+    fraction:
+        Fraction of non-root elements whose tags are deleted.
+    keep:
+        Element names never unwrapped (useful to preserve anchors).
+
+    Returns the degraded copy and the number of tag pairs removed.
+    """
+    copy = document.copy()
+    candidates = [
+        element
+        for element in copy.root.iter_elements()
+        if element.parent is not None and element.name not in keep
+    ]
+    rng.shuffle(candidates)
+    target = int(len(candidates) * fraction)
+    removed = 0
+    for element in candidates[:target]:
+        parent = element.parent
+        if parent is None:  # already unwrapped as part of an ancestor? no:
+            continue  # pragma: no cover - unwrap keeps descendants attached
+        parent.unwrap_child(element)
+        removed += 1
+    return copy, removed

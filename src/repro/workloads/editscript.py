@@ -1,0 +1,62 @@
+"""Realistic guarded-editing scripts.
+
+The paper's editorial process starts from (mostly) bare text and adds markup
+one region at a time; every intermediate document is potentially valid.  We
+manufacture such sessions by running the process *backwards* from a random
+valid document: repeatedly delete a random element's tags (recording the
+inverse wrap operation), until only the root remains.  Replaying the
+recorded wraps in reverse order rebuilds the document, and — because every
+intermediate state is the valid document minus a subset of its markup —
+Theorem 2 guarantees each state is potentially valid, so a correct guarded
+session accepts every operation.  That property is itself a test, and the
+replay rate is benchmark E8's workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.editor.document import apply_operation, invert
+from repro.editor.operations import DeleteMarkup, InsertMarkup, NodePath
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = ["path_of", "markup_script"]
+
+
+def path_of(element: XmlElement) -> NodePath:
+    """The child-index path of *element* from its tree root."""
+    indices: list[int] = []
+    node = element
+    while node.parent is not None:
+        indices.append(node.parent.index_of(node))
+        node = node.parent
+    return tuple(reversed(indices))
+
+
+def markup_script(
+    document: XmlDocument, rng: random.Random
+) -> tuple[XmlDocument, list[InsertMarkup]]:
+    """Deconstruct *document* into (skeleton, wrap script).
+
+    Applying the returned :class:`~repro.editor.operations.InsertMarkup`
+    operations to the skeleton, in order, reproduces *document* exactly;
+    every intermediate state is potentially valid w.r.t. any DTD the
+    original was valid for (Theorem 2).
+    """
+    working = document.copy()
+    reversed_ops: list[InsertMarkup] = []
+    while True:
+        non_root = [
+            element
+            for element in working.root.iter_elements()
+            if element.parent is not None
+        ]
+        if not non_root:
+            break
+        victim = rng.choice(non_root)
+        deletion = DeleteMarkup(target=path_of(victim))
+        inverse = invert(working, deletion)
+        assert isinstance(inverse, InsertMarkup)
+        reversed_ops.append(inverse)
+        apply_operation(working, deletion)
+    return working, list(reversed(reversed_ops))

@@ -1,0 +1,31 @@
+"""Deterministic pseudo-prose generation.
+
+Document-centric XML wraps *existing text* (the paper's Example 1 marks up
+"A quick brown fox jumps over a lazy dog"); these helpers produce seeded
+filler prose so workloads are reproducible without bundling a corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["WORDS", "words", "phrase"]
+
+#: A small stable vocabulary (pangram-flavoured, no markup characters).
+WORDS: tuple[str, ...] = (
+    "a", "quick", "brown", "fox", "jumps", "over", "the", "lazy", "dog",
+    "scribe", "copies", "an", "old", "folio", "with", "faded", "ink",
+    "margin", "notes", "gloss", "verse", "line", "reads", "under", "light",
+    "letter", "forms", "shift", "between", "hands", "while", "pages", "turn",
+)
+
+
+def words(rng: random.Random, count: int) -> list[str]:
+    """Return *count* seeded words."""
+    return [rng.choice(WORDS) for _ in range(count)]
+
+
+def phrase(rng: random.Random, min_words: int = 1, max_words: int = 6) -> str:
+    """Return a short seeded phrase (never empty, never all-whitespace)."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(words(rng, count))

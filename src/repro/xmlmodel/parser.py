@@ -1,0 +1,86 @@
+"""Well-formedness parser: XML text to :class:`~repro.xmlmodel.tree.XmlDocument`.
+
+Checks exactly the well-formedness constraints the paper's "XML string"
+notion requires: properly nested matching tags and a single root element.
+Character data outside the root is rejected unless it is all whitespace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlSyntaxError
+from repro.xmlmodel.lexer import XmlTokenKind, tokenize_xml
+from repro.xmlmodel.tree import XmlDocument, XmlElement, XmlText
+
+__all__ = ["parse_xml", "parse_fragment"]
+
+
+def parse_xml(source: str) -> XmlDocument:
+    """Parse *source* into a document, enforcing well-formedness.
+
+    >>> doc = parse_xml("<a><b>hi</b> there</a>")
+    >>> doc.root.name
+    'a'
+    >>> doc.content()
+    'hi there'
+    """
+    root = _parse(source, fragment=False)
+    return XmlDocument(root)
+
+
+def parse_fragment(source: str) -> XmlElement:
+    """Parse a single-rooted fragment and return its root element.
+
+    Identical to :func:`parse_xml` but returns the detached element, which
+    is convenient when building larger trees in tests and workloads.
+    """
+    return _parse(source, fragment=True)
+
+
+def _parse(source: str, fragment: bool) -> XmlElement:
+    root: XmlElement | None = None
+    stack: list[XmlElement] = []
+    for token in tokenize_xml(source):
+        if token.kind is XmlTokenKind.TEXT:
+            if not stack:
+                if token.text.strip():
+                    raise XmlSyntaxError(
+                        "character data outside the root element",
+                        token.line,
+                        token.column,
+                    )
+                continue
+            stack[-1].append(XmlText(token.text))
+        elif token.kind in (XmlTokenKind.START_TAG, XmlTokenKind.EMPTY_TAG):
+            element = XmlElement(token.name, attributes=dict(token.attributes))
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                root = element
+            else:
+                raise XmlSyntaxError(
+                    f"multiple root elements: second root <{token.name}>",
+                    token.line,
+                    token.column,
+                )
+            if token.kind is XmlTokenKind.START_TAG:
+                stack.append(element)
+        elif token.kind is XmlTokenKind.END_TAG:
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unmatched end tag </{token.name}>", token.line, token.column
+                )
+            open_element = stack.pop()
+            if open_element.name != token.name:
+                raise XmlSyntaxError(
+                    f"end tag </{token.name}> does not match open <{open_element.name}>",
+                    token.line,
+                    token.column,
+                )
+        else:  # EOF
+            if stack:
+                raise XmlSyntaxError(
+                    f"unclosed element <{stack[-1].name}>", token.line, token.column
+                )
+    if root is None:
+        raise XmlSyntaxError("document has no root element")
+    return root

@@ -1,0 +1,60 @@
+"""Serialize the DOM back to XML text.
+
+The output is canonical enough for round-tripping in tests: attributes in
+insertion order, ``<a></a>`` (not ``<a/>``) for empty elements by default —
+matching the paper's examples, which write ``<e></e>`` — and the five
+predefined entities escaped in text and attribute values.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.tree import XmlDocument, XmlElement, XmlNode, XmlText
+
+__all__ = ["to_xml", "escape_text"]
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in XML text content."""
+    return "".join(_TEXT_ESCAPES.get(char, char) for char in text)
+
+
+def _escape_attribute(value: str) -> str:
+    return "".join(_ATTR_ESCAPES.get(char, char) for char in value)
+
+
+def to_xml(node: XmlNode | XmlDocument, self_closing: bool = False) -> str:
+    """Render *node* (or a whole document) as XML text.
+
+    Parameters
+    ----------
+    node:
+        The document, element or text node to render.
+    self_closing:
+        When ``True``, childless elements render as ``<a/>`` instead of
+        ``<a></a>``.
+    """
+    if isinstance(node, XmlDocument):
+        return to_xml(node.root, self_closing=self_closing)
+    parts: list[str] = []
+    _render(node, parts, self_closing)
+    return "".join(parts)
+
+
+def _render(node: XmlNode, parts: list[str], self_closing: bool) -> None:
+    if isinstance(node, XmlText):
+        parts.append(escape_text(node.text))
+        return
+    assert isinstance(node, XmlElement)
+    parts.append(f"<{node.name}")
+    for name, value in node.attributes.items():
+        parts.append(f' {name}="{_escape_attribute(value)}"')
+    if not node.children and self_closing:
+        parts.append("/>")
+        return
+    parts.append(">")
+    for child in node.children:
+        _render(child, parts, self_closing)
+    parts.append(f"</{node.name}>")

@@ -1,0 +1,94 @@
+"""Tests for the Earley document checker and the naive extension search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.earley_pv import EarleyDocumentChecker
+from repro.baselines.naive import naive_potential_validity
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestEarleyDocumentChecker:
+    def test_validity_and_pv_on_knowns(self, fig1, doc_w, doc_s, doc_w_prime):
+        checker = EarleyDocumentChecker(fig1)
+        assert not checker.is_valid(doc_w)
+        assert not checker.is_valid(doc_s)
+        assert checker.is_valid(doc_w_prime)
+        assert not checker.is_potentially_valid(doc_w)
+        assert checker.is_potentially_valid(doc_s)
+        assert checker.is_potentially_valid(doc_w_prime)
+
+    def test_wrong_root_rejected(self, fig1):
+        checker = EarleyDocumentChecker(fig1)
+        assert not checker.is_potentially_valid(parse_xml("<a></a>"))
+
+    def test_undeclared_element_rejected(self, fig1):
+        checker = EarleyDocumentChecker(fig1)
+        assert not checker.is_potentially_valid(parse_xml("<r><zzz></zzz></r>"))
+
+    def test_unbounded_strong_recursion(self, t2):
+        checker = EarleyDocumentChecker(t2)
+        document = parse_xml("<a>" + "<b></b>" * 7 + "</a>")
+        assert checker.is_potentially_valid(document)
+        assert not checker.is_valid(document)
+
+
+class TestNaive:
+    def test_already_valid(self, fig1, doc_w_prime):
+        assert naive_potential_validity(fig1, doc_w_prime, max_insertions=0) is True
+
+    def test_wrong_root_false(self, fig1):
+        assert naive_potential_validity(fig1, parse_xml("<a></a>")) is False
+
+    def test_undeclared_element_false(self, fig1):
+        document = parse_xml("<r><zzz></zzz></r>")
+        assert naive_potential_validity(fig1, document) is False
+
+    def test_single_insertion(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>")
+        document = parse_xml("<a>text</a>")
+        assert naive_potential_validity(dtd, document, max_insertions=1) is True
+
+    def test_exhaustive_false_on_tiny_instance(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        document = parse_xml("<a><b></b><b></b></a>")  # two b's: unfixable
+        assert naive_potential_validity(dtd, document, max_insertions=2) is False
+
+    def test_inconclusive_returns_none(self, fig1, doc_w):
+        result = naive_potential_validity(
+            fig1, doc_w, max_insertions=1, node_limit=10
+        )
+        assert result is None
+
+    def test_finds_minimal_two_insertions(self, fig1, doc_s):
+        assert naive_potential_validity(fig1, doc_s, max_insertions=2) is True
+
+    def test_agrees_with_machine_on_tiny_docs(self):
+        from repro.core.completion import complete_document
+        from repro.core.pv import PVChecker
+
+        dtd = parse_dtd(
+            "<!ELEMENT a (b?, c)><!ELEMENT b (#PCDATA)><!ELEMENT c (b?)>"
+        )
+        checker = PVChecker(dtd)
+        cases = [
+            "<a></a>",
+            "<a><c></c></a>",
+            "<a><b></b></a>",
+            "<a>text</a>",
+            "<a><c></c><b></b></a>",
+            "<a><b></b><c></c><b></b></a>",
+            "<a><c></c><c></c></a>",
+        ]
+        for source in cases:
+            document = parse_xml(source)
+            oracle = naive_potential_validity(dtd, document, max_insertions=3)
+            verdict = checker.is_potentially_valid(document)
+            if oracle is True:
+                assert verdict, source
+            elif oracle is False and verdict:
+                # Only allowed when the needed extension exceeds the bound.
+                assert complete_document(dtd, document).inserted > 3, source

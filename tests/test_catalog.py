@@ -1,0 +1,72 @@
+"""Tests for the DTD catalog and the classification reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import classify_dtd
+from repro.dtd import catalog
+from repro.dtd.analysis import DTDClass
+
+EXPECTED_CLASSES = {
+    "paper-figure1": DTDClass.NON_RECURSIVE,
+    "example5-T1": DTDClass.PV_STRONG_RECURSIVE,
+    "example6-T2": DTDClass.PV_STRONG_RECURSIVE,
+    "tei-lite": DTDClass.PV_WEAK_RECURSIVE,
+    "xhtml-basic": DTDClass.PV_WEAK_RECURSIVE,
+    "docbook-article": DTDClass.PV_WEAK_RECURSIVE,
+    "play": DTDClass.NON_RECURSIVE,
+    "dictionary": DTDClass.NON_RECURSIVE,
+    "manuscript": DTDClass.NON_RECURSIVE,
+    "strong-chain": DTDClass.PV_STRONG_RECURSIVE,
+    # bad -> (worse) -> (bad) is a (sentential) self-derivation through
+    # non-star-group positions even though neither element is productive.
+    "with-unproductive": DTDClass.PV_STRONG_RECURSIVE,
+    "with-any": DTDClass.PV_WEAK_RECURSIVE,
+}
+
+
+def test_registry_covers_expected():
+    assert set(catalog.catalog_names()) == set(EXPECTED_CLASSES)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_CLASSES))
+def test_loads_and_classifies(name):
+    dtd = catalog.load(name)
+    report = classify_dtd(dtd)
+    assert report.dtd_class is EXPECTED_CLASSES[name], report.summary()
+    assert report.element_count == len(dtd)
+    assert report.occurrence_count >= 0
+
+
+def test_load_unknown_raises():
+    with pytest.raises(KeyError):
+        catalog.load("nope")
+
+
+def test_fresh_instances():
+    assert catalog.load("play") is not catalog.load("play")
+    assert catalog.load("play") == catalog.load("play")
+
+
+def test_deep_chain_parametrized():
+    dtd = catalog.deep_chain(5)
+    assert dtd.element_count == 7  # c0..c5 + leaf
+    assert classify_dtd(dtd).dtd_class is DTDClass.NON_RECURSIVE
+
+
+def test_classification_report_fields():
+    report = classify_dtd(catalog.example5_t1())
+    assert report.is_recursive
+    assert report.needs_depth_bound
+    assert report.strong_recursive_elements == ("a",)
+    assert "PV-strong" in report.summary()
+
+    report2 = classify_dtd(catalog.play())
+    assert not report2.is_recursive
+    assert not report2.needs_depth_bound
+
+
+def test_unusable_reported():
+    report = classify_dtd(catalog.with_unproductive())
+    assert set(report.unusable_elements) == {"bad", "worse"}

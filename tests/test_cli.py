@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+
+DOC_S = (
+    "<r><a><b>A quick brown</b><c> fox jumps over a lazy</c>"
+    " dog<e></e></a></r>"
+)
+DOC_W = (
+    "<r><a><b>A quick brown</b><e></e><c> fox jumps over a lazy</c>"
+    " dog</a></r>"
+)
+
+
+@pytest.fixture
+def schema(tmp_path):
+    path = tmp_path / "figure1.dtd"
+    path.write_text(FIGURE1)
+    return str(path)
+
+
+@pytest.fixture
+def doc_s_file(tmp_path):
+    path = tmp_path / "s.xml"
+    path.write_text(DOC_S)
+    return str(path)
+
+
+@pytest.fixture
+def doc_w_file(tmp_path):
+    path = tmp_path / "w.xml"
+    path.write_text(DOC_W)
+    return str(path)
+
+
+class TestClassify:
+    def test_figure1(self, schema, capsys):
+        assert main(["classify", schema]) == 0
+        out = capsys.readouterr().out
+        assert "non-recursive" in out
+        assert "m=7" in out
+
+    def test_strong_note(self, tmp_path, capsys):
+        path = tmp_path / "t1.dtd"
+        path.write_text("<!ELEMENT a (a | b*)><!ELEMENT b EMPTY>")
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PV-strong" in out
+        assert "depth bound" in out
+
+
+class TestValidate:
+    def test_invalid_document(self, schema, doc_s_file, capsys):
+        assert main(["validate", schema, doc_s_file]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_valid_document(self, schema, tmp_path, capsys):
+        path = tmp_path / "ok.xml"
+        path.write_text("<r><a><c>text</c><d></d></a></r>")
+        assert main(["validate", schema, str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_potentially_valid(self, schema, doc_s_file, capsys):
+        assert main(["check", schema, doc_s_file]) == 0
+        assert "potentially valid" in capsys.readouterr().out
+
+    def test_not_potentially_valid(self, schema, doc_w_file, capsys):
+        assert main(["check", schema, doc_w_file]) == 1
+        out = capsys.readouterr().out
+        assert "NOT potentially valid" in out
+        assert "/r/a[0]" in out
+
+    @pytest.mark.parametrize("algorithm", ["machine", "figure5", "earley"])
+    def test_algorithms(self, schema, doc_s_file, algorithm):
+        assert main(["check", schema, doc_s_file, "--algorithm", algorithm]) == 0
+
+
+class TestComplete:
+    def test_completes_s(self, schema, doc_s_file, capsys):
+        assert main(["complete", schema, doc_s_file]) == 0
+        out = capsys.readouterr().out
+        assert "<d>A quick brown</d>" in out
+
+    def test_refuses_w(self, schema, doc_w_file, capsys):
+        assert main(["complete", schema, doc_w_file]) == 1
+        assert "no completion" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_file(self, schema):
+        assert main(["check", schema, "/nonexistent.xml"]) == 2
+
+    def test_bad_dtd(self, tmp_path, doc_s_file):
+        path = tmp_path / "bad.dtd"
+        path.write_text("<!ELEMENT broken")
+        assert main(["check", str(path), doc_s_file]) == 2
+
+    def test_malformed_xml(self, schema, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<r><a></r>")
+        assert main(["check", schema, str(path)]) == 2

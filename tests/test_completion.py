@@ -1,0 +1,143 @@
+"""Tests for constructive completion (Figure 3) and minimal witnesses."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.completion import (
+    CompletionError,
+    complete_document,
+    complete_element,
+)
+from repro.core.pv import PVChecker
+from repro.core.witness import element_costs, minimal_instance
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.errors import UnusableElementError
+from repro.validity.validator import DTDValidator
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+
+
+class TestWitness:
+    def test_figure1_minimal_instances(self, fig1):
+        assert to_xml(minimal_instance(fig1, "e")) == "<e></e>"
+        assert to_xml(minimal_instance(fig1, "d")) == "<d></d>"
+        assert to_xml(minimal_instance(fig1, "c")) == "<c></c>"
+        assert to_xml(minimal_instance(fig1, "f")) == "<f><c></c><e></e></f>"
+        assert to_xml(minimal_instance(fig1, "a")) == "<a><c></c><d></d></a>"
+        assert to_xml(minimal_instance(fig1)) == "<r><a><c></c><d></d></a></r>"
+
+    def test_witnesses_are_valid(self):
+        for name in (
+            "paper-figure1", "tei-lite", "xhtml-basic", "docbook-article",
+            "play", "dictionary", "manuscript", "example5-T1", "example6-T2",
+        ):
+            dtd = catalog.load(name)
+            validator = DTDValidator(dtd)
+            for element in dtd.element_names():
+                witness = minimal_instance(dtd, element)
+                report = validator.validate(witness)
+                # Only the root-name check may fail (witness of a non-root).
+                structural = [
+                    issue for issue in report.issues if issue.path != "/"
+                ]
+                assert not structural, (name, element, structural)
+
+    def test_costs_are_minimal_node_counts(self, fig1):
+        costs = element_costs(fig1)
+        assert costs["e"] == 1
+        assert costs["f"] == 3        # f + c + e
+        assert costs["a"] == 3        # a + (c|f: c=1) + d
+        assert costs["r"] == 4        # r + a-subtree
+
+    def test_unproductive_raises(self):
+        dtd = catalog.with_unproductive()
+        with pytest.raises(UnusableElementError):
+            minimal_instance(dtd, "bad")
+        assert to_xml(minimal_instance(dtd, "root")) == "<root><ok></ok></root>"
+
+
+class TestCompletion:
+    def test_figure3(self, fig1, doc_s):
+        result = complete_document(fig1, doc_s)
+        assert result.inserted == 2
+        assert DTDValidator(fig1).is_valid(result.document)
+
+    def test_rejects_non_pv(self, fig1, doc_w):
+        with pytest.raises(CompletionError) as excinfo:
+            complete_document(fig1, doc_w)
+        assert excinfo.value.element == "a"
+
+    def test_rejects_wrong_root(self, fig1):
+        with pytest.raises(CompletionError):
+            complete_document(fig1, parse_xml("<a></a>"))
+
+    def test_preserves_content_and_order(self, fig1, doc_s):
+        result = complete_document(fig1, doc_s)
+        assert result.document.content() == doc_s.content()
+
+    def test_completion_of_valid_document_is_identity_shaped(self, fig1, doc_w_prime):
+        result = complete_document(fig1, doc_w_prime)
+        assert result.inserted == 0
+        assert to_xml(result.document) == to_xml(doc_w_prime)
+
+    def test_empty_root_completion(self, fig1):
+        result = complete_document(fig1, parse_xml("<r></r>"))
+        assert DTDValidator(fig1).is_valid(result.document)
+        # r -> a -> (c, d) minimal filling.
+        assert result.inserted == 3
+
+    def test_round_trip_on_degraded_documents(self):
+        """completion(degrade(valid)) is valid and content-preserving, and
+        the checker agrees with completion existence."""
+        rng = random.Random(2024)
+        for name in ("paper-figure1", "play", "dictionary", "manuscript"):
+            dtd = catalog.load(name)
+            validator = DTDValidator(dtd)
+            checker = PVChecker(dtd)
+            for seed in range(4):
+                document = DocumentGenerator(dtd, seed=seed).document(16)
+                degraded, _ = degrade(document, rng, 0.6)
+                assert checker.is_potentially_valid(degraded)
+                result = complete_document(dtd, degraded)
+                assert validator.is_valid(result.document), (name, seed)
+                assert result.document.content() == degraded.content()
+
+    def test_completion_existence_matches_checker(self):
+        """CompletionError ⟺ checker says not potentially valid."""
+        rng = random.Random(7)
+        from repro.workloads.corrupt import corrupt_swap
+
+        for name in ("paper-figure1", "play", "dictionary"):
+            dtd = catalog.load(name)
+            checker = PVChecker(dtd)
+            for seed in range(4):
+                document = DocumentGenerator(dtd, seed=seed).document(14)
+                mutated = corrupt_swap(document, rng)
+                if mutated is None:
+                    continue
+                expected = checker.is_potentially_valid(mutated)
+                try:
+                    result = complete_document(dtd, mutated)
+                    got = True
+                    assert DTDValidator(dtd).is_valid(result.document)
+                except CompletionError:
+                    got = False
+                assert got == expected, (name, seed)
+
+    def test_recursive_dtd_completion(self, t2):
+        doc = parse_xml("<a><b></b><b></b><b></b></a>")
+        result = complete_document(t2, doc)
+        assert DTDValidator(t2).is_valid(result.document)
+
+    def test_complete_element_api(self, fig1):
+        fragment = parse_xml("<a><b></b><c>text</c></a>").root
+        completed, inserted = complete_element(fig1, fragment)
+        assert inserted >= 1
+        issues = DTDValidator(fig1).validate(completed).issues
+        assert all(issue.path == "/" for issue in issues)  # only root-name

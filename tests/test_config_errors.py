@@ -1,0 +1,77 @@
+"""Tests for configuration resolution and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CheckerConfig, DEFAULT_CONFIG, DEFAULT_DEPTH_BOUND
+from repro import errors
+
+
+class TestCheckerConfig:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.depth_bound is None
+        assert not DEFAULT_CONFIG.strict_depth
+        assert not DEFAULT_CONFIG.require_usable
+
+    def test_resolved_depth_explicit(self):
+        config = CheckerConfig(depth_bound=7)
+        assert config.resolved_depth(100, is_pv_strong=True) == 7
+
+    def test_resolved_depth_derived_for_non_strong(self):
+        config = CheckerConfig()
+        assert config.resolved_depth(10, is_pv_strong=False) == 11
+
+    def test_resolved_depth_default_for_strong(self):
+        config = CheckerConfig()
+        assert config.resolved_depth(10, is_pv_strong=True) == DEFAULT_DEPTH_BOUND
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.depth_bound = 3  # type: ignore[misc]
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "DTDError",
+            "DTDSyntaxError",
+            "DTDSemanticError",
+            "UnknownElementError",
+            "UnusableElementError",
+            "XmlError",
+            "XmlSyntaxError",
+            "XmlStructureError",
+            "GrammarError",
+            "PVError",
+            "DepthBoundExceeded",
+            "EditRejected",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_dtd_syntax_error_position(self):
+        error = errors.DTDSyntaxError("bad token", position=42)
+        assert "42" in str(error)
+        assert error.position == 42
+
+    def test_xml_syntax_error_location(self):
+        error = errors.XmlSyntaxError("oops", line=3, column=9)
+        assert "line 3" in str(error)
+
+    def test_unknown_element_error(self):
+        error = errors.UnknownElementError("ghost")
+        assert error.name == "ghost"
+        assert "ghost" in str(error)
+
+    def test_unusable_element_error_lists_names(self):
+        error = errors.UnusableElementError(("b", "a"))
+        assert "a, b" in str(error)
+
+    def test_depth_bound_exceeded(self):
+        error = errors.DepthBoundExceeded(5)
+        assert error.depth == 5
+
+    def test_edit_rejected_reason(self):
+        error = errors.EditRejected("would break PV")
+        assert error.reason == "would break PV"

@@ -1,0 +1,126 @@
+"""Tests for the Section 4.2 DAG model, including the Figure 4 golden shapes."""
+
+from __future__ import annotations
+
+from repro.core.dag import ENTRY, build_dag
+from repro.dtd import catalog
+from repro.dtd.model import PCDATA
+from repro.dtd.parser import parse_dtd
+
+
+def label_set(dag, indices):
+    out = []
+    for index in indices:
+        position = dag.position(index)
+        out.append("group" if position.is_group else position.label)
+    return sorted(out)
+
+
+def label_set_tables(tables, indices):
+    return sorted(
+        "group" if tables.position(i).is_group else tables.position(i).label
+        for i in indices
+    )
+
+
+class TestFigure4:
+    """Figure 4 shows DAG_a and DAG_d for the Figure 1 DTD."""
+
+    def test_dag_a(self):
+        dag_t = build_dag(catalog.paper_figure1())
+        dag = dag_t.dag("a")
+        # Root children: b (plus c, f reachable only *after* b in the
+        # figure's drawing; structurally first = {b} only if b were
+        # mandatory, but b? normalizes to b which IS mandatory in the
+        # flattened PV model -> first = {b}).
+        assert label_set(dag, dag.root_children()) == ["b"]
+        by_label = {}
+        assert dag.automaton is not None
+        for position in dag.automaton.positions:
+            by_label[position.label] = position.index
+        # b -> {c, f}; c -> {d}; f -> {d}; d -> {} — the two root-to-leaf
+        # paths spell A -> BCD and A -> BFD as the paper notes.
+        assert label_set(dag, dag.children(by_label["b"])) == ["c", "f"]
+        assert label_set(dag, dag.children(by_label["c"])) == ["d"]
+        assert label_set(dag, dag.children(by_label["f"])) == ["d"]
+        assert label_set(dag, dag.children(by_label["d"])) == []
+
+    def test_dag_d_single_star_group(self):
+        dag_t = build_dag(catalog.paper_figure1())
+        dag = dag_t.dag("d")
+        assert dag.automaton is not None
+        assert dag.automaton.size == 1
+        group = dag.automaton.positions[0]
+        assert group.is_group
+        assert group.group == frozenset({PCDATA, "e"})
+        # The group is the whole model: first = {group}, follow empty.
+        assert dag.root_children() == frozenset({0})
+        assert dag.children(0) == frozenset()
+
+    def test_dag_e_empty(self):
+        dag_t = build_dag(catalog.paper_figure1())
+        dag = dag_t.dag("e")
+        assert dag.automaton is None
+        assert dag.root_children() == frozenset()
+        assert dag.entry_can_finish
+
+
+class TestCompletionMetadata:
+    def test_all_finishable_for_usable_dtd(self):
+        dag_t = build_dag(catalog.paper_figure1())
+        for element_dag in dag_t:
+            assert element_dag.entry_can_finish
+            for flag in element_dag.can_finish:
+                assert flag
+
+    def test_unproductive_blocks_finish(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (ok | bad)><!ELEMENT ok EMPTY><!ELEMENT bad (worse)>"
+            "<!ELEMENT worse (bad)>"
+        )
+        dag_t = build_dag(dtd)
+        bad = dag_t.dag("bad")
+        # bad's content (worse) can never be silently completed.
+        assert not bad.entry_can_finish
+        r = dag_t.dag("r")
+        assert r.entry_can_finish  # via the ok branch
+
+    def test_cor31_unsound_without_usability(self):
+        """(dead?, ok) vs (dead, ok): Corollary 3.1 needs the usability
+        assumption.  The flattened (paper) tables drop the '?', making the
+        unproductive `dead` mandatory; the exact tables keep it optional."""
+        dtd = parse_dtd(
+            "<!ELEMENT r (dead?, ok)><!ELEMENT dead (dead)><!ELEMENT ok EMPTY>"
+        )
+        dag_t = build_dag(dtd)
+        r = dag_t.dag("r")
+        assert r.automaton is not None
+        flags = {
+            r.automaton.positions[i].label: r.insertable[i]
+            for i in range(r.automaton.size)
+        }
+        assert flags == {"dead": False, "ok": True}
+        # Flattened: first = {dead} (mandatory), no silent path to the end.
+        assert label_set(r, r.root_children()) == ["dead"]
+        assert not r.entry_can_finish
+        # Exact: '?' survives, so `ok` alone completes the model.
+        exact = r.exact_tables
+        assert exact.automaton is not None
+        assert label_set_tables(exact, exact.root_children()) == ["dead", "ok"]
+        assert exact.entry_can_finish
+
+    def test_entry_finish_via_group_skip(self):
+        dtd = parse_dtd("<!ELEMENT r (x*, y?)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>")
+        dag_t = build_dag(dtd)
+        assert dag_t.dag("r").entry_can_finish
+
+    def test_total_positions(self):
+        dag_t = build_dag(catalog.paper_figure1())
+        assert dag_t.total_positions() > 0
+
+
+class TestEntryChildren:
+    def test_entry_children_equal_first(self):
+        dag_t = build_dag(catalog.paper_figure1())
+        dag = dag_t.dag("a")
+        assert dag.children(ENTRY) == dag.root_children()

@@ -1,0 +1,163 @@
+"""Tests for reachability (Def 5), usability, and recursion classes (Defs 6-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import catalog
+from repro.dtd.analysis import DTDClass, analyze
+from repro.dtd.model import PCDATA
+from repro.dtd.parser import parse_dtd
+
+
+class TestProductivityUsability:
+    def test_figure1_all_usable(self):
+        analysis = analyze(catalog.paper_figure1())
+        assert analysis.all_usable
+        assert analysis.productive == frozenset("rabcdef")
+
+    def test_unproductive_detected(self):
+        analysis = analyze(catalog.with_unproductive())
+        assert analysis.productive == frozenset({"root", "ok"})
+        assert analysis.unusable == frozenset({"bad", "worse"})
+
+    def test_unreachable_is_unusable(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT island EMPTY>"
+        )
+        analysis = analyze(dtd)
+        assert "island" in analysis.productive
+        assert "island" not in analysis.usable
+
+    def test_reachable_only_through_unproductive_is_unusable(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a?)><!ELEMENT a (dead, b)>"
+            "<!ELEMENT dead (dead)><!ELEMENT b EMPTY>"
+        )
+        analysis = analyze(dtd)
+        # `a`'s only word needs `dead`, which never completes: a is not
+        # productive, and `b` (productive in isolation) occurs in no valid
+        # document because every occurrence sits beside `dead`.
+        assert "a" not in analysis.productive
+        assert "b" in analysis.productive
+        assert "b" not in analysis.usable
+        assert analysis.usable == frozenset({"r"})
+
+    def test_productive_via_choice(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (dead | ok)><!ELEMENT dead (dead)><!ELEMENT ok EMPTY>"
+        )
+        analysis = analyze(dtd)
+        assert "r" in analysis.productive
+        assert "dead" not in analysis.productive
+
+
+class TestReachabilityTable:
+    def test_figure1_direct_edges(self):
+        analysis = analyze(catalog.paper_figure1())
+        assert analysis.direct["r"] == frozenset({"a"})
+        assert analysis.direct["a"] == frozenset({"b", "c", "f", "d"})
+        assert analysis.direct["b"] == frozenset({"d", "f"})
+        assert analysis.direct["c"] == frozenset({PCDATA})
+        assert analysis.direct["d"] == frozenset({PCDATA, "e"})
+        assert analysis.direct["e"] == frozenset()
+        assert analysis.direct["f"] == frozenset({"c", "e"})
+
+    def test_figure1_lookup_closure(self):
+        analysis = analyze(catalog.paper_figure1())
+        # b -> d -> e, b -> f -> c -> PCDATA
+        assert analysis.lookup("b", "e")
+        assert analysis.lookup("b", PCDATA)
+        assert analysis.lookup("r", "e")
+        assert not analysis.lookup("e", PCDATA)
+        assert not analysis.lookup("c", "e")
+
+    def test_lookup_is_irreflexive_for_non_recursive(self):
+        analysis = analyze(catalog.paper_figure1())
+        for name in "rabcdef":
+            assert not analysis.lookup(name, name), name
+
+    def test_lookup_reflexive_for_recursive(self):
+        analysis = analyze(catalog.example5_t1())
+        assert analysis.lookup("a", "a")
+        assert not analysis.lookup("b", "b")
+
+    def test_embed_equals_syntactic_when_all_usable(self):
+        for name in ("paper-figure1", "tei-lite", "play", "manuscript"):
+            analysis = analyze(catalog.load(name))
+            assert analysis.all_usable
+            assert analysis.embed_direct == analysis.direct, name
+
+    def test_embed_stricter_with_unproductive_sibling(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a?)><!ELEMENT a (b, dead)>"
+            "<!ELEMENT b EMPTY><!ELEMENT dead (dead)>"
+        )
+        analysis = analyze(dtd)
+        # Syntactically a references b; but a word of (b, dead) mentioning b
+        # needs `dead` completable, which it is not.
+        assert "b" in analysis.direct["a"]
+        assert "b" not in analysis.embed_direct["a"]
+
+    def test_any_content_reaches_everything(self):
+        analysis = analyze(catalog.with_any())
+        assert analysis.direct["payload"] >= frozenset(
+            {"doc", "meta", "payload", "widget", PCDATA}
+        )
+
+
+class TestRecursionClasses:
+    def test_figure1_non_recursive(self):
+        assert analyze(catalog.paper_figure1()).dtd_class is DTDClass.NON_RECURSIVE
+
+    def test_t1_strong(self):
+        analysis = analyze(catalog.example5_t1())
+        assert analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+        assert analysis.strong_recursive_elements == frozenset({"a"})
+
+    def test_t2_strong(self):
+        analysis = analyze(catalog.example6_t2())
+        assert analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+
+    def test_paper_trivial_strong_example(self):
+        # Section 4.3: <!ELEMENT a ((a | c), b*)> is PV-strong recursive.
+        dtd = parse_dtd(
+            "<!ELEMENT a ((a | c), b*)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        )
+        analysis = analyze(dtd)
+        assert analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+        assert "a" in analysis.strong_recursive_elements
+
+    def test_xhtml_weak_recursive(self):
+        # The paper: XHTML's <b>/<i> nest arbitrarily -> recursion through
+        # mixed content only, i.e. PV-weak.
+        analysis = analyze(catalog.xhtml_basic())
+        assert analysis.dtd_class is DTDClass.PV_WEAK_RECURSIVE
+        assert "b" in analysis.recursive_elements
+        assert not analysis.strong_recursive_elements
+
+    def test_strong_through_cycle(self):
+        analysis = analyze(catalog.strong_recursive_chain())
+        assert analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+        assert {"x", "y", "z"} <= set(analysis.strong_recursive_elements)
+
+    def test_weak_recursion_via_star_group_sequence(self):
+        # Recursion exists (a -> a) but only through a starred group.
+        dtd = parse_dtd("<!ELEMENT a ((a | b))*  ><!ELEMENT b EMPTY>")
+        analysis = analyze(dtd)
+        assert analysis.recursive_elements == frozenset({"a"})
+        assert analysis.dtd_class is DTDClass.PV_WEAK_RECURSIVE
+
+    def test_mutual_strong_recursion_detected_via_chain(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (b?)><!ELEMENT b (a?)>"
+        )
+        analysis = analyze(dtd)
+        assert analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
+        assert analysis.strong_recursive_elements == frozenset({"a", "b"})
+
+
+class TestCaching:
+    def test_analyze_is_memoised(self):
+        dtd = catalog.paper_figure1()
+        assert analyze(dtd) is analyze(dtd)

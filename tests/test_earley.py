@@ -1,0 +1,121 @@
+"""Tests for the Earley recognizer on classic grammars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar.cfg import Grammar
+from repro.grammar.earley import EarleyRecognizer
+from repro.errors import GrammarError
+
+
+def recognizer(start, productions) -> EarleyRecognizer:
+    return EarleyRecognizer(Grammar(start, productions))
+
+
+class TestClassicLanguages:
+    def test_balanced_parens(self):
+        earley = recognizer("S", [("S", ()), ("S", ("(", "S", ")", "S"))])
+        assert earley.recognizes(list("()"))
+        assert earley.recognizes(list("(())()"))
+        assert earley.recognizes([])
+        assert not earley.recognizes(list("(()"))
+        assert not earley.recognizes(list(")("))
+
+    def test_a_n_b_n(self):
+        earley = recognizer("S", [("S", ()), ("S", ("a", "S", "b"))])
+        assert earley.recognizes(list("aaabbb"))
+        assert not earley.recognizes(list("aaabb"))
+        assert not earley.recognizes(list("ab" * 2))  # abab
+
+    def test_ambiguous_expression_grammar(self):
+        earley = recognizer(
+            "E",
+            [("E", ("E", "+", "E")), ("E", ("E", "*", "E")), ("E", ("n",))],
+        )
+        assert earley.recognizes(list("n+n*n"))
+        assert earley.recognizes(list("n"))
+        assert not earley.recognizes(list("n+"))
+        assert not earley.recognizes(list("+n"))
+
+    def test_left_recursion(self):
+        earley = recognizer("L", [("L", ("L", "x")), ("L", ("x",))])
+        assert earley.recognizes(["x"] * 50)
+        assert not earley.recognizes([])
+
+    def test_right_recursion(self):
+        earley = recognizer("R", [("R", ("x", "R")), ("R", ())])
+        assert earley.recognizes(["x"] * 50)
+        assert earley.recognizes([])
+
+
+class TestEpsilonHeavy:
+    """The Aycock-Horspool nullable handling — the G' grammars live here."""
+
+    def test_nullable_chain(self):
+        earley = recognizer(
+            "S",
+            [
+                ("S", ("A", "B", "C")),
+                ("A", ()),
+                ("B", ("A",)),
+                ("C", ("c",)),
+                ("C", ("B",)),
+            ],
+        )
+        assert earley.recognizes(["c"])
+        assert earley.recognizes([])
+
+    def test_nullable_between_terminals(self):
+        earley = recognizer(
+            "S",
+            [("S", ("a", "N", "b")), ("N", ()), ("N", ("n",))],
+        )
+        assert earley.recognizes(list("ab"))
+        assert earley.recognizes(list("anb"))
+        assert not earley.recognizes(list("annb"))
+
+    def test_deeply_nullable_completion(self):
+        # A regression shape for the classic epsilon bug: completion of a
+        # nullable nonterminal predicted at the same position.
+        earley = recognizer(
+            "S",
+            [
+                ("S", ("A", "A", "x")),
+                ("A", ("E",)),
+                ("E", ()),
+            ],
+        )
+        assert earley.recognizes(["x"])
+
+    def test_cyclic_unit_productions(self):
+        earley = recognizer(
+            "S",
+            [("S", ("A",)), ("A", ("S",)), ("A", ("a",))],
+        )
+        assert earley.recognizes(["a"])
+        assert not earley.recognizes(["a", "a"])
+
+
+class TestAPI:
+    def test_start_override(self):
+        earley = recognizer(
+            "S", [("S", ("a",)), ("T", ("b",))]
+        )
+        assert earley.recognizes(["b"], start="T")
+        assert not earley.recognizes(["a"], start="T")
+
+    def test_unknown_start_raises(self):
+        earley = recognizer("S", [("S", ("a",))])
+        with pytest.raises(GrammarError):
+            earley.recognizes(["a"], start="nope")
+
+    def test_unknown_token_rejects(self):
+        earley = recognizer("S", [("S", ("a",))])
+        assert not earley.recognizes(["z"])
+
+    def test_reusable_across_calls(self):
+        earley = recognizer("S", [("S", ("a", "S")), ("S", ())])
+        assert earley.recognizes(["a"] * 10)
+        assert not earley.recognizes(["a", "b"])
+        assert earley.recognizes([])

@@ -1,0 +1,166 @@
+"""Tests for the guarded editing session (the xTagger use case)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import catalog
+from repro.editor import (
+    DeleteMarkup,
+    DeleteText,
+    EditingSession,
+    InsertMarkup,
+    InsertText,
+    UpdateText,
+)
+from repro.editor.document import apply_operation, invert, resolve, resolve_element
+from repro.errors import EditRejected, XmlStructureError
+from repro.validity.validator import DTDValidator
+from repro.workloads.docgen import DocumentGenerator
+from repro.workloads.editscript import markup_script, path_of
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.tree import XmlText
+
+
+class TestDocumentOperations:
+    def test_resolve_paths(self):
+        doc = parse_xml("<a>t<b><c></c></b></a>")
+        assert resolve(doc, ()) is doc.root
+        b = resolve_element(doc, (1,))
+        assert b.name == "b"
+        assert resolve_element(doc, (1, 0)).name == "c"
+
+    def test_resolve_errors(self):
+        doc = parse_xml("<a>t</a>")
+        with pytest.raises(XmlStructureError):
+            resolve(doc, (5,))
+        with pytest.raises(XmlStructureError):
+            resolve(doc, (0, 0))  # descends through text
+        with pytest.raises(XmlStructureError):
+            resolve_element(doc, (0,))  # text node
+
+    def test_apply_and_invert_round_trip(self):
+        # <a>content</a> -> [w(content)] -> [hello, w] -> [replaced, w]
+        #                -> [w] -> [content]
+        operations = [
+            InsertMarkup(parent=(), start=0, end=1, name="w"),
+            InsertText(parent=(), index=0, text="hello "),
+            UpdateText(target=(0,), text="replaced"),
+            DeleteText(target=(0,)),
+            DeleteMarkup(target=(0,)),
+        ]
+        doc = parse_xml("<a>content</a>")
+        snapshots = []
+        inverses = []
+        for operation in operations:
+            snapshots.append(to_xml(doc))
+            inverses.append(invert(doc, operation))
+            apply_operation(doc, operation)
+        for operation, snapshot in zip(reversed(inverses), reversed(snapshots)):
+            apply_operation(doc, operation)
+            assert to_xml(doc) == snapshot
+
+    def test_delete_root_markup_rejected(self):
+        doc = parse_xml("<a></a>")
+        with pytest.raises(XmlStructureError):
+            apply_operation(doc, DeleteMarkup(target=()))
+
+
+class TestSessionGuard:
+    def test_initial_document_must_be_pv(self, fig1):
+        bad = parse_xml("<r><a><b></b><e></e><c>x</c></a></r>")
+        with pytest.raises(EditRejected):
+            EditingSession(fig1, bad)
+
+    def test_accepts_figure3_insertions(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s)
+        # Wrap "A quick brown" (inside b) with d, then wrap " dog"<e/> with d.
+        assert session.apply(InsertMarkup(parent=(0, 0), start=0, end=1, name="d"))
+        assert session.apply(InsertMarkup(parent=(0,), start=2, end=4, name="d"))
+        assert DTDValidator(fig1).is_valid(session.document)
+
+    def test_rejects_pv_breaking_insert(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s)
+        with pytest.raises(EditRejected):
+            session.apply(InsertMarkup(parent=(0,), start=0, end=4, name="e"))
+        # Document untouched.
+        assert session.is_potentially_valid()
+
+    def test_non_strict_mode_counts_rejections(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s, strict=False)
+        assert not session.apply(
+            InsertMarkup(parent=(0,), start=0, end=4, name="e")
+        )
+        assert session.stats.rejected == 1
+        assert session.stats.applied == 0
+
+    def test_markup_delete_always_allowed(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s)
+        assert session.apply(DeleteMarkup(target=(0, 0)))  # unwrap <b>
+        assert session.is_potentially_valid()
+
+    def test_text_operations(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s)
+        # Update inside <c> (mixed content).
+        assert session.apply(UpdateText(target=(0, 1, 0), text="new words"))
+        assert session.apply(DeleteText(target=(0, 1, 0)))
+        assert session.is_potentially_valid()
+
+    def test_text_insert_guard(self, fig1):
+        doc = parse_xml("<r><a><c>x</c><d><e></e></d></a></r>")
+        session = EditingSession(fig1, doc)
+        # Inside <e> (EMPTY content): hopeless, rejected.
+        with pytest.raises(EditRejected):
+            session.apply(InsertText(parent=(0, 1, 0), index=0, text="words"))
+        # Inside d (mixed): fine.
+        assert session.apply(InsertText(parent=(0, 1), index=0, text="words"))
+        # Under r it is *also* fine — (a+) repeats, so the text can be
+        # wrapped into a fresh <a><c>...</c>... later.
+        assert session.apply(InsertText(parent=(), index=0, text="words"))
+
+    def test_undo(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s)
+        before = to_xml(session.document)
+        session.apply(InsertMarkup(parent=(0, 0), start=0, end=1, name="d"))
+        assert session.undo_depth == 1
+        assert session.undo()
+        assert to_xml(session.document) == before
+        assert not session.undo()
+
+    def test_stats_by_kind(self, fig1, doc_s):
+        session = EditingSession(fig1, doc_s, strict=False)
+        session.apply(UpdateText(target=(0, 1, 0), text="x"))
+        session.apply(InsertMarkup(parent=(0,), start=0, end=4, name="e"))
+        assert session.stats.by_kind["UpdateText"] == 1
+        assert session.stats.by_kind["InsertMarkup"] == 1
+
+
+class TestScriptReplay:
+    @pytest.mark.parametrize(
+        "name", ["paper-figure1", "play", "dictionary", "manuscript", "tei-lite"]
+    )
+    def test_every_script_operation_accepted(self, name):
+        """Theorem 2 end-to-end: deconstructing a valid document yields a
+        script whose every wrap the guarded session accepts, and the replay
+        rebuilds the document exactly."""
+        dtd = catalog.load(name)
+        rng = random.Random(17)
+        document = DocumentGenerator(dtd, seed=23).document(22)
+        target = to_xml(document)
+        skeleton, script = markup_script(document, rng)
+        session = EditingSession(dtd, skeleton)
+        for operation in script:
+            assert session.apply(operation), (name, operation)
+        assert to_xml(session.document) == target
+        assert DTDValidator(dtd).is_valid(session.document)
+
+    def test_path_of(self):
+        doc = parse_xml("<a><b></b><c><d></d></c></a>")
+        c = doc.root.element_children()[1]
+        d = c.element_children()[0]
+        assert path_of(doc.root) == ()
+        assert path_of(c) == (1,)
+        assert path_of(d) == (1, 0)

@@ -1,0 +1,168 @@
+"""Consolidated golden tests: every worked example and figure in the paper.
+
+Each test names the paper artifact it reproduces; EXPERIMENTS.md indexes
+them.  These are the reproduction's ground-truth anchors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DTDValidator,
+    PVChecker,
+    complete_document,
+    parse_xml,
+    to_xml,
+)
+from repro.baselines import EarleyDocumentChecker, naive_potential_validity
+from repro.core.completion import CompletionError
+from repro.dtd import catalog
+from repro.dtd.analysis import DTDClass, analyze
+from repro.xmlmodel.delta import SIGMA, content_symbols, delta_symbols
+
+from tests.conftest import EXAMPLE1_S, EXAMPLE1_W, EXAMPLE1_W_PRIME
+
+
+class TestFigure1:
+    """The sample DTD (Figure 1)."""
+
+    def test_declarations(self, fig1):
+        assert fig1.element_names() == ("r", "a", "b", "c", "d", "e", "f")
+        assert fig1.root == "r"
+        assert fig1["e"].is_empty
+        assert fig1["d"].is_mixed
+        assert fig1["c"].is_mixed  # (#PCDATA)
+
+    def test_classification(self, fig1):
+        assert analyze(fig1).dtd_class is DTDClass.NON_RECURSIVE
+
+
+class TestExample1:
+    """w is invalid beyond repair; s is merely incomplete (Figure 2 trees)."""
+
+    def test_both_are_invalid(self, fig1, doc_w, doc_s):
+        validator = DTDValidator(fig1)
+        assert not validator.is_valid(doc_w)
+        assert not validator.is_valid(doc_s)
+
+    def test_w_not_potentially_valid(self, fig1, doc_w, algorithm):
+        assert not PVChecker(fig1, algorithm=algorithm).is_potentially_valid(doc_w)
+
+    def test_s_potentially_valid(self, fig1, doc_s, algorithm):
+        assert PVChecker(fig1, algorithm=algorithm).is_potentially_valid(doc_s)
+
+    def test_same_content_different_verdicts(self, doc_w, doc_s):
+        # Both encode the same phrase — the difference is purely structural.
+        assert doc_w.content() == doc_s.content()
+        assert doc_w.content() == "A quick brown fox jumps over a lazy dog"
+
+    def test_dom_shape_figure2(self, doc_w, doc_s):
+        a_w = doc_w.root.element_children()[0]
+        a_s = doc_s.root.element_children()[0]
+        assert content_symbols(a_w) == ["b", "e", "c", SIGMA]
+        assert content_symbols(a_s) == ["b", "c", SIGMA, "e"]
+
+
+class TestExample2:
+    """w' witnesses s's potential validity; s is in D*(T,r), w is not."""
+
+    def test_w_prime_is_valid(self, fig1, doc_w_prime):
+        assert DTDValidator(fig1).is_valid(doc_w_prime)
+
+    def test_w_prime_extends_s(self, doc_s, doc_w_prime):
+        assert doc_s.content() == doc_w_prime.content()
+
+    def test_naive_definition_agrees(self, fig1, doc_w, doc_s):
+        # Definitions 2-3 taken literally (bounded Ext search).  s needs
+        # exactly two insertions (Figure 3); for w the bounded search is
+        # inconclusive-or-false, never True.
+        assert naive_potential_validity(fig1, doc_s, max_insertions=2) is True
+        assert (
+            naive_potential_validity(fig1, doc_w, max_insertions=2, node_limit=4000)
+            is not True
+        )
+
+
+class TestFigure3:
+    """The extension of Example 1: two <d> insertions make s valid."""
+
+    def test_completion_matches_figure3(self, fig1, doc_s):
+        result = complete_document(fig1, doc_s)
+        assert result.inserted == 2
+        assert to_xml(result.document) == EXAMPLE1_W_PRIME
+        assert DTDValidator(fig1).is_valid(result.document)
+
+    def test_completion_refuses_w(self, fig1, doc_w):
+        with pytest.raises(CompletionError):
+            complete_document(fig1, doc_w)
+
+
+class TestExample3:
+    """The ECFG G_{T,r} for Figure 1 (spot-checked via its language)."""
+
+    def test_validity_language(self, fig1, doc_w, doc_s, doc_w_prime):
+        earley = EarleyDocumentChecker(fig1)
+        assert not earley.is_valid(doc_w)
+        assert not earley.is_valid(doc_s)
+        assert earley.is_valid(doc_w_prime)
+
+    def test_delta_of_section31(self):
+        doc = parse_xml(
+            "<a><b>A quick brown</b><c> fox jumps over a lazy</c>"
+            "<d> dog<e></e></d></a>"
+        )
+        assert delta_symbols(doc) == [
+            "<a>", "<b>", SIGMA, "</b>", "<c>", SIGMA, "</c>",
+            "<d>", SIGMA, "<e>", "</e>", "</d>", "</a>",
+        ]
+
+
+class TestTheorem1:
+    """w ∈ D*(T,r) ⟺ delta_T(w) ∈ L(G'_{T,r})."""
+
+    def test_on_example1(self, fig1, doc_w, doc_s, doc_w_prime):
+        earley = EarleyDocumentChecker(fig1)
+        assert not earley.is_potentially_valid(doc_w)
+        assert earley.is_potentially_valid(doc_s)
+        assert earley.is_potentially_valid(doc_w_prime)
+
+
+class TestSection43Examples:
+    def test_trivial_strong_recursive_element(self):
+        dtd = catalog.CATALOG["example5-T1"]()
+        assert analyze(dtd).dtd_class is DTDClass.PV_STRONG_RECURSIVE
+
+    def test_example5_document_is_valid_and_pv(self, t1, algorithm):
+        doc = parse_xml("<a><b></b><b></b></a>")
+        assert DTDValidator(t1).is_valid(doc)
+        assert PVChecker(t1, algorithm=algorithm).is_potentially_valid(doc)
+
+    def test_example6_document(self, t2, algorithm):
+        doc = parse_xml("<a><b></b><b></b></a>")
+        assert PVChecker(t2, algorithm=algorithm).is_potentially_valid(doc)
+
+    def test_example6_erratum(self, t2):
+        """Finding F-A2 (EXPERIMENTS.md): Example 6 as printed is doubly
+        off — <a><b/><b/></a> is already *valid* for T2 (no recursion
+        needed), and the printed witness <a><a><b/></a><b/></a> is itself
+        invalid (the inner <a> lacks its mandatory second child)."""
+        validator = DTDValidator(t2)
+        assert validator.is_valid(parse_xml("<a><b></b><b></b></a>"))
+        assert not validator.is_valid(parse_xml("<a><a><b></b></a><b></b></a>"))
+
+    def test_example6_corrected_instance(self, t2, algorithm):
+        """The corrected minimal instance requiring one recursive step:
+        b b b, with witness <a><a><b/><b/></a><b/></a>."""
+        doc = parse_xml("<a><b></b><b></b><b></b></a>")
+        assert not DTDValidator(t2).is_valid(doc)
+        assert PVChecker(t2, algorithm=algorithm).is_potentially_valid(doc)
+        witness = parse_xml("<a><a><b></b><b></b></a><b></b></a>")
+        assert DTDValidator(t2).is_valid(witness)
+
+    def test_xhtml_nesting_remark(self):
+        # Section 1: XHTML's <b>/<i> require recursion-capable structures
+        # even though <i><b><i> is rare — and they are PV-weak recursive.
+        analysis = analyze(catalog.xhtml_basic())
+        assert {"b", "i"} <= set(analysis.recursive_elements)
+        assert analysis.dtd_class is DTDClass.PV_WEAK_RECURSIVE

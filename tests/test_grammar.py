@@ -1,0 +1,177 @@
+"""Tests for CFGs, ECFG expansion, and the paper's grammar constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.errors import GrammarError
+from repro.grammar.build import (
+    PCDATA_NONTERMINAL,
+    START_SYMBOL,
+    build_content_cfg,
+    build_pv_ecfg,
+    build_validity_ecfg,
+    content_nonterminal,
+    element_nonterminal,
+    hat_nonterminal,
+)
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.ecfg import ecfg_to_cfg
+from repro.xmlmodel.delta import SIGMA
+
+
+class TestGrammarBasics:
+    def test_nullable_computation(self):
+        grammar = Grammar(
+            "S",
+            [
+                ("S", ("A", "B")),
+                ("A", ()),
+                ("B", ("b",)),
+                ("B", ("A",)),
+            ],
+        )
+        assert grammar.is_nullable("A")
+        assert grammar.is_nullable("B")
+        assert grammar.is_nullable("S")
+
+    def test_terminals(self):
+        grammar = Grammar("S", [("S", ("a", "T")), ("T", ("b",))])
+        assert grammar.terminals() == frozenset({"a", "b"})
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [("T", ("a",))])
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", [])
+
+    def test_alternatives_indexed(self):
+        grammar = Grammar("S", [("S", ("a",)), ("S", ("b",))])
+        assert len(grammar.alternatives("S")) == 2
+        assert grammar.alternatives("missing") == ()
+
+
+class TestValidityGrammar:
+    """Example 3: the ECFG G_{T,r} for the Figure 1 DTD."""
+
+    def test_structure(self):
+        dtd = catalog.paper_figure1()
+        ecfg = build_validity_ecfg(dtd)
+        # S, PCDATA, and X/X-hat per element.
+        assert ecfg.start == START_SYMBOL
+        expected = {START_SYMBOL, PCDATA_NONTERMINAL}
+        for name in "rabcdef":
+            expected.add(element_nonterminal(name))
+            expected.add(hat_nonterminal(name))
+        assert ecfg.nonterminals == expected
+
+    def test_element_rule_shape(self):
+        dtd = catalog.paper_figure1()
+        cfg = ecfg_to_cfg(build_validity_ecfg(dtd))
+        # X -> <x> X̂ </x> productions exist verbatim.
+        bodies = {
+            production.body
+            for production in cfg.alternatives(element_nonterminal("a"))
+        }
+        assert (("<a>", hat_nonterminal("a"), "</a>")) in bodies
+        assert len(bodies) == 1  # G (not G') has no X -> X̂
+
+    def test_pcdata_rules(self):
+        dtd = catalog.paper_figure1()
+        cfg = ecfg_to_cfg(build_validity_ecfg(dtd))
+        bodies = {p.body for p in cfg.alternatives(PCDATA_NONTERMINAL)}
+        assert bodies == {(SIGMA,), ()}
+
+
+class TestPVGrammar:
+    def test_adds_hat_alternatives(self):
+        dtd = catalog.paper_figure1()
+        cfg = ecfg_to_cfg(build_pv_ecfg(dtd))
+        for name in "rabcdef":
+            bodies = {
+                production.body
+                for production in cfg.alternatives(element_nonterminal(name))
+            }
+            assert (hat_nonterminal(name),) in bodies, name
+
+    def test_theorem3_every_nonterminal_nullable(self):
+        """Theorem 3: for usable DTDs every nonterminal of G' derives ε."""
+        for name in (
+            "paper-figure1",
+            "example5-T1",
+            "example6-T2",
+            "tei-lite",
+            "xhtml-basic",
+            "docbook-article",
+            "play",
+            "dictionary",
+            "manuscript",
+            "strong-chain",
+            "with-any",
+        ):
+            dtd = catalog.load(name)
+            cfg = ecfg_to_cfg(build_pv_ecfg(dtd))
+            for nonterminal in cfg.nonterminals:
+                assert cfg.is_nullable(nonterminal), (name, nonterminal)
+
+    def test_theorem3_fails_without_usability(self):
+        """The usability assumption is necessary: unproductive elements give
+        non-nullable nonterminals."""
+        dtd = catalog.with_unproductive()
+        cfg = ecfg_to_cfg(build_pv_ecfg(dtd))
+        assert not cfg.is_nullable(element_nonterminal("bad"))
+        assert not cfg.is_nullable(element_nonterminal("worse"))
+        assert cfg.is_nullable(element_nonterminal("ok"))
+
+    def test_validity_grammar_is_not_all_nullable(self):
+        dtd = catalog.paper_figure1()
+        cfg = ecfg_to_cfg(build_validity_ecfg(dtd))
+        # In G the element nonterminals always produce their tags.
+        assert not cfg.is_nullable(element_nonterminal("a"))
+
+
+class TestContentGrammar:
+    def test_token_and_content_rules(self):
+        dtd = catalog.paper_figure1()
+        cfg = build_content_cfg(dtd)
+        bodies = {p.body for p in cfg.alternatives("C:a")}
+        assert ("a",) in bodies
+        assert ((content_nonterminal("a"),)) in bodies
+
+    def test_empty_content_rule(self):
+        dtd = catalog.paper_figure1()
+        cfg = build_content_cfg(dtd)
+        assert {p.body for p in cfg.alternatives(content_nonterminal("e"))} == {()}
+
+    def test_content_nullability_matches_productivity(self):
+        dtd = catalog.with_unproductive()
+        cfg = build_content_cfg(dtd)
+        assert cfg.is_nullable(content_nonterminal("ok"))
+        assert not cfg.is_nullable(content_nonterminal("bad"))
+
+    def test_any_expands_over_all_elements(self):
+        dtd = catalog.with_any()
+        cfg = build_content_cfg(dtd)
+        # CONTENT:payload derives each element token and sigma.
+        from repro.grammar.earley import EarleyRecognizer
+
+        earley = EarleyRecognizer(cfg)
+        for token in ("doc", "meta", "widget", SIGMA):
+            assert earley.recognizes(
+                [token], start=content_nonterminal("payload")
+            ), token
+
+
+class TestECFGExpansion:
+    def test_aux_names_cannot_collide(self):
+        dtd = parse_dtd("<!ELEMENT x ((a | b))*><!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        cfg = build_content_cfg(dtd)
+        for nonterminal in cfg.nonterminals:
+            assert (
+                nonterminal.startswith(("C:", "CONTENT:"))
+                or "%" in nonterminal
+            ), nonterminal

@@ -1,0 +1,143 @@
+"""Tests for update-time checks (Sections 3.2/4.1): locality and O(1) rules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.incremental import IncrementalChecker, prop3_char_insert_ok
+from repro.core.pv import PVChecker
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.tree import XmlElement, XmlText
+
+
+class TestMarkupInsert:
+    def test_wrap_accepted_when_pv_preserved(self, fig1, doc_s):
+        checker = IncrementalChecker(fig1)
+        a = doc_s.root.element_children()[0]
+        # Wrap "A quick brown" (inside b) in d — the Figure 3 insertion.
+        b = a.element_children()[0]
+        assert checker.check_markup_insert(b, 0, 1, "d")
+
+    def test_wrap_rejected_when_it_breaks_pv(self, fig1, doc_s):
+        checker = IncrementalChecker(fig1)
+        a = doc_s.root.element_children()[0]
+        # Wrapping everything in an e (EMPTY content) is hopeless.
+        assert not checker.check_markup_insert(a, 0, len(a.children), "e")
+
+    def test_wrap_unknown_element_rejected(self, fig1, doc_s):
+        checker = IncrementalChecker(fig1)
+        assert not checker.check_markup_insert(doc_s.root, 0, 1, "ghost")
+
+    def test_empty_range_wrap(self, fig1):
+        doc = parse_xml("<r><a><c>t</c><d></d></a></r>")
+        checker = IncrementalChecker(fig1)
+        a = doc.root.element_children()[0]
+        # Inserting an empty <b> before c is fine ((b?, (c|f), d)); even an
+        # empty <e> works (it embeds under the missing b via d).  An <a>
+        # cannot: a never occurs inside a.
+        assert checker.check_markup_insert(a, 0, 0, "b")
+        assert checker.check_markup_insert(a, 0, 0, "e")
+        assert not checker.check_markup_insert(a, 0, 0, "a")
+        # After d, nothing can be opened anymore.
+        assert not checker.check_markup_insert(a, 2, 2, "e")
+
+    def test_locality_equals_full_recheck(self):
+        """On a PV document, the two local ECPV checks of Section 4 are
+        equivalent to a full document re-check."""
+        rng = random.Random(13)
+        for name in ("paper-figure1", "play", "manuscript", "tei-lite"):
+            dtd = catalog.load(name)
+            incremental = IncrementalChecker(dtd)
+            full = PVChecker(dtd)
+            document = DocumentGenerator(dtd, seed=31).document(20)
+            degraded, _ = degrade(document, rng, 0.5)
+            assert full.is_potentially_valid(degraded)
+            names = dtd.element_names()
+            for _ in range(25):
+                elements = list(degraded.iter_elements())
+                parent = rng.choice(elements)
+                count = len(parent.children)
+                start = rng.randint(0, count)
+                end = rng.randint(start, count)
+                name_choice = rng.choice(names)
+                local = incremental.check_markup_insert(
+                    parent, start, end, name_choice
+                )
+                trial = _apply_wrap_on_copy(degraded, parent, start, end, name_choice)
+                global_verdict = full.is_potentially_valid(trial)
+                assert local == global_verdict, (name, name_choice, start, end)
+
+
+def _apply_wrap_on_copy(document, parent, start, end, name):
+    """Clone the document, perform the wrap on the clone, return the clone."""
+    elements = list(document.iter_elements())
+    index = next(i for i, e in enumerate(elements) if e is parent)
+    clone = document.copy()
+    clone_parent = list(clone.iter_elements())[index]
+    clone_parent.wrap_children(start, end, name)
+    return clone
+
+
+class TestCharacterData:
+    def test_update_always_allowed(self, fig1, doc_s):
+        checker = IncrementalChecker(fig1)
+        a = doc_s.root.element_children()[0]
+        assert checker.check_text_update(a, 0)
+        assert checker.check_text_delete(a, 0)
+
+    def test_fast_rule_is_reachability(self, fig1):
+        checker = IncrementalChecker(fig1)
+        assert checker.check_text_insert_fast(XmlElement("a"))   # a ⤳ PCDATA
+        assert checker.check_text_insert_fast(XmlElement("d"))
+        assert not checker.check_text_insert_fast(XmlElement("e"))
+
+    def test_exact_in_mixed_parent(self, fig1):
+        doc = parse_xml("<r><a><b></b><c></c><d><e></e></d></a></r>")
+        checker = IncrementalChecker(fig1)
+        d = doc.root.element_children()[0].element_children()[2]
+        # d is mixed: text legal at every index.
+        for index in range(len(d.children) + 1):
+            assert checker.check_text_insert(d, index)
+
+    def test_exact_positional_in_children_parent(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (b, c)><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>"
+        )
+        checker = IncrementalChecker(dtd)
+        # With the b slot open, text before <c/> can become a fresh <b>'s
+        # content; after <c/> nothing can host it.
+        partial = parse_xml("<a><c></c></a>").root
+        assert checker.check_text_insert(partial, 0)
+        assert not checker.check_text_insert(partial, 1)
+        # With both slots filled, no position accepts new text: inserted
+        # text cannot be moved inside the *existing* <b>.
+        full = parse_xml("<a><b></b><c></c></a>").root
+        for index in range(3):
+            assert not checker.check_text_insert(full, index), index
+
+    def test_adjacent_to_text_is_update_like(self, fig1):
+        # Children-content parent with existing text: extending the run is
+        # always fine.
+        doc = parse_xml("<r><a>existing<c>t</c><d></d></a></r>")
+        checker = IncrementalChecker(fig1)
+        a = doc.root.element_children()[0]
+        assert isinstance(a.children[0], XmlText)
+        assert checker.check_text_insert(a, 0)
+        assert checker.check_text_insert(a, 1)
+
+    def test_prop3_rule_verbatim(self, fig1):
+        assert prop3_char_insert_ok(fig1, "a")
+        assert prop3_char_insert_ok(fig1, "b")
+        assert not prop3_char_insert_ok(fig1, "e")
+
+    def test_markup_delete_always_true(self, fig1, doc_s):
+        checker = IncrementalChecker(fig1)
+        a = doc_s.root.element_children()[0]
+        b = a.element_children()[0]
+        assert checker.check_markup_delete(a, b)

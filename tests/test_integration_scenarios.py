@@ -1,0 +1,130 @@
+"""Cross-layer integration scenarios: the full pipeline, end to end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DTDValidator,
+    PVChecker,
+    complete_document,
+    parse_dtd,
+    parse_xml,
+    to_xml,
+)
+from repro.core.suggest import MarkupSuggester
+from repro.dtd import catalog
+from repro.editor import EditingSession, InsertMarkup
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.workloads.editscript import markup_script
+
+
+class TestFullPipeline:
+    """generate -> validate -> degrade -> check -> complete -> validate."""
+
+    @pytest.mark.parametrize(
+        "name", ["paper-figure1", "play", "dictionary", "manuscript", "tei-lite"]
+    )
+    def test_lifecycle(self, name):
+        dtd = catalog.load(name)
+        validator = DTDValidator(dtd)
+        checker = PVChecker(dtd)
+        rng = random.Random(4)
+        document = DocumentGenerator(dtd, seed=8).document(25)
+        assert validator.is_valid(document)
+        degraded, removed = degrade(document, rng, 0.7)
+        if removed:
+            assert not validator.is_valid(degraded) or True  # may stay valid
+        assert checker.is_potentially_valid(degraded)
+        completed = complete_document(dtd, degraded)
+        assert validator.is_valid(completed.document)
+        assert completed.document.content() == document.content()
+
+    def test_round_trip_through_serialization(self):
+        """The degraded document survives serialize/parse and the verdicts
+        are invariant under the round trip."""
+        dtd = catalog.manuscript()
+        checker = PVChecker(dtd)
+        rng = random.Random(5)
+        document = DocumentGenerator(dtd, seed=10).document(30)
+        degraded, _ = degrade(document, rng, 0.5)
+        reparsed = parse_xml(to_xml(degraded))
+        assert to_xml(reparsed) == to_xml(degraded)
+        assert checker.is_potentially_valid(degraded) == checker.is_potentially_valid(
+            reparsed
+        )
+
+
+class TestSuggestionDrivenEditing:
+    """An 'assisted editor': repeatedly apply suggested wraps; the session
+    must accept every suggestion (they were checked), and the document must
+    remain potentially valid throughout."""
+
+    def test_suggestions_always_apply(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT doc (head?, body)>
+            <!ELEMENT head (#PCDATA)>
+            <!ELEMENT body (para+)>
+            <!ELEMENT para (#PCDATA | note)*>
+            <!ELEMENT note (#PCDATA)>
+            """
+        )
+        document = parse_xml("<doc>some raw text to mark up</doc>")
+        session = EditingSession(dtd, document)
+        suggester = MarkupSuggester(dtd)
+        rng = random.Random(3)
+        for _round in range(4):
+            root = session.root()
+            options = suggester.all_wraps(root, max_span=2)
+            if not options:
+                break
+            choice = rng.choice(options)
+            assert session.apply(
+                InsertMarkup(
+                    parent=(), start=choice.start, end=choice.end, name=choice.name
+                )
+            )
+            assert session.is_potentially_valid()
+
+    def test_assisted_completion_converges(self):
+        """Suggest+apply until valid (tiny schema): the guard plus the
+        completion engine agree on the endpoint."""
+        dtd = parse_dtd(
+            "<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>"
+        )
+        document = parse_xml("<a>text</a>")
+        session = EditingSession(dtd, document)
+        suggester = MarkupSuggester(dtd)
+        validator = DTDValidator(dtd)
+        for _ in range(3):
+            if validator.is_valid(session.document):
+                break
+            wraps = suggester.all_wraps(session.root())
+            assert wraps, "guard promised completability"
+            best = wraps[0]
+            session.apply(
+                InsertMarkup(parent=(), start=best.start, end=best.end, name=best.name)
+            )
+        assert validator.is_valid(session.document)
+
+
+class TestScriptedSessionAgainstCompletion:
+    def test_script_and_completion_commute(self):
+        """Replaying a script and then completing equals completing the
+        skeleton (both reach valid documents with identical content)."""
+        dtd = catalog.play()
+        rng = random.Random(11)
+        document = DocumentGenerator(dtd, seed=21).document(18)
+        skeleton, script = markup_script(document, rng)
+        completed_direct = complete_document(dtd, skeleton)
+        assert DTDValidator(dtd).is_valid(completed_direct.document)
+        assert completed_direct.document.content() == document.content()
+
+        session = EditingSession(dtd, skeleton.copy())
+        for operation in script:
+            session.apply(operation)
+        assert to_xml(session.document) == to_xml(document)

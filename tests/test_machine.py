@@ -1,0 +1,180 @@
+"""Tests for the exact PVMachine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import PVMachine
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.xmlmodel.delta import SIGMA
+
+
+def machine(dtd, element, depth=None) -> PVMachine:
+    """Default: the exact unbounded (merged GSS) machine."""
+    return PVMachine.for_dtd(dtd, element, depth=depth)
+
+
+class TestPaperContent:
+    def test_example1_contents(self, fig1):
+        assert not machine(fig1, "a").recognize(["b", "e", "c", SIGMA])
+        assert machine(fig1, "a").recognize(["b", "c", SIGMA, "e"])
+
+    def test_empty_content(self, fig1):
+        assert machine(fig1, "a").recognize([])
+        assert machine(fig1, "e").recognize([])
+
+    def test_empty_element_absorbs_nothing(self, fig1):
+        assert not machine(fig1, "e").recognize([SIGMA])
+        assert not machine(fig1, "e").recognize(["d"])
+
+    def test_t2_example6_corrected(self, t2):
+        # Erratum (finding F-A2): "b b" is valid T2 content outright, so it
+        # is PV at any depth; the minimal instance needing one recursive
+        # step is "b b b".
+        assert machine(t2, "a", depth=0).recognize(["b", "b"])
+        assert machine(t2, "a", depth=1).recognize(["b", "b", "b"])
+        assert not machine(t2, "a", depth=0).recognize(["b", "b", "b"])
+
+    def test_t1_terminates(self, t1):
+        assert machine(t1, "a", depth=8).recognize(["b", "b"])
+        assert machine(t1, "a", depth=8).recognize(["a"])
+
+
+class TestDepthSensitivity:
+    def test_t2_chain_needs_depth_per_extra_b(self, t2):
+        # b^n as content of a: the innermost (real or missing) a holds two
+        # b's and each additional b costs one nesting level, so b^n needs
+        # exactly n-2 hypothesized missing a's.
+        for count in range(3, 7):
+            tokens = ["b"] * count
+            assert machine(t2, "a", depth=count - 2).recognize(tokens), count
+            assert not machine(t2, "a", depth=count - 3).recognize(tokens), count
+
+    def test_non_recursive_insensitive_to_extra_depth(self, fig1):
+        tokens = ["b", "c", SIGMA, "e"]
+        for depth in (8, 64):
+            assert machine(fig1, "a", depth=depth).recognize(tokens)
+
+
+class TestStepAPI:
+    def test_step_reports_rejection_point(self, fig1):
+        engine = machine(fig1, "a")
+        assert engine.step("b")
+        assert engine.step("e")
+        assert not engine.step("c")
+        assert engine.rejected_at == 2
+        assert not engine.step("d")  # stays rejected
+        assert not engine.accepts_now()
+
+    def test_accepts_now_midway(self, fig1):
+        engine = machine(fig1, "a")
+        assert engine.accepts_now()  # empty content is PV
+        engine.step("b")
+        assert engine.accepts_now()
+        engine.step("c")
+        assert engine.accepts_now()
+
+
+class TestUnproductiveGuards:
+    """Exactness beyond the paper's usability assumption."""
+
+    def test_optional_unproductive_is_skippable(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (dead?, ok)><!ELEMENT dead (dead)><!ELEMENT ok EMPTY>"
+        )
+        assert machine(dtd, "r").recognize(["ok"])
+        assert machine(dtd, "r").recognize([])
+
+    def test_mandatory_unproductive_blocks(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (dead, ok)><!ELEMENT dead (dead)><!ELEMENT ok EMPTY>"
+        )
+        # ok alone: the word still needs `dead`, which cannot be completed.
+        assert not machine(dtd, "r").recognize(["ok"])
+        assert not machine(dtd, "r").recognize([])
+        # but an actual <dead> token fills the slot (its own content is
+        # checked at its own node, not here).
+        assert machine(dtd, "r").recognize(["dead", "ok"])
+
+    def test_no_descend_into_unhelpful_missing_element(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (mid?)><!ELEMENT mid (x, dead)>"
+            "<!ELEMENT x EMPTY><!ELEMENT dead (dead)>"
+        )
+        # x embeds under mid only alongside `dead`: not completable.
+        assert not machine(dtd, "r").recognize(["x"])
+
+    def test_plus_not_erasable_without_productive_body(self):
+        dtd = parse_dtd("<!ELEMENT r (dead+)><!ELEMENT dead (dead)>")
+        assert not machine(dtd, "r").recognize([])
+
+    def test_star_of_unproductive_is_erasable(self):
+        dtd = parse_dtd("<!ELEMENT r (dead*)><!ELEMENT dead (dead)>")
+        assert machine(dtd, "r").recognize([])
+        assert not machine(dtd, "r").recognize([SIGMA])
+
+
+class TestOriginalModelExactness:
+    """The machine runs on the original models: ?/+ semantics intact."""
+
+    def test_plus_semantics_for_pv(self, fig1):
+        # r = (a+): zero a's is still PV (insert one later) because a is
+        # productive — Cor 3.1 is sound here.
+        assert machine(fig1, "r").recognize([])
+        assert machine(fig1, "r").recognize(["a", "a", "a"])
+
+    def test_sigma_direct_in_pcdata_only_content(self, fig1):
+        assert machine(fig1, "c").recognize([SIGMA])
+        assert machine(fig1, "c").recognize([])
+        assert not machine(fig1, "c").recognize(["e"])
+
+    def test_mixed_interleave(self, fig1):
+        assert machine(fig1, "d").recognize([SIGMA, "e", SIGMA, "e"])
+
+    def test_any_content(self):
+        dtd = catalog.with_any()
+        assert machine(dtd, "payload").recognize(["doc", SIGMA, "widget"])
+
+
+class TestChainVsMerged:
+    """For non-PV-strong DTDs, chain mode with depth m+1 is exact, so the
+    two modes must agree; for PV-strong DTDs merged mode is the unbounded
+    truth and chain mode converges to it as the budget grows."""
+
+    def test_agreement_on_non_recursive(self, fig1):
+        import itertools
+
+        alphabet = list(fig1.element_names()) + [SIGMA]
+        depth = fig1.element_count + 1
+        for element in ("a", "b", "r"):
+            for tokens in itertools.product(alphabet, repeat=2):
+                if tokens[0] == SIGMA and tokens[1] == SIGMA:
+                    continue
+                merged = machine(fig1, element).recognize(tokens)
+                chain = machine(fig1, element, depth=depth).recognize(tokens)
+                assert merged == chain, (element, tokens)
+
+    def test_chain_converges_to_merged_on_strong(self, t2):
+        tokens = ["b"] * 6
+        assert machine(t2, "a").recognize(tokens)  # unbounded truth
+        verdicts = [
+            machine(t2, "a", depth=depth).recognize(tokens) for depth in range(7)
+        ]
+        # Monotone in depth, reaching the unbounded verdict.
+        assert verdicts == sorted(verdicts)
+        assert verdicts[-1] is True
+
+
+class TestDeepEmbedding:
+    def test_chain_descent(self):
+        dtd = catalog.deep_chain(8)
+        # c8's content (text) can surface at the top through 8 missing levels.
+        assert machine(dtd, "c0", depth=10).recognize([SIGMA])
+        assert not machine(dtd, "c0", depth=4).recognize([SIGMA])
+
+    def test_leaf_direct(self):
+        dtd = catalog.deep_chain(8)
+        assert machine(dtd, "c0", depth=10).recognize(["leaf"])
+        assert machine(dtd, "c0", depth=10).recognize(["c5", "leaf"])
+        assert not machine(dtd, "c0", depth=10).recognize(["leaf", "c5"])

@@ -1,0 +1,100 @@
+"""Hypothesis round-trip properties for the XML and DTD substrates."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serialize import dtd_to_text
+from repro.dtd.random_gen import RandomDTDConfig, random_dtd
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.tree import XmlElement, XmlText
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.sampled_from(["a", "b", "c", "item", "note", "x1", "y-z", "w.v"])
+_texts = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FF),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def elements(draw, depth=3):
+    """Random element trees with mixed text/element children."""
+    name = draw(_names)
+    element = XmlElement(name)
+    if depth > 0:
+        count = draw(st.integers(0, 3))
+        for _ in range(count):
+            if draw(st.booleans()):
+                element.append(XmlText(draw(_texts)))
+            else:
+                element.append(draw(elements(depth=depth - 1)))
+    attr_count = draw(st.integers(0, 2))
+    for index in range(attr_count):
+        element.attributes[f"at{index}"] = draw(_texts)
+    return element
+
+
+class TestXmlRoundTrip:
+    @_settings
+    @given(tree=elements())
+    def test_serialize_parse_round_trip(self, tree):
+        serialized = to_xml(tree)
+        reparsed = parse_xml(serialized).root
+        assert to_xml(reparsed) == serialized
+
+    @_settings
+    @given(tree=elements())
+    def test_content_preserved(self, tree):
+        reparsed = parse_xml(to_xml(tree)).root
+        # Adjacent text nodes may merge on reparse; content is invariant.
+        assert reparsed.content() == tree.content()
+
+    @_settings
+    @given(tree=elements())
+    def test_self_closing_form_equivalent(self, tree):
+        compact = to_xml(tree, self_closing=True)
+        expanded = to_xml(parse_xml(compact).root)
+        assert expanded == to_xml(tree)
+
+    @_settings
+    @given(tree=elements())
+    def test_copy_equals_original(self, tree):
+        assert to_xml(tree.copy()) == to_xml(tree)
+
+    @_settings
+    @given(tree=elements(), start=st.integers(0, 3), width=st.integers(0, 3))
+    def test_wrap_unwrap_inverse(self, tree, start, width):
+        count = len(tree.children)
+        lo = min(start, count)
+        hi = min(lo + width, count)
+        before = to_xml(tree)
+        wrapper = tree.wrap_children(lo, hi, "wrapper")
+        tree.unwrap_child(wrapper)
+        assert to_xml(tree) == before
+
+
+class TestDtdRoundTrip:
+    @_settings
+    @given(
+        elements_count=st.integers(4, 20),
+        seed=st.integers(0, 999),
+        recursion=st.sampled_from(["none", "weak", "strong"]),
+    )
+    def test_serialize_parse_round_trip(self, elements_count, seed, recursion):
+        dtd = random_dtd(
+            RandomDTDConfig(elements=elements_count, seed=seed, recursion=recursion)
+        )
+        text = dtd_to_text(dtd)
+        reparsed = parse_dtd(text, root=dtd.root)
+        assert dtd_to_text(reparsed) == text
+        assert reparsed.element_names() == dtd.element_names()
+        assert reparsed.occurrence_count == dtd.occurrence_count

@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for the paper's theorems.
+
+* Theorem 1 — PV ⟺ ``delta_T(w) ∈ L(G')`` (via the Earley baseline);
+* Theorem 2 — closure under markup deletion and character-data updates;
+* Corollary 3.1 / Proposition 1 — normalization and star-group flattening
+  preserve the PV language (flattened-DAG recognizer vs original-model
+  machine on usable DTDs);
+* Proposition 2 — single-token embedding ⟺ reachability;
+* Proposition 3 — the O(1) character-data rule (exact for mixed content).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.machine import PVMachine
+from repro.core.pv import PVChecker
+from repro.core.recognizer import ECRecognizer
+from repro.dtd import catalog
+from repro.dtd.analysis import analyze
+from repro.dtd.model import PCDATA
+from repro.validity.validator import DTDValidator
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.delta import SIGMA
+from repro.xmlmodel.tree import XmlText
+
+USABLE_DTDS = (
+    "paper-figure1",
+    "example5-T1",
+    "example6-T2",
+    "play",
+    "dictionary",
+    "manuscript",
+    "tei-lite",
+)
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def dtd_and_document(draw, names=USABLE_DTDS, target_nodes=14):
+    name = draw(st.sampled_from(names))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    dtd = catalog.load(name)
+    document = DocumentGenerator(dtd, seed=seed).document(
+        target_nodes=target_nodes, max_depth=7
+    )
+    return dtd, document, seed
+
+
+class TestTheorem2:
+    """PV is closed under markup deletions and character-data updates."""
+
+    @_settings
+    @given(data=dtd_and_document(), fraction=st.floats(0.1, 1.0))
+    def test_deletion_closure(self, data, fraction):
+        dtd, document, seed = data
+        assert DTDValidator(dtd).is_valid(document)
+        degraded, _removed = degrade(document, random.Random(seed), fraction)
+        assert PVChecker(dtd).is_potentially_valid(degraded)
+
+    @_settings
+    @given(data=dtd_and_document(), new_text=st.text(alphabet="xyz ", max_size=8))
+    def test_character_update_closure(self, data, new_text):
+        dtd, document, seed = data
+        degraded, _ = degrade(document, random.Random(seed), 0.5)
+        checker = PVChecker(dtd)
+        before = checker.is_potentially_valid(degraded)
+        texts = [
+            node
+            for element in degraded.iter_elements()
+            for node in element.children
+            if isinstance(node, XmlText) and node.text
+        ]
+        if not texts:
+            return
+        victim = random.Random(seed).choice(texts)
+        # A non-emptying update: delta_T still sees one sigma there.
+        victim.text = new_text or "x"
+        assert checker.is_potentially_valid(degraded) == before
+
+    @_settings
+    @given(data=dtd_and_document())
+    def test_text_deletion_closure(self, data):
+        dtd, document, seed = data
+        degraded, _ = degrade(document, random.Random(seed), 0.5)
+        checker = PVChecker(dtd)
+        if not checker.is_potentially_valid(degraded):
+            return
+        texts = [
+            node
+            for element in degraded.iter_elements()
+            for node in element.children
+            if isinstance(node, XmlText)
+        ]
+        if not texts:
+            return
+        victim = random.Random(seed + 1).choice(texts)
+        assert victim.parent is not None
+        victim.parent.remove(victim)
+        assert checker.is_potentially_valid(degraded)
+
+
+class TestTheorem1:
+    """Per-node checking matches G' membership of the delta string."""
+
+    @_settings
+    @given(data=dtd_and_document(target_nodes=10))
+    def test_machine_equals_whole_document_earley(self, data):
+        from repro.baselines.earley_pv import EarleyDocumentChecker
+
+        dtd, document, seed = data
+        degraded, _ = degrade(document, random.Random(seed), 0.7)
+        machine_verdict = PVChecker(dtd).is_potentially_valid(degraded)
+        earley_verdict = EarleyDocumentChecker(dtd).is_potentially_valid(degraded)
+        assert machine_verdict == earley_verdict
+
+
+class TestCorollary31Proposition1:
+    """The flattened-DAG recognizer (Cor 3.1 + Prop 1 models) agrees with
+    the original-model machine on usable DTDs."""
+
+    @_settings
+    @given(
+        name=st.sampled_from(USABLE_DTDS),
+        seed=st.integers(0, 5_000),
+        length=st.integers(0, 4),
+    )
+    def test_flattened_equals_original(self, name, seed, length):
+        dtd = catalog.load(name)
+        rng = random.Random(seed)
+        alphabet = list(dtd.element_names()) + [SIGMA]
+        element = rng.choice(dtd.element_names())
+        tokens: list[str] = []
+        for _ in range(length):
+            token = rng.choice(alphabet)
+            if tokens and tokens[-1] == SIGMA and token == SIGMA:
+                continue
+            tokens.append(token)
+        exact = PVMachine.for_dtd(dtd, element).recognize(tokens)
+        flattened = ECRecognizer.for_dtd(dtd, element, depth=24).accepts(tokens)
+        assert exact == flattened, (name, element, tokens)
+
+
+class TestProposition2:
+    """Single-token contents: embedding ⟺ reachability in R_T."""
+
+    @_settings
+    @given(name=st.sampled_from(USABLE_DTDS))
+    def test_single_token_matches_lookup(self, name):
+        dtd = catalog.load(name)
+        analysis = analyze(dtd)
+        for element in dtd.element_names():
+            for token in list(dtd.element_names()) + [SIGMA]:
+                expected = analysis.lookup(element, token) or _direct_position(
+                    dtd, element, token
+                )
+                verdict = PVMachine.for_dtd(dtd, element).recognize([token])
+                assert verdict == expected, (name, element, token)
+
+
+def _direct_position(dtd, element, token) -> bool:
+    """Token matches a direct position of the content model (not nested)."""
+    regex = dtd.content_regex(element)
+    if regex is None:
+        return False
+    from repro.dtd import ast
+
+    if token == SIGMA:
+        return ast.mentions_pcdata(regex)
+    return token in ast.element_names(regex)
+
+
+class TestProposition3:
+    """The O(1) character-data rule, including its documented caveat."""
+
+    def test_rule_exact_for_mixed_parents(self):
+        for name in USABLE_DTDS:
+            dtd = catalog.load(name)
+            analysis = analyze(dtd)
+            for decl in dtd:
+                if decl.allows_pcdata_directly():
+                    # Mixed content: rule and truth coincide (text legal
+                    # everywhere) — and the lookup table must agree.
+                    assert analysis.lookup(decl.name, PCDATA) or not decl.is_mixed
+
+    def test_caveat_counterexample(self):
+        """a ⤳ PCDATA holds transitively, yet text after <c/> in
+        <a><b/><c/></a> cannot be wrapped: the paper's O(1) rule is
+        necessary but not sufficient for children-content parents."""
+        from repro.dtd.parser import parse_dtd
+        from repro.core.incremental import IncrementalChecker, prop3_char_insert_ok
+        from repro.xmlmodel.parser import parse_xml
+
+        dtd = parse_dtd(
+            "<!ELEMENT a (b, c)><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>"
+        )
+        assert prop3_char_insert_ok(dtd, "a")  # the paper's rule says yes
+        checker = IncrementalChecker(dtd)
+
+        # Strong form: with both children present, no position can host
+        # new text (it cannot be moved inside the existing <b>), yet the
+        # O(1) rule still answers yes.
+        full = parse_xml("<a><b></b><c></c></a>").root
+        for index in range(3):
+            assert not checker.check_text_insert(full, index), index
+
+        # Positional form: with the b-slot still open, text before <c/>
+        # can be wrapped into a fresh <b>, text after it cannot.
+        partial = parse_xml("<a><c></c></a>").root
+        assert checker.check_text_insert(partial, 0)
+        assert not checker.check_text_insert(partial, 1)
+
+
+class TestValidityImpliesPV:
+    @_settings
+    @given(data=dtd_and_document())
+    def test_valid_documents_are_potentially_valid(self, data):
+        dtd, document, _seed = data
+        assert PVChecker(dtd).is_potentially_valid(document)

@@ -1,0 +1,125 @@
+"""Tests for the PVChecker driver (Problem PV over documents)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CheckerConfig
+from repro.core.pv import PVChecker
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.errors import DepthBoundExceeded, UnusableElementError
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestVerdicts:
+    def test_example1_verdicts(self, fig1, doc_w, doc_s, algorithm):
+        checker = PVChecker(fig1, algorithm=algorithm)
+        assert not checker.check_document(doc_w)
+        assert checker.check_document(doc_s)
+
+    def test_failure_details(self, fig1, doc_w):
+        verdict = PVChecker(fig1).check_document(doc_w)
+        assert not verdict.potentially_valid
+        assert len(verdict.failures) == 1
+        failure = verdict.failures[0]
+        assert failure.element == "a"
+        assert failure.path == "/r/a[0]"
+        assert failure.symbols == ("b", "e", "c", "#PCDATA")
+
+    def test_root_mismatch(self, fig1):
+        verdict = PVChecker(fig1).check_document(parse_xml("<a></a>"))
+        assert not verdict
+        assert "DTD root" in verdict.failures[0].reason
+
+    def test_undeclared_element(self, fig1):
+        verdict = PVChecker(fig1).check_document(parse_xml("<r><ghost></ghost></r>"))
+        assert not verdict
+        assert any("not declared" in f.reason for f in verdict.failures)
+
+    def test_every_failing_node_reported(self, fig1):
+        doc = parse_xml(
+            "<r><a><b></b><e></e><c>x</c></a><a><b></b><e></e><c>y</c></a></r>"
+        )
+        # Each <a> has the Example 1 "w" content b,e,c — unfixable.
+        verdict = PVChecker(fig1).check_document(doc)
+        assert len(verdict.failures) == 2
+
+    def test_empty_root_is_pv(self, fig1):
+        assert PVChecker(fig1).check_document(parse_xml("<r></r>"))
+
+    def test_element_fixture_accepts_xml_element(self, fig1, doc_s):
+        assert PVChecker(fig1).check_document(doc_s.root)
+
+
+class TestConfig:
+    def test_derived_depth_for_non_recursive(self, fig1):
+        checker = PVChecker(fig1)
+        assert checker.depth == fig1.element_count + 1
+
+    def test_default_depth_for_strong_recursive(self, t2):
+        from repro.config import DEFAULT_DEPTH_BOUND
+
+        assert PVChecker(t2).depth == DEFAULT_DEPTH_BOUND
+
+    def test_explicit_depth_respected(self, t2):
+        checker = PVChecker(t2, config=CheckerConfig(depth_bound=3))
+        assert checker.depth == 3
+
+    def test_strict_depth_raises_on_strong_recursive_no(self, t2):
+        checker = PVChecker(
+            t2, config=CheckerConfig(depth_bound=0, strict_depth=True)
+        )
+        with pytest.raises(DepthBoundExceeded):
+            checker.check_document(
+                parse_xml("<a><b></b><b></b><b></b></a>")
+            )
+
+    def test_require_usable(self):
+        dtd = catalog.with_unproductive()
+        with pytest.raises(UnusableElementError):
+            PVChecker(dtd, config=CheckerConfig(require_usable=True))
+        # Without the flag the checker handles it exactly.
+        checker = PVChecker(dtd)
+        assert checker.check_document(parse_xml("<root><ok>x</ok></root>"))
+        assert not checker.check_document(parse_xml("<root><bad></bad></root>"))
+
+    def test_depth_limited_flag(self, t2):
+        checker = PVChecker(t2, config=CheckerConfig(depth_bound=0))
+        verdict = checker.check_document(
+            parse_xml("<a><b></b><b></b><b></b></a>")
+        )
+        assert not verdict
+        assert verdict.depth_limited
+
+    def test_depth_limited_false_for_non_recursive(self, fig1, doc_w):
+        verdict = PVChecker(fig1).check_document(doc_w)
+        assert not verdict
+        assert not verdict.depth_limited
+
+
+class TestContentAPI:
+    def test_check_content_direct(self, fig1, algorithm):
+        checker = PVChecker(fig1, algorithm=algorithm)
+        assert checker.check_content("a", ["b", "c"])
+        assert not checker.check_content("a", ["b", "e", "c"])
+
+    def test_check_node(self, fig1, doc_s):
+        checker = PVChecker(fig1)
+        a_node = doc_s.root.element_children()[0]
+        assert checker.check_node(a_node)
+
+
+class TestWholeDocumentConsistency:
+    """Valid documents are PV; PV survives degradation (spot checks)."""
+
+    @pytest.mark.parametrize("name", ["paper-figure1", "play", "manuscript"])
+    def test_valid_documents_are_pv(self, name, algorithm):
+        import random
+
+        from repro.workloads.docgen import DocumentGenerator
+
+        dtd = catalog.load(name)
+        checker = PVChecker(dtd, algorithm=algorithm)
+        for document in DocumentGenerator(dtd, seed=3).documents(3, 25):
+            assert checker.check_document(document), name

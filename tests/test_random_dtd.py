@@ -1,0 +1,94 @@
+"""Tests for the random DTD generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd.analysis import DTDClass, analyze
+from repro.dtd.parser import parse_dtd
+from repro.dtd.random_gen import RandomDTDConfig, random_dtd
+from repro.dtd.serialize import dtd_to_text
+from repro.validity.validator import DTDValidator
+from repro.workloads.docgen import DocumentGenerator
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = RandomDTDConfig(elements=12, seed=5)
+        assert dtd_to_text(random_dtd(config)) == dtd_to_text(random_dtd(config))
+
+    def test_round_trips_through_parser(self):
+        for seed in range(5):
+            dtd = random_dtd(RandomDTDConfig(elements=10, seed=seed))
+            again = parse_dtd(dtd_to_text(dtd), root=dtd.root)
+            assert dtd_to_text(again) == dtd_to_text(dtd)
+
+    def test_all_usable_by_construction(self):
+        for recursion in ("none", "weak", "strong"):
+            for seed in range(4):
+                dtd = random_dtd(
+                    RandomDTDConfig(elements=10, seed=seed, recursion=recursion)
+                )
+                analysis = analyze(dtd)
+                assert analysis.all_usable, (recursion, seed, analysis.unusable)
+
+    def test_recursion_none(self):
+        for seed in range(6):
+            dtd = random_dtd(RandomDTDConfig(elements=10, seed=seed))
+            assert analyze(dtd).dtd_class is DTDClass.NON_RECURSIVE, seed
+
+    def test_recursion_weak(self):
+        for seed in range(6):
+            dtd = random_dtd(
+                RandomDTDConfig(elements=10, seed=seed, recursion="weak")
+            )
+            analysis = analyze(dtd)
+            assert analysis.recursive_elements, seed
+            assert analysis.dtd_class is DTDClass.PV_WEAK_RECURSIVE, seed
+
+    def test_recursion_strong(self):
+        for seed in range(6):
+            dtd = random_dtd(
+                RandomDTDConfig(elements=10, seed=seed, recursion="strong")
+            )
+            assert analyze(dtd).dtd_class is DTDClass.PV_STRONG_RECURSIVE, seed
+
+    def test_size_scales_k(self):
+        small = random_dtd(RandomDTDConfig(elements=6, seed=1))
+        large = random_dtd(RandomDTDConfig(elements=60, seed=1))
+        assert large.occurrence_count > small.occurrence_count * 3
+
+    def test_too_few_elements_rejected(self):
+        with pytest.raises(ValueError):
+            random_dtd(RandomDTDConfig(elements=1))
+
+
+class TestGeneratedAreUsableWorkloads:
+    def test_documents_generate_and_validate(self):
+        for recursion in ("none", "weak", "strong"):
+            dtd = random_dtd(
+                RandomDTDConfig(elements=12, seed=3, recursion=recursion)
+            )
+            validator = DTDValidator(dtd)
+            for seed in range(3):
+                document = DocumentGenerator(dtd, seed=seed).document(20)
+                assert validator.is_valid(document), (recursion, seed)
+
+    def test_checkers_run_on_random_dtds(self):
+        import random as stdlib_random
+
+        from repro.core.pv import PVChecker
+        from repro.workloads.degrade import degrade
+
+        for recursion in ("none", "weak", "strong"):
+            dtd = random_dtd(
+                RandomDTDConfig(elements=10, seed=7, recursion=recursion)
+            )
+            checker = PVChecker(dtd)
+            earley = PVChecker(dtd, algorithm="earley")
+            rng = stdlib_random.Random(1)
+            for seed in range(3):
+                document = DocumentGenerator(dtd, seed=seed).document(15)
+                degraded, _ = degrade(document, rng, 0.5)
+                assert checker.is_potentially_valid(degraded), (recursion, seed)
+                assert earley.is_potentially_valid(degraded), (recursion, seed)

@@ -1,0 +1,168 @@
+"""Tests for the faithful Figure-5 ECRecognizer, including Figures 6 and 7."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_DEPTH_BOUND
+from repro.core.recognizer import ECRecognizer
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.xmlmodel.delta import SIGMA
+
+
+def recognizer(dtd, element, depth=DEFAULT_DEPTH_BOUND, mode="refined") -> ECRecognizer:
+    return ECRecognizer.for_dtd(dtd, element, depth=depth, mode=mode)
+
+
+class TestFigure6:
+    """The published traces on the content of <a> for Example 1's strings."""
+
+    def test_trace_a_rejects_w_content(self, fig1):
+        # A: input b, e, c, PCDATA — the algorithm rejects (at token c:
+        # "from the active node d no element c can be reached").
+        assert recognizer(fig1, "a").recognize(["b", "e", "c", SIGMA]) == "reject"
+
+    def test_trace_a_rejects_exactly_at_c(self, fig1):
+        rec = recognizer(fig1, "a")
+        assert rec.validate("b") == "accept"
+        assert rec.validate("e") == "accept"
+        assert rec.validate("c") == "reject"
+
+    def test_trace_b_accepts_s_content(self, fig1):
+        # B: input b, c, PCDATA, e — every symbol matches.
+        assert recognizer(fig1, "a").recognize(["b", "c", SIGMA, "e"]) == "accept"
+
+    def test_empty_content_always_accepts(self, fig1):
+        assert recognizer(fig1, "a").recognize([]) == "accept"
+
+    def test_first_symbol_search(self, fig1):
+        # b is the only initial active node of DAG_a, but c and f are
+        # reachable by skipping it (line 34-35) in the same round.
+        assert recognizer(fig1, "a").validate("c") == "accept"
+        assert recognizer(fig1, "a").validate("f") == "accept"
+        assert recognizer(fig1, "a").validate("d") == "accept"
+
+    def test_deep_search_into_missing_element(self, fig1):
+        # e is reachable only inside d or f: requires a sub-recognizer.
+        assert recognizer(fig1, "a").validate("e") == "accept"
+
+    def test_unreachable_symbol_rejects(self, fig1):
+        assert recognizer(fig1, "a").validate("a") == "reject"
+        assert recognizer(fig1, "a").validate("r") == "reject"
+
+
+class TestFigure7DepthBound:
+    """Example 5/Figure 7: without the depth bound the greedy search on T1
+    recurses forever; the depth parameter is the paper's fix."""
+
+    def test_t1_terminates_and_accepts(self, t1):
+        rec = recognizer(t1, "a", depth=8)
+        assert rec.recognize(["b", "b"]) == "accept"
+
+    def test_t1_depth_zero_still_terminates(self, t1):
+        rec = recognizer(t1, "a", depth=0)
+        # No deep search allowed; the star-group {b} matches directly.
+        assert rec.recognize(["b", "b"]) == "accept"
+
+    def test_recognizer_count_bounded_by_depth(self, t1):
+        # Each nested recognizer is created with depth-1 and deep search
+        # stops at 0: the chain length is <= depth.
+        rec = recognizer(t1, "a", depth=3)
+        rec.validate("a")  # token a forces deep search through missing a's
+        chain = 0
+        node = next(
+            (n for n in rec.active if n.recognizer is not None), None
+        )
+        while node is not None:
+            chain += 1
+            node = next(
+                (n for n in node.recognizer.active if n.recognizer is not None),
+                None,
+            ) if node.recognizer else None
+        assert chain <= 3
+
+
+class TestExample6:
+    def test_t2_corrected_instance(self, t2):
+        # Finding F-A2: "b b" is valid outright; "b b b" needs a step.
+        assert recognizer(t2, "a", depth=0).recognize(["b", "b"]) == "accept"
+        assert recognizer(t2, "a", depth=4).recognize(["b", "b", "b"]) == "accept"
+
+    def test_t2_depth_gates_the_answer(self, t2):
+        # With no recursive budget the third b cannot be placed.
+        assert recognizer(t2, "a", depth=0).recognize(["b", "b", "b"]) == "reject"
+
+
+class TestStarGroups:
+    def test_group_absorbs_repeatedly(self, fig1):
+        rec = recognizer(fig1, "d")
+        assert rec.recognize([SIGMA, "e", SIGMA, "e", "e"]) == "accept"
+
+    def test_group_absorbs_by_reachability(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (w)*><!ELEMENT w (x)><!ELEMENT x (#PCDATA)>"
+        )
+        # Token x embeds under a missing w in a fresh star iteration.
+        assert recognizer(dtd, "r").recognize(["x", "x", "w"]) == "accept"
+
+    def test_group_rejects_unreachable(self, fig1):
+        assert recognizer(fig1, "d").recognize(["c"]) == "reject"
+
+
+class TestEmptyAndAny:
+    def test_empty_element_content(self, fig1):
+        rec = recognizer(fig1, "e")
+        assert rec.recognize([]) == "accept"
+        assert recognizer(fig1, "e").recognize([SIGMA]) == "reject"
+        assert recognizer(fig1, "e").recognize(["d"]) == "reject"
+
+    def test_any_content_accepts_everything(self):
+        dtd = catalog.with_any()
+        rec = recognizer(dtd, "payload")
+        assert rec.recognize(["meta", SIGMA, "widget", "doc"]) == "accept"
+
+
+class TestOrderSensitivity:
+    def test_order_enforced(self, fig1):
+        assert recognizer(fig1, "a").recognize(["c", "d"]) == "accept"
+        # "d c" is still PV (the d embeds under a missing b before the
+        # choice slot); "d b" is not — after the trailing d slot nothing
+        # can host a b, and no earlier hypothesis leaves room for it.
+        assert recognizer(fig1, "a").recognize(["d", "c"]) == "accept"
+        assert recognizer(fig1, "a").recognize(["d", "b"]) == "reject"
+
+    def test_choice_slots_reachable_through_missing_b(self, fig1):
+        # "c f" as content of a IS potentially valid: wrap the c inside
+        # <b><f>c ...</f></b> and let the real f take the (c|f) slot.
+        # Symmetrically for "f c" (f inside the missing b, c at the slot).
+        assert recognizer(fig1, "a").recognize(["c", "f"]) == "accept"
+        assert recognizer(fig1, "a").recognize(["f", "c"]) == "accept"
+        # "c e" works too: e embeds inside the trailing d.
+        assert recognizer(fig1, "a").recognize(["c", "e"]) == "accept"
+
+    def test_figure5_verbatim_overacceptance_on_b_content(self, fig1):
+        """Finding F-A1 (see EXPERIMENTS.md): as content of b = (d | f),
+        the sequence "c f" is NOT potentially valid — c forces the single
+        slot to be a missing f, and the real f has nowhere to go — but the
+        verbatim Figure 5 keeps node f active after its sub-recognizer
+        consumed c, then direct-matches the real f against the same,
+        already-consumed position.  The refined mode (rule 1) rejects."""
+        assert (
+            recognizer(fig1, "b", mode="verbatim").recognize(["c", "f"])
+            == "accept"
+        )  # the published pseudocode over-accepts
+        assert recognizer(fig1, "b", mode="refined").recognize(["c", "f"]) == "reject"
+        from repro.core.machine import PVMachine
+
+        assert not PVMachine.for_dtd(fig1, "b").recognize(["c", "f"])
+
+    def test_figure5_verbatim_overacceptance_on_a_content(self, fig1):
+        """Finding F-A1, second shape: content "d b" of a — the verbatim
+        algorithm lets b direct-match a position occupied by the missing-b
+        hypothesis that absorbed d."""
+        assert (
+            recognizer(fig1, "a", mode="verbatim").recognize(["d", "b"])
+            == "accept"
+        )
+        assert recognizer(fig1, "a", mode="refined").recognize(["d", "b"]) == "reject"

@@ -1,0 +1,130 @@
+"""Tests for markup suggestions (the editor-UX layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.suggest import MarkupSuggester, WrapSuggestion
+from repro.dtd import catalog
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestWrapsForRange:
+    def test_figure3_suggestions(self, fig1, doc_s):
+        """On Example 1's s, the suggester offers the Figure 3 repairs
+        (plus the other genuinely completable alternatives)."""
+        suggester = MarkupSuggester(fig1)
+        a = doc_s.root.element_children()[0]
+        b = a.element_children()[0]
+        # Inside <b>: d wraps the text directly (Figure 3's choice); c and
+        # f work too — c's text is legal and either embeds under a missing
+        # f for b's (d | f) slot.
+        names = set(suggester.wraps_for_range(b, 0, 1))
+        assert "d" in names
+        assert names == {"c", "d", "f"}
+        # Wrapping " dog"<e/> (children 2..4 of a) in d is the second
+        # Figure 3 insertion.
+        assert "d" in suggester.wraps_for_range(a, 2, 4)
+
+    def test_no_suggestions_when_hopeless(self, fig1, doc_s):
+        suggester = MarkupSuggester(fig1)
+        a = doc_s.root.element_children()[0]
+        # Wrapping the whole a-content leaves nothing for (b?,(c|f),d):
+        # only... b can host (d|f)? the content is b,c,s,e - no single
+        # element hosts that sequence.
+        assert suggester.wraps_for_range(a, 0, 4) == []
+
+    def test_empty_range_inserts(self, fig1):
+        doc = parse_xml("<r><a><c>t</c><d></d></a></r>")
+        suggester = MarkupSuggester(fig1)
+        a = doc.root.element_children()[0]
+        # Before c: an empty <b> fills the b? slot; even an empty <e> is
+        # admissible (it embeds under the missing b via d).  An <a> is not:
+        # a never occurs inside a.
+        names = suggester.wraps_for_range(a, 0, 0)
+        assert "b" in names
+        assert "e" in names
+        assert "a" not in names
+        assert "r" not in names
+
+    def test_soundness_against_incremental(self, fig1, doc_s):
+        """Everything suggested must pass the exact incremental check, and
+        everything that passes must be suggested (over all names)."""
+        from repro.core.incremental import IncrementalChecker
+
+        suggester = MarkupSuggester(fig1)
+        incremental = IncrementalChecker(fig1)
+        a = doc_s.root.element_children()[0]
+        for start in range(len(a.children) + 1):
+            for end in range(start, len(a.children) + 1):
+                suggested = set(suggester.wraps_for_range(a, start, end))
+                truth = {
+                    name
+                    for name in fig1.element_names()
+                    if incremental.check_markup_insert(a, start, end, name)
+                }
+                assert suggested == truth, (start, end)
+
+
+class TestAllWraps:
+    def test_exhaustive_on_small_node(self, fig1):
+        doc = parse_xml("<r><a><c>t</c><d></d></a></r>")
+        suggester = MarkupSuggester(fig1)
+        a = doc.root.element_children()[0]
+        suggestions = suggester.all_wraps(a)
+        assert WrapSuggestion("b", 0, 0) in suggestions
+        # Every suggestion names a declared element and a sane range.
+        for suggestion in suggestions:
+            assert suggestion.name in fig1
+            assert 0 <= suggestion.start <= suggestion.end <= len(a.children)
+
+    def test_max_span(self, fig1, doc_s):
+        suggester = MarkupSuggester(fig1)
+        a = doc_s.root.element_children()[0]
+        narrow = suggester.all_wraps(a, max_span=1)
+        for suggestion in narrow:
+            assert suggestion.end - suggestion.start <= 1
+
+
+class TestTextInsertionPoints:
+    def test_mixed_parent_everywhere(self, fig1):
+        doc = parse_xml("<r><a><c>t</c><d><e></e></d></a></r>")
+        suggester = MarkupSuggester(fig1)
+        d = doc.root.element_children()[0].element_children()[1]
+        assert suggester.text_insertion_points(d) == [0, 1]
+
+    def test_children_parent_positional(self):
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd(
+            "<!ELEMENT a (b, c)><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>"
+        )
+        suggester = MarkupSuggester(dtd)
+        # With the b slot open, only the position before <c/> can host
+        # text (wrappable into a fresh b).
+        partial = parse_xml("<a><c></c></a>")
+        assert suggester.text_insertion_points(partial.root) == [0]
+        # With both slots filled, nowhere: text cannot be moved inside the
+        # existing <b>.
+        full = parse_xml("<a><b></b><c></c></a>")
+        assert suggester.text_insertion_points(full.root) == []
+
+
+class TestRealisticDTD:
+    def test_manuscript_suggestions(self):
+        dtd = catalog.manuscript()
+        doc = parse_xml(
+            "<manuscript><msheader><title>t</title><repository>r</repository>"
+            "<shelfmark>s</shelfmark></msheader>"
+            "<folio><column><textline>some damaged text</textline>"
+            "</column></folio></manuscript>"
+        )
+        suggester = MarkupSuggester(dtd)
+        textline = next(
+            e for e in doc.iter_elements() if e.name == "textline"
+        )
+        names = set(suggester.wraps_for_range(textline, 0, 1))
+        # All the inline transcription layers apply to a text run.
+        assert {"damage", "add", "del", "corr", "abbr", "gloss"} <= names
+        # Structural elements do not.
+        assert "folio" not in names

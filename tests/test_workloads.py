@@ -1,0 +1,162 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dtd import catalog
+from repro.errors import UnusableElementError
+from repro.validity.validator import DTDValidator
+from repro.workloads.corrupt import corrupt_inject, corrupt_rename, corrupt_swap
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.workloads.textgen import WORDS, phrase, words
+from repro.xmlmodel.serialize import to_xml
+
+ALL_GENERATABLE = (
+    "paper-figure1",
+    "example5-T1",
+    "example6-T2",
+    "tei-lite",
+    "xhtml-basic",
+    "docbook-article",
+    "play",
+    "dictionary",
+    "manuscript",
+    "strong-chain",
+    "with-any",
+)
+
+
+class TestTextGen:
+    def test_deterministic(self):
+        assert words(random.Random(1), 5) == words(random.Random(1), 5)
+
+    def test_phrase_never_blank(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert phrase(rng).strip()
+
+    def test_vocabulary_is_markup_safe(self):
+        for word in WORDS:
+            assert "<" not in word and "&" not in word
+
+
+class TestDocGen:
+    @pytest.mark.parametrize("name", ALL_GENERATABLE)
+    def test_always_valid(self, name):
+        dtd = catalog.load(name)
+        validator = DTDValidator(dtd)
+        for seed in range(5):
+            document = DocumentGenerator(dtd, seed=seed).document(25)
+            report = validator.validate(document)
+            assert report.valid, (name, seed, report.issues[:3])
+
+    def test_deterministic_given_seed(self):
+        dtd = catalog.play()
+        first = DocumentGenerator(dtd, seed=9).document(30)
+        second = DocumentGenerator(dtd, seed=9).document(30)
+        assert to_xml(first) == to_xml(second)
+
+    def test_size_scales_with_budget(self):
+        dtd = catalog.manuscript()
+        small = DocumentGenerator(dtd, seed=1).document(target_nodes=10)
+        large = DocumentGenerator(dtd, seed=1).document(target_nodes=300)
+        assert large.node_count() > small.node_count() * 2
+
+    def test_depth_bound_respected_loosely(self):
+        dtd = catalog.xhtml_basic()
+        document = DocumentGenerator(dtd, seed=4).document(
+            target_nodes=200, max_depth=5
+        )
+        # Frugal completion may add a few levels beyond the soft bound, but
+        # not many.
+        assert document.depth() <= 5 + 4
+
+    def test_unproductive_root_raises(self):
+        dtd = catalog.with_unproductive()
+        bad = catalog.parse_dtd if False else None
+        del bad
+        from repro.dtd.parser import parse_dtd
+
+        broken = parse_dtd(
+            "<!ELEMENT bad (worse)><!ELEMENT worse (bad)>", root="bad"
+        )
+        with pytest.raises(UnusableElementError):
+            DocumentGenerator(broken)
+
+    def test_documents_iterator(self):
+        dtd = catalog.play()
+        docs = list(DocumentGenerator(dtd, seed=2).documents(3, 15))
+        assert len(docs) == 3
+        assert len({to_xml(d) for d in docs}) >= 2  # independent draws
+
+
+class TestDegrade:
+    def test_degraded_preserves_content(self):
+        dtd = catalog.manuscript()
+        document = DocumentGenerator(dtd, seed=6).document(30)
+        degraded, removed = degrade(document, random.Random(1), 0.5)
+        assert degraded.content() == document.content()
+        assert removed > 0
+
+    def test_source_untouched(self):
+        dtd = catalog.play()
+        document = DocumentGenerator(dtd, seed=6).document(20)
+        before = to_xml(document)
+        degrade(document, random.Random(1), 0.9)
+        assert to_xml(document) == before
+
+    def test_keep_set_respected(self):
+        dtd = catalog.play()
+        document = DocumentGenerator(dtd, seed=8).document(30)
+        degraded, _ = degrade(
+            document, random.Random(2), 1.0, keep=frozenset({"speech"})
+        )
+        original = sum(1 for e in document.iter_elements() if e.name == "speech")
+        remaining = sum(1 for e in degraded.iter_elements() if e.name == "speech")
+        assert remaining == original
+
+    def test_full_degradation_leaves_root(self):
+        dtd = catalog.play()
+        document = DocumentGenerator(dtd, seed=8).document(25)
+        degraded, _ = degrade(document, random.Random(3), 1.0)
+        assert degraded.root.name == "play"
+        assert all(
+            e is degraded.root or e.parent is degraded.root
+            for e in degraded.iter_elements()
+        ) or degraded.root.element_children() == []
+
+
+class TestCorrupt:
+    def test_swap_changes_order(self):
+        dtd = catalog.play()
+        document = DocumentGenerator(dtd, seed=11).document(25)
+        mutated = corrupt_swap(document, random.Random(4))
+        assert mutated is not None
+        assert to_xml(mutated) != to_xml(document)
+
+    def test_rename_changes_one_element(self):
+        dtd = catalog.play()
+        document = DocumentGenerator(dtd, seed=11).document(20)
+        mutated = corrupt_rename(document, random.Random(5), dtd.element_names())
+        assert mutated is not None
+        original_names = sorted(e.name for e in document.iter_elements())
+        mutated_names = sorted(e.name for e in mutated.iter_elements())
+        assert original_names != mutated_names
+
+    def test_inject_adds_one(self):
+        dtd = catalog.play()
+        document = DocumentGenerator(dtd, seed=11).document(20)
+        mutated = corrupt_inject(document, random.Random(6), "play")
+        count = sum(1 for _ in mutated.iter_elements())
+        assert count == sum(1 for _ in document.iter_elements()) + 1
+
+    def test_swap_none_when_impossible(self):
+        from repro.xmlmodel.parser import parse_xml
+        from repro.xmlmodel.tree import XmlDocument
+
+        document = parse_xml("<a><b></b></a>")
+        assert corrupt_swap(document, random.Random(1)) is None

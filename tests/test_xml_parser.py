@@ -1,0 +1,108 @@
+"""Tests for XML lexing/parsing (well-formedness) and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlmodel.parser import parse_fragment, parse_xml
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.tree import XmlText
+
+
+class TestWellFormed:
+    def test_simple_round_trip(self):
+        source = "<a><b>hello</b> world<e></e></a>"
+        assert to_xml(parse_xml(source)) == source
+
+    def test_self_closing_expands(self):
+        doc = parse_xml("<a><e/></a>")
+        assert to_xml(doc) == "<a><e></e></a>"
+        assert to_xml(doc, self_closing=True) == "<a><e/></a>"
+
+    def test_attributes_preserved(self):
+        doc = parse_xml('<a id="1" lang=\'en\'><b role="x"></b></a>')
+        assert doc.root.attributes == {"id": "1", "lang": "en"}
+        assert to_xml(doc) == '<a id="1" lang="en"><b role="x"></b></a>'
+
+    def test_entities_decoded_and_reescaped(self):
+        doc = parse_xml("<a>fish &amp; chips &lt;tag&gt; &#65;&#x42;</a>")
+        assert doc.content() == "fish & chips <tag> AB"
+        assert to_xml(doc) == "<a>fish &amp; chips &lt;tag&gt; AB</a>"
+
+    def test_cdata_becomes_text(self):
+        doc = parse_xml("<a><![CDATA[<raw> & stuff]]></a>")
+        assert doc.content() == "<raw> & stuff"
+
+    def test_comments_and_pis_skipped(self):
+        doc = parse_xml("<?xml version='1.0'?><!-- hi --><a>x<!-- y -->z</a>")
+        assert doc.content() == "xz"
+
+    def test_doctype_skipped(self):
+        doc = parse_xml(
+            "<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>body</a>"
+        )
+        assert doc.root.name == "a"
+
+    def test_whitespace_outside_root_ok(self):
+        assert parse_xml("   <a></a>\n  ").root.name == "a"
+
+    def test_text_split_across_cdata_merges(self):
+        doc = parse_xml("<a>one<![CDATA[ two]]> three</a>")
+        # One maximal run of character data -> a single text node.
+        assert len(doc.root.children) == 1
+        assert isinstance(doc.root.children[0], XmlText)
+
+    def test_parse_fragment_returns_detached_element(self):
+        fragment = parse_fragment("<b>hi</b>")
+        assert fragment.parent is None
+        assert fragment.name == "b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,message_part",
+        [
+            ("<a><b></a>", "does not match"),
+            ("<a>", "unclosed"),
+            ("</a>", "unmatched"),
+            ("<a></a><b></b>", "multiple root"),
+            ("<a></a>junk", "outside the root"),
+            ("text only", "outside the root"),
+            ("", "no root"),
+            ("<a attr=x></a>", "quoted"),
+            ("<a>&unknown;</a>", "unknown entity"),
+            ("<a><![CDATA[x</a>", "unterminated CDATA"),
+            ("<a><!-- x</a>", "unterminated comment"),
+        ],
+    )
+    def test_rejects(self, source, message_part):
+        with pytest.raises(XmlSyntaxError) as excinfo:
+            parse_xml(source)
+        assert message_part in str(excinfo.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlSyntaxError) as excinfo:
+            parse_xml("<a>\n  <b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+    def test_attribute_lt_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml('<a x="<"></a>')
+
+
+class TestSerializeEscaping:
+    def test_text_escapes(self):
+        from repro.xmlmodel.serialize import escape_text
+
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_quotes_escaped(self):
+        from repro.xmlmodel.tree import XmlElement
+
+        element = XmlElement("a", attributes={"t": 'say "hi" & go'})
+        assert to_xml(element) == '<a t="say &quot;hi&quot; &amp; go"></a>'
+
+    def test_round_trip_with_special_chars(self):
+        source = "<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>"
+        assert to_xml(parse_xml(source)) == source
