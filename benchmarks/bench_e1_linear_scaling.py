@@ -14,7 +14,6 @@ exact machine degrades is measured separately in E2's discussion.)
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, fit_power_law, time_callable
 from repro.bench.scenarios import degraded_document

@@ -16,7 +16,6 @@ vs linear recognizers).
 
 from __future__ import annotations
 
-import pytest
 
 import random
 

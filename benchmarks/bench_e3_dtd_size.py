@@ -8,7 +8,6 @@ for each, and fit the exponent of checking time against ``k``.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, fit_power_law, time_callable
 from repro.bench.scenarios import degraded_document

@@ -17,7 +17,6 @@ input terminates at every budget.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, fit_power_law, time_callable
 from repro.core.machine import PVMachine

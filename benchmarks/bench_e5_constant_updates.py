@@ -12,7 +12,6 @@ document size and fit exponents:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, fit_power_law, time_callable
 from repro.bench.scenarios import degraded_document

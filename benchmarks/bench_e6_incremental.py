@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench.harness import Table, fit_power_law, time_callable
 from repro.bench.scenarios import degraded_document

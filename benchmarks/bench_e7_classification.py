@@ -10,7 +10,6 @@ DTDs are PV-weak recursive; the running examples T1/T2 are PV-strong).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import Table, fit_power_law, time_callable
 from repro.core.classify import classify_dtd

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench.harness import Table, time_callable
 from repro.bench.scenarios import valid_document

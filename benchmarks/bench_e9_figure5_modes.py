@@ -16,12 +16,10 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench.harness import Table, time_callable
 from repro.core.machine import PVMachine
 from repro.core.recognizer import ECRecognizer
-from repro.dtd import catalog
 from repro.xmlmodel.delta import SIGMA
 
 SEQUENCES = 400

@@ -30,6 +30,9 @@ Layer map (bottom-up):
   xTagger use case).
 * :mod:`repro.workloads` — generators for documents, degradations and edit
   scripts used by tests and benchmarks.
+* :mod:`repro.service` — the throughput layer: compiled-schema registry
+  (compile a DTD once, share the artifact everywhere) and parallel batch
+  checking over document corpora.
 """
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG, DEFAULT_DEPTH_BOUND
@@ -48,6 +51,18 @@ from repro.dtd.analysis import DTDClass, analyze
 from repro.dtd.model import DTD, ElementDecl, PCDATA
 from repro.dtd.parser import parse_dtd
 from repro.dtd.serialize import dtd_to_text
+from repro.service.batch import BatchChecker, BatchItem, BatchResult, check_batch
+from repro.service.compiled import (
+    CompiledSchema,
+    compile_schema,
+    schema_fingerprint,
+)
+from repro.service.registry import (
+    DEFAULT_REGISTRY,
+    RegistryStats,
+    SchemaRegistry,
+    default_registry,
+)
 from repro.errors import (
     DTDError,
     DTDSemanticError,
@@ -105,6 +120,18 @@ __all__ = [
     "complete_document",
     "CompletionResult",
     "CompletionError",
+    # service layer
+    "CompiledSchema",
+    "compile_schema",
+    "schema_fingerprint",
+    "SchemaRegistry",
+    "RegistryStats",
+    "DEFAULT_REGISTRY",
+    "default_registry",
+    "BatchChecker",
+    "BatchItem",
+    "BatchResult",
+    "check_batch",
     # errors
     "ReproError",
     "DTDError",

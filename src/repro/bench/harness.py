@@ -6,6 +6,11 @@ as a measured table: the helpers here time callables robustly, render
 aligned tables the way the paper's prose states its results ("linear in
 n", "O(1)", "general CFG parsing is impractical"), and fit power laws so
 the claimed exponents are checked numerically rather than eyeballed.
+
+Checkers used in benchmarks are sourced from the process-wide schema
+registry via :func:`checker_for`, so timing loops measure *checking*, not
+accidental per-iteration schema recompilation; the cold-compilation cost
+itself is measured explicitly by the E10 batch-throughput benchmark.
 """
 
 from __future__ import annotations
@@ -15,7 +20,27 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-__all__ = ["time_callable", "Table", "fit_power_law"]
+__all__ = ["time_callable", "Table", "fit_power_law", "checker_for", "throughput"]
+
+
+def checker_for(dtd, algorithm: str = "machine", config=None):
+    """A :class:`~repro.core.pv.PVChecker` for *dtd* — the benchmark-facing
+    name for plain construction, which already resolves through the default
+    schema registry (so timing loops never recompile per iteration).
+    """
+    from repro.config import DEFAULT_CONFIG
+    from repro.core.pv import PVChecker
+
+    return PVChecker(
+        dtd,
+        config=DEFAULT_CONFIG if config is None else config,
+        algorithm=algorithm,
+    )
+
+
+def throughput(count: int, seconds: float) -> float:
+    """Documents (or tokens, nodes, ...) per second; inf for zero time."""
+    return count / seconds if seconds > 0 else math.inf
 
 
 def time_callable(

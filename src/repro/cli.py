@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands wrap the library for shell use:
+Five commands wrap the library for shell use:
 
 ``classify SCHEMA.dtd``
     Print the Definition 6-8 classification report of a DTD.
@@ -16,7 +16,15 @@ Four commands wrap the library for shell use:
     Compute a valid extension (Definition 2) and print it, or explain why
     none exists.
 
-Exit status: 0 for "yes" verdicts, 1 for "no", 2 for usage/parse errors.
+``batch SCHEMA.dtd DOC.xml [DOC.xml ...]``
+    Compile the schema once and check a whole corpus, optionally over a
+    worker pool (``--workers N``); prints one verdict per document plus
+    aggregate throughput statistics.
+
+Exit status: 0 for "yes" verdicts, 1 for "no" (including any failing
+document of a batch), 2 for usage/parse errors.  ``main`` always
+*returns* the status — argparse's ``SystemExit`` on bad usage is caught
+and converted — so embedding callers never have to trap exits.
 """
 
 from __future__ import annotations
@@ -27,16 +35,23 @@ from pathlib import Path
 
 from repro.core.classify import classify_dtd
 from repro.core.completion import CompletionError, complete_document
-from repro.core.pv import Algorithm, PVChecker
+from repro.core.pv import PVChecker
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
+from repro.service.batch import BatchChecker
+from repro.service.registry import DEFAULT_REGISTRY
 from repro.validity.validator import DTDValidator
 from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.serialize import to_xml
 from repro.xmlmodel.tree import XmlDocument
 
 __all__ = ["main"]
+
+#: Usage/parse errors exit with this status (mirrors argparse's own code).
+USAGE_ERROR = 2
+
+_ALGORITHMS = ("machine", "figure5", "earley")
 
 
 def _load_dtd(path: str, root: str | None) -> DTD:
@@ -94,6 +109,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    schema = DEFAULT_REGISTRY.get(_load_dtd(args.schema, args.root))
+    checker = BatchChecker(
+        schema, algorithm=args.algorithm, workers=args.workers
+    )
+    result = checker.check_paths(args.documents)
+    for item in result.items:
+        print(item)
+    print(result.summary(), file=sys.stderr)
+    if args.stats:
+        print(f"registry: {DEFAULT_REGISTRY.stats}", file=sys.stderr)
+    return 0 if result.all_ok else 1
+
+
 def _cmd_complete(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.schema, args.root)
     document = _load_document(args.document)
@@ -131,11 +160,36 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--root", default=None)
     check.add_argument(
         "--algorithm",
-        choices=("machine", "figure5", "earley"),
+        choices=_ALGORITHMS,
         default="machine",
         help="checking backend (default: the exact machine)",
     )
     check.set_defaults(handler=_cmd_check)
+
+    batch = sub.add_parser(
+        "batch", help="compile once, check a corpus (optionally in parallel)"
+    )
+    batch.add_argument("schema")
+    batch.add_argument("documents", nargs="+", metavar="document")
+    batch.add_argument("--root", default=None)
+    batch.add_argument(
+        "--algorithm",
+        choices=_ALGORITHMS,
+        default="machine",
+        help="checking backend for every document",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = check inline, no pool)",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print schema-registry cache statistics",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     complete = sub.add_parser("complete", help="compute a valid extension")
     complete.add_argument("schema")
@@ -147,15 +201,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:  # argparse exits on usage errors and --help
+        if exit_.code is None or exit_.code == 0:
+            return 0
+        return exit_.code if isinstance(exit_.code, int) else USAGE_ERROR
+    if args.handler is _cmd_batch and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return USAGE_ERROR
     try:
         return args.handler(args)
-    except FileNotFoundError as error:
+    except BrokenPipeError:
+        # Downstream closed stdout (e.g. `... | head`): not a usage error.
+        # 128 + SIGPIPE, the shell's own convention for the same event.
+        return 141
+    except OSError as error:
+        # Unreadable schema/document paths (missing, permissions, directory).
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return USAGE_ERROR
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return USAGE_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -27,8 +27,6 @@ The editorial workflow checks each *operation*, not the whole document:
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.config import CheckerConfig, DEFAULT_CONFIG
 from repro.core.pv import PVChecker
 from repro.dtd.model import DTD, PCDATA
@@ -69,9 +67,14 @@ class IncrementalChecker:
         self,
         dtd: DTD,
         config: CheckerConfig = DEFAULT_CONFIG,
+        *,
+        compiled=None,
     ) -> None:
         self.dtd = dtd
-        self.checker = PVChecker(dtd, config=config)
+        #: ``compiled`` is an optional pre-fetched
+        #: :class:`~repro.service.compiled.CompiledSchema`; without one the
+        #: checker resolves the DTD through the default schema registry.
+        self.checker = PVChecker(dtd, config=config, compiled=compiled)
 
     # -- character data ------------------------------------------------------
 

@@ -14,24 +14,32 @@ verifies this decomposition against the whole-document Earley baseline on
 * ``"figure5"`` — the paper's greedy :class:`~repro.core.recognizer.ECRecognizer`,
 * ``"earley"`` — the per-node content-grammar Earley reference (exact but
   slow; the paper's Section 3.3 baseline).
+
+Checkers do not compile schemas themselves: construction resolves the DTD
+through the process-wide :class:`~repro.service.registry.SchemaRegistry`
+(or uses an explicitly supplied
+:class:`~repro.service.compiled.CompiledSchema`), so building many
+checkers over one schema pays the analysis/DAG/grammar cost once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG
-from repro.core.dag import DtdDag, build_dag
+from repro.core.dag import DtdDag
 from repro.core.machine import PVMachine
 from repro.core.recognizer import ECRecognizer
-from repro.dtd.analysis import DTDClass, analyze
+from repro.dtd.analysis import DTDClass
 from repro.dtd.model import DTD
 from repro.errors import DepthBoundExceeded, UnusableElementError
-from repro.grammar.build import build_content_cfg, content_nonterminal
-from repro.grammar.earley import EarleyRecognizer
+from repro.grammar.build import content_nonterminal
 from repro.xmlmodel.delta import content_symbols
 from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> core)
+    from repro.service.compiled import CompiledSchema
 
 __all__ = ["Algorithm", "NodeFailure", "PVVerdict", "PVChecker"]
 
@@ -83,22 +91,45 @@ class PVChecker:
         dtd: DTD,
         config: CheckerConfig = DEFAULT_CONFIG,
         algorithm: Algorithm = "machine",
+        *,
+        compiled: "CompiledSchema | None" = None,
     ) -> None:
-        self.dtd = dtd
+        if compiled is None:
+            # Lazy import: repro.service sits above repro.core in the layer
+            # map and imports this module.
+            from repro.service.registry import DEFAULT_REGISTRY
+
+            compiled = DEFAULT_REGISTRY.get(dtd)
+        elif dtd is not None and dtd is not compiled.dtd and dtd != compiled.dtd:
+            raise ValueError(
+                "compiled artifact does not match the given DTD "
+                f"(artifact is for {compiled.dtd!r})"
+            )
+        self.compiled = compiled
+        self.dtd = dtd if dtd is not None else compiled.dtd
         self.config = config
         self.algorithm: Algorithm = algorithm
-        self.analysis = analyze(dtd)
+        self.analysis = compiled.analysis
         if config.require_usable and not self.analysis.all_usable:
             raise UnusableElementError(tuple(self.analysis.unusable))
-        self.dag: DtdDag = build_dag(dtd)
+        self.dag: DtdDag = compiled.dag
         self._is_strong = self.analysis.dtd_class is DTDClass.PV_STRONG_RECURSIVE
         #: Depth used by the Figure-5 recognizer (which always needs one).
-        self.depth = config.resolved_depth(dtd.element_count, self._is_strong)
+        self.depth = config.resolved_depth(self.dtd.element_count, self._is_strong)
         #: Depth for the exact machine: ``None`` (unbounded, exact for all
         #: DTD classes thanks to GSS merging) unless the caller explicitly
         #: requested the paper's bounded semantics.
         self.machine_depth: int | None = config.depth_bound
-        self._earley: EarleyRecognizer | None = None
+
+    @classmethod
+    def from_compiled(
+        cls,
+        compiled: "CompiledSchema",
+        config: CheckerConfig = DEFAULT_CONFIG,
+        algorithm: Algorithm = "machine",
+    ) -> "PVChecker":
+        """A checker over an artifact obtained from a registry or pickle."""
+        return cls(compiled.dtd, config=config, algorithm=algorithm, compiled=compiled)
 
     # -- Problem ECPV --------------------------------------------------------
 
@@ -113,9 +144,10 @@ class PVChecker:
         if self.algorithm == "figure5":
             recognizer = ECRecognizer(self.dag, element, self.depth)
             return recognizer.accepts(symbols)
-        if self._earley is None:
-            self._earley = EarleyRecognizer(build_content_cfg(self.dtd))
-        return self._earley.recognizes(symbols, start=content_nonterminal(element))
+        # The content grammar and its recognizer live on the compiled
+        # artifact, shared by every checker over this schema.
+        earley = self.compiled.earley()
+        return earley.recognizes(symbols, start=content_nonterminal(element))
 
     def check_node(self, node: XmlElement) -> bool:
         """Problem ECPV for a DOM node (children converted via ``Delta_T``)."""

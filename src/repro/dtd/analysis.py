@@ -27,7 +27,7 @@ from enum import Enum
 from functools import lru_cache
 
 from repro.dtd import ast
-from repro.dtd.ast import Choice, ContentNode, Name, Seq
+from repro.dtd.ast import Choice, Name, Seq
 from repro.dtd.model import DTD, PCDATA
 from repro.dtd.stargroups import FlatNode, StarGroup, flattened_content
 

@@ -15,7 +15,7 @@ irrelevant — paper footnote 3), so the model stores exactly this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.dtd import ast

@@ -64,6 +64,13 @@ class EditingSession:
         When ``True`` rejected operations raise
         :class:`~repro.errors.EditRejected`; when ``False`` they return
         ``False`` and are only counted.
+    compiled:
+        Optional pre-fetched :class:`~repro.service.compiled.CompiledSchema`
+        for *dtd*.  Multi-session services (one session per connected
+        editor over a shared schema) pass the registry artifact here so
+        opening a session never recompiles; without it the session
+        resolves the DTD through the default registry, which amortizes
+        just as well after the first session.
     """
 
     def __init__(
@@ -72,11 +79,13 @@ class EditingSession:
         document: XmlDocument,
         config: CheckerConfig = DEFAULT_CONFIG,
         strict: bool = True,
+        *,
+        compiled=None,
     ) -> None:
         self.dtd = dtd
         self.document = document
         self.strict = strict
-        self.checker = IncrementalChecker(dtd, config=config)
+        self.checker = IncrementalChecker(dtd, config=config, compiled=compiled)
         self.stats = SessionStats()
         self._undo: list[EditOperation] = []
         verdict = self.checker.checker.check_document(document)

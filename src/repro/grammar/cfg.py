@@ -10,7 +10,7 @@ the ``#PCDATA`` sigma sentinel).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import GrammarError

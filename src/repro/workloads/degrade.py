@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from repro.xmlmodel.tree import XmlDocument, XmlElement
+from repro.xmlmodel.tree import XmlDocument
 
 __all__ = ["degrade"]
 

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.earley_pv import EarleyDocumentChecker
 from repro.baselines.naive import naive_potential_validity
-from repro.dtd import catalog
 from repro.dtd.parser import parse_dtd
 from repro.xmlmodel.parser import parse_xml
 

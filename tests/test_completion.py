@@ -14,7 +14,6 @@ from repro.core.completion import (
 from repro.core.pv import PVChecker
 from repro.core.witness import element_costs, minimal_instance
 from repro.dtd import catalog
-from repro.dtd.parser import parse_dtd
 from repro.errors import UnusableElementError
 from repro.validity.validator import DTDValidator
 from repro.workloads.degrade import degrade

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.dtd import catalog
 from repro.dtd.analysis import DTDClass, analyze

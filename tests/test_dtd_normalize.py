@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.dtd.ast import Name, Seq, Star, to_text
 from repro.dtd.model import PCDATA

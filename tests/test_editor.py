@@ -22,7 +22,6 @@ from repro.workloads.docgen import DocumentGenerator
 from repro.workloads.editscript import markup_script, path_of
 from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.serialize import to_xml
-from repro.xmlmodel.tree import XmlText
 
 
 class TestDocumentOperations:

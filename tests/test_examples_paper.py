@@ -21,7 +21,7 @@ from repro.dtd import catalog
 from repro.dtd.analysis import DTDClass, analyze
 from repro.xmlmodel.delta import SIGMA, content_symbols, delta_symbols
 
-from tests.conftest import EXAMPLE1_S, EXAMPLE1_W, EXAMPLE1_W_PRIME
+from tests.conftest import EXAMPLE1_W_PRIME
 
 
 class TestFigure1:

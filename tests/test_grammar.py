@@ -17,7 +17,7 @@ from repro.grammar.build import (
     element_nonterminal,
     hat_nonterminal,
 )
-from repro.grammar.cfg import Grammar, Production
+from repro.grammar.cfg import Grammar
 from repro.grammar.ecfg import ecfg_to_cfg
 from repro.xmlmodel.delta import SIGMA
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.incremental import IncrementalChecker, prop3_char_insert_ok
 from repro.core.pv import PVChecker

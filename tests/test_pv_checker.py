@@ -7,7 +7,6 @@ import pytest
 from repro.config import CheckerConfig
 from repro.core.pv import PVChecker
 from repro.dtd import catalog
-from repro.dtd.parser import parse_dtd
 from repro.errors import DepthBoundExceeded, UnusableElementError
 from repro.xmlmodel.parser import parse_xml
 
@@ -115,8 +114,6 @@ class TestWholeDocumentConsistency:
 
     @pytest.mark.parametrize("name", ["paper-figure1", "play", "manuscript"])
     def test_valid_documents_are_pv(self, name, algorithm):
-        import random
-
         from repro.workloads.docgen import DocumentGenerator
 
         dtd = catalog.load(name)

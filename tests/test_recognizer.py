@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.config import DEFAULT_DEPTH_BOUND
 from repro.core.recognizer import ECRecognizer

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.suggest import MarkupSuggester, WrapSuggestion
 from repro.dtd import catalog

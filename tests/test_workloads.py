@@ -156,7 +156,6 @@ class TestCorrupt:
 
     def test_swap_none_when_impossible(self):
         from repro.xmlmodel.parser import parse_xml
-        from repro.xmlmodel.tree import XmlDocument
 
         document = parse_xml("<a><b></b></a>")
         assert corrupt_swap(document, random.Random(1)) is None
