@@ -1,0 +1,158 @@
+"""E11 — the serving front: warm server vs per-request cold compilation.
+
+The async server's claim extends E10's amortization argument to a
+long-running process: one warm registry (backed by the persistent disk
+store) answers every connection's verdicts from the compiled artifact, so
+a served corpus must beat an embedder that recompiles the schema per
+request — *including* the server's JSON/socket overhead, which the cold
+arm does not pay.  Three measured arms over the same mixed corpus:
+
+* **cold** — per request: clear the process caches, re-parse the DTD,
+  recompile the artifact, check (the naive embed-the-library service);
+* **warm server** — one ``ValidationServer`` (in-memory registry + disk
+  store) on a Unix socket, one persistent client connection, the corpus
+  streamed through as NDJSON requests;
+* **restarted server** — a brand-new server and registry over the same
+  disk store, corpus replayed.
+
+Asserted: the warm server is at least 2× faster than cold per-request
+compilation, every arm returns identical verdicts, and the restarted
+server performs **zero** schema compilations — its artifact comes from
+the store (``compile_schema`` is instrumented and must not fire, and the
+server's own stats must report ``misses == 0`` with one store hit).
+
+``REPRO_BENCH_FAST=1`` shrinks the corpus for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import repro.service.registry as registry_module
+from repro.bench.harness import Table, throughput, time_callable
+from repro.core.pv import PVChecker
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serialize import dtd_to_text
+from repro.server.client import ValidationClient
+from repro.server.server import ServerThread
+from repro.service.compiled import clear_compile_caches, compile_schema
+from repro.service.registry import SchemaRegistry
+from repro.service.store import ArtifactStore
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+#: Heavy-traffic shape: many small editorial documents, where per-request
+#: schema work (which the warm server never repeats) dominates.
+DOC_COUNT = 40 if FAST else 200
+TARGET_NODES = 12
+REPEAT = 2 if FAST else 3
+
+
+def _corpus(dtd) -> list[str]:
+    """Valid and Theorem-2-degraded documents, serialized for the wire."""
+    rng = random.Random(11)
+    generator = DocumentGenerator(dtd, seed=11)
+    texts: list[str] = []
+    for document in generator.documents(DOC_COUNT // 2, target_nodes=TARGET_NODES):
+        texts.append(to_xml(document))
+        degraded, _count = degrade(document, rng, fraction=0.5)
+        texts.append(to_xml(degraded))
+    return texts
+
+
+def test_e11_server_throughput(benchmark, manuscript_dtd, tmp_path, monkeypatch):
+    dtd_text = dtd_to_text(manuscript_dtd)
+    root = manuscript_dtd.root
+    texts = _corpus(manuscript_dtd)
+    store_dir = tmp_path / "artifacts"
+
+    # -- arm 1: per-request cold compilation (no server, no cache) ---------
+    def cold_run() -> list[bool]:
+        verdicts = []
+        for text in texts:
+            clear_compile_caches()
+            schema = compile_schema(parse_dtd(dtd_text, root=root))
+            checker = PVChecker.from_compiled(schema)
+            verdicts.append(checker.check_document(parse_xml(text)).potentially_valid)
+        return verdicts
+
+    cold_seconds = time_callable(cold_run, repeat=REPEAT, warmup=1)
+    cold_verdicts = cold_run()
+
+    # -- arm 2: one warm server, one persistent connection ------------------
+    warm_registry = SchemaRegistry(store=ArtifactStore(store_dir))
+    with ServerThread(
+        unix_path=str(tmp_path / "e11.sock"), registry=warm_registry
+    ) as handle:
+        with ValidationClient.connect_unix(handle.unix_path) as client:
+
+            def server_run() -> list[bool]:
+                return [
+                    client.check(dtd_text, text, root=root)["potentially_valid"]
+                    for text in texts
+                ]
+
+            warm_seconds = time_callable(server_run, repeat=REPEAT, warmup=1)
+            warm_verdicts = server_run()
+            benchmark(lambda: client.check(dtd_text, texts[0], root=root))
+
+    # -- arm 3: restarted server over the warm disk store -------------------
+    compile_calls: list[str] = []
+    original_compile = registry_module.compile_schema
+
+    def counting_compile(dtd, fingerprint=None):
+        compile_calls.append(fingerprint or "?")
+        return original_compile(dtd, fingerprint=fingerprint)
+
+    monkeypatch.setattr(registry_module, "compile_schema", counting_compile)
+    restart_registry = SchemaRegistry(store=ArtifactStore(store_dir))
+    with ServerThread(
+        unix_path=str(tmp_path / "e11-restart.sock"), registry=restart_registry
+    ) as handle:
+        with ValidationClient.connect_unix(handle.unix_path) as client:
+            started_verdicts = [
+                client.check(dtd_text, text, root=root)["potentially_valid"]
+                for text in texts
+            ]
+            restart_stats = client.stats()["registry"]
+    monkeypatch.setattr(registry_module, "compile_schema", original_compile)
+
+    table = Table(
+        "E11: served checking throughput (manuscript DTD)",
+        ["mode", "docs", "seconds", "docs/s", "speedup vs cold"],
+    )
+    table.add_row(
+        "cold compile/request", len(texts), cold_seconds,
+        throughput(len(texts), cold_seconds), 1.0,
+    )
+    table.add_row(
+        "warm server (unix)", len(texts), warm_seconds,
+        throughput(len(texts), warm_seconds), cold_seconds / warm_seconds,
+    )
+    table.print()
+    print(f"warm registry: {warm_registry.stats}")
+    print(f"restarted registry: {restart_stats}")
+
+    # Every arm agrees, document by document.
+    assert warm_verdicts == cold_verdicts
+    assert started_verdicts == cold_verdicts
+
+    # The acceptance bar: serving from the warm registry must amortize the
+    # schema work past the wire overhead.
+    assert cold_seconds / warm_seconds >= 2.0, (
+        f"warm server only {cold_seconds / warm_seconds:.2f}x faster than "
+        f"per-request cold compilation"
+    )
+
+    # A restart must be free of recompilation: the artifact comes from the
+    # disk store (one store hit, zero compiles, zero compile seconds).
+    assert compile_calls == [], (
+        f"restarted server compiled {len(compile_calls)} artifact(s)"
+    )
+    assert restart_stats["misses"] == 0
+    assert restart_stats["store_hits"] == 1
+    assert restart_stats["compile_seconds"] == 0.0

@@ -31,8 +31,10 @@ Layer map (bottom-up):
 * :mod:`repro.workloads` — generators for documents, degradations and edit
   scripts used by tests and benchmarks.
 * :mod:`repro.service` — the throughput layer: compiled-schema registry
-  (compile a DTD once, share the artifact everywhere) and parallel batch
-  checking over document corpora.
+  (compile a DTD once, share the artifact everywhere), parallel batch
+  checking, the persistent artifact store, and the shape dispatcher.
+* :mod:`repro.server` — the asyncio NDJSON serving front (imported on
+  demand; ``python -m repro serve``).
 """
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG, DEFAULT_DEPTH_BOUND
@@ -57,12 +59,20 @@ from repro.service.compiled import (
     compile_schema,
     schema_fingerprint,
 )
+from repro.service.dispatch import (
+    BackendDispatcher,
+    DispatchDecision,
+    DispatchPolicy,
+    DocumentShape,
+    measure_shape,
+)
 from repro.service.registry import (
     DEFAULT_REGISTRY,
     RegistryStats,
     SchemaRegistry,
     default_registry,
 )
+from repro.service.store import ArtifactStore, StoreStats, default_store_dir
 from repro.errors import (
     DTDError,
     DTDSemanticError,
@@ -132,6 +142,14 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "check_batch",
+    "ArtifactStore",
+    "StoreStats",
+    "default_store_dir",
+    "BackendDispatcher",
+    "DispatchPolicy",
+    "DispatchDecision",
+    "DocumentShape",
+    "measure_shape",
     # errors
     "ReproError",
     "DTDError",

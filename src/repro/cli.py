@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands wrap the library for shell use:
+Seven commands wrap the library for shell use:
 
 ``classify SCHEMA.dtd``
     Print the Definition 6-8 classification report of a DTD.
@@ -21,10 +21,19 @@ Five commands wrap the library for shell use:
     worker pool (``--workers N``); prints one verdict per document plus
     aggregate throughput statistics.
 
-Exit status: 0 for "yes" verdicts, 1 for "no" (including any failing
-document of a batch), 2 for usage/parse errors.  ``main`` always
-*returns* the status — argparse's ``SystemExit`` on bad usage is caught
-and converted — so embedding callers never have to trap exits.
+``serve``
+    Run the long-lived NDJSON validation server (TCP and/or a Unix
+    socket) over one warm schema registry, optionally backed by the
+    persistent artifact store and a process pool.
+
+``cache {stats,clear,warm}``
+    Inspect, empty, or pre-populate the persistent artifact store.
+
+Exit status: 0 for "yes" verdicts (and clean service runs), 1 for "no"
+verdicts and runtime failures (a port that will not bind, a store that
+will not write), 2 for usage/parse errors.  ``main`` always *returns*
+the status — argparse's ``SystemExit`` on bad usage is caught and
+converted — so embedding callers never have to trap exits.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
 from repro.service.batch import BatchChecker
 from repro.service.registry import DEFAULT_REGISTRY
+from repro.service.store import ArtifactStore, default_store_dir
 from repro.validity.validator import DTDValidator
 from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.serialize import to_xml
@@ -51,7 +61,22 @@ __all__ = ["main"]
 #: Usage/parse errors exit with this status (mirrors argparse's own code).
 USAGE_ERROR = 2
 
+#: Runtime failures (bind errors, unwritable stores) exit with this status.
+RUNTIME_ERROR = 1
+
 _ALGORITHMS = ("machine", "figure5", "earley")
+
+
+def _version() -> str:
+    """The installed distribution version, or the source tree's fallback."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-pv")
+    except Exception:
+        from repro import __version__
+
+        return __version__
 
 
 def _load_dtd(path: str, root: str | None) -> DTD:
@@ -120,7 +145,94 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(result.summary(), file=sys.stderr)
     if args.stats:
         print(f"registry: {DEFAULT_REGISTRY.stats}", file=sys.stderr)
+        pool = result.pool_registry
+        if pool is not None:
+            print(
+                f"pool registry ({len(result.worker_stats)} worker(s)): {pool}",
+                file=sys.stderr,
+            )
     return 0 if result.all_ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.server import ValidationServer
+
+    store = ArtifactStore(args.store) if args.store else None
+    server = ValidationServer(
+        store=store,
+        workers=args.workers,
+        default_algorithm=args.algorithm,
+    )
+    host = None if args.no_tcp else args.host
+    if host is None and args.unix is None:
+        print("error: --no-tcp requires --unix PATH", file=sys.stderr)
+        return USAGE_ERROR
+
+    async def run() -> None:
+        await server.start(host=host, port=args.port, unix_path=args.unix)
+        if server.tcp_address is not None:
+            print(
+                f"listening on {server.tcp_address[0]}:{server.tcp_address[1]}",
+                file=sys.stderr,
+            )
+        if server.unix_path is not None:
+            print(f"listening on unix:{server.unix_path}", file=sys.stderr)
+        if store is not None:
+            print(f"artifact store: {store.directory}", file=sys.stderr)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        return 0
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return RUNTIME_ERROR
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "warm" and not args.schemas:
+        print("error: cache warm needs at least one schema file", file=sys.stderr)
+        return USAGE_ERROR
+    if args.action != "warm" and args.schemas:
+        print(f"error: cache {args.action} takes no schema files", file=sys.stderr)
+        return USAGE_ERROR
+    store = ArtifactStore(args.store or default_store_dir())
+    if args.action == "stats":
+        print(store.stats)
+        for fingerprint in store.fingerprints():
+            print(f"  {fingerprint}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.directory}")
+        return 0
+    # warm: compile whatever the store does not already hold, saving
+    # explicitly so an unwritable store is a loud runtime failure (the
+    # registry's write-through deliberately degrades in silence).
+    from repro.service.compiled import compile_schema, schema_fingerprint
+
+    dtds = [_load_dtd(path, args.root) for path in args.schemas]
+    try:
+        for path, dtd in zip(args.schemas, dtds):
+            fingerprint = schema_fingerprint(dtd)
+            if store.load(fingerprint) is not None:
+                print(f"{path}: {fingerprint[:16]}... (already stored)")
+                continue
+            store.save(compile_schema(dtd, fingerprint=fingerprint))
+            print(f"{path}: {fingerprint[:16]}... (compiled)")
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return RUNTIME_ERROR
+    print(store.stats)
+    return 0
 
 
 def _cmd_complete(args: argparse.Namespace) -> int:
@@ -140,6 +252,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Potential validity of document-centric XML (ICDE 2006).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -196,6 +311,62 @@ def _build_parser() -> argparse.ArgumentParser:
     complete.add_argument("document")
     complete.add_argument("--root", default=None)
     complete.set_defaults(handler=_cmd_complete)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived NDJSON validation server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--no-tcp",
+        action="store_true",
+        help="do not bind TCP (requires --unix)",
+    )
+    serve.add_argument(
+        "--unix", default=None, metavar="PATH", help="also serve a Unix socket"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for verdicts (0 = threads in-process)",
+    )
+    serve.add_argument(
+        "--store",
+        nargs="?",
+        const=str(default_store_dir()),
+        default=None,
+        metavar="DIR",
+        help=(
+            "back the registry with the persistent artifact store "
+            "(default directory when DIR is omitted)"
+        ),
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=(*_ALGORITHMS, "auto"),
+        default="auto",
+        help="backend for requests that name none (default: auto-dispatch)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent compiled-artifact store"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "warm"))
+    cache.add_argument(
+        "schemas", nargs="*", metavar="schema", help="DTD files (warm only)"
+    )
+    cache.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=f"store directory (default: {default_store_dir()})",
+    )
+    cache.add_argument("--root", default=None, help="root element type (warm)")
+    cache.set_defaults(handler=_cmd_cache)
     return parser
 
 
@@ -209,6 +380,9 @@ def main(argv: list[str] | None = None) -> int:
         return exit_.code if isinstance(exit_.code, int) else USAGE_ERROR
     if args.handler is _cmd_batch and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
         return USAGE_ERROR
     try:
         return args.handler(args)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dtd.analysis import DTDClass, analyze
+from repro.dtd.analysis import DTDAnalysis, DTDClass, analyze
 from repro.dtd.model import DTD
 
 __all__ = ["ClassificationReport", "classify_dtd"]
@@ -48,9 +48,14 @@ class ClassificationReport:
         )
 
 
-def classify_dtd(dtd: DTD) -> ClassificationReport:
-    """Classify *dtd* per Definitions 6-8 and collect its size measures."""
-    analysis = analyze(dtd)
+def classify_dtd(dtd: DTD, analysis: DTDAnalysis | None = None) -> ClassificationReport:
+    """Classify *dtd* per Definitions 6-8 and collect its size measures.
+
+    Pass a precomputed *analysis* (e.g. ``CompiledSchema.analysis``) to
+    build the report with zero recomputation.
+    """
+    if analysis is None:
+        analysis = analyze(dtd)
     return ClassificationReport(
         name=dtd.name,
         dtd_class=analysis.dtd_class,

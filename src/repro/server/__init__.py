@@ -1,0 +1,50 @@
+"""The asyncio serving front: one warm registry, many connections.
+
+This package turns the :mod:`repro.service` layer into a long-running
+process serving traffic:
+
+* :mod:`repro.server.protocol` — the newline-delimited JSON wire format
+  (requests ``check``/``classify``/``validate``/``stats``; structured,
+  recoverable errors).
+* :mod:`repro.server.server` — :class:`ValidationServer` (TCP and Unix
+  sockets, CPU-bound verdicts on threads or a process pool seeded with
+  compiled artifacts by fingerprint, graceful draining shutdown) and
+  :class:`ServerThread` (a server on its own event-loop thread).
+* :mod:`repro.server.client` — :class:`ValidationClient`, the blocking
+  NDJSON client used by tests, the benchmark, and the CI smoke job.
+
+Start one from the shell with ``python -m repro serve``.
+"""
+
+from repro.server.client import ServerError, ValidationClient
+from repro.server.protocol import (
+    ALGORITHMS,
+    MAX_LINE_BYTES,
+    OPS,
+    ProtocolError,
+    Request,
+    decode_reply,
+    decode_request,
+    encode,
+    error_payload,
+    verdict_fields,
+)
+from repro.server.server import ArtifactMissError, ServerThread, ValidationServer
+
+__all__ = [
+    "ValidationServer",
+    "ServerThread",
+    "ValidationClient",
+    "ServerError",
+    "ArtifactMissError",
+    "ProtocolError",
+    "Request",
+    "OPS",
+    "ALGORITHMS",
+    "MAX_LINE_BYTES",
+    "decode_request",
+    "decode_reply",
+    "encode",
+    "error_payload",
+    "verdict_fields",
+]

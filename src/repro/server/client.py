@@ -1,0 +1,150 @@
+"""A small blocking client for the validation server.
+
+:class:`ValidationClient` speaks the NDJSON protocol over a plain socket
+— TCP or Unix domain — one request per call, responses decoded to dicts.
+It is intentionally synchronous: the test suite, the CI smoke job, the
+E11 benchmark, and shell-adjacent tooling all want a straight-line call
+site, and the server's concurrency lives server-side.
+
+>>> with ValidationClient.connect_tcp("127.0.0.1", 8750) as client:
+...     reply = client.check("<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<r/>")
+...     reply["potentially_valid"]
+True
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.server import protocol
+
+__all__ = ["ServerError", "ValidationClient"]
+
+
+class ServerError(Exception):
+    """An ``ok: false`` reply, surfaced with its structured code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ValidationClient:
+    """One connection to a :class:`~repro.server.server.ValidationServer`."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float | None = 30.0
+    ) -> "ValidationClient":
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    @classmethod
+    def connect_unix(
+        cls, path: str, timeout: float | None = 30.0
+    ) -> "ValidationClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    @classmethod
+    def connect(cls, address: tuple[str, int] | str) -> "ValidationClient":
+        """Connect to a ``(host, port)`` tuple or a Unix socket path."""
+        if isinstance(address, tuple):
+            return cls.connect_tcp(*address)
+        return cls.connect_unix(address)
+
+    # -- the wire ------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one raw request object; return the decoded reply.
+
+        Raises :class:`ServerError` for ``ok: false`` replies and
+        :class:`ConnectionError` if the server hangs up mid-reply.
+        """
+        self._file.write(protocol.encode(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = protocol.decode_reply(line)
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServerError(
+                str(error.get("code", "unknown")),
+                str(error.get("message", "(no message)")),
+            )
+        return reply
+
+    def send_raw(self, line: bytes) -> dict[str, Any]:
+        """Ship pre-encoded bytes (protocol tests use this to send garbage)."""
+        self._file.write(line)
+        self._file.flush()
+        reply_line = self._file.readline()
+        if not reply_line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_reply(reply_line)
+
+    # -- the ops -------------------------------------------------------------
+
+    def check(
+        self,
+        dtd: str,
+        doc: str,
+        algorithm: str | None = None,
+        root: str | None = None,
+        id: Any = None,
+    ) -> dict[str, Any]:
+        """Potential-validity check; the reply carries the verdict fields."""
+        return self.request(
+            self._payload("check", dtd=dtd, doc=doc, algorithm=algorithm,
+                          root=root, id=id)
+        )
+
+    def validate(
+        self, dtd: str, doc: str, root: str | None = None, id: Any = None
+    ) -> dict[str, Any]:
+        """Standard DTD validation."""
+        return self.request(
+            self._payload("validate", dtd=dtd, doc=doc, root=root, id=id)
+        )
+
+    def classify(
+        self, dtd: str, root: str | None = None, id: Any = None
+    ) -> dict[str, Any]:
+        """Definition 6-8 classification of a DTD."""
+        return self.request(self._payload("classify", dtd=dtd, root=root, id=id))
+
+    def stats(self) -> dict[str, Any]:
+        """Server, registry, store, and dispatcher statistics."""
+        return self.request({"op": "stats"})
+
+    @staticmethod
+    def _payload(op: str, **fields: Any) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": op}
+        payload.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        return payload
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ValidationClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

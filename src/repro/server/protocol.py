@@ -1,0 +1,168 @@
+"""The newline-delimited JSON wire protocol of the validation server.
+
+One request per line, one response per line, UTF-8 JSON either way.
+
+Request object::
+
+    {"op": "check" | "classify" | "validate" | "stats",
+     "dtd": "<!ELEMENT ...>",        # required except for "stats"
+     "doc": "<r>...</r>",            # required for "check"/"validate"
+     "algorithm": "machine" | "figure5" | "earley" | "auto",  # optional
+     "root": "r",                    # optional DTD root override
+     "id": <any JSON value>}         # optional, echoed back verbatim
+
+Responses always carry ``"ok"``.  Success responses echo ``"op"`` (and
+``"id"`` when given) plus op-specific fields — the verdict, wall time in
+milliseconds, and the schema's registry disposition::
+
+    {"ok": true, "op": "check", "potentially_valid": true, "failures": [],
+     "depth_limited": false, "algorithm": "machine",
+     "dispatch_reason": "...",                  # present when dispatched
+     "elapsed_ms": 0.41,
+     "schema": {"fingerprint": "9f...", "registry": "hit"}}
+
+Failures are structured, never a dropped connection::
+
+    {"ok": false, "error": {"code": "bad-json", "message": "..."}}
+
+Error codes: ``bad-json`` (line is not JSON), ``bad-request`` (JSON but
+not a valid request object), ``bad-dtd`` / ``bad-document`` (payload does
+not parse), ``unsupported-op``, ``internal``.  A protocol-level error is
+recoverable — the server keeps the connection open and reads the next
+line — so one malformed request never costs a client its warm socket.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.pv import PVVerdict
+
+__all__ = [
+    "OPS",
+    "ALGORITHMS",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "decode_request",
+    "encode",
+    "decode_reply",
+    "error_payload",
+    "verdict_fields",
+]
+
+#: Operations the server understands.
+OPS = ("check", "classify", "validate", "stats")
+
+#: Accepted ``algorithm`` values; ``auto`` routes through the dispatcher.
+ALGORITHMS = ("machine", "figure5", "earley", "auto")
+
+#: Upper bound on one request line (shields the server from unbounded
+#: buffering; generous enough for multi-megabyte documents).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A request the server rejects with a structured error response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded, field-validated request line."""
+
+    op: str
+    dtd: str | None = None
+    doc: str | None = None
+    algorithm: str | None = None
+    root: str | None = None
+    id: Any = field(default=None)
+
+
+def decode_request(line: str | bytes) -> Request:
+    """Parse one request line, raising :class:`ProtocolError` on defects."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError("bad-json", f"request is not UTF-8: {error}")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            "unsupported-op",
+            f"op must be one of {', '.join(OPS)} (got {op!r})",
+        )
+    for key in ("dtd", "doc", "root"):
+        value = payload.get(key)
+        if value is not None and not isinstance(value, str):
+            raise ProtocolError("bad-request", f"{key!r} must be a string")
+    algorithm = payload.get("algorithm")
+    if algorithm is not None and algorithm not in ALGORITHMS:
+        raise ProtocolError(
+            "bad-request",
+            f"algorithm must be one of {', '.join(ALGORITHMS)} (got {algorithm!r})",
+        )
+    request = Request(
+        op=op,
+        dtd=payload.get("dtd"),
+        doc=payload.get("doc"),
+        algorithm=algorithm,
+        root=payload.get("root"),
+        id=payload.get("id"),
+    )
+    if request.op != "stats" and request.dtd is None:
+        raise ProtocolError("bad-request", f"op {op!r} requires 'dtd'")
+    if request.op in ("check", "validate") and request.doc is None:
+        raise ProtocolError("bad-request", f"op {op!r} requires 'doc'")
+    return request
+
+
+def encode(payload: dict[str, Any]) -> bytes:
+    """One response (or request) object as a newline-terminated JSON line."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_reply(line: str | bytes) -> dict[str, Any]:
+    """Parse a response line (the client side of :func:`encode`)."""
+    payload = json.loads(line)
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError("bad-reply", "reply must be an object with 'ok'")
+    return payload
+
+
+def error_payload(code: str, message: str, id: Any = None) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if id is not None:
+        payload["id"] = id
+    return payload
+
+
+def verdict_fields(verdict: PVVerdict) -> dict[str, Any]:
+    """The JSON rendering of a potential-validity verdict."""
+    return {
+        "potentially_valid": verdict.potentially_valid,
+        "failures": [
+            {
+                "path": failure.path,
+                "element": failure.element,
+                "reason": failure.reason,
+            }
+            for failure in verdict.failures
+        ],
+        "depth_limited": verdict.depth_limited,
+    }

@@ -1,0 +1,750 @@
+"""The asyncio validation server.
+
+:class:`ValidationServer` is the long-running serving front over the
+service layer: one warm :class:`~repro.service.registry.SchemaRegistry`
+(optionally backed by a persistent
+:class:`~repro.service.store.ArtifactStore`) answers potential-validity
+requests for many concurrent connections, speaking the newline-delimited
+JSON protocol of :mod:`repro.server.protocol` over TCP and/or a Unix
+domain socket.
+
+Execution model
+---------------
+The event loop owns all registry and schema-resolution state; verdict
+work is CPU-bound and runs off-loop:
+
+* ``workers == 0`` — each check runs on a thread (``asyncio.to_thread``).
+  The artifact is shared in-process; fine for tests and modest loads.
+* ``workers > 0`` — checks run on a :class:`ProcessPoolExecutor` whose
+  workers hold their own fingerprint-keyed artifact caches.  A task
+  message normally carries only ``(fingerprint, document)``; the compiled
+  artifact itself is shipped (pickled) to the pool **only when a worker
+  reports a miss**, and workers with a disk store load by fingerprint
+  without any shipping at all.  This is the batch layer's
+  ship-the-artifact-once discipline extended to a long-lived pool.
+
+Shutdown is graceful by default: :meth:`ValidationServer.stop` closes the
+listeners, lets every in-flight request finish and its response flush,
+then tears down connections and the pool.
+
+:class:`ServerThread` runs a server on a dedicated event-loop thread —
+the form the test suite, the benchmark, and embedders use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import threading
+from collections import Counter, OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from time import monotonic, perf_counter
+from typing import Any
+
+from repro.config import CheckerConfig, DEFAULT_CONFIG
+from repro.core.classify import classify_dtd
+from repro.core.pv import PVChecker
+from repro.dtd.parser import parse_dtd
+from repro.errors import ReproError
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, Request
+from repro.service.compiled import CompiledSchema
+from repro.service.dispatch import DEFAULT_POLICY, BackendDispatcher, DispatchPolicy
+from repro.service.registry import SchemaRegistry
+from repro.service.store import ArtifactStore
+from repro.validity.validator import DTDValidator
+from repro.xmlmodel.parser import parse_xml
+
+__all__ = ["ValidationServer", "ServerThread", "ArtifactMissError"]
+
+#: Bound on the (dtd text, root) -> fingerprint memo that lets warm
+#: requests skip DTD re-parsing entirely.
+_TEXT_INDEX_SIZE = 1024
+
+#: Bound on each pool worker's fingerprint-keyed caches.
+_POOL_CACHE_SIZE = 64
+
+#: Above this many fingerprints the shipped-hint set is reset; correctness
+#: is unaffected (a wrongly assumed-shipped artifact triggers the
+#: ArtifactMissError retry, which always ships).
+_SHIPPED_HINT_SIZE = 4096
+
+
+class _BoundedCache(OrderedDict):
+    """A small LRU mapping: inserting past *maxsize* evicts the oldest.
+
+    The server and its pool workers key derived objects (dispatchers,
+    checkers, validators, artifacts) by schema fingerprint; without a
+    bound, every schema ever served would stay pinned in memory and
+    defeat the registry's LRU budget.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        super().__init__()
+        self.maxsize = maxsize
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        value = super().get(key, default)
+        if key in self:
+            self.move_to_end(key)
+        return value
+
+
+#: Sentinel :meth:`ValidationServer._read_line` returns for an over-limit
+#: request line (distinct from ``None``, which means EOF/shutdown).
+_OVERLONG = b"\x00overlong\x00"
+
+
+class ArtifactMissError(Exception):
+    """A pool worker does not hold the artifact for this fingerprint.
+
+    Crosses the process boundary as the worker's way of asking the server
+    to ship the pickled artifact along with the retry.
+    """
+
+    def __init__(self, fingerprint: str) -> None:
+        super().__init__(fingerprint)
+        self.fingerprint = fingerprint
+
+
+# -- pool-worker state -------------------------------------------------------
+#
+# One artifact cache per worker process, keyed by fingerprint.  Module-level
+# so the initializer and task function pickle by reference.
+
+_POOL_STORE: ArtifactStore | None = None
+_POOL_SCHEMAS: "_BoundedCache" = _BoundedCache(_POOL_CACHE_SIZE)
+_POOL_DISPATCHERS: "_BoundedCache" = _BoundedCache(_POOL_CACHE_SIZE)
+_POOL_CHECKERS: "_BoundedCache" = _BoundedCache(4 * _POOL_CACHE_SIZE)
+
+
+def _init_pool_worker(store_dir: str | None) -> None:
+    global _POOL_STORE
+    _POOL_STORE = ArtifactStore(store_dir) if store_dir else None
+
+
+def _pool_schema(fingerprint: str, blob: bytes | None) -> CompiledSchema:
+    schema = _POOL_SCHEMAS.get(fingerprint)
+    if schema is None and blob is not None:
+        schema = pickle.loads(blob)
+        _POOL_SCHEMAS[fingerprint] = schema
+    if schema is None and _POOL_STORE is not None:
+        schema = _POOL_STORE.load(fingerprint)
+        if schema is not None:
+            _POOL_SCHEMAS[fingerprint] = schema
+    if schema is None:
+        raise ArtifactMissError(fingerprint)
+    return schema
+
+
+def _pool_check(
+    fingerprint: str,
+    blob: bytes | None,
+    doc_text: str,
+    algorithm: str,
+    config: CheckerConfig,
+    policy: DispatchPolicy,
+) -> dict[str, Any]:
+    """Check one document in a pool worker; returns response fields."""
+    schema = _pool_schema(fingerprint, blob)
+    try:
+        document = parse_xml(doc_text)
+    except ReproError as error:
+        return {"error": ("bad-document", str(error))}
+    if algorithm == "auto":
+        dispatcher = _POOL_DISPATCHERS.get(fingerprint)
+        if dispatcher is None:
+            dispatcher = BackendDispatcher(schema, policy=policy, config=config)
+            _POOL_DISPATCHERS[fingerprint] = dispatcher
+        outcome = dispatcher.check_document(document)
+        return {
+            "verdict": protocol.verdict_fields(outcome.verdict),
+            "algorithm": outcome.decision.algorithm,
+            "reason": outcome.decision.reason,
+        }
+    key = (fingerprint, algorithm)
+    checker = _POOL_CHECKERS.get(key)
+    if checker is None:
+        checker = schema.checker(algorithm, config)
+        _POOL_CHECKERS[key] = checker
+    verdict = checker.check_document(document)
+    return {
+        "verdict": protocol.verdict_fields(verdict),
+        "algorithm": algorithm,
+        "reason": None,
+    }
+
+
+class ValidationServer:
+    """A long-running NDJSON potential-validity service.
+
+    Parameters
+    ----------
+    registry:
+        The warm artifact cache shared by every connection.  A fresh one
+        is created when omitted (optionally backed by *store*).
+    store:
+        Persistent artifact store.  Attached to the registry (so restarts
+        skip recompilation) and, when a process pool is used, passed to
+        workers so they can load artifacts by fingerprint from disk.
+    workers:
+        ``0`` checks on threads in this process; ``N > 0`` uses a process
+        pool of that size.
+    default_algorithm:
+        Backend when a request names none; ``"auto"`` (the default) routes
+        through the shape dispatcher.
+    """
+
+    def __init__(
+        self,
+        registry: SchemaRegistry | None = None,
+        store: ArtifactStore | None = None,
+        workers: int = 0,
+        config: CheckerConfig = DEFAULT_CONFIG,
+        policy: DispatchPolicy = DEFAULT_POLICY,
+        default_algorithm: str = "auto",
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if default_algorithm not in protocol.ALGORITHMS:
+            raise ValueError(f"unknown default algorithm {default_algorithm!r}")
+        if registry is None:
+            registry = SchemaRegistry(store=store)
+        elif store is not None and registry.store is None:
+            registry.attach_store(store)
+        self.registry = registry
+        self.store = store if store is not None else registry.store
+        self.workers = workers
+        self.config = config
+        self.policy = policy
+        self.default_algorithm = default_algorithm
+        self._pool: ProcessPoolExecutor | None = None
+        self._shipped: set[str] = set()
+        # Derived-object caches hold compiled artifacts alive; bounding
+        # them by the registry's own budget keeps a long-lived server's
+        # memory proportional to maxsize, not to every schema ever seen.
+        self._dispatchers: _BoundedCache = _BoundedCache(registry.maxsize)
+        self._checkers: _BoundedCache = _BoundedCache(4 * registry.maxsize)
+        self._validators: _BoundedCache = _BoundedCache(registry.maxsize)
+        self._text_index: OrderedDict[tuple[str, str | None], str] = OrderedDict()
+        self._dispatch_counts: Counter[str] = Counter()
+        self._servers: list[asyncio.AbstractServer] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closing: asyncio.Event | None = None
+        self._unix_path: str | None = None
+        self._tcp_address: tuple[str, int] | None = None
+        self._requests = 0
+        self._errors = 0
+        self._started_at: float | None = None
+
+    # -- endpoints -----------------------------------------------------------
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """``(host, port)`` actually bound (port resolved when 0 was asked)."""
+        return self._tcp_address
+
+    @property
+    def unix_path(self) -> str | None:
+        return self._unix_path
+
+    async def start(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        unix_path: str | None = None,
+    ) -> None:
+        """Bind the requested endpoints and begin accepting connections."""
+        if host is None and unix_path is None:
+            raise ValueError("need a TCP host/port or a unix socket path")
+        self._closing = asyncio.Event()
+        self._started_at = monotonic()
+        if self.workers > 0 and self._pool is None:
+            self._pool = self._make_pool()
+        if host is not None:
+            server = await asyncio.start_server(
+                self._on_connection,
+                host=host,
+                port=port or 0,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+            sockname = server.sockets[0].getsockname()
+            self._tcp_address = (sockname[0], sockname[1])
+            self._servers.append(server)
+        if unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._on_connection,
+                path=unix_path,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+            self._unix_path = unix_path
+            self._servers.append(server)
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or cancellation) ends the server."""
+        assert self._closing is not None, "start() first"
+        await self._closing.wait()
+
+    async def stop(self, drain_timeout: float | None = 30.0) -> None:
+        """Stop accepting, drain in-flight requests, tear everything down."""
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        if self._closing is not None:
+            self._closing.set()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=drain_timeout)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            await asyncio.to_thread(pool.shutdown, True)
+
+    # -- connection handling -------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._closing is not None
+        try:
+            while not self._closing.is_set():
+                line = await self._read_line(reader)
+                if line is None:  # EOF, shutdown, or an unrecoverable read
+                    break
+                if line is _OVERLONG:
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_payload(
+                                "bad-request",
+                                f"request line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line.strip():
+                    continue  # blank keep-alive lines are ignored
+                response = await self._handle_line(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One request line, or ``None`` on EOF/shutdown, racing the two.
+
+        An idle connection is parked in ``readline``; racing the read
+        against the closing event is what lets :meth:`stop` drain busy
+        connections without waiting on idle ones forever.
+        """
+        assert self._closing is not None
+        read = asyncio.ensure_future(reader.readline())
+        closing = asyncio.ensure_future(self._closing.wait())
+        done, pending = await asyncio.wait(
+            {read, closing}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        if read not in done:
+            return None
+        try:
+            line = read.result()
+        except ValueError:  # stream limit overrun: cannot resync the framing
+            return _OVERLONG
+        except (ConnectionError, OSError):
+            return None
+        return line or None
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+        started = perf_counter()
+        self._requests += 1
+        request_id: Any = None  # echoed even on errors, once decoded
+        try:
+            request = protocol.decode_request(line)
+            request_id = request.id
+            response = await self._dispatch_request(request)
+        except ProtocolError as error:
+            self._errors += 1
+            return protocol.error_payload(error.code, error.message, id=request_id)
+        except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
+            self._errors += 1
+            return protocol.error_payload(
+                "internal", f"{type(error).__name__}: {error}", id=request_id
+            )
+        response["elapsed_ms"] = round((perf_counter() - started) * 1000.0, 3)
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    async def _dispatch_request(self, request: Request) -> dict[str, Any]:
+        if request.op == "stats":
+            return self._op_stats()
+        assert request.dtd is not None  # decode_request guarantees it
+        schema, disposition = self._resolve_schema(request.dtd, request.root)
+        if request.op == "check":
+            return await self._op_check(request, schema, disposition)
+        if request.op == "classify":
+            return self._op_classify(schema, disposition)
+        if request.op == "validate":
+            return await self._op_validate(request, schema, disposition)
+        raise ProtocolError("unsupported-op", f"unhandled op {request.op!r}")
+
+    def _resolve_schema(
+        self, dtd_text: str, root: str | None
+    ) -> tuple[CompiledSchema, str]:
+        """The compiled artifact for *dtd_text* plus how it was obtained.
+
+        The text-level memo makes the warm path textual: a repeated request
+        body never re-parses its DTD, never re-serializes for hashing —
+        one dict probe and one registry probe.  Runs on the event loop, so
+        the memo and hit accounting need no extra locking.
+        """
+        key = (dtd_text, root)
+        fingerprint = self._text_index.get(key)
+        if fingerprint is not None:
+            schema = self.registry.lookup(fingerprint, count=True)
+            if schema is not None:
+                self._text_index.move_to_end(key)
+                return schema, "hit"
+        try:
+            dtd = parse_dtd(dtd_text, root=root)
+        except ReproError as error:
+            raise ProtocolError("bad-dtd", str(error))
+        before = self.registry.stats
+        schema = self.registry.get(dtd)
+        after = self.registry.stats
+        if after.store_hits > before.store_hits:
+            disposition = "store"
+        elif after.misses > before.misses:
+            disposition = "miss"
+        else:
+            disposition = "hit"
+        self._text_index[key] = schema.fingerprint
+        while len(self._text_index) > _TEXT_INDEX_SIZE:
+            self._text_index.popitem(last=False)
+        return schema, disposition
+
+    def _schema_fields(
+        self, schema: CompiledSchema, disposition: str
+    ) -> dict[str, Any]:
+        return {"fingerprint": schema.fingerprint, "registry": disposition}
+
+    # -- ops -----------------------------------------------------------------
+
+    async def _op_check(
+        self, request: Request, schema: CompiledSchema, disposition: str
+    ) -> dict[str, Any]:
+        assert request.doc is not None
+        algorithm = request.algorithm or self.default_algorithm
+        if self._pool is not None:
+            fields = await self._pool_round_trip(
+                schema, request.doc, algorithm
+            )
+        else:
+            fields = await asyncio.to_thread(
+                self._inline_check, schema, request.doc, algorithm
+            )
+        error = fields.pop("error", None)
+        if error is not None:
+            raise ProtocolError(*error)
+        self._dispatch_counts[fields["algorithm"]] += 1
+        response: dict[str, Any] = {
+            "ok": True,
+            "op": "check",
+            **fields.pop("verdict"),
+            "algorithm": fields["algorithm"],
+            "schema": self._schema_fields(schema, disposition),
+        }
+        if fields.get("reason"):
+            response["dispatch_reason"] = fields["reason"]
+        return response
+
+    def _inline_check(
+        self, schema: CompiledSchema, doc_text: str, algorithm: str
+    ) -> dict[str, Any]:
+        try:
+            document = parse_xml(doc_text)
+        except ReproError as error:
+            return {"error": ("bad-document", str(error))}
+        if algorithm == "auto":
+            dispatcher = self._dispatchers.get(schema.fingerprint)
+            if dispatcher is None:
+                dispatcher = BackendDispatcher(
+                    schema, policy=self.policy, config=self.config
+                )
+                self._dispatchers[schema.fingerprint] = dispatcher
+            outcome = dispatcher.check_document(document)
+            return {
+                "verdict": protocol.verdict_fields(outcome.verdict),
+                "algorithm": outcome.decision.algorithm,
+                "reason": outcome.decision.reason,
+            }
+        key = (schema.fingerprint, algorithm)
+        checker = self._checkers.get(key)
+        if checker is None:
+            checker = schema.checker(algorithm, self.config)
+            self._checkers[key] = checker
+        verdict = checker.check_document(document)
+        return {
+            "verdict": protocol.verdict_fields(verdict),
+            "algorithm": algorithm,
+            "reason": None,
+        }
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        store_dir = str(self.store.directory) if self.store is not None else None
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_pool_worker,
+            initargs=(store_dir,),
+        )
+
+    async def _pool_round_trip(
+        self, schema: CompiledSchema, doc_text: str, algorithm: str
+    ) -> dict[str, Any]:
+        """Run a check on the pool, shipping the artifact only on a miss.
+
+        A broken pool (a worker OOM-killed or SIGKILLed poisons the whole
+        :class:`ProcessPoolExecutor`) is rebuilt once per request instead
+        of condemning the long-running server to answer ``internal``
+        forever.
+        """
+        loop = asyncio.get_running_loop()
+        for attempt in (1, 2):
+            pool = self._pool
+            assert pool is not None
+            blob = (
+                None
+                if schema.fingerprint in self._shipped
+                else pickle.dumps(schema, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            try:
+                try:
+                    fields = await loop.run_in_executor(
+                        pool,
+                        _pool_check,
+                        schema.fingerprint,
+                        blob,
+                        doc_text,
+                        algorithm,
+                        self.config,
+                        self.policy,
+                    )
+                except ArtifactMissError:
+                    # A different worker picked up the task than the one(s)
+                    # seeded earlier; retry once with the artifact attached.
+                    fields = await loop.run_in_executor(
+                        pool,
+                        _pool_check,
+                        schema.fingerprint,
+                        pickle.dumps(schema, protocol=pickle.HIGHEST_PROTOCOL),
+                        doc_text,
+                        algorithm,
+                        self.config,
+                        self.policy,
+                    )
+            except BrokenExecutor:
+                if attempt == 2:
+                    raise
+                pool.shutdown(wait=False)
+                self._shipped.clear()  # fresh workers hold no artifacts
+                self._pool = self._make_pool()
+                continue
+            self._shipped.add(schema.fingerprint)
+            if len(self._shipped) > _SHIPPED_HINT_SIZE:
+                # The hint only avoids redundant shipping; resetting it is
+                # always safe because a wrong "shipped" assumption is
+                # healed by the ArtifactMissError retry above.
+                self._shipped.clear()
+            return fields
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _op_classify(
+        self, schema: CompiledSchema, disposition: str
+    ) -> dict[str, Any]:
+        # The compiled artifact already carries the analysis; building the
+        # report from it is pure formatting, safe on the event loop.
+        report = classify_dtd(schema.dtd, analysis=schema.analysis)
+        return {
+            "ok": True,
+            "op": "classify",
+            "dtd_class": report.dtd_class.value,
+            "element_count": report.element_count,
+            "occurrence_count": report.occurrence_count,
+            "recursive_elements": list(report.recursive_elements),
+            "strong_recursive_elements": list(report.strong_recursive_elements),
+            "unusable_elements": list(report.unusable_elements),
+            "needs_depth_bound": report.needs_depth_bound,
+            "summary": report.summary(),
+            "schema": self._schema_fields(schema, disposition),
+        }
+
+    async def _op_validate(
+        self, request: Request, schema: CompiledSchema, disposition: str
+    ) -> dict[str, Any]:
+        assert request.doc is not None
+
+        def run() -> dict[str, Any]:
+            try:
+                document = parse_xml(request.doc)  # type: ignore[arg-type]
+            except ReproError as error:
+                return {"error": ("bad-document", str(error))}
+            validator = self._validators.get(schema.fingerprint)
+            if validator is None:
+                validator = DTDValidator(schema.dtd)
+                self._validators[schema.fingerprint] = validator
+            report = validator.validate(document)
+            return {
+                "valid": report.valid,
+                "issues": [str(issue) for issue in report.issues],
+            }
+
+        fields = await asyncio.to_thread(run)
+        error = fields.pop("error", None)
+        if error is not None:
+            raise ProtocolError(*error)
+        return {
+            "ok": True,
+            "op": "validate",
+            **fields,
+            "schema": self._schema_fields(schema, disposition),
+        }
+
+    def _op_stats(self) -> dict[str, Any]:
+        dispatch = dict(self._dispatch_counts)
+        uptime = (
+            monotonic() - self._started_at if self._started_at is not None else 0.0
+        )
+        return {
+            "ok": True,
+            "op": "stats",
+            "server": {
+                "uptime_seconds": round(uptime, 3),
+                "requests": self._requests,
+                "errors": self._errors,
+                "connections": len(self._conn_tasks),
+                "workers": self.workers,
+                "default_algorithm": self.default_algorithm,
+            },
+            "registry": self.registry.stats.as_dict(),
+            "store": self.store.stats.as_dict() if self.store is not None else None,
+            "dispatch": dispatch,
+        }
+
+
+class ServerThread:
+    """Run a :class:`ValidationServer` on its own event-loop thread.
+
+    The context-manager form the tests, the E11 benchmark, and the CI
+    smoke job use::
+
+        with ServerThread(unix_path=str(tmp / "pv.sock"), store=store) as handle:
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                client.check(dtd_text, doc_text)
+
+    ``stop()`` (or leaving the ``with`` block) performs the server's
+    graceful drain before the thread exits.
+    """
+
+    def __init__(
+        self,
+        server: ValidationServer | None = None,
+        *,
+        host: str | None = None,
+        port: int = 0,
+        unix_path: str | None = None,
+        **server_kwargs: Any,
+    ) -> None:
+        if host is None and unix_path is None:
+            host = "127.0.0.1"
+        self.server = server if server is not None else ValidationServer(**server_kwargs)
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._ready = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-validation-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start(
+                host=self._host, port=self._port, unix_path=self._unix_path
+            )
+        except BaseException as error:  # surface bind errors to the caller
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def stop(self) -> None:
+        """Request a graceful stop and wait for the thread to finish."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- endpoints -----------------------------------------------------------
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        return self.server.tcp_address
+
+    @property
+    def unix_path(self) -> str | None:
+        return self.server.unix_path

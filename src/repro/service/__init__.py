@@ -18,11 +18,16 @@ amortization and the bulk-throughput side:
   of documents out over a ``multiprocessing`` pool.  Workers receive the
   compiled artifact once (at pool start), not per document, and the
   result carries aggregate throughput statistics.
+* :mod:`repro.service.store` — :class:`ArtifactStore`, the persistent
+  on-disk artifact cache (atomic writes, corruption-tolerant loads) that
+  backs a registry across process restarts.
+* :mod:`repro.service.dispatch` — :class:`BackendDispatcher`, per-document
+  backend selection by document shape with an auditable decision log.
 
-This is the architectural seam later scaling work (sharding, async
-serving, multi-backend dispatch) builds on: anything that can obtain a
-:class:`CompiledSchema` can answer verdicts without ever touching DTD
-text again.
+This is the architectural seam scaling work builds on: anything that can
+obtain a :class:`CompiledSchema` — from memory, disk, or a peer — can
+answer verdicts without ever touching DTD text again.  The asyncio
+serving front over this layer lives in :mod:`repro.server`.
 """
 
 from repro.service.batch import BatchChecker, BatchItem, BatchResult, check_batch
@@ -32,11 +37,25 @@ from repro.service.compiled import (
     compile_schema,
     schema_fingerprint,
 )
+from repro.service.dispatch import (
+    DEFAULT_POLICY,
+    BackendDispatcher,
+    DispatchDecision,
+    DispatchedVerdict,
+    DispatchPolicy,
+    DocumentShape,
+    measure_shape,
+)
 from repro.service.registry import (
     DEFAULT_REGISTRY,
     RegistryStats,
     SchemaRegistry,
     default_registry,
+)
+from repro.service.store import (
+    ArtifactStore,
+    StoreStats,
+    default_store_dir,
 )
 
 __all__ = [
@@ -52,4 +71,14 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "check_batch",
+    "ArtifactStore",
+    "StoreStats",
+    "default_store_dir",
+    "BackendDispatcher",
+    "DispatchPolicy",
+    "DEFAULT_POLICY",
+    "DispatchDecision",
+    "DispatchedVerdict",
+    "DocumentShape",
+    "measure_shape",
 ]

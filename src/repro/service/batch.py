@@ -26,7 +26,8 @@ can never change a verdict, only the wall time.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Sequence
@@ -36,7 +37,7 @@ from repro.core.pv import Algorithm, PVChecker, PVVerdict
 from repro.dtd.model import DTD
 from repro.errors import ReproError
 from repro.service.compiled import CompiledSchema
-from repro.service.registry import DEFAULT_REGISTRY, SchemaRegistry
+from repro.service.registry import DEFAULT_REGISTRY, RegistryStats, SchemaRegistry
 from repro.xmlmodel.serialize import to_xml
 from repro.xmlmodel.tree import XmlDocument
 
@@ -78,6 +79,24 @@ class BatchResult:
     workers: int
     algorithm: str
     fingerprint: str
+    #: One registry snapshot per pool worker (empty when checked inline).
+    worker_stats: tuple[RegistryStats, ...] = field(default=())
+
+    @property
+    def pool_registry(self) -> RegistryStats | None:
+        """Counter-wise sum of the workers' registry statistics.
+
+        ``None`` for inline runs; for pooled runs, ``hits`` counts the
+        documents each worker answered from its warm artifact, so the
+        parent's single compile plus these hits is the whole pool's cache
+        story.
+        """
+        if not self.worker_stats:
+            return None
+        total = RegistryStats()
+        for stats in self.worker_stats:
+            total = total.merged(stats)
+        return total
 
     @property
     def total(self) -> int:
@@ -124,21 +143,35 @@ class BatchResult:
 # pickling of the initializer and task function resolves by reference.
 
 _WORKER_CHECKER: PVChecker | None = None
+_WORKER_REGISTRY: SchemaRegistry | None = None
+_WORKER_FINGERPRINT: str | None = None
 
 
 def _init_worker(
     schema: CompiledSchema, algorithm: str, config: CheckerConfig
 ) -> None:
-    global _WORKER_CHECKER
+    global _WORKER_CHECKER, _WORKER_REGISTRY, _WORKER_FINGERPRINT
+    # A fresh registry (never the fork-inherited process default, whose
+    # counters belong to the parent) seeded with the shipped artifact:
+    # its statistics then describe exactly this worker's cache traffic.
+    _WORKER_REGISTRY = SchemaRegistry()
+    _WORKER_REGISTRY.put(schema)
+    _WORKER_FINGERPRINT = schema.fingerprint
     _WORKER_CHECKER = PVChecker(
         schema.dtd, config=config, algorithm=algorithm, compiled=schema
     )
 
 
-def _check_one(task: tuple[int, str, str]) -> BatchItem:
+def _check_one(task: tuple[int, str, str]) -> tuple[BatchItem, int, RegistryStats]:
     index, label, text = task
     assert _WORKER_CHECKER is not None, "pool initializer did not run"
-    return _check_text(_WORKER_CHECKER, index, label, text)
+    assert _WORKER_REGISTRY is not None and _WORKER_FINGERPRINT is not None
+    # The per-document cache access, recorded: each task is one lookup of
+    # the shipped artifact, so pool-wide hit counts mean "documents
+    # answered without recompiling anywhere".
+    _WORKER_REGISTRY.lookup(_WORKER_FINGERPRINT, count=True)
+    item = _check_text(_WORKER_CHECKER, index, label, text)
+    return item, os.getpid(), _WORKER_REGISTRY.stats
 
 
 def _check_text(checker: PVChecker, index: int, label: str, text: str) -> BatchItem:
@@ -226,13 +259,14 @@ class BatchChecker:
         pre_errors: list[BatchItem] | None = None,
     ) -> BatchResult:
         started = perf_counter()
+        worker_stats: tuple[RegistryStats, ...] = ()
         if self.workers == 1 or len(tasks) <= 1:
             used_workers = 1
             checker = self.schema.checker(self.algorithm, self.config)
             items = [_check_text(checker, *task) for task in tasks]
         else:
             used_workers = self.workers
-            items = self._check_parallel(tasks)
+            items, worker_stats = self._check_parallel(tasks)
         elapsed = perf_counter() - started
         items.extend(pre_errors or ())
         items.sort(key=lambda item: item.index)
@@ -242,6 +276,7 @@ class BatchChecker:
             workers=used_workers,
             algorithm=self.algorithm,
             fingerprint=self.schema.fingerprint,
+            worker_stats=worker_stats,
         )
 
     def check_documents(self, documents: Sequence[XmlDocument]) -> BatchResult:
@@ -250,7 +285,9 @@ class BatchChecker:
 
     # -- the pool -----------------------------------------------------------
 
-    def _check_parallel(self, tasks: list[tuple[int, str, str]]) -> list[BatchItem]:
+    def _check_parallel(
+        self, tasks: list[tuple[int, str, str]]
+    ) -> tuple[list[BatchItem], tuple[RegistryStats, ...]]:
         context = multiprocessing.get_context()
         chunksize = max(1, len(tasks) // (self.workers * 4))
         with context.Pool(
@@ -258,7 +295,16 @@ class BatchChecker:
             initializer=_init_worker,
             initargs=(self.schema, self.algorithm, self.config),
         ) as pool:
-            return list(pool.map(_check_one, tasks, chunksize=chunksize))
+            outcomes = list(pool.map(_check_one, tasks, chunksize=chunksize))
+        items = [item for item, _pid, _stats in outcomes]
+        # Each task ships its worker's running counters; the last snapshot
+        # per pid (the one with the most lookups) is that worker's total.
+        latest: dict[int, RegistryStats] = {}
+        for _item, pid, stats in outcomes:
+            current = latest.get(pid)
+            if current is None or stats.lookups > current.lookups:
+                latest[pid] = stats
+        return items, tuple(latest[pid] for pid in sorted(latest))
 
 
 def check_batch(

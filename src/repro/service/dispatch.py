@@ -1,0 +1,267 @@
+"""Per-document backend selection with an auditable decision log.
+
+The three checking backends trade constant factors for generality:
+
+* ``figure5`` — the paper's greedy recognizer; the cheapest per node, but
+  its verdict for PV-strong recursive DTDs is only "within depth D",
+* ``machine`` — the exact GSS machine; linear with a larger constant,
+  exact for every DTD class,
+* ``earley`` — the Section 3.3 content-grammar reference; slow, used as a
+  cross-check.
+
+:class:`BackendDispatcher` picks one per document from the document's
+*shape* — element count, tree depth, and gap density (the fraction of
+content tokens that are character-data runs, i.e. how "document-centric"
+the instance is) — under a tunable :class:`DispatchPolicy`.  Every choice
+is recorded as a :class:`DispatchDecision` in a bounded log, so a serving
+deployment can answer "why did request 4711 run on the machine backend?"
+after the fact, and can route a deterministic 1-in-N audit slice to the
+Earley reference to cross-check the fast backends in production.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.config import CheckerConfig, DEFAULT_CONFIG
+from repro.core.pv import Algorithm, PVChecker, PVVerdict
+from repro.dtd.model import DTD
+from repro.service.compiled import CompiledSchema
+from repro.service.registry import DEFAULT_REGISTRY, SchemaRegistry
+from repro.xmlmodel.delta import SIGMA, content_symbols
+from repro.xmlmodel.tree import XmlDocument, XmlElement
+
+__all__ = [
+    "DocumentShape",
+    "measure_shape",
+    "DispatchPolicy",
+    "DEFAULT_POLICY",
+    "DispatchDecision",
+    "DispatchedVerdict",
+    "BackendDispatcher",
+]
+
+
+@dataclass(frozen=True)
+class DocumentShape:
+    """The features backend selection looks at, computed in one walk."""
+
+    elements: int
+    depth: int
+    content_tokens: int
+    sigma_tokens: int
+
+    @property
+    def gap_density(self) -> float:
+        """Character-data runs per content token (0.0 for element-only)."""
+        return self.sigma_tokens / self.content_tokens if self.content_tokens else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.elements} element(s), depth {self.depth}, "
+            f"gap density {self.gap_density:.2f}"
+        )
+
+
+def measure_shape(document: XmlDocument | XmlElement) -> DocumentShape:
+    """Measure *document* (elements, depth, ``Delta_T`` token counts)."""
+    root = document.root if isinstance(document, XmlDocument) else document
+    elements = 0
+    max_depth = 0
+    content_tokens = 0
+    sigma_tokens = 0
+    stack: list[tuple[XmlElement, int]] = [(root, 1)]
+    while stack:
+        node, depth = stack.pop()
+        elements += 1
+        max_depth = max(max_depth, depth)
+        symbols = content_symbols(node)
+        content_tokens += len(symbols)
+        sigma_tokens += sum(1 for symbol in symbols if symbol == SIGMA)
+        for child in node.element_children():
+            stack.append((child, depth + 1))
+    return DocumentShape(
+        elements=elements,
+        depth=max_depth,
+        content_tokens=content_tokens,
+        sigma_tokens=sigma_tokens,
+    )
+
+
+@dataclass(frozen=True)
+class DispatchPolicy:
+    """Thresholds steering :meth:`BackendDispatcher.choose`.
+
+    Parameters
+    ----------
+    small_elements / shallow_depth:
+        Documents at or under both bounds go to the greedy ``figure5``
+        recognizer, whose per-node constant is the smallest.
+    gap_heavy:
+        Gap density at or above this routes to the exact machine even for
+        small documents: dense character data multiplies the star-group
+        alternatives the greedy recognizer enumerates.
+    audit_every:
+        When positive, every N-th decision is routed to the Earley
+        reference instead, a deterministic in-production cross-check.
+        ``0`` disables auditing.
+    """
+
+    small_elements: int = 64
+    shallow_depth: int = 8
+    gap_heavy: float = 0.5
+    audit_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.small_elements < 0 or self.shallow_depth < 0:
+            raise ValueError("policy thresholds must be non-negative")
+        if not 0.0 <= self.gap_heavy <= 1.0:
+            raise ValueError("gap_heavy must be a fraction in [0, 1]")
+        if self.audit_every < 0:
+            raise ValueError("audit_every must be >= 0 (0 disables audits)")
+
+
+DEFAULT_POLICY = DispatchPolicy()
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """One recorded backend choice (the audit-log entry)."""
+
+    sequence: int
+    algorithm: Algorithm
+    shape: DocumentShape
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.sequence} -> {self.algorithm}: {self.reason} [{self.shape}]"
+
+
+@dataclass(frozen=True)
+class DispatchedVerdict:
+    """A verdict bundled with the decision that produced it."""
+
+    verdict: PVVerdict
+    decision: DispatchDecision
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+
+class BackendDispatcher:
+    """Routes documents to backends by shape, remembering every choice.
+
+    One checker per backend is built lazily over the shared compiled
+    artifact, so dispatching never recompiles schema work; the dispatcher
+    is exactly as warm as the registry entry behind it.
+    """
+
+    def __init__(
+        self,
+        schema: CompiledSchema | DTD,
+        policy: DispatchPolicy = DEFAULT_POLICY,
+        config: CheckerConfig = DEFAULT_CONFIG,
+        registry: SchemaRegistry | None = None,
+        log_size: int = 256,
+    ) -> None:
+        if log_size < 0:
+            raise ValueError("log_size must be >= 0")
+        if isinstance(schema, DTD):
+            schema = (registry or DEFAULT_REGISTRY).get(schema)
+        self.schema = schema
+        self.policy = policy
+        self.config = config
+        self._checkers: dict[str, PVChecker] = {}
+        self._log: deque[DispatchDecision] = deque(maxlen=log_size)
+        self._counts: Counter[str] = Counter()
+        self._sequence = 0
+        # The server dispatches from multiple worker threads; the log,
+        # counters, and checker cache are the only shared mutable state.
+        self._lock = threading.Lock()
+
+    # -- the policy ---------------------------------------------------------
+
+    def choose(self, document: XmlDocument | XmlElement) -> DispatchDecision:
+        """Pick a backend for *document* and record the decision."""
+        shape = measure_shape(document)
+        policy = self.policy
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        if self.schema.is_pv_strong:
+            algorithm, reason = "machine", (
+                "PV-strong recursive DTD: only the exact machine answers "
+                "without a depth bound"
+            )
+        elif policy.audit_every and sequence % policy.audit_every == 0:
+            algorithm, reason = "earley", (
+                f"scheduled audit (1 in {policy.audit_every}) against the "
+                "Earley reference"
+            )
+        elif shape.gap_density >= policy.gap_heavy and shape.content_tokens:
+            algorithm, reason = "machine", (
+                f"gap-heavy content (density {shape.gap_density:.2f} >= "
+                f"{policy.gap_heavy:.2f})"
+            )
+        elif (
+            shape.elements <= policy.small_elements
+            and shape.depth <= policy.shallow_depth
+        ):
+            algorithm, reason = "figure5", (
+                f"small and shallow (<= {policy.small_elements} elements, "
+                f"depth <= {policy.shallow_depth}): greedy recognizer wins "
+                "on constants"
+            )
+        else:
+            algorithm, reason = "machine", "default exact backend"
+        decision = DispatchDecision(
+            sequence=sequence,
+            algorithm=algorithm,  # type: ignore[arg-type]
+            shape=shape,
+            reason=reason,
+        )
+        with self._lock:
+            self._log.append(decision)
+            self._counts[algorithm] += 1
+        return decision
+
+    # -- checking -----------------------------------------------------------
+
+    def check_document(
+        self, document: XmlDocument | XmlElement
+    ) -> DispatchedVerdict:
+        """Choose a backend, run it, and return verdict plus decision."""
+        decision = self.choose(document)
+        verdict = self._checker(decision.algorithm).check_document(document)
+        return DispatchedVerdict(verdict=verdict, decision=decision)
+
+    def _checker(self, algorithm: Algorithm) -> PVChecker:
+        with self._lock:
+            checker = self._checkers.get(algorithm)
+        if checker is None:
+            checker = self.schema.checker(algorithm, self.config)
+            with self._lock:
+                checker = self._checkers.setdefault(algorithm, checker)
+        return checker
+
+    # -- the audit log ------------------------------------------------------
+
+    @property
+    def decisions(self) -> tuple[DispatchDecision, ...]:
+        """The most recent decisions, oldest first (bounded by ``log_size``)."""
+        with self._lock:
+            return tuple(self._log)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Total decisions per backend over the dispatcher's lifetime."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackendDispatcher({self.schema.fingerprint[:12]}..., "
+            f"counts={self.counts})"
+        )

@@ -12,6 +12,12 @@ The cache is a bounded LRU (recently *used*, not recently inserted: a hit
 refreshes the entry) guarded by a lock, and it keeps running statistics —
 hits, misses, evictions, and cumulative compile seconds — that the batch
 CLI and the E10 benchmark report.
+
+A registry may additionally be backed by a persistent
+:class:`~repro.service.store.ArtifactStore`: an in-memory miss then tries
+the disk before compiling (counted as a ``store_hit``, not a miss), and
+every fresh compile is written through, so a restarted process warms up
+from disk without recompiling anything.
 """
 
 from __future__ import annotations
@@ -19,10 +25,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
 from repro.service.compiled import CompiledSchema, compile_schema, schema_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> compiled)
+    from repro.service.store import ArtifactStore
 
 __all__ = [
     "RegistryStats",
@@ -42,20 +52,52 @@ class RegistryStats:
     compile_seconds: float = 0.0
     size: int = 0
     maxsize: int = 0
+    store_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.store_hits
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none yet)."""
+        """Fraction of lookups served warm — from memory or disk."""
         total = self.lookups
-        return self.hits / total if total else 0.0
+        return (self.hits + self.store_hits) / total if total else 0.0
+
+    @property
+    def compiles(self) -> int:
+        """Artifacts actually compiled (a miss that the store did not absorb)."""
+        return self.misses
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-ready rendering (the server's ``stats`` op uses this)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "evictions": self.evictions,
+            "compile_seconds": self.compile_seconds,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+    def merged(self, other: "RegistryStats") -> "RegistryStats":
+        """Counter-wise sum of two snapshots (pool-wide aggregation)."""
+        return RegistryStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            compile_seconds=self.compile_seconds + other.compile_seconds,
+            size=self.size + other.size,
+            maxsize=self.maxsize + other.maxsize,
+            store_hits=self.store_hits + other.store_hits,
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        disk = f", {self.store_hits} disk hit(s)" if self.store_hits else ""
         return (
-            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.hits} hit(s), {self.misses} miss(es){disk}, "
             f"{self.evictions} eviction(s), "
             f"{self.compile_seconds:.4f}s compiling, "
             f"{self.size}/{self.maxsize} cached"
@@ -71,18 +113,30 @@ class SchemaRegistry:
         Maximum number of artifacts retained.  The least recently *used*
         artifact is evicted when a newly compiled one would exceed the
         bound.  Must be positive.
+    store:
+        Optional persistent :class:`~repro.service.store.ArtifactStore`.
+        In-memory misses try the store before compiling, and fresh
+        compiles are written through to it.
     """
 
-    def __init__(self, maxsize: int = 64) -> None:
+    def __init__(
+        self, maxsize: int = 64, store: "ArtifactStore | None" = None
+    ) -> None:
         if maxsize <= 0:
             raise ValueError("registry maxsize must be positive")
         self.maxsize = maxsize
+        self.store = store
         self._entries: OrderedDict[str, CompiledSchema] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._store_hits = 0
         self._compile_seconds = 0.0
+
+    def attach_store(self, store: "ArtifactStore | None") -> None:
+        """Attach (or detach, with ``None``) the persistent backing store."""
+        self.store = store
 
     # -- lookup / compilation ----------------------------------------------
 
@@ -99,23 +153,49 @@ class SchemaRegistry:
                 self._hits += 1
                 self._entries.move_to_end(fingerprint)
                 return cached
-        # Compile outside the lock: compilation can be slow and must not
-        # serialize unrelated lookups.  A racing compile of the same DTD
-        # wastes work but stays correct (first store wins).
+        # Disk, then compile, both outside the lock: either can be slow and
+        # must not serialize unrelated lookups.  A racing load/compile of
+        # the same DTD wastes work but stays correct (first insert wins).
+        from_store = self.store.load(fingerprint) if self.store is not None else None
+        if from_store is not None:
+            return self._insert(fingerprint, from_store, source="store")
         schema = compile_schema(dtd, fingerprint=fingerprint)
+        if self.store is not None:
+            try:
+                self.store.save(schema)
+            except OSError:
+                pass  # an unwritable store degrades to memory-only caching
+        return self._insert(fingerprint, schema, source="compile")
+
+    def _insert(
+        self, fingerprint: str, schema: CompiledSchema, source: str
+    ) -> CompiledSchema:
         with self._lock:
             existing = self._entries.get(fingerprint)
             if existing is not None:
-                self._hits += 1
+                if source != "seed":
+                    self._hits += 1
                 self._entries.move_to_end(fingerprint)
                 return existing
-            self._misses += 1
-            self._compile_seconds += schema.compile_seconds
+            if source == "store":
+                self._store_hits += 1
+            elif source == "compile":
+                self._misses += 1
+                self._compile_seconds += schema.compile_seconds
             self._entries[fingerprint] = schema
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
         return schema
+
+    def put(self, schema: CompiledSchema) -> CompiledSchema:
+        """Seed an already-compiled artifact (counts neither hit nor miss).
+
+        Used to hand a worker process the artifact its parent compiled, so
+        subsequent lookups in the worker are honest warm hits.  Returns the
+        retained artifact (an already-cached equal one wins).
+        """
+        return self._insert(schema.fingerprint, schema, source="seed")
 
     def get_text(
         self, text: str, root: str | None = None, name: str = "dtd"
@@ -123,12 +203,22 @@ class SchemaRegistry:
         """Parse DTD *text* and return its compiled artifact."""
         return self.get(parse_dtd(text, root=root, name=name))
 
-    def lookup(self, fingerprint: str) -> CompiledSchema | None:
-        """Peek by content hash without compiling (refreshes LRU order)."""
+    def lookup(self, fingerprint: str, count: bool = False) -> CompiledSchema | None:
+        """Peek by content hash without compiling (refreshes LRU order).
+
+        With ``count=True`` a *hit* is recorded in the statistics — the
+        form serving paths use, where a fingerprint lookup is the
+        request's cache access.  A miss is deliberately not counted: the
+        caller falls back to :meth:`get`, which classifies the outcome
+        accurately (store hit vs compile); counting here too would record
+        one request twice.
+        """
         with self._lock:
             cached = self._entries.get(fingerprint)
             if cached is not None:
                 self._entries.move_to_end(fingerprint)
+                if count:
+                    self._hits += 1
             return cached
 
     # -- maintenance --------------------------------------------------------
@@ -140,7 +230,7 @@ class SchemaRegistry:
 
     def reset_stats(self) -> None:
         with self._lock:
-            self._hits = self._misses = self._evictions = 0
+            self._hits = self._misses = self._evictions = self._store_hits = 0
             self._compile_seconds = 0.0
 
     def __len__(self) -> int:
@@ -163,6 +253,7 @@ class SchemaRegistry:
                 compile_seconds=self._compile_seconds,
                 size=len(self._entries),
                 maxsize=self.maxsize,
+                store_hits=self._store_hits,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

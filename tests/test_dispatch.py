@@ -1,0 +1,140 @@
+"""Tests for document-shape measurement and multi-backend dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pv import PVChecker
+from repro.dtd.parser import parse_dtd
+from repro.service.dispatch import (
+    BackendDispatcher,
+    DispatchPolicy,
+    measure_shape,
+)
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.parser import parse_xml
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+
+#: Example 5's T1: PV-strong recursive (a may require unboundedly deep wraps).
+STRONG = "<!ELEMENT a (a | b*)><!ELEMENT b EMPTY>"
+
+
+class TestMeasureShape:
+    def test_counts_elements_and_depth(self):
+        shape = measure_shape(parse_xml("<r><a><b></b></a><a></a></r>"))
+        assert shape.elements == 4
+        assert shape.depth == 3
+        assert shape.sigma_tokens == 0
+        assert shape.gap_density == 0.0
+
+    def test_gap_density_counts_character_runs(self):
+        # r: [a] — a: [#PCDATA] — so 1 sigma out of 2 content tokens.
+        shape = measure_shape(parse_xml("<r><a>some text</a></r>"))
+        assert shape.content_tokens == 2
+        assert shape.sigma_tokens == 1
+        assert shape.gap_density == 0.5
+
+    def test_empty_document(self):
+        shape = measure_shape(parse_xml("<r></r>"))
+        assert shape.elements == 1
+        assert shape.depth == 1
+        assert shape.gap_density == 0.0
+
+
+class TestPolicyRouting:
+    def test_small_shallow_goes_greedy(self):
+        dispatcher = BackendDispatcher(parse_dtd(FIGURE1))
+        decision = dispatcher.choose(parse_xml("<r><a><e></e></a></r>"))
+        assert decision.algorithm == "figure5"
+        assert "small and shallow" in decision.reason
+
+    def test_gap_heavy_goes_machine(self):
+        dispatcher = BackendDispatcher(parse_dtd(FIGURE1))
+        decision = dispatcher.choose(parse_xml("<r><a>plenty of text</a></r>"))
+        assert decision.algorithm == "machine"
+        assert "gap-heavy" in decision.reason
+
+    def test_large_document_goes_machine(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(small_elements=2)
+        )
+        decision = dispatcher.choose(
+            parse_xml("<r><a><e></e></a><a><e></e></a></r>")
+        )
+        assert decision.algorithm == "machine"
+        assert decision.reason == "default exact backend"
+
+    def test_deep_document_goes_machine(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(shallow_depth=1)
+        )
+        decision = dispatcher.choose(parse_xml("<r><a><e></e></a></r>"))
+        assert decision.algorithm == "machine"
+
+    def test_pv_strong_always_machine(self):
+        dispatcher = BackendDispatcher(parse_dtd(STRONG))
+        decision = dispatcher.choose(parse_xml("<a></a>"))
+        assert decision.algorithm == "machine"
+        assert "PV-strong" in decision.reason
+
+    def test_audit_slice_goes_earley(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(audit_every=3)
+        )
+        document = parse_xml("<r><a><e></e></a></r>")
+        algorithms = [dispatcher.choose(document).algorithm for _ in range(6)]
+        assert algorithms == [
+            "figure5", "figure5", "earley", "figure5", "figure5", "earley",
+        ]
+        assert dispatcher.counts == {"figure5": 4, "earley": 2}
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            DispatchPolicy(gap_heavy=1.5)
+        with pytest.raises(ValueError):
+            DispatchPolicy(audit_every=-1)
+        with pytest.raises(ValueError):
+            DispatchPolicy(small_elements=-1)
+
+
+class TestDispatchedChecking:
+    def test_verdicts_match_direct_checker(self):
+        dtd = parse_dtd(FIGURE1)
+        dispatcher = BackendDispatcher(dtd)
+        direct = PVChecker(dtd)
+        generator = DocumentGenerator(dtd, seed=13)
+        for document in generator.documents(6, target_nodes=20):
+            outcome = dispatcher.check_document(document)
+            assert bool(outcome) == direct.is_potentially_valid(document)
+            assert outcome.decision.algorithm in ("machine", "figure5", "earley")
+
+    def test_decision_log_is_bounded(self):
+        dispatcher = BackendDispatcher(parse_dtd(FIGURE1), log_size=2)
+        document = parse_xml("<r></r>")
+        for _ in range(5):
+            dispatcher.choose(document)
+        decisions = dispatcher.decisions
+        assert len(decisions) == 2
+        assert decisions[-1].sequence == 5  # the log keeps the newest
+
+    def test_checkers_share_compiled_artifact(self):
+        dtd = parse_dtd(FIGURE1)
+        dispatcher = BackendDispatcher(dtd)
+        dispatcher.check_document(parse_xml("<r></r>"))
+        dispatcher.check_document(parse_xml("<r><a>text</a></r>"))
+        checkers = list(dispatcher._checkers.values())
+        assert len(checkers) >= 2
+        assert all(c.compiled is dispatcher.schema for c in checkers)
+
+    def test_log_size_validated(self):
+        with pytest.raises(ValueError):
+            BackendDispatcher(parse_dtd(FIGURE1), log_size=-1)

@@ -1,0 +1,384 @@
+"""Tests for the asyncio validation server, protocol, and client."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.server import protocol
+from repro.server.client import ServerError, ValidationClient
+from repro.server.protocol import ProtocolError, decode_request
+from repro.server.server import ServerThread, ValidationServer
+from repro.service.registry import SchemaRegistry
+from repro.service.store import ArtifactStore
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+
+DOC_OK = "<r><a><b>A quick brown</b><c> fox</c> dog<e></e></a></r>"
+#: The paper's W: <e> before <c> cannot be completed by insertions alone.
+DOC_BAD = "<r><a><b>A quick brown</b><e></e><c> fox</c> dog</a></r>"
+
+
+# -- protocol unit tests -----------------------------------------------------
+
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        request = decode_request(
+            json.dumps(
+                {"op": "check", "dtd": FIGURE1, "doc": DOC_OK,
+                 "algorithm": "machine", "id": 7}
+            )
+        )
+        assert request.op == "check"
+        assert request.algorithm == "machine"
+        assert request.id == 7
+
+    def test_bad_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(b"this is { not json")
+        assert excinfo.value.code == "bad-json"
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(b"[1, 2, 3]")
+        assert excinfo.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(json.dumps({"op": "frobnicate"}))
+        assert excinfo.value.code == "unsupported-op"
+
+    def test_missing_dtd(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(json.dumps({"op": "check", "doc": DOC_OK}))
+        assert "requires 'dtd'" in excinfo.value.message
+
+    def test_missing_doc(self):
+        with pytest.raises(ProtocolError):
+            decode_request(json.dumps({"op": "validate", "dtd": FIGURE1}))
+
+    def test_stats_needs_nothing(self):
+        assert decode_request(json.dumps({"op": "stats"})).op == "stats"
+
+    def test_bad_algorithm(self):
+        with pytest.raises(ProtocolError):
+            decode_request(
+                json.dumps({"op": "check", "dtd": FIGURE1, "doc": DOC_OK,
+                            "algorithm": "magic"})
+            )
+
+    def test_non_string_field(self):
+        with pytest.raises(ProtocolError):
+            decode_request(json.dumps({"op": "check", "dtd": 42, "doc": DOC_OK}))
+
+    def test_encode_is_one_line(self):
+        encoded = protocol.encode({"ok": True, "nested": {"a": [1, 2]}})
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+
+
+# -- live server tests -------------------------------------------------------
+
+
+@pytest.fixture
+def server_handle():
+    with ServerThread(host="127.0.0.1", port=0) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server_handle):
+    with ValidationClient.connect(server_handle.tcp_address) as client:
+        yield client
+
+
+class TestServerRoundTrip:
+    def test_check_ok(self, client):
+        reply = client.check(FIGURE1, DOC_OK)
+        assert reply["ok"] is True
+        assert reply["potentially_valid"] is True
+        assert reply["failures"] == []
+        assert reply["elapsed_ms"] >= 0
+        assert reply["schema"]["registry"] == "miss"
+        assert len(reply["schema"]["fingerprint"]) == 64
+
+    def test_check_not_pv_carries_failures(self, client):
+        reply = client.check(FIGURE1, DOC_BAD)
+        assert reply["potentially_valid"] is False
+        assert reply["failures"]
+        assert reply["failures"][0]["element"]
+
+    def test_second_request_is_a_registry_hit(self, client):
+        client.check(FIGURE1, DOC_OK)
+        assert client.check(FIGURE1, DOC_OK)["schema"]["registry"] == "hit"
+
+    def test_explicit_algorithms_agree(self, client):
+        verdicts = {
+            algorithm: client.check(FIGURE1, DOC_OK, algorithm=algorithm)[
+                "potentially_valid"
+            ]
+            for algorithm in ("machine", "figure5", "earley")
+        }
+        assert set(verdicts.values()) == {True}
+
+    def test_auto_dispatch_reports_reason(self, client):
+        reply = client.check(FIGURE1, DOC_OK, algorithm="auto")
+        assert reply["algorithm"] in ("machine", "figure5", "earley")
+        assert reply["dispatch_reason"]
+
+    def test_id_is_echoed(self, client):
+        assert client.check(FIGURE1, DOC_OK, id="req-1")["id"] == "req-1"
+
+    def test_classify(self, client):
+        reply = client.classify(FIGURE1)
+        assert reply["dtd_class"] == "non-recursive"
+        assert reply["element_count"] == 7
+
+    def test_validate(self, client):
+        reply = client.validate(FIGURE1, DOC_OK)
+        assert reply["valid"] is False  # potentially valid, not yet valid
+        assert reply["issues"]
+
+    def test_stats(self, client):
+        client.check(FIGURE1, DOC_OK)
+        reply = client.stats()
+        assert reply["server"]["requests"] >= 2
+        assert reply["registry"]["size"] == 1
+        assert reply["store"] is None
+
+    def test_unix_socket(self, tmp_path):
+        with ServerThread(unix_path=str(tmp_path / "pv.sock")) as handle:
+            assert handle.tcp_address is None
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+
+
+class TestServerErrors:
+    """Every defect is a structured reply; the connection survives."""
+
+    def test_malformed_json_then_normal_request(self, client):
+        reply = client.send_raw(b"this is definitely { not json\n")
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "bad-json"
+        # Same socket still serves real requests.
+        assert client.check(FIGURE1, DOC_OK)["potentially_valid"] is True
+
+    def test_bad_dtd(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.check("<!ELEMENT broken", DOC_OK)
+        assert excinfo.value.code == "bad-dtd"
+
+    def test_bad_document(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.check(FIGURE1, "<r><a></r>")
+        assert excinfo.value.code == "bad-document"
+
+    def test_unknown_op(self, client):
+        reply = client.send_raw(b'{"op": "frobnicate"}\n')
+        assert reply["error"]["code"] == "unsupported-op"
+
+    def test_blank_lines_are_ignored(self, client):
+        reply = client.send_raw(b"\n" + protocol.encode({"op": "stats"}))
+        assert reply["ok"] is True
+
+    def test_errors_counted_in_stats(self, client):
+        with pytest.raises(ServerError):
+            client.check("<!ELEMENT broken", DOC_OK)
+        assert client.stats()["server"]["errors"] >= 1
+
+    def test_error_replies_echo_the_request_id(self, client):
+        reply = client.send_raw(
+            protocol.encode(
+                {"op": "check", "dtd": "<!ELEMENT broken", "doc": DOC_OK,
+                 "id": 42}
+            )
+        )
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "bad-dtd"
+        assert reply["id"] == 42
+
+
+class TestConcurrentClients:
+    def test_many_connections_share_one_registry(self):
+        registry = SchemaRegistry()
+        with ServerThread(host="127.0.0.1", registry=registry) as handle:
+            errors: list[Exception] = []
+
+            def worker() -> None:
+                try:
+                    with ValidationClient.connect(handle.tcp_address) as client:
+                        for _ in range(5):
+                            reply = client.check(FIGURE1, DOC_OK)
+                            assert reply["potentially_valid"] is True
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            with ValidationClient.connect(handle.tcp_address) as client:
+                stats = client.stats()
+        # One compile total; every other access was a warm hit, so the
+        # hit rate climbs toward 1 as connections pile on.
+        assert stats["registry"]["misses"] == 1
+        assert stats["registry"]["hits"] >= 29
+        assert stats["registry"]["hit_rate"] > 0.9
+        assert registry.stats.size == 1
+
+
+class _SlowServer(ValidationServer):
+    """Adds a delay inside request handling to widen the in-flight window."""
+
+    def __init__(self, delay: float, **kwargs: object) -> None:
+        super().__init__(**kwargs)
+        self.delay = delay
+
+    async def _handle_line(self, line: bytes) -> dict:
+        response = await super()._handle_line(line)
+        await asyncio.sleep(self.delay)
+        return response
+
+
+class TestGracefulShutdown:
+    def test_inflight_request_is_drained(self):
+        handle = ServerThread(_SlowServer(delay=0.6), host="127.0.0.1")
+        handle.start()
+        client = ValidationClient.connect(handle.tcp_address)
+        result: dict = {}
+
+        def send() -> None:
+            result.update(client.check(FIGURE1, DOC_OK))
+
+        sender = threading.Thread(target=send)
+        try:
+            sender.start()
+            # Let the request reach the server, then stop while in flight.
+            import time
+
+            time.sleep(0.2)
+            handle.stop()  # blocks until drained
+            sender.join(timeout=5)
+            assert not sender.is_alive()
+            assert result.get("potentially_valid") is True
+        finally:
+            client.close()
+
+    def test_new_connections_refused_after_stop(self):
+        with ServerThread(host="127.0.0.1") as handle:
+            address = handle.tcp_address
+            with ValidationClient.connect(address) as client:
+                client.check(FIGURE1, DOC_OK)
+        with pytest.raises(OSError):
+            ValidationClient.connect(address)
+
+
+class TestStoreBackedServer:
+    def test_restart_skips_recompilation(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        with ServerThread(
+            host="127.0.0.1", store=ArtifactStore(store_dir)
+        ) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                assert client.check(FIGURE1, DOC_OK)["schema"]["registry"] == "miss"
+        # "Restart": a brand-new server and registry over the same store.
+        with ServerThread(
+            host="127.0.0.1", store=ArtifactStore(store_dir)
+        ) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                reply = client.check(FIGURE1, DOC_OK)
+                stats = client.stats()
+        assert reply["schema"]["registry"] == "store"
+        assert stats["registry"]["misses"] == 0
+        assert stats["registry"]["store_hits"] == 1
+        assert stats["registry"]["compile_seconds"] == 0.0
+
+    def test_corrupt_store_recovers_by_recompiling(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        fingerprint = None
+        with ServerThread(
+            host="127.0.0.1", store=ArtifactStore(store_dir)
+        ) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                fingerprint = client.check(FIGURE1, DOC_OK)["schema"]["fingerprint"]
+        ArtifactStore(store_dir).path_for(fingerprint).write_bytes(b"garbage")
+        store = ArtifactStore(store_dir)
+        with ServerThread(host="127.0.0.1", store=store) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                reply = client.check(FIGURE1, DOC_OK)
+        assert reply["potentially_valid"] is True
+        assert reply["schema"]["registry"] == "miss"  # honest recompile
+        assert store.stats.corrupt == 1
+        # The recompiled artifact healed the store for the next restart.
+        assert store.load(fingerprint) is not None
+
+
+class TestProcessPoolServer:
+    def test_pool_answers_match_inline(self):
+        with ServerThread(host="127.0.0.1", workers=2) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                replies = [
+                    client.check(FIGURE1, doc, algorithm="machine")
+                    for doc in (DOC_OK, DOC_BAD, DOC_OK, DOC_BAD)
+                ]
+        assert [r["potentially_valid"] for r in replies] == [
+            True, False, True, False,
+        ]
+
+    def test_pool_bad_document_is_structured(self):
+        with ServerThread(host="127.0.0.1", workers=1) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.check(FIGURE1, "<r><a></r>")
+                assert excinfo.value.code == "bad-document"
+                # And the pool still serves afterwards.
+                assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+
+    def test_broken_pool_is_rebuilt(self):
+        import os
+        from concurrent.futures import BrokenExecutor
+
+        with ServerThread(host="127.0.0.1", workers=1) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+                # Kill the worker out from under the server, poisoning
+                # the executor the way an OOM-kill would.
+                with pytest.raises(BrokenExecutor):
+                    handle.server._pool.submit(os._exit, 1).result()
+                # The next request rebuilds the pool and still answers.
+                assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+
+
+class TestServerConstruction:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationServer(workers=-1)
+
+    def test_unknown_default_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationServer(default_algorithm="quantum")
+
+    def test_needs_an_endpoint(self):
+        server = ValidationServer()
+        with pytest.raises(ValueError):
+            asyncio.run(server.start())
+
+    def test_bind_error_surfaces_from_thread(self):
+        with ServerThread(host="127.0.0.1", port=0) as handle:
+            _host, port = handle.tcp_address
+            with pytest.raises(OSError):
+                ServerThread(host="127.0.0.1", port=port).start()

@@ -378,3 +378,50 @@ class TestReviewRegressions:
             ["<r></r>"]
         )
         assert result.workers == 1  # single task ran inline, no pool
+
+
+class TestWorkerStatsAggregation:
+    """`--stats --workers N` must reflect the pool, not just the parent."""
+
+    def test_inline_run_has_no_worker_stats(self):
+        result = BatchChecker(parse_dtd(FIGURE1)).check_texts(["<r></r>"])
+        assert result.worker_stats == ()
+        assert result.pool_registry is None
+
+    def test_pooled_run_aggregates_worker_hits(self):
+        texts = ["<r></r>"] * 8
+        result = BatchChecker(parse_dtd(FIGURE1), workers=2).check_texts(texts)
+        assert result.workers == 2
+        assert 1 <= len(result.worker_stats) <= 2
+        pool = result.pool_registry
+        assert pool is not None
+        # Every document was answered from the shipped artifact: all hits,
+        # and no worker ever compiled anything.
+        assert pool.hits == len(texts)
+        assert pool.misses == 0
+        assert pool.compile_seconds == 0.0
+        assert pool.hit_rate == 1.0
+
+    def test_cli_batch_stats_reports_pool(self, tmp_path, capsys):
+        schema = tmp_path / "figure1.dtd"
+        schema.write_text(FIGURE1)
+        paths = []
+        for index in range(4):
+            path = tmp_path / f"doc{index}.xml"
+            path.write_text("<r></r>")
+            paths.append(str(path))
+        assert main(["batch", str(schema), *paths, "--workers", "2", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "registry:" in err
+        assert "pool registry" in err
+        assert "4 hit(s)" in err
+
+    def test_cli_inline_stats_has_no_pool_line(self, tmp_path, capsys):
+        schema = tmp_path / "figure1.dtd"
+        schema.write_text(FIGURE1)
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<r></r>")
+        assert main(["batch", str(schema), str(doc), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "registry:" in err
+        assert "pool registry" not in err

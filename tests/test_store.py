@@ -1,0 +1,238 @@
+"""Tests for the persistent on-disk artifact store and its registry hookup."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.service.compiled import compile_schema
+from repro.service.registry import SchemaRegistry
+from repro.service.store import (
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    ArtifactStore,
+    default_store_dir,
+)
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+
+PLAY = "<!ELEMENT play (act+)><!ELEMENT act (#PCDATA)>"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+@pytest.fixture
+def schema():
+    return compile_schema(parse_dtd(FIGURE1))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, store, schema):
+        path = store.save(schema)
+        assert path.exists()
+        loaded = store.load(schema.fingerprint)
+        assert loaded is not None
+        assert loaded.fingerprint == schema.fingerprint
+        assert loaded.dtd == schema.dtd
+        # The loaded artifact answers verdicts like the original.
+        assert loaded.checker().check_content("r", ["a"])
+
+    def test_header_is_versioned(self, store, schema):
+        path = store.save(schema)
+        first_line = path.read_bytes().split(b"\n", 1)[0]
+        assert first_line == f"{STORE_MAGIC} {STORE_FORMAT_VERSION}".encode()
+
+    def test_missing_is_a_miss(self, store):
+        assert store.load("0" * 64) is None
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+
+    def test_contains_and_fingerprints(self, store, schema):
+        assert schema.fingerprint not in store
+        store.save(schema)
+        assert schema.fingerprint in store
+        assert store.fingerprints() == [schema.fingerprint]
+        assert len(store) == 1
+
+    def test_save_is_atomic_no_temp_left_behind(self, store, schema):
+        store.save(schema)
+        leftovers = [
+            name
+            for name in os.listdir(store.directory)
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_clear(self, store, schema):
+        store.save(schema)
+        store.save(compile_schema(parse_dtd(PLAY)))
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_orphaned_temp_files_are_not_artifacts(self, store, schema):
+        store.save(schema)
+        orphan = store.directory / ".tmp-orphan.pkl"
+        orphan.write_bytes(b"a saver died mid-write")
+        assert len(store) == 1
+        assert store.stats.artifacts == 1
+        assert store.fingerprints() == [schema.fingerprint]
+        assert store.clear() == 1  # the orphan is swept but not counted
+        assert list(store.directory.iterdir()) == []
+
+    def test_stats_counts_bytes(self, store, schema):
+        store.save(schema)
+        stats = store.stats
+        assert stats.artifacts == 1
+        assert stats.total_bytes > 0
+        assert stats.saves == 1
+
+
+class TestCorruptionTolerance:
+    """Every defect is a miss that falls back to recompilation, never an error."""
+
+    def test_truncated_payload(self, store, schema):
+        path = store.save(schema)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert store.load(schema.fingerprint) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()  # unlinked so the next save replaces it
+
+    def test_garbage_bytes(self, store, schema):
+        path = store.save(schema)
+        path.write_bytes(b"\x00\xff garbage, definitely not a pickle \x00")
+        assert store.load(schema.fingerprint) is None
+        assert store.stats.corrupt == 1
+
+    def test_wrong_magic(self, store, schema):
+        path = store.save(schema)
+        blob = path.read_bytes()
+        path.write_bytes(b"some-other-tool 1\n" + blob.split(b"\n", 1)[1])
+        assert store.load(schema.fingerprint) is None
+
+    def test_future_format_version(self, store, schema):
+        path = store.save(schema)
+        blob = path.read_bytes()
+        header = f"{STORE_MAGIC} {STORE_FORMAT_VERSION + 1}\n".encode()
+        path.write_bytes(header + blob.split(b"\n", 1)[1])
+        assert store.load(schema.fingerprint) is None
+
+    def test_renamed_file_fingerprint_mismatch(self, store, schema):
+        """A file whose payload is a different schema does not satisfy a load."""
+        store.save(schema)
+        other = compile_schema(parse_dtd(PLAY))
+        os.replace(
+            store.path_for(schema.fingerprint), store.path_for(other.fingerprint)
+        )
+        assert store.load(other.fingerprint) is None
+        assert store.stats.corrupt == 1
+
+    def test_empty_file(self, store, schema):
+        path = store.path_for(schema.fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"")
+        assert store.load(schema.fingerprint) is None
+
+
+class TestRegistryIntegration:
+    def test_compile_writes_through(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        registry = SchemaRegistry(store=store)
+        schema = registry.get(parse_dtd(FIGURE1))
+        assert schema.fingerprint in store
+        assert registry.stats.misses == 1
+        assert store.stats.saves == 1
+
+    def test_restart_loads_without_compiling(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        first = SchemaRegistry(store=ArtifactStore(store_dir))
+        compiled = first.get(parse_dtd(FIGURE1))
+        # A "restarted process": fresh registry, fresh store handle.
+        second = SchemaRegistry(store=ArtifactStore(store_dir))
+        loaded = second.get(parse_dtd(FIGURE1))
+        stats = second.stats
+        assert loaded.fingerprint == compiled.fingerprint
+        assert stats.misses == 0  # no compile happened
+        assert stats.store_hits == 1
+        assert stats.compile_seconds == 0.0
+        assert stats.hit_rate == 1.0
+
+    def test_corrupt_store_falls_back_to_recompile(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        first = SchemaRegistry(store=ArtifactStore(store_dir))
+        compiled = first.get(parse_dtd(FIGURE1))
+        path = ArtifactStore(store_dir).path_for(compiled.fingerprint)
+        path.write_bytes(b"truncated" * 3)
+        store = ArtifactStore(store_dir)
+        registry = SchemaRegistry(store=store)
+        recompiled = registry.get(parse_dtd(FIGURE1))
+        assert recompiled.fingerprint == compiled.fingerprint
+        assert registry.stats.misses == 1  # honest recompile
+        assert store.stats.corrupt == 1
+        # ... and the recompile was written back, healing the store.
+        assert store.load(compiled.fingerprint) is not None
+
+    def test_unwritable_store_degrades_to_memory(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the store directory should be")
+        registry = SchemaRegistry(store=ArtifactStore(target))
+        schema = registry.get(parse_dtd(FIGURE1))  # save fails silently
+        assert registry.stats.misses == 1
+        assert registry.lookup(schema.fingerprint) is schema
+
+    def test_attach_store_later(self, tmp_path):
+        registry = SchemaRegistry()
+        registry.get(parse_dtd(FIGURE1))
+        store = ArtifactStore(tmp_path / "artifacts")
+        registry.attach_store(store)
+        registry.get(parse_dtd(PLAY))
+        assert len(store) == 1  # only the post-attach compile is persisted
+
+
+class TestRegistrySeeding:
+    def test_put_counts_neither_hit_nor_miss(self):
+        registry = SchemaRegistry()
+        schema = compile_schema(parse_dtd(FIGURE1))
+        assert registry.put(schema) is schema
+        stats = registry.stats
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 1)
+
+    def test_put_keeps_existing_artifact(self):
+        registry = SchemaRegistry()
+        original = registry.get(parse_dtd(FIGURE1))
+        clone = compile_schema(parse_dtd(FIGURE1))
+        assert registry.put(clone) is original
+
+    def test_counted_lookup(self):
+        registry = SchemaRegistry()
+        schema = registry.get(parse_dtd(FIGURE1))
+        registry.lookup(schema.fingerprint, count=True)
+        registry.lookup("f" * 64, count=True)  # miss: left for get() to count
+        registry.lookup(schema.fingerprint)  # peek: not counted
+        stats = registry.stats
+        assert stats.hits == 1
+        assert stats.misses == 1  # only the compile; no double counting
+
+
+class TestDefaultStoreDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert default_store_dir() == tmp_path / "cache"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_store_dir() == tmp_path / "xdg" / "repro-pv" / "artifacts"
