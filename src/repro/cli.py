@@ -19,12 +19,17 @@ Seven commands wrap the library for shell use:
 ``batch SCHEMA.dtd DOC.xml [DOC.xml ...]``
     Compile the schema once and check a whole corpus, optionally over a
     worker pool (``--workers N``); prints one verdict per document plus
-    aggregate throughput statistics.
+    aggregate throughput statistics.  With ``--ring ADDR[,ADDR...]`` the
+    corpus is instead streamed (one ``check-batch`` op) to the owning
+    shard of a validation-server ring.
 
 ``serve``
     Run the long-lived NDJSON validation server (TCP and/or a Unix
     socket) over one warm schema registry, optionally backed by the
-    persistent artifact store and a process pool.
+    persistent artifact store and a process pool.  ``--ring N`` starts a
+    local ring of N shard servers (consecutive ports / suffixed socket
+    paths, one registry and store partition each) for development and
+    smoke testing of the sharded topology.
 
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the persistent artifact store.
@@ -135,6 +140,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.ring:
+        return _cmd_batch_ring(args)
     schema = DEFAULT_REGISTRY.get(_load_dtd(args.schema, args.root))
     checker = BatchChecker(
         schema, algorithm=args.algorithm, workers=args.workers
@@ -154,37 +161,135 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if result.all_ok else 1
 
 
+def _cmd_batch_ring(args: argparse.Namespace) -> int:
+    """Stream the corpus to a validation-server ring (``batch --ring``)."""
+    from repro.server.client import ServerError
+    from repro.server.protocol import ProtocolError
+    from repro.server.ring import ShardedClient, member_label, parse_member
+
+    try:
+        members = [parse_member(text) for text in args.ring.split(",") if text]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return USAGE_ERROR
+    if not members:
+        print("error: --ring needs at least one ADDR", file=sys.stderr)
+        return USAGE_ERROR
+    dtd_text = Path(args.schema).read_text()
+    docs = [Path(path).read_text() for path in args.documents]
+    with ShardedClient(members) as ring:
+        try:
+            replies, trailer = ring.check_batch(
+                dtd_text, docs, algorithm=args.algorithm, root=args.root
+            )
+        except ProtocolError as error:
+            print(f"error: {error.message}", file=sys.stderr)
+            # A bad schema (the ring client fingerprints it locally, so
+            # ReproError arrives wrapped) is a usage error, same exit
+            # code the local batch path gives parse errors; anything
+            # else (e.g. a garbled reply) is a runtime failure.
+            return USAGE_ERROR if error.code == "bad-dtd" else RUNTIME_ERROR
+        except ServerError as error:
+            # The shard rejected the batch (bad header, internal error).
+            print(f"error: {error}", file=sys.stderr)
+            return RUNTIME_ERROR
+        except ConnectionError as error:
+            # No shard reachable: a deployment failure, not bad usage.
+            print(f"error: {error}", file=sys.stderr)
+            return RUNTIME_ERROR
+        all_ok = True
+        for path, reply in zip(args.documents, replies):
+            if not reply.get("ok"):
+                all_ok = False
+                error = reply.get("error") or {}
+                print(f"{path}: ERROR {error.get('code')}: {error.get('message')}")
+            elif reply["potentially_valid"]:
+                print(f"{path}: potentially valid")
+            else:
+                all_ok = False
+                count = len(reply["failures"])
+                print(f"{path}: NOT potentially valid ({count} blocked node(s))")
+        # The shard that actually served the batch (failover may have
+        # routed past the ring owner); this fresh client made one call.
+        served_by = ring.ring_stats["requests_by_member"]
+        shard = next(iter(served_by)) if served_by else member_label(
+            ring.ring.owner(ring.fingerprint(dtd_text, args.root))
+        )
+        print(
+            f"{trailer['items']} document(s), {trailer['errors']} error(s) in "
+            f"{trailer['elapsed_ms']:.1f} ms on shard {shard} "
+            f"(registry: {trailer['schema']['registry']})",
+            file=sys.stderr,
+        )
+        if args.stats:
+            stats = ring.ring_stats
+            print(f"ring: {stats}", file=sys.stderr)
+    return 0 if all_ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.server.server import ValidationServer
 
-    store = ArtifactStore(args.store) if args.store else None
-    server = ValidationServer(
-        store=store,
-        workers=args.workers,
-        default_algorithm=args.algorithm,
-    )
     host = None if args.no_tcp else args.host
     if host is None and args.unix is None:
         print("error: --no-tcp requires --unix PATH", file=sys.stderr)
         return USAGE_ERROR
+    shards = args.ring
+
+    def shard_store(index: int) -> ArtifactStore | None:
+        if not args.store:
+            return None
+        # Each shard owns a disjoint slice of the schema space, so each
+        # gets its own store partition — artifacts travel between shards
+        # over the wire (put-artifact), not through a shared directory.
+        if shards == 1:
+            return ArtifactStore(args.store)
+        return ArtifactStore(Path(args.store) / f"shard-{index}")
+
+    servers = [
+        ValidationServer(
+            store=shard_store(index),
+            workers=args.workers,
+            default_algorithm=args.algorithm,
+        )
+        for index in range(shards)
+    ]
+
+    def endpoints(index: int) -> tuple[int | None, str | None]:
+        port = args.port
+        if port and shards > 1:
+            port = port + index
+        unix = args.unix
+        if unix is not None and shards > 1:
+            unix = f"{unix}.{index}"
+        return port, unix
 
     async def run() -> None:
-        await server.start(host=host, port=args.port, unix_path=args.unix)
-        if server.tcp_address is not None:
-            print(
-                f"listening on {server.tcp_address[0]}:{server.tcp_address[1]}",
-                file=sys.stderr,
-            )
-        if server.unix_path is not None:
-            print(f"listening on unix:{server.unix_path}", file=sys.stderr)
-        if store is not None:
-            print(f"artifact store: {store.directory}", file=sys.stderr)
+        started: list[ValidationServer] = []
         try:
-            await server.serve_forever()
+            for index, server in enumerate(servers):
+                port, unix = endpoints(index)
+                await server.start(host=host, port=port, unix_path=unix)
+                started.append(server)
+                name = f"shard {index}: " if shards > 1 else ""
+                if server.tcp_address is not None:
+                    print(
+                        f"{name}listening on "
+                        f"{server.tcp_address[0]}:{server.tcp_address[1]}",
+                        file=sys.stderr,
+                    )
+                if server.unix_path is not None:
+                    print(f"{name}listening on unix:{server.unix_path}",
+                          file=sys.stderr)
+                if server.store is not None:
+                    print(f"{name}artifact store: {server.store.directory}",
+                          file=sys.stderr)
+            await asyncio.gather(*(server.serve_forever() for server in started))
         finally:
-            await server.stop()
+            for server in started:
+                await server.stop()
 
     try:
         asyncio.run(run())
@@ -304,6 +409,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print schema-registry cache statistics",
     )
+    batch.add_argument(
+        "--ring",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help=(
+            "stream the corpus to a validation-server ring instead of "
+            "checking locally (ADDR is host:port or a unix socket path)"
+        ),
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     complete = sub.add_parser("complete", help="compute a valid extension")
@@ -350,6 +464,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="backend for requests that name none (default: auto-dispatch)",
     )
+    serve.add_argument(
+        "--ring",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "start a local ring of N shard servers (consecutive ports, "
+            "socket paths suffixed .0..N-1, one store partition each)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     cache = sub.add_parser(
@@ -381,8 +505,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.handler is _cmd_batch and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return USAGE_ERROR
+    if args.handler is _cmd_batch and args.ring and args.workers != 1:
+        print("error: --ring and --workers are mutually exclusive", file=sys.stderr)
+        return USAGE_ERROR
     if args.handler is _cmd_serve and args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.ring < 1:
+        print("error: --ring must be >= 1", file=sys.stderr)
         return USAGE_ERROR
     try:
         return args.handler(args)

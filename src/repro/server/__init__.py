@@ -11,9 +11,15 @@ process serving traffic:
   compiled artifacts by fingerprint, graceful draining shutdown) and
   :class:`ServerThread` (a server on its own event-loop thread).
 * :mod:`repro.server.client` — :class:`ValidationClient`, the blocking
-  NDJSON client used by tests, the benchmark, and the CI smoke job.
+  NDJSON client (pipelining, streaming ``check-batch``, artifact
+  transfer) used by tests, the benchmarks, and the CI smoke jobs.
+* :mod:`repro.server.ring` — the horizontal-scaling layer:
+  :class:`ShardRing` (consistent hashing with virtual nodes) and
+  :class:`ShardedClient` (fingerprint routing, deterministic failover,
+  compile-at-most-once artifact hand-off between shards).
 
-Start one from the shell with ``python -m repro serve``.
+Start one from the shell with ``python -m repro serve`` (or a local
+ring of N shards with ``python -m repro serve --ring N``).
 """
 
 from repro.server.client import ServerError, ValidationClient
@@ -21,14 +27,18 @@ from repro.server.protocol import (
     ALGORITHMS,
     MAX_LINE_BYTES,
     OPS,
+    SCHEMA_OPS,
+    BatchItem,
     ProtocolError,
     Request,
+    decode_batch_item,
     decode_reply,
     decode_request,
     encode,
     error_payload,
     verdict_fields,
 )
+from repro.server.ring import ShardedClient, ShardRing, member_label, parse_member
 from repro.server.server import ArtifactMissError, ServerThread, ValidationServer
 
 __all__ = [
@@ -37,12 +47,19 @@ __all__ = [
     "ValidationClient",
     "ServerError",
     "ArtifactMissError",
+    "ShardRing",
+    "ShardedClient",
+    "member_label",
+    "parse_member",
     "ProtocolError",
     "Request",
+    "BatchItem",
     "OPS",
+    "SCHEMA_OPS",
     "ALGORITHMS",
     "MAX_LINE_BYTES",
     "decode_request",
+    "decode_batch_item",
     "decode_reply",
     "encode",
     "error_payload",

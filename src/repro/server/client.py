@@ -1,38 +1,91 @@
 """A small blocking client for the validation server.
 
 :class:`ValidationClient` speaks the NDJSON protocol over a plain socket
-— TCP or Unix domain — one request per call, responses decoded to dicts.
-It is intentionally synchronous: the test suite, the CI smoke job, the
-E11 benchmark, and shell-adjacent tooling all want a straight-line call
-site, and the server's concurrency lives server-side.
+— TCP or Unix domain — responses decoded to dicts.  It is intentionally
+synchronous: the test suite, the CI smoke job, the benchmarks, and
+shell-adjacent tooling all want a straight-line call site, and the
+server's concurrency lives server-side.
 
 >>> with ValidationClient.connect_tcp("127.0.0.1", 8750) as client:
 ...     reply = client.check("<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<r/>")
 ...     reply["potentially_valid"]
 True
+
+Beyond one-request-per-round-trip calls, the client supports
+
+* **pipelining** — :meth:`ValidationClient.pipeline` sends N requests
+  before reading any reply and correlates the replies by their echoed
+  ``id`` (falsy ids like ``0``, ``false``, and ``""`` included), so a
+  high-latency link costs one round trip for the lot;
+* **streaming batches** — :meth:`ValidationClient.check_batch` drives the
+  wire protocol's ``check-batch`` op: one header, NDJSON item lines, and
+  per-item replies read concurrently with a bounded send window (so
+  neither side's socket buffer can deadlock the exchange);
+* **artifact hand-off** — :meth:`ValidationClient.get_artifact` /
+  :meth:`ValidationClient.put_artifact` move compiled schema artifacts
+  between servers by fingerprint, the primitive the sharding ring's
+  coordinator uses.
 """
 
 from __future__ import annotations
 
+import base64
+import json
 import socket
 from typing import Any
 
 from repro.server import protocol
 
-__all__ = ["ServerError", "ValidationClient"]
+__all__ = ["ServerError", "ValidationClient", "correlation_key"]
+
+
+def correlation_key(id: Any) -> str:
+    """A hashable key distinguishing every JSON ``id`` value.
+
+    Python would conflate ``0``, ``0.0`` and ``False`` as dict keys; their
+    JSON serializations (``0`` vs ``0.0`` vs ``false``) stay distinct, so
+    pipelined correlation keeps them apart.
+    """
+    return json.dumps(id, sort_keys=True, separators=(",", ":"))
 
 
 class ServerError(Exception):
-    """An ``ok: false`` reply, surfaced with its structured code."""
+    """An ``ok: false`` reply, surfaced with its structured code.
 
-    def __init__(self, code: str, message: str) -> None:
+    The full decoded reply object rides along as :attr:`reply` (and its
+    echoed correlation id as :attr:`id`), so pipelined callers can tell
+    *which* request an error reply answers instead of losing everything
+    but the message text.
+    """
+
+    def __init__(
+        self, code: str, message: str, reply: dict[str, Any] | None = None
+    ) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.reply: dict[str, Any] = reply if reply is not None else {}
+        self.id: Any = self.reply.get("id")
+
+
+def _raise_for_error(reply: dict[str, Any]) -> dict[str, Any]:
+    if not reply.get("ok"):
+        error = reply.get("error") or {}
+        raise ServerError(
+            str(error.get("code", "unknown")),
+            str(error.get("message", "(no message)")),
+            reply=reply,
+        )
+    return reply
 
 
 class ValidationClient:
     """One connection to a :class:`~repro.server.server.ValidationServer`."""
+
+    #: How many batch items may be in flight ahead of the replies read —
+    #: bounds both sides' socket buffering so a large batch cannot
+    #: write-write deadlock the exchange.
+    BATCH_WINDOW = 64
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
@@ -56,42 +109,83 @@ class ValidationClient:
         return cls(sock)
 
     @classmethod
-    def connect(cls, address: tuple[str, int] | str) -> "ValidationClient":
+    def connect(
+        cls, address: tuple[str, int] | str, timeout: float | None = 30.0
+    ) -> "ValidationClient":
         """Connect to a ``(host, port)`` tuple or a Unix socket path."""
         if isinstance(address, tuple):
-            return cls.connect_tcp(*address)
-        return cls.connect_unix(address)
+            return cls.connect_tcp(*address, timeout=timeout)
+        return cls.connect_unix(address, timeout=timeout)
 
     # -- the wire ------------------------------------------------------------
+
+    def send(self, payload: dict[str, Any], flush: bool = True) -> None:
+        """Write one request object without reading a reply (pipelining)."""
+        self._file.write(protocol.encode(payload))
+        if flush:
+            self._file.flush()
+
+    def recv(self) -> dict[str, Any]:
+        """Read one reply object (``ok: false`` replies are returned, not
+        raised — a pipelining caller correlates them by ``id``)."""
+        return self._read_reply()
+
+    def _read_reply(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        if not line.endswith(b"\n"):
+            # readline returned a fragment at EOF: the server died with a
+            # reply partially written.
+            raise ConnectionError("server hung up mid-reply")
+        return protocol.decode_reply(line)
 
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
         """Send one raw request object; return the decoded reply.
 
-        Raises :class:`ServerError` for ``ok: false`` replies and
-        :class:`ConnectionError` if the server hangs up mid-reply.
+        Raises :class:`ServerError` for ``ok: false`` replies (carrying
+        the full reply object and its ``id``), :class:`ConnectionError`
+        if the server hangs up before or during the reply, and
+        :class:`~repro.server.protocol.ProtocolError` (code ``bad-reply``)
+        if the reply line is not valid JSON.
         """
-        self._file.write(protocol.encode(payload))
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        reply = protocol.decode_reply(line)
-        if not reply.get("ok"):
-            error = reply.get("error") or {}
-            raise ServerError(
-                str(error.get("code", "unknown")),
-                str(error.get("message", "(no message)")),
-            )
-        return reply
+        self.send(payload)
+        return _raise_for_error(self._read_reply())
 
     def send_raw(self, line: bytes) -> dict[str, Any]:
         """Ship pre-encoded bytes (protocol tests use this to send garbage)."""
         self._file.write(line)
         self._file.flush()
-        reply_line = self._file.readline()
-        if not reply_line:
-            raise ConnectionError("server closed the connection")
-        return protocol.decode_reply(reply_line)
+        return self._read_reply()
+
+    def pipeline(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Send every request before reading any reply; correlate by ``id``.
+
+        Returns one reply per payload, **in payload order**.  When every
+        payload carries an ``"id"`` key (any JSON value — ``0``, ``false``
+        and ``""`` work) the replies are matched by their echoed ids, so
+        the result stays correct even if reply order ever diverged from
+        request order; otherwise arrival order is trusted.  Error replies
+        are returned in place, not raised — the caller inspects ``ok``.
+        """
+        for payload in payloads:
+            self.send(payload, flush=False)
+        self._file.flush()
+        replies = [self._read_reply() for _ in payloads]
+        if not all("id" in payload for payload in payloads):
+            return replies
+        by_id: dict[str, list[dict[str, Any]]] = {}
+        for reply in replies:
+            by_id.setdefault(correlation_key(reply.get("id")), []).append(reply)
+        ordered: list[dict[str, Any]] = []
+        for payload in payloads:
+            bucket = by_id.get(correlation_key(payload["id"]))
+            if not bucket:
+                raise ConnectionError(
+                    f"no reply correlates with request id {payload['id']!r}"
+                )
+            ordered.append(bucket.pop(0))
+        return ordered
 
     # -- the ops -------------------------------------------------------------
 
@@ -108,6 +202,69 @@ class ValidationClient:
             self._payload("check", dtd=dtd, doc=doc, algorithm=algorithm,
                           root=root, id=id)
         )
+
+    def check_batch(
+        self,
+        dtd: str,
+        docs: list[str],
+        algorithm: str | None = None,
+        root: str | None = None,
+        id: Any = None,
+        window: int | None = None,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Stream *docs* through one ``check-batch`` op on this connection.
+
+        Returns ``(item_replies, trailer)`` with one reply per document in
+        document order (items are correlated by their 0-based index, which
+        the client supplies as each item's ``id``).  Item replies may be
+        ``ok: false`` for per-document defects; the batch still completes.
+        At most *window* items (default :data:`BATCH_WINDOW`) are in
+        flight ahead of the replies read.
+        """
+        window = self.BATCH_WINDOW if window is None else max(1, window)
+        header = self._payload(
+            "check-batch", dtd=dtd, algorithm=algorithm, root=root, id=id
+        )
+        header["count"] = len(docs)
+        self.send(header, flush=False)
+        replies: list[dict[str, Any] | None] = [None] * len(docs)
+        sent = received = 0
+        while received < len(docs):
+            try:
+                while sent < len(docs) and sent - received < window:
+                    self._file.write(
+                        protocol.encode({"doc": docs[sent], "id": sent})
+                    )
+                    sent += 1
+                self._file.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                # The server abandoned the batch (e.g. a bad header) and
+                # closed; its structured error reply is still readable.
+                _raise_for_error(self._read_reply())
+                raise
+            reply = self._read_reply()
+            if reply.get("op") != "check-batch-item":
+                # The header itself failed (bad dtd, bad count): the server
+                # answered with a plain error and abandoned the batch.
+                _raise_for_error(reply)
+                raise ConnectionError(
+                    f"expected a check-batch-item reply, got {reply.get('op')!r}"
+                )
+            index = reply.get("id")
+            if not isinstance(index, int) or not 0 <= index < len(docs):
+                raise ConnectionError(
+                    f"batch item reply has unknown id {index!r}"
+                )
+            replies[index] = reply
+            received += 1
+        self._file.flush()  # an empty batch never enters the loop above
+        trailer = _raise_for_error(self._read_reply())
+        if trailer.get("op") != "check-batch":
+            raise ConnectionError(
+                f"expected the check-batch trailer, got {trailer.get('op')!r}"
+            )
+        assert all(reply is not None for reply in replies)
+        return replies, trailer  # type: ignore[return-value]
 
     def validate(
         self, dtd: str, doc: str, root: str | None = None, id: Any = None
@@ -127,6 +284,22 @@ class ValidationClient:
         """Server, registry, store, and dispatcher statistics."""
         return self.request({"op": "stats"})
 
+    def get_artifact(self, fingerprint: str) -> bytes:
+        """The server's compiled artifact for *fingerprint*, as the
+        :mod:`repro.service.store` wire/file format bytes."""
+        reply = self.request({"op": "get-artifact", "fingerprint": fingerprint})
+        return base64.b64decode(reply["artifact"].encode("ascii"))
+
+    def put_artifact(self, fingerprint: str, blob: bytes) -> dict[str, Any]:
+        """Seed an artifact (store-format *blob*) into the server."""
+        return self.request(
+            {
+                "op": "put-artifact",
+                "fingerprint": fingerprint,
+                "artifact": base64.b64encode(blob).decode("ascii"),
+            }
+        )
+
     @staticmethod
     def _payload(op: str, **fields: Any) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": op}
@@ -139,7 +312,12 @@ class ValidationClient:
 
     def close(self) -> None:
         try:
+            # Closing the buffered file flushes any bytes a failed call
+            # left behind; with the server already gone that is EPIPE,
+            # which must not mask the close itself.
             self._file.close()
+        except OSError:
+            pass
         finally:
             self._sock.close()
 

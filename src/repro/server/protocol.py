@@ -4,12 +4,45 @@ One request per line, one response per line, UTF-8 JSON either way.
 
 Request object::
 
-    {"op": "check" | "classify" | "validate" | "stats",
-     "dtd": "<!ELEMENT ...>",        # required except for "stats"
+    {"op": "check" | "classify" | "validate" | "stats"
+           | "check-batch" | "put-artifact" | "get-artifact",
+     "dtd": "<!ELEMENT ...>",        # required for schema-carrying ops
      "doc": "<r>...</r>",            # required for "check"/"validate"
      "algorithm": "machine" | "figure5" | "earley" | "auto",  # optional
      "root": "r",                    # optional DTD root override
+     "fingerprint": "9f...",         # required for the artifact ops
+     "artifact": "<base64>",         # required for "put-artifact"
+     "count": 12,                    # optional item count for "check-batch"
      "id": <any JSON value>}         # optional, echoed back verbatim
+
+Streaming batch op
+------------------
+``check-batch`` is one request header followed by NDJSON *item* lines —
+``{"doc": "<r>...</r>", "id": ...}`` — either exactly ``count`` of them
+(when the header carries a count) or terminated by a blank line.  The
+server replies with one ``check-batch-item`` line per item as it is
+checked (correlated by the item's ``id``, defaulting to its 0-based
+index) and a final ``check-batch`` trailer summarizing the run.  The DTD
+is resolved once for the whole batch, and item replies stream back while
+later items are still in flight, so a batch over one connection costs one
+round trip instead of one per document.
+
+Artifact hand-off ops
+---------------------
+``get-artifact`` returns a compiled schema artifact held by this server —
+the :mod:`repro.service.store` file format (versioned header + pickle),
+base64-encoded — and ``put-artifact`` seeds one into the registry (and
+the disk store, when attached).  Together they let a ring coordinator
+move artifacts between shards by fingerprint so each schema is compiled
+at most once ring-wide.
+
+.. warning:: **Trust model.**  The protocol has no authentication, and
+   ``put-artifact`` payloads are unpickled (after header and fingerprint
+   verification, which cannot make unpickling itself safe).  Run servers
+   only on trusted networks — Unix sockets, localhost, or a private
+   segment between your own shards — exactly like the disk store, which
+   already trusts its pickle files.  TLS + auth on TCP endpoints is
+   named in the roadmap; until then, do not expose the port publicly.
 
 Responses always carry ``"ok"``.  Success responses echo ``"op"`` (and
 ``"id"`` when given) plus op-specific fields — the verdict, wall time in
@@ -27,9 +60,15 @@ Failures are structured, never a dropped connection::
 
 Error codes: ``bad-json`` (line is not JSON), ``bad-request`` (JSON but
 not a valid request object), ``bad-dtd`` / ``bad-document`` (payload does
-not parse), ``unsupported-op``, ``internal``.  A protocol-level error is
-recoverable — the server keeps the connection open and reads the next
-line — so one malformed request never costs a client its warm socket.
+not parse), ``bad-item`` (a batch item line is defective),
+``bad-artifact`` (a ``put-artifact`` blob fails decoding or fingerprint
+verification), ``artifact-miss`` (``get-artifact`` for a fingerprint this
+server does not hold), ``unsupported-op``, ``internal``.  A
+protocol-level error is recoverable — the server keeps the connection
+open and reads the next line — so one malformed request never costs a
+client its warm socket.  On the client side, a reply line that is not
+valid JSON raises :class:`ProtocolError` with code ``bad-reply`` (the
+same structured-failure contract, pointed the other way).
 """
 
 from __future__ import annotations
@@ -42,11 +81,14 @@ from repro.core.pv import PVVerdict
 
 __all__ = [
     "OPS",
+    "SCHEMA_OPS",
     "ALGORITHMS",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "Request",
+    "BatchItem",
     "decode_request",
+    "decode_batch_item",
     "encode",
     "decode_reply",
     "error_payload",
@@ -54,7 +96,18 @@ __all__ = [
 ]
 
 #: Operations the server understands.
-OPS = ("check", "classify", "validate", "stats")
+OPS = (
+    "check",
+    "classify",
+    "validate",
+    "stats",
+    "check-batch",
+    "put-artifact",
+    "get-artifact",
+)
+
+#: Operations that carry a DTD and therefore require the ``dtd`` field.
+SCHEMA_OPS = ("check", "classify", "validate", "check-batch")
 
 #: Accepted ``algorithm`` values; ``auto`` routes through the dispatcher.
 ALGORITHMS = ("machine", "figure5", "earley", "auto")
@@ -82,6 +135,17 @@ class Request:
     doc: str | None = None
     algorithm: str | None = None
     root: str | None = None
+    fingerprint: str | None = None
+    artifact: str | None = None
+    count: int | None = None
+    id: Any = field(default=None)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One decoded ``check-batch`` item line."""
+
+    doc: str
     id: Any = field(default=None)
 
 
@@ -104,7 +168,7 @@ def decode_request(line: str | bytes) -> Request:
             "unsupported-op",
             f"op must be one of {', '.join(OPS)} (got {op!r})",
         )
-    for key in ("dtd", "doc", "root"):
+    for key in ("dtd", "doc", "root", "fingerprint", "artifact"):
         value = payload.get(key)
         if value is not None and not isinstance(value, str):
             raise ProtocolError("bad-request", f"{key!r} must be a string")
@@ -114,19 +178,54 @@ def decode_request(line: str | bytes) -> Request:
             "bad-request",
             f"algorithm must be one of {', '.join(ALGORITHMS)} (got {algorithm!r})",
         )
+    count = payload.get("count")
+    if count is not None and (isinstance(count, bool) or not isinstance(count, int)
+                             or count < 0):
+        raise ProtocolError("bad-request", "'count' must be a non-negative integer")
     request = Request(
         op=op,
         dtd=payload.get("dtd"),
         doc=payload.get("doc"),
         algorithm=algorithm,
         root=payload.get("root"),
+        fingerprint=payload.get("fingerprint"),
+        artifact=payload.get("artifact"),
+        count=count,
         id=payload.get("id"),
     )
-    if request.op != "stats" and request.dtd is None:
+    if request.op in SCHEMA_OPS and request.dtd is None:
         raise ProtocolError("bad-request", f"op {op!r} requires 'dtd'")
     if request.op in ("check", "validate") and request.doc is None:
         raise ProtocolError("bad-request", f"op {op!r} requires 'doc'")
+    if request.op in ("put-artifact", "get-artifact") and request.fingerprint is None:
+        raise ProtocolError("bad-request", f"op {op!r} requires 'fingerprint'")
+    if request.op == "put-artifact" and request.artifact is None:
+        raise ProtocolError("bad-request", "op 'put-artifact' requires 'artifact'")
     return request
+
+
+def decode_batch_item(line: str | bytes) -> BatchItem:
+    """Parse one ``check-batch`` item line, raising on defects.
+
+    Every defect carries code ``bad-item`` so the server can answer it as
+    a structured per-item error and keep the batch (and the connection)
+    alive.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError("bad-item", f"batch item is not UTF-8: {error}")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError("bad-item", f"batch item is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-item", "batch item must be a JSON object")
+    doc = payload.get("doc")
+    if not isinstance(doc, str):
+        raise ProtocolError("bad-item", "batch item requires a string 'doc'")
+    return BatchItem(doc=doc, id=payload.get("id"))
 
 
 def encode(payload: dict[str, Any]) -> bytes:
@@ -135,8 +234,22 @@ def encode(payload: dict[str, Any]) -> bytes:
 
 
 def decode_reply(line: str | bytes) -> dict[str, Any]:
-    """Parse a response line (the client side of :func:`encode`)."""
-    payload = json.loads(line)
+    """Parse a response line (the client side of :func:`encode`).
+
+    Failures are structured here too: a reply line that is not UTF-8 or
+    not valid JSON raises :class:`ProtocolError` with code ``bad-reply``
+    rather than leaking a raw :class:`json.JSONDecodeError` (or
+    :class:`UnicodeDecodeError`) to the caller.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError("bad-reply", f"reply is not UTF-8: {error}")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError("bad-reply", f"reply is not valid JSON: {error}")
     if not isinstance(payload, dict) or "ok" not in payload:
         raise ProtocolError("bad-reply", "reply must be an object with 'ok'")
     return payload

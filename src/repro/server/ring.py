@@ -1,0 +1,597 @@
+"""Schema sharding across validation servers: the consistent-hash ring.
+
+This module is the horizontal-scaling layer over :mod:`repro.server`: a
+fleet of independent :class:`~repro.server.server.ValidationServer`
+processes ("shards"), each with its own registry (and optionally its own
+disk store), fronted by a coordinator that routes every request to the
+shard *owning* the request's schema.
+
+* :class:`ShardRing` — a consistent-hash ring with virtual nodes mapping
+  schema fingerprints to members.  Placement is stable under membership
+  change: removing one of N members remaps only the keys that member
+  owned (about 1/N of them), never shuffling the rest — the property
+  that keeps every other shard's warm registry warm through a scale
+  event.
+* :class:`ShardedClient` — the blocking coordinator.  It fingerprints
+  each request's DTD locally (memoized), routes ``check`` / ``classify``
+  / ``validate`` / ``check-batch`` to the owning shard, and fails over
+  deterministically along the ring's preference order when a shard is
+  unreachable.  When routing would land a schema on a shard that has not
+  seen it while another shard already holds the compiled artifact, the
+  coordinator moves the artifact first — ``get-artifact`` from a holder,
+  ``put-artifact`` to the target, in the artifact store's own file
+  format — so each schema is compiled **at most once ring-wide**, no
+  matter how membership shifts.
+
+Addresses are either a Unix socket path (``str``) or a ``(host, port)``
+tuple; :func:`parse_member` turns CLI-style ``host:port`` strings into
+the latter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from bisect import bisect_right
+from collections import Counter, OrderedDict
+from typing import Any, Callable, Iterable
+
+from repro.dtd.parser import parse_dtd
+from repro.errors import ReproError
+from repro.server.client import ValidationClient
+from repro.server.protocol import ProtocolError
+from repro.service.compiled import schema_fingerprint
+
+__all__ = [
+    "Member",
+    "ShardRing",
+    "ShardedClient",
+    "member_label",
+    "parse_member",
+]
+
+#: A shard address: a Unix socket path or a ``(host, port)`` pair.
+Member = Any
+
+#: Virtual nodes per member.  More replicas smooth the key distribution
+#: (the std-dev of shard load shrinks like 1/sqrt(replicas)) at the cost
+#: of a longer sorted point array; 64 keeps a 3-shard ring within a few
+#: percent of even.
+DEFAULT_REPLICAS = 64
+
+#: Bound on the coordinator's (dtd text, root) -> fingerprint memo.
+_FINGERPRINT_MEMO_SIZE = 1024
+
+
+def member_label(member: Member) -> str:
+    """The canonical display / hashing label of a member address."""
+    if isinstance(member, tuple):
+        host, port = member
+        return f"{host}:{port}"
+    return str(member)
+
+
+def parse_member(text: str) -> Member:
+    """A CLI address string to a member: ``host:port`` or a socket path.
+
+    Anything containing a path separator (or with no colon at all) is a
+    Unix socket path; otherwise the last colon splits host from port.  A
+    colon-bearing, separator-free string whose port is not a number is a
+    typo, not a path — it raises :class:`ValueError` so the CLI can
+    report bad usage instead of failing to connect to a phantom socket.
+    """
+    if "/" in text or ":" not in text:
+        return text
+    host, _, port_text = text.rpartition(":")
+    try:
+        return (host, int(port_text))
+    except ValueError:
+        raise ValueError(f"bad ring address {text!r}: port {port_text!r} "
+                         "is not a number")
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit position on the ring for *token*."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Keys (schema fingerprints, but any string works) map to the first
+    member point at or clockwise after the key's own point.  Each member
+    contributes *replicas* points, so load spreads evenly and a
+    membership change only remaps keys adjacent to the changed member's
+    points.
+    """
+
+    def __init__(
+        self, members: Iterable[Member] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._members: dict[str, Member] = {}
+        # Parallel arrays sorted by point: bisect runs on the ints alone.
+        self._points: list[int] = []
+        self._labels: list[str] = []
+        for member in members:
+            self.add(member)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def members(self) -> list[Member]:
+        """Current members, in label order (stable for display)."""
+        return [self._members[label] for label in sorted(self._members)]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: object) -> bool:
+        return member_label(member) in self._members
+
+    def add(self, member: Member) -> None:
+        """Add *member* (idempotent)."""
+        label = member_label(member)
+        if label in self._members:
+            return
+        self._members[label] = member
+        pairs = list(zip(self._points, self._labels))
+        pairs.extend(
+            (_point(f"{label}#{replica}"), label)
+            for replica in range(self.replicas)
+        )
+        pairs.sort()
+        self._points = [point for point, _ in pairs]
+        self._labels = [entry for _, entry in pairs]
+
+    def remove(self, member: Member) -> None:
+        """Remove *member* (a no-op when absent)."""
+        label = member_label(member)
+        if self._members.pop(label, None) is None:
+            return
+        kept = [
+            (point, entry)
+            for point, entry in zip(self._points, self._labels)
+            if entry != label
+        ]
+        self._points = [point for point, _ in kept]
+        self._labels = [entry for _, entry in kept]
+
+    # -- placement -----------------------------------------------------------
+
+    def owner(self, key: str) -> Member:
+        """The member owning *key* (raises when the ring is empty)."""
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> list[Member]:
+        """Every member, in deterministic failover order for *key*.
+
+        The first entry is the owner; the rest are the distinct members
+        encountered walking the ring clockwise from the key's point —
+        the order a coordinator tries when shards are unreachable, and
+        the order that keeps failover placement as stable as primary
+        placement under membership change.
+        """
+        if not self._points:
+            raise ValueError("ring has no members")
+        start = bisect_right(self._points, _point(key))
+        seen: list[Member] = []
+        seen_labels: set[str] = set()
+        count = len(self._points)
+        for offset in range(count):
+            label = self._labels[(start + offset) % count]
+            if label not in seen_labels:
+                seen_labels.add(label)
+                seen.append(self._members[label])
+                if len(seen_labels) == len(self._members):
+                    break
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ", ".join(sorted(self._members))
+        return f"ShardRing([{labels}], replicas={self.replicas})"
+
+
+class ShardedClient:
+    """A blocking coordinator routing requests over a :class:`ShardRing`.
+
+    Parameters
+    ----------
+    members:
+        Shard addresses (Unix paths and/or ``(host, port)`` tuples).
+    replicas:
+        Virtual nodes per member for the ring.
+    timeout:
+        Per-connection socket timeout, seconds.
+    connect:
+        Connection factory, ``(member, timeout) -> ValidationClient``;
+        injectable for tests.
+
+    The coordinator is thread-safe: shared routing state sits behind one
+    lock and each member's connection behind its own, so
+    :meth:`check_corpus` can drive every shard from its own thread while
+    artifact hand-offs stay serialized per connection.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[Member],
+        replicas: int = DEFAULT_REPLICAS,
+        timeout: float | None = 30.0,
+        connect: Callable[[Member, float | None], ValidationClient] | None = None,
+    ) -> None:
+        self.ring = ShardRing(members, replicas=replicas)
+        if not len(self.ring):
+            raise ValueError("a sharded client needs at least one member")
+        self.timeout = timeout
+        self._connect = connect or (
+            lambda member, timeout: ValidationClient.connect(member, timeout=timeout)
+        )
+        self._lock = threading.Lock()
+        self._member_locks: dict[str, threading.Lock] = {}
+        self._clients: dict[str, ValidationClient] = {}
+        # Every address this coordinator has ever known, keyed by label.
+        # Ring membership may shrink (scale-in), but a departed member can
+        # still be reachable and is exactly where hand-off artifacts come
+        # from — placement and reachability are separate facts.
+        self._addresses: dict[str, Member] = {
+            member_label(member): member for member in self.ring.members
+        }
+        self._down: set[str] = set()
+        self._holders: dict[str, set[str]] = {}
+        self._fingerprints: OrderedDict[tuple[str, str | None], str] = OrderedDict()
+        self._requests_by_member: Counter[str] = Counter()
+        self._handoffs = 0
+        self._handoff_bytes = 0
+        self._failovers = 0
+        self._compiles_observed = 0
+
+    # -- schema identity -----------------------------------------------------
+
+    def fingerprint(self, dtd: str, root: str | None = None) -> str:
+        """The routing fingerprint of *dtd* (parsed locally, memoized).
+
+        Raises :class:`~repro.server.protocol.ProtocolError` with code
+        ``bad-dtd`` on unparseable text, mirroring the server's own
+        verdict for the same defect.
+        """
+        key = (dtd, root)
+        with self._lock:
+            cached = self._fingerprints.get(key)
+            if cached is not None:
+                self._fingerprints.move_to_end(key)
+                return cached
+        try:
+            fingerprint = schema_fingerprint(parse_dtd(dtd, root=root))
+        except ReproError as error:
+            raise ProtocolError("bad-dtd", str(error))
+        with self._lock:
+            self._fingerprints[key] = fingerprint
+            while len(self._fingerprints) > _FINGERPRINT_MEMO_SIZE:
+                self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    # -- connections ---------------------------------------------------------
+
+    def _member_lock(self, label: str) -> threading.Lock:
+        with self._lock:
+            lock = self._member_locks.get(label)
+            if lock is None:
+                lock = self._member_locks[label] = threading.Lock()
+            return lock
+
+    def _client(self, member: Member) -> ValidationClient:
+        """The live connection for *member*, connecting on first use.
+
+        Caller must hold the member's connection lock.
+        """
+        label = member_label(member)
+        with self._lock:
+            client = self._clients.get(label)
+        if client is not None:
+            return client
+        client = self._connect(member, self.timeout)
+        with self._lock:
+            self._clients[label] = client
+            self._addresses[label] = member
+            self._down.discard(label)
+        return client
+
+    def _mark_down(
+        self, member: Member, failed: ValidationClient | None = None
+    ) -> None:
+        """Record a failure of *member*, closing the *failed* connection.
+
+        Only the connection that actually failed is evicted: between a
+        caller's failure and this call another thread may already have
+        reconnected a healthy client under the member lock, and closing
+        that one would abort its in-flight work and mark a live shard
+        down for nothing.
+        """
+        label = member_label(member)
+        with self._lock:
+            cached = self._clients.get(label)
+            if failed is None or cached is failed:
+                self._clients.pop(label, None)
+                self._down.add(label)
+            to_close = failed if failed is not None else cached
+        if to_close is not None:
+            try:
+                to_close.close()
+            except OSError:
+                pass
+
+    def mark_up(self, member: Member) -> None:
+        """Forget that *member* was unreachable (it is retried next call)."""
+        with self._lock:
+            self._down.discard(member_label(member))
+
+    # -- routing core --------------------------------------------------------
+
+    def _candidates(self, fingerprint: str) -> list[Member]:
+        preference = self.ring.preference(fingerprint)
+        with self._lock:
+            up = [m for m in preference if member_label(m) not in self._down]
+        # With every preference down, try them all anyway: a shard may
+        # have come back, and an error beats silently giving up.
+        return up or preference
+
+    def _call(
+        self,
+        fingerprint: str,
+        fn: Callable[[ValidationClient], Any],
+        handoff: bool = True,
+    ) -> Any:
+        """Run *fn* against the owning shard, failing over down the
+        preference list; hand the artifact over first when possible."""
+        candidates = self._candidates(fingerprint)
+        owner = candidates[0]
+        last_error: Exception | None = None
+        for member in candidates:
+            label = member_label(member)
+            if handoff:
+                self._ensure_artifact(member, fingerprint)
+            client: ValidationClient | None = None
+            try:
+                with self._member_lock(label):
+                    client = self._client(member)
+                    result = fn(client)
+            except OSError as error:  # covers ConnectionError and timeouts
+                self._mark_down(member, client)
+                last_error = error
+                continue
+            with self._lock:
+                self._requests_by_member[label] += 1
+                if member is not owner:
+                    self._failovers += 1
+            self._note_schema(label, result)
+            return result
+        raise ConnectionError(
+            f"no reachable shard for fingerprint {fingerprint[:16]}...: {last_error}"
+        )
+
+    def _note_schema(self, label: str, result: Any) -> None:
+        reply = result[1] if isinstance(result, tuple) else result
+        schema = reply.get("schema") if isinstance(reply, dict) else None
+        if not isinstance(schema, dict):
+            return
+        fingerprint = schema.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            return
+        with self._lock:
+            holders = self._holders.setdefault(fingerprint, set())
+            holders.add(label)
+            if schema.get("registry") == "miss":
+                # The shard compiled: the one compile this schema gets.
+                self._compiles_observed += 1
+
+    def _ensure_artifact(self, member: Member, fingerprint: str) -> None:
+        """Move the compiled artifact to *member* when another shard has it.
+
+        Best-effort: any failure (no holder, a holder gone dark, a
+        transfer error) simply lets the target shard compile for itself —
+        slower, never wrong.
+        """
+        label = member_label(member)
+        with self._lock:
+            holders = self._holders.get(fingerprint, set())
+            if label in holders:
+                return
+            sources = [h for h in holders if h not in self._down and h != label]
+        if not sources:
+            return
+        blob: bytes | None = None
+        for source in sources:
+            source_member = self._member_by_label(source)
+            if source_member is None:
+                continue
+            source_client: ValidationClient | None = None
+            try:
+                with self._member_lock(source):
+                    source_client = self._client(source_member)
+                    blob = source_client.get_artifact(fingerprint)
+                break
+            except OSError:
+                self._mark_down(source_member, source_client)
+            except ProtocolError:
+                return  # garbled transfer: let the target compile
+            except Exception:
+                # artifact-miss and kin: the holder hint was stale.
+                with self._lock:
+                    self._holders.get(fingerprint, set()).discard(source)
+        if blob is None:
+            return
+        try:
+            with self._member_lock(label):
+                self._client(member).put_artifact(fingerprint, blob)
+        except Exception:  # noqa: BLE001 - best-effort transfer
+            return  # the routed call will fail over / compile as needed
+        with self._lock:
+            self._holders.setdefault(fingerprint, set()).add(label)
+            self._handoffs += 1
+            self._handoff_bytes += len(blob)
+
+    def _member_by_label(self, label: str) -> Member | None:
+        with self._lock:
+            known = self._addresses.get(label)
+        if known is not None:
+            return known
+        for member in self.ring.members:
+            if member_label(member) == label:
+                return member
+        return None
+
+    # -- the ops -------------------------------------------------------------
+
+    def check(
+        self,
+        dtd: str,
+        doc: str,
+        algorithm: str | None = None,
+        root: str | None = None,
+        id: Any = None,
+    ) -> dict[str, Any]:
+        """Potential-validity check, routed to the schema's owning shard."""
+        fingerprint = self.fingerprint(dtd, root)
+        return self._call(
+            fingerprint,
+            lambda client: client.check(
+                dtd, doc, algorithm=algorithm, root=root, id=id
+            ),
+        )
+
+    def validate(
+        self, dtd: str, doc: str, root: str | None = None, id: Any = None
+    ) -> dict[str, Any]:
+        fingerprint = self.fingerprint(dtd, root)
+        return self._call(
+            fingerprint,
+            lambda client: client.validate(dtd, doc, root=root, id=id),
+        )
+
+    def classify(
+        self, dtd: str, root: str | None = None, id: Any = None
+    ) -> dict[str, Any]:
+        fingerprint = self.fingerprint(dtd, root)
+        return self._call(
+            fingerprint, lambda client: client.classify(dtd, root=root, id=id)
+        )
+
+    def check_batch(
+        self,
+        dtd: str,
+        docs: list[str],
+        algorithm: str | None = None,
+        root: str | None = None,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Stream a whole corpus for one schema to its owning shard."""
+        fingerprint = self.fingerprint(dtd, root)
+        return self._call(
+            fingerprint,
+            lambda client: client.check_batch(
+                dtd, docs, algorithm=algorithm, root=root
+            ),
+        )
+
+    def check_corpus(
+        self,
+        batches: list[tuple],
+        algorithm: str | None = None,
+        root: str | None = None,
+    ) -> list[tuple[list[dict[str, Any]], dict[str, Any]]]:
+        """Check many schema batches, shards driven in parallel.
+
+        Each batch is ``(dtd, docs)`` or ``(dtd, docs, root)`` — a
+        per-batch root overrides the *root* default.  Batches are grouped
+        by owning shard and each shard's groups run sequentially over its
+        one connection while distinct shards run concurrently (one thread
+        per shard) — the scale-out shape the E12 benchmark measures.
+        Results come back in *batches* order; a batch whose every shard
+        candidate failed raises.
+        """
+        normalized: list[tuple[str, list[str], str | None]] = [
+            (entry[0], entry[1], entry[2] if len(entry) > 2 else root)
+            for entry in batches
+        ]
+        by_member: dict[str, list[int]] = {}
+        for index, (dtd, _docs, batch_root) in enumerate(normalized):
+            label = member_label(
+                self.ring.owner(self.fingerprint(dtd, batch_root))
+            )
+            by_member.setdefault(label, []).append(index)
+        results: list[Any] = [None] * len(batches)
+        errors: list[Exception] = []
+
+        def run(indexes: list[int]) -> None:
+            for index in indexes:
+                dtd, docs, batch_root = normalized[index]
+                try:
+                    results[index] = self.check_batch(
+                        dtd, docs, algorithm=algorithm, root=batch_root
+                    )
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+                    return
+
+        threads = [
+            threading.Thread(target=run, args=(indexes,), daemon=True)
+            for indexes in by_member.values()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def stats(self) -> dict[str, Any]:
+        """Per-shard server stats plus the coordinator's own counters."""
+        shards: dict[str, Any] = {}
+        for member in self.ring.members:
+            label = member_label(member)
+            stats_client: ValidationClient | None = None
+            try:
+                with self._member_lock(label):
+                    stats_client = self._client(member)
+                    shards[label] = stats_client.stats()
+            except OSError:
+                self._mark_down(member, stats_client)
+                shards[label] = None
+        return {"shards": shards, "ring": self.ring_stats}
+
+    @property
+    def ring_stats(self) -> dict[str, Any]:
+        """The coordinator's routing counters (JSON-ready)."""
+        with self._lock:
+            return {
+                "members": [member_label(m) for m in self.ring.members],
+                "down": sorted(self._down),
+                "requests_by_member": dict(self._requests_by_member),
+                "handoffs": self._handoffs,
+                "handoff_bytes": self._handoff_bytes,
+                "failovers": self._failovers,
+                "compiles_observed": self._compiles_observed,
+                "schemas_tracked": len(self._holders),
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardedClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -34,7 +34,13 @@ the form the test suite, the benchmark, and embedders use.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
+import errno
+import os
 import pickle
+import socket
+import stat
 import threading
 from collections import Counter, OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -51,7 +57,7 @@ from repro.server.protocol import ProtocolError, Request
 from repro.service.compiled import CompiledSchema
 from repro.service.dispatch import DEFAULT_POLICY, BackendDispatcher, DispatchPolicy
 from repro.service.registry import SchemaRegistry
-from repro.service.store import ArtifactStore
+from repro.service.store import ArtifactStore, decode_artifact, encode_artifact
 from repro.validity.validator import DTDValidator
 from repro.xmlmodel.parser import parse_xml
 
@@ -99,6 +105,42 @@ class _BoundedCache(OrderedDict):
 #: Sentinel :meth:`ValidationServer._read_line` returns for an over-limit
 #: request line (distinct from ``None``, which means EOF/shutdown).
 _OVERLONG = b"\x00overlong\x00"
+
+
+def _remove_stale_unix_socket(path: str) -> None:
+    """Unlink *path* when it is a socket nobody is listening on.
+
+    A crashed server leaves its socket file behind, and binding over it
+    raises ``EADDRINUSE`` even though no process serves it.  Probing with
+    a connect distinguishes the two cases: connection refused (or a
+    similar failure) means stale — remove it; a successful connect means
+    another live server owns the path — leave it so the bind fails loudly.
+    Non-socket files are never touched: clobbering a user's regular file
+    because they mistyped a path would be worse than the bind error.
+    """
+    try:
+        mode = os.stat(path).st_mode
+    except OSError:
+        return  # nothing there: the normal fresh-start case
+    if not stat.S_ISSOCK(mode):
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(1.0)
+        probe.connect(path)
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError as error:
+            if error.errno != errno.ENOENT:
+                raise
+    else:
+        raise OSError(
+            errno.EADDRINUSE,
+            f"unix socket {path!r} is in use by a live server",
+        )
+    finally:
+        probe.close()
 
 
 class ArtifactMissError(Exception):
@@ -241,6 +283,8 @@ class ValidationServer:
         self._tcp_address: tuple[str, int] | None = None
         self._requests = 0
         self._errors = 0
+        self._batches = 0
+        self._batch_items = 0
         self._started_at: float | None = None
 
     # -- endpoints -----------------------------------------------------------
@@ -278,6 +322,7 @@ class ValidationServer:
             self._tcp_address = (sockname[0], sockname[1])
             self._servers.append(server)
         if unix_path is not None:
+            _remove_stale_unix_socket(unix_path)
             server = await asyncio.start_unix_server(
                 self._on_connection,
                 path=unix_path,
@@ -308,6 +353,15 @@ class ValidationServer:
             pool = self._pool
             self._pool = None
             await asyncio.to_thread(pool.shutdown, True)
+        if self._unix_path is not None:
+            # Leave nothing behind: a lingering socket path would force
+            # the next start() through the stale-socket probe (and, on a
+            # crashed process, used to mean EADDRINUSE forever).
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+            self._unix_path = None
 
     # -- connection handling -------------------------------------------------
 
@@ -340,7 +394,21 @@ class ValidationServer:
                     break
                 if not line.strip():
                     continue  # blank keep-alive lines are ignored
-                response = await self._handle_line(line)
+                # Decode once here: the batch op changes the read loop
+                # itself (items follow on this reader), so the branch must
+                # see the real decoded op, not a byte sniff of the line.
+                request: Request | None = None
+                decode_error: ProtocolError | None = None
+                try:
+                    request = protocol.decode_request(line)
+                except ProtocolError as error:
+                    decode_error = error
+                if request is not None and request.op == "check-batch":
+                    self._requests += 1
+                    if not await self._handle_batch(request, reader, writer):
+                        break  # framing lost mid-batch: close
+                    continue
+                response = await self._handle_line(line, request, decode_error)
                 writer.write(protocol.encode(response))
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
@@ -379,12 +447,26 @@ class ValidationServer:
 
     # -- request handling ----------------------------------------------------
 
-    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+    async def _handle_line(
+        self,
+        line: bytes,
+        request: Request | None = None,
+        decode_error: ProtocolError | None = None,
+    ) -> dict[str, Any]:
+        """One request line to one response object.
+
+        The connection loop passes its already-decoded *request* (or the
+        *decode_error* that decoding produced) so the line is parsed only
+        once; called with just *line*, it decodes for itself.
+        """
         started = perf_counter()
         self._requests += 1
         request_id: Any = None  # echoed even on errors, once decoded
         try:
-            request = protocol.decode_request(line)
+            if decode_error is not None:
+                raise decode_error
+            if request is None:
+                request = protocol.decode_request(line)
             request_id = request.id
             response = await self._dispatch_request(request)
         except ProtocolError as error:
@@ -403,6 +485,10 @@ class ValidationServer:
     async def _dispatch_request(self, request: Request) -> dict[str, Any]:
         if request.op == "stats":
             return self._op_stats()
+        if request.op == "put-artifact":
+            return await self._op_put_artifact(request)
+        if request.op == "get-artifact":
+            return await self._op_get_artifact(request)
         assert request.dtd is not None  # decode_request guarantees it
         schema, disposition = self._resolve_schema(request.dtd, request.root)
         if request.op == "check":
@@ -455,19 +541,22 @@ class ValidationServer:
 
     # -- ops -----------------------------------------------------------------
 
+    async def _run_check(
+        self, schema: CompiledSchema, doc_text: str, algorithm: str
+    ) -> dict[str, Any]:
+        """One verdict's raw fields, off-loop (thread or process pool)."""
+        if self._pool is not None:
+            return await self._pool_round_trip(schema, doc_text, algorithm)
+        return await asyncio.to_thread(
+            self._inline_check, schema, doc_text, algorithm
+        )
+
     async def _op_check(
         self, request: Request, schema: CompiledSchema, disposition: str
     ) -> dict[str, Any]:
         assert request.doc is not None
         algorithm = request.algorithm or self.default_algorithm
-        if self._pool is not None:
-            fields = await self._pool_round_trip(
-                schema, request.doc, algorithm
-            )
-        else:
-            fields = await asyncio.to_thread(
-                self._inline_check, schema, request.doc, algorithm
-            )
+        fields = await self._run_check(schema, request.doc, algorithm)
         error = fields.pop("error", None)
         if error is not None:
             raise ProtocolError(*error)
@@ -583,6 +672,221 @@ class ValidationServer:
             return fields
         raise AssertionError("unreachable")  # pragma: no cover
 
+    # -- the streaming batch op ----------------------------------------------
+
+    async def _handle_batch(
+        self,
+        request: Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """One streaming batch: header already decoded, items on *reader*.
+
+        Item replies are written as each verdict lands, correlated by the
+        item's ``id`` (its 0-based index when it carries none), and a
+        trailer summarizes the batch.  Per-item defects (a bad document, a
+        malformed item line) are structured item errors and the batch
+        continues; defects that lose the framing — a bad header (the
+        client may already have pipelined items this server cannot safely
+        reinterpret), an over-limit item line, a mid-batch hangup — end
+        the connection after an error reply, the documented disconnect.
+        """
+        started = perf_counter()
+        self._batches += 1
+        schema: CompiledSchema | None = None
+        disposition = "miss"
+        try:
+            assert request.dtd is not None  # decode_request guarantees it
+            schema, disposition = self._resolve_schema(request.dtd, request.root)
+        except ProtocolError as error:
+            self._errors += 1
+            writer.write(
+                protocol.encode(
+                    protocol.error_payload(error.code, error.message, id=request.id)
+                )
+            )
+            await writer.drain()
+            return False
+        except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
+            self._errors += 1
+            writer.write(
+                protocol.encode(
+                    protocol.error_payload(
+                        "internal",
+                        f"{type(error).__name__}: {error}",
+                        id=request.id,
+                    )
+                )
+            )
+            await writer.drain()
+            return False
+        algorithm = request.algorithm or self.default_algorithm
+        remaining = request.count
+        items = 0
+        errors = 0
+        while remaining is None or remaining > 0:
+            line = await self._read_line(reader)
+            if line is None:
+                return False  # hangup or shutdown mid-batch
+            if line is _OVERLONG:
+                writer.write(
+                    protocol.encode(
+                        protocol.error_payload(
+                            "bad-request",
+                            "batch item line exceeds "
+                            f"{protocol.MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                )
+                await writer.drain()
+                return False  # the stream cannot be re-framed
+            if not line.strip():
+                if remaining is None:
+                    break  # the uncounted batch's blank-line terminator
+                continue  # blank keep-alive lines inside a counted batch
+            if remaining is not None:
+                remaining -= 1
+            index = items
+            items += 1
+            self._requests += 1
+            self._batch_items += 1
+            reply = await self._handle_batch_item(line, index, schema, algorithm)
+            if not reply.get("ok"):
+                errors += 1
+            writer.write(protocol.encode(reply))
+            await writer.drain()
+        trailer: dict[str, Any] = {
+            "ok": True,
+            "op": "check-batch",
+            "items": items,
+            "errors": errors,
+            "schema": self._schema_fields(schema, disposition),
+            "elapsed_ms": round((perf_counter() - started) * 1000.0, 3),
+        }
+        if request.id is not None:
+            trailer["id"] = request.id
+        writer.write(protocol.encode(trailer))
+        await writer.drain()
+        return True
+
+    async def _handle_batch_item(
+        self, line: bytes, index: int, schema: CompiledSchema, algorithm: str
+    ) -> dict[str, Any]:
+        """One item line to one ``check-batch-item`` reply (never raises)."""
+        item_id: Any = index
+        try:
+            item = protocol.decode_batch_item(line)
+            if item.id is not None:
+                item_id = item.id
+            fields = await self._run_check(schema, item.doc, algorithm)
+            error = fields.pop("error", None)
+            if error is not None:
+                raise ProtocolError(*error)
+        except ProtocolError as error:
+            self._errors += 1
+            reply = protocol.error_payload(error.code, error.message, id=item_id)
+            reply["op"] = "check-batch-item"
+            return reply
+        except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
+            self._errors += 1
+            reply = protocol.error_payload(
+                "internal", f"{type(error).__name__}: {error}", id=item_id
+            )
+            reply["op"] = "check-batch-item"
+            return reply
+        self._dispatch_counts[fields["algorithm"]] += 1
+        reply = {
+            "ok": True,
+            "op": "check-batch-item",
+            "id": item_id,
+            **fields.pop("verdict"),
+            "algorithm": fields["algorithm"],
+        }
+        if fields.get("reason"):
+            reply["dispatch_reason"] = fields["reason"]
+        return reply
+
+    # -- artifact hand-off ops -----------------------------------------------
+
+    async def _op_put_artifact(self, request: Request) -> dict[str, Any]:
+        """Seed a compiled artifact shipped by a ring coordinator.
+
+        The payload is the :mod:`repro.service.store` file format (header +
+        pickle), base64-encoded; decoding verifies magic, version, and the
+        embedded fingerprint against the requested one, so a corrupt or
+        mislabeled blob is a structured ``bad-artifact`` error, never a
+        poisoned registry entry.  Unpickling, like the rest of the wire
+        protocol, assumes a trusted network — see the protocol module's
+        trust-model note.  Decode and disk write run off-loop: a
+        multi-megabyte artifact must not stall other connections.
+        """
+        assert request.fingerprint is not None and request.artifact is not None
+        fingerprint = request.fingerprint
+        artifact = request.artifact
+
+        def decode_and_store() -> str | None:
+            try:
+                blob = base64.b64decode(artifact.encode("ascii"), validate=True)
+            except (binascii.Error, UnicodeEncodeError, ValueError):
+                return None
+            schema = decode_artifact(blob, fingerprint)
+            if schema is None:
+                return None
+            self.registry.put(schema)
+            if self.store is not None:
+                try:
+                    self.store.save(schema)
+                    return "registry+store"
+                except OSError:
+                    pass  # an unwritable store degrades to memory-only seeding
+            return "registry"
+
+        stored = await asyncio.to_thread(decode_and_store)
+        if stored is None:
+            raise ProtocolError(
+                "bad-artifact",
+                "artifact failed decoding or fingerprint verification",
+            )
+        return {
+            "ok": True,
+            "op": "put-artifact",
+            "fingerprint": fingerprint,
+            "stored": stored,
+        }
+
+    async def _op_get_artifact(self, request: Request) -> dict[str, Any]:
+        """Hand the compiled artifact for a fingerprint to a coordinator.
+
+        Pickling (and a possible disk load) runs off-loop, like every
+        other heavy path in this server.
+        """
+        assert request.fingerprint is not None
+        fingerprint = request.fingerprint
+
+        def load_and_encode() -> bytes | None:
+            schema = self.registry.lookup(fingerprint)
+            if schema is None and self.store is not None:
+                schema = self.store.load(fingerprint)
+                if schema is not None:
+                    self.registry.put(schema)
+            if schema is None:
+                return None
+            return encode_artifact(schema)
+
+        blob = await asyncio.to_thread(load_and_encode)
+        if blob is None:
+            raise ProtocolError(
+                "artifact-miss",
+                f"no artifact held for fingerprint {fingerprint!r}",
+            )
+        return {
+            "ok": True,
+            "op": "get-artifact",
+            "fingerprint": fingerprint,
+            "artifact": base64.b64encode(blob).decode("ascii"),
+            "bytes": len(blob),
+        }
+
     def _op_classify(
         self, schema: CompiledSchema, disposition: str
     ) -> dict[str, Any]:
@@ -646,6 +950,8 @@ class ValidationServer:
                 "uptime_seconds": round(uptime, 3),
                 "requests": self._requests,
                 "errors": self._errors,
+                "batches": self._batches,
+                "batch_items": self._batch_items,
                 "connections": len(self._conn_tasks),
                 "workers": self.workers,
                 "default_algorithm": self.default_algorithm,

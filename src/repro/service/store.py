@@ -49,6 +49,8 @@ __all__ = [
     "StoreStats",
     "ArtifactStore",
     "default_store_dir",
+    "encode_artifact",
+    "decode_artifact",
 ]
 
 #: First header token of every artifact file.
@@ -58,6 +60,49 @@ STORE_MAGIC = "repro-pv-artifact"
 STORE_FORMAT_VERSION = 1
 
 _SUFFIX = ".pkl"
+
+
+def encode_artifact(schema: CompiledSchema) -> bytes:
+    """*schema* in the store's self-describing byte format (header + pickle).
+
+    This is both the on-disk file format and the wire transfer format the
+    ring's ``put-artifact``/``get-artifact`` ops ship between shards — one
+    encoding, verified the same way on every receiving side.
+    """
+    header = f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode("ascii")
+    return header + pickle.dumps(schema, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_artifact(blob: bytes, fingerprint: str) -> CompiledSchema | None:
+    """Decode :func:`encode_artifact` bytes, or ``None`` on any defect.
+
+    Every defect — missing or bad header, future format version, truncated
+    or garbled pickle, an embedded fingerprint that does not match the
+    expected one — yields ``None``, never an exception: the disk store
+    treats it as a cache miss and the server's ``put-artifact`` op turns it
+    into a structured ``bad-artifact`` error.
+    """
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return None
+    try:
+        magic, version_text = blob[:newline].decode("ascii").split(" ")
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if magic != STORE_MAGIC or not version_text.isdigit():
+        return None
+    if int(version_text) != STORE_FORMAT_VERSION:
+        return None
+    try:
+        schema = pickle.loads(blob[newline + 1 :])
+    except Exception:
+        # A truncated or garbled payload can raise nearly anything out
+        # of the unpickler (EOFError, UnpicklingError, AttributeError,
+        # ValueError, ...); every such defect is just a bad blob.
+        return None
+    if not isinstance(schema, CompiledSchema) or schema.fingerprint != fingerprint:
+        return None
+    return schema
 
 
 def default_store_dir() -> Path:
@@ -185,15 +230,13 @@ class ArtifactStore:
         """Atomically persist *schema*, returning the artifact path."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(schema.fingerprint)
-        header = f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode("ascii")
-        payload = pickle.dumps(schema, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = encode_artifact(schema)
         fd, temp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(header)
-                handle.write(payload)
+                handle.write(blob)
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -206,27 +249,7 @@ class ArtifactStore:
         return path
 
     def _decode(self, blob: bytes, fingerprint: str) -> CompiledSchema | None:
-        newline = blob.find(b"\n")
-        if newline < 0:
-            return None
-        try:
-            magic, version_text = blob[:newline].decode("ascii").split(" ")
-        except (UnicodeDecodeError, ValueError):
-            return None
-        if magic != STORE_MAGIC or not version_text.isdigit():
-            return None
-        if int(version_text) != STORE_FORMAT_VERSION:
-            return None
-        try:
-            schema = pickle.loads(blob[newline + 1 :])
-        except Exception:
-            # A truncated or garbled payload can raise nearly anything out
-            # of the unpickler (EOFError, UnpicklingError, AttributeError,
-            # ValueError, ...); every such defect is just a cache miss.
-            return None
-        if not isinstance(schema, CompiledSchema) or schema.fingerprint != fingerprint:
-            return None
-        return schema
+        return decode_artifact(blob, fingerprint)
 
     # -- maintenance --------------------------------------------------------
 

@@ -131,6 +131,121 @@ class TestServeCli:
             blocker.close()
         assert "error:" in capsys.readouterr().err
 
+    def test_ring_must_be_positive(self):
+        assert main(["serve", "--ring", "0"]) == 2
+        assert main(["serve", "--ring", "-2"]) == 2
+
+
+class TestRingCli:
+    def test_ring_and_workers_are_exclusive(self, schema, doc_s_file):
+        assert main(
+            ["batch", schema, doc_s_file, "--ring", "a.sock",
+             "--workers", "2"]
+        ) == 2
+
+    def test_empty_ring_address_list_is_usage_error(self, schema, doc_s_file):
+        assert main(["batch", schema, doc_s_file, "--ring", ","]) == 2
+
+    def test_ring_port_typo_is_usage_error(self, schema, doc_s_file, capsys):
+        status = main(
+            ["batch", schema, doc_s_file, "--ring", "127.0.0.1:875O"]
+        )
+        assert status == 2
+        assert "bad ring address" in capsys.readouterr().err
+
+    def test_batch_ring_round_trip(self, schema, doc_s_file, doc_w_file,
+                                   tmp_path, capsys):
+        from repro.server.server import ServerThread
+
+        handles = [
+            ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"),
+                         port=0).start()
+            for i in range(2)
+        ]
+        try:
+            ring_arg = ",".join(handle.unix_path for handle in handles)
+            status = main(
+                ["batch", schema, doc_s_file, doc_w_file,
+                 "--ring", ring_arg, "--stats"]
+            )
+        finally:
+            for handle in handles:
+                handle.stop()
+        captured = capsys.readouterr()
+        assert status == 1  # one document is not potentially valid
+        assert f"{doc_s_file}: potentially valid" in captured.out
+        assert "NOT potentially valid" in captured.out
+        assert "on shard" in captured.err
+        assert "ring:" in captured.err
+
+    def test_batch_ring_unreachable_shard_is_runtime_error(
+        self, schema, doc_s_file, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "nobody.sock")
+        status = main(["batch", schema, doc_s_file, "--ring", missing])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_ring_bad_dtd_is_usage_error(self, tmp_path, doc_s_file,
+                                               capsys):
+        # The ring client fingerprints the schema locally; a parse error
+        # must exit 2 like the local batch path, not traceback.
+        bad = tmp_path / "broken.dtd"
+        bad.write_text("<!ELEMENT broken")
+        status = main(
+            ["batch", str(bad), doc_s_file, "--ring",
+             str(tmp_path / "unused.sock")]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_ring_starts_n_shards(self, tmp_path):
+        # A real `repro serve --ring 2` subprocess: both shards come up
+        # on suffixed socket paths, both answer, and SIGINT tears the
+        # whole ring down cleanly — unlinking every socket (the stale
+        # path regression, exercised through the CLI).
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        import repro
+        from repro.server.client import ValidationClient
+
+        base = str(tmp_path / "ring.sock")
+        paths = [f"{base}.0", f"{base}.1"]
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--ring", "2",
+             "--no-tcp", "--unix", base],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if all(os.path.exists(path) for path in paths):
+                    break
+                assert process.poll() is None, "serve --ring exited early"
+                time.sleep(0.02)
+            else:  # pragma: no cover - failure path
+                pytest.fail("ring shards did not come up")
+            for path in paths:
+                with ValidationClient.connect_unix(path) as client:
+                    assert client.check(FIGURE1, DOC_S)["potentially_valid"]
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=15) == 0
+            assert not any(os.path.exists(path) for path in paths)
+        finally:
+            if process.poll() is None:  # pragma: no cover - failure path
+                process.kill()
+                process.wait(timeout=10)
+
 
 class TestCacheCli:
     @pytest.fixture

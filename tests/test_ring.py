@@ -1,0 +1,548 @@
+"""Tests for the sharded validation ring, batch streaming, and hand-off."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.server import protocol
+from repro.server.client import ServerError, ValidationClient, correlation_key
+from repro.server.protocol import ProtocolError
+from repro.server.ring import (
+    ShardedClient,
+    ShardRing,
+    member_label,
+    parse_member,
+)
+from repro.server.server import ServerThread
+from repro.service.store import ArtifactStore, encode_artifact
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+DOC_OK = "<r><a><b>A quick brown</b><c> fox</c> dog<e></e></a></r>"
+DOC_BAD = "<r><a><b>A quick brown</b><e></e><c> fox</c> dog</a></r>"
+
+
+def schema_text(index: int) -> str:
+    """A family of structurally distinct DTDs (distinct fingerprints)."""
+    return (
+        f"<!ELEMENT r{index} (a{index}*)>"
+        f"<!ELEMENT a{index} (#PCDATA)>"
+    )
+
+
+def doc_text(index: int) -> str:
+    return f"<r{index}><a{index}>x</a{index}></r{index}>"
+
+
+# -- the ring ----------------------------------------------------------------
+
+
+class TestShardRing:
+    def test_owner_is_deterministic(self):
+        ring = ShardRing(["a.sock", "b.sock", "c.sock"])
+        again = ShardRing(["c.sock", "a.sock", "b.sock"])  # order-insensitive
+        keys = [f"key-{i}" for i in range(200)]
+        assert [ring.owner(k) for k in keys] == [again.owner(k) for k in keys]
+
+    def test_distribution_is_roughly_even(self):
+        members = ["a.sock", "b.sock", "c.sock"]
+        ring = ShardRing(members)
+        counts = Counter(ring.owner(f"key-{i}") for i in range(3000))
+        for member in members:
+            assert counts[member] >= 300  # >= 10% each on a 3-member ring
+
+    def test_removal_only_remaps_the_removed_members_keys(self):
+        members = ["a.sock", "b.sock", "c.sock", "d.sock"]
+        ring = ShardRing(members)
+        keys = [f"key-{i}" for i in range(1000)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove("b.sock")
+        for key in keys:
+            if before[key] != "b.sock":
+                assert ring.owner(key) == before[key]
+            else:
+                assert ring.owner(key) != "b.sock"
+
+    def test_adding_back_restores_placement(self):
+        ring = ShardRing(["a.sock", "b.sock", "c.sock"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove("b.sock")
+        ring.add("b.sock")
+        assert {k: ring.owner(k) for k in keys} == before
+
+    def test_preference_lists_every_member_once(self):
+        members = ["a.sock", "b.sock", "c.sock"]
+        ring = ShardRing(members)
+        preference = ring.preference("some-fingerprint")
+        assert sorted(preference) == sorted(members)
+        assert preference[0] == ring.owner("some-fingerprint")
+
+    def test_preference_is_stable_for_surviving_members(self):
+        # Failover order, like ownership, must not shuffle when an
+        # unrelated member leaves.
+        ring = ShardRing(["a.sock", "b.sock", "c.sock", "d.sock"])
+        key = "fingerprint-123"
+        before = ring.preference(key)
+        removed = before[-1]  # not the owner, not the first fallback
+        ring.remove(removed)
+        after = ring.preference(key)
+        assert after == [m for m in before if m != removed]
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            ShardRing().owner("anything")
+
+    def test_membership_helpers(self):
+        ring = ShardRing(["a.sock"])
+        assert "a.sock" in ring and len(ring) == 1
+        ring.add("a.sock")  # idempotent
+        assert len(ring) == 1
+        ring.remove("missing.sock")  # no-op
+        assert ring.members == ["a.sock"]
+
+    def test_tcp_members_hash_by_label(self):
+        ring = ShardRing([("127.0.0.1", 1), ("127.0.0.1", 2)])
+        assert ("127.0.0.1", 1) in ring
+        assert member_label(("127.0.0.1", 1)) == "127.0.0.1:1"
+
+    def test_parse_member(self):
+        assert parse_member("127.0.0.1:8750") == ("127.0.0.1", 8750)
+        assert parse_member("/run/pv.sock") == "/run/pv.sock"
+        assert parse_member("relative.sock") == "relative.sock"
+        assert parse_member("./odd:name/pv.sock") == "./odd:name/pv.sock"
+
+    def test_parse_member_rejects_a_port_typo(self):
+        # "875O" (letter O) must be a loud usage error, not a silent
+        # fallback to a phantom Unix socket path.
+        with pytest.raises(ValueError):
+            parse_member("127.0.0.1:875O")
+
+
+# -- live shard fixtures -----------------------------------------------------
+
+
+@pytest.fixture
+def shard_handles(tmp_path):
+    handles = [
+        ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"), port=0).start()
+        for i in range(3)
+    ]
+    yield handles
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def shard_paths(shard_handles):
+    return [handle.unix_path for handle in shard_handles]
+
+
+# -- artifact hand-off ops ---------------------------------------------------
+
+
+class TestArtifactOps:
+    def test_get_put_round_trip_between_servers(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as first:
+            reply = first.check(FIGURE1, DOC_OK)
+            fingerprint = reply["schema"]["fingerprint"]
+            assert reply["schema"]["registry"] == "miss"
+            blob = first.get_artifact(fingerprint)
+        assert blob.startswith(b"repro-pv-artifact ")
+        with ValidationClient.connect_unix(shard_paths[1]) as second:
+            put = second.put_artifact(fingerprint, blob)
+            assert put["stored"] == "registry"
+            # The seeded shard answers warm: no compile happened there.
+            reply = second.check(FIGURE1, DOC_OK)
+            assert reply["schema"]["registry"] == "hit"
+            assert second.stats()["registry"]["misses"] == 0
+
+    def test_get_unknown_fingerprint_is_artifact_miss(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.get_artifact("f" * 64)
+            assert excinfo.value.code == "artifact-miss"
+
+    def test_put_garbage_blob_is_bad_artifact(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.put_artifact("f" * 64, b"repro-pv-artifact 1\ngarbage")
+            assert excinfo.value.code == "bad-artifact"
+
+    def test_put_wrong_fingerprint_is_bad_artifact(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            fingerprint = client.check(FIGURE1, DOC_OK)["schema"]["fingerprint"]
+            blob = client.get_artifact(fingerprint)
+            with pytest.raises(ServerError) as excinfo:
+                client.put_artifact("0" * 64, blob)
+            assert excinfo.value.code == "bad-artifact"
+
+    def test_put_bad_base64_is_bad_artifact(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            reply = client.send_raw(
+                protocol.encode(
+                    {"op": "put-artifact", "fingerprint": "f" * 64,
+                     "artifact": "!!! not base64 !!!"}
+                )
+            )
+            assert reply["error"]["code"] == "bad-artifact"
+
+    def test_missing_fingerprint_is_bad_request(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            reply = client.send_raw(protocol.encode({"op": "get-artifact"}))
+            assert reply["error"]["code"] == "bad-request"
+
+    def test_get_artifact_loads_from_store(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        with ServerThread(
+            unix_path=str(tmp_path / "a.sock"), store=ArtifactStore(store_dir)
+        ) as handle:
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                fingerprint = client.check(FIGURE1, DOC_OK)["schema"]["fingerprint"]
+        # A fresh server over the same store serves the artifact from disk.
+        with ServerThread(
+            unix_path=str(tmp_path / "b.sock"), store=ArtifactStore(store_dir)
+        ) as handle:
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                blob = client.get_artifact(fingerprint)
+        assert blob.startswith(b"repro-pv-artifact ")
+
+    def test_wire_blob_equals_store_file_format(self, shard_paths, tmp_path):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            fingerprint = client.check(FIGURE1, DOC_OK)["schema"]["fingerprint"]
+            blob = client.get_artifact(fingerprint)
+        store = ArtifactStore(tmp_path / "fmt")
+        schema = store._decode(blob, fingerprint)
+        assert schema is not None and schema.fingerprint == fingerprint
+        assert encode_artifact(schema)[: len(b"repro-pv-artifact 1\n")] == (
+            b"repro-pv-artifact 1\n"
+        )
+
+
+# -- the streaming batch op --------------------------------------------------
+
+
+class TestCheckBatch:
+    def test_batch_round_trip(self, shard_paths):
+        docs = [DOC_OK, DOC_BAD, DOC_OK]
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            replies, trailer = client.check_batch(FIGURE1, docs, id="batch-1")
+        assert [r["potentially_valid"] for r in replies] == [True, False, True]
+        assert all(r["op"] == "check-batch-item" for r in replies)
+        assert [r["id"] for r in replies] == [0, 1, 2]
+        assert trailer["items"] == 3
+        assert trailer["errors"] == 0
+        assert trailer["id"] == "batch-1"
+        assert trailer["schema"]["registry"] == "miss"
+
+    def test_batch_resolves_schema_once(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            _replies, trailer = client.check_batch(FIGURE1, [DOC_OK] * 5)
+            stats = client.stats()
+        assert trailer["schema"]["registry"] == "miss"
+        assert stats["registry"]["misses"] == 1
+        assert stats["server"]["batches"] == 1
+        assert stats["server"]["batch_items"] == 5
+
+    def test_bad_document_is_a_per_item_error(self, shard_paths):
+        docs = [DOC_OK, "<r><a></r>", DOC_OK]
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            replies, trailer = client.check_batch(FIGURE1, docs)
+            # The connection survives the defective item.
+            assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+        assert replies[0]["potentially_valid"] is True
+        assert replies[1]["ok"] is False
+        assert replies[1]["error"]["code"] == "bad-document"
+        assert replies[1]["id"] == 1
+        assert replies[2]["potentially_valid"] is True
+        assert trailer["errors"] == 1
+
+    def test_empty_batch(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            replies, trailer = client.check_batch(FIGURE1, [])
+        assert replies == []
+        assert trailer["items"] == 0
+
+    def test_bad_header_is_a_structured_error_then_disconnect(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.check_batch("<!ELEMENT broken", [DOC_OK])
+            assert excinfo.value.code == "bad-dtd"
+            # A bad batch header loses the item framing: the server
+            # closes, which is the documented disconnect.
+            with pytest.raises((ConnectionError, OSError)):
+                client.check(FIGURE1, DOC_OK)
+
+    def test_uncounted_batch_ends_on_blank_line(self, shard_paths):
+        # Drive the raw wire form: a header without "count", items, then
+        # the blank-line terminator.
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            client.send({"op": "check-batch", "dtd": FIGURE1}, flush=False)
+            client.send({"doc": DOC_OK, "id": "x"}, flush=False)
+            client.send({"doc": DOC_BAD, "id": "y"}, flush=False)
+            client._file.write(b"\n")
+            client._file.flush()
+            first = client.recv()
+            second = client.recv()
+            trailer = client.recv()
+        assert first["id"] == "x" and first["potentially_valid"] is True
+        assert second["id"] == "y" and second["potentially_valid"] is False
+        assert trailer["op"] == "check-batch" and trailer["items"] == 2
+
+    def test_malformed_item_line_is_bad_item(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            client.send(
+                {"op": "check-batch", "dtd": FIGURE1, "count": 2}, flush=False
+            )
+            client._file.write(b"this is { not json\n")
+            client.send({"doc": DOC_OK})
+            first = client.recv()
+            second = client.recv()
+            trailer = client.recv()
+            # The connection survives for single-shot requests.
+            assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+        assert first["ok"] is False
+        assert first["error"]["code"] == "bad-item"
+        assert first["op"] == "check-batch-item"
+        assert second["potentially_valid"] is True
+        assert trailer["errors"] == 1
+
+    def test_item_ids_are_echoed_including_falsy(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            client.send(
+                {"op": "check-batch", "dtd": FIGURE1, "count": 3}, flush=False
+            )
+            for item_id in (0, False, ""):
+                client.send({"doc": DOC_OK, "id": item_id}, flush=False)
+            client._file.flush()
+            ids = [client.recv()["id"] for _ in range(3)]
+            client.recv()  # trailer
+        assert ids == [0, False, ""]
+        assert [correlation_key(i) for i in ids] == ["0", "false", '""']
+
+    def test_doc_containing_the_op_literal_is_not_a_batch(self, shard_paths):
+        # Batch detection keys on the decoded op, so a plain check whose
+        # document text mentions "check-batch" stays a plain check.
+        doc = "<r><a><c>check-batch</c><d>x</d></a></r>"
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            reply = client.check(FIGURE1, doc)
+        assert reply["op"] == "check"
+        assert reply["potentially_valid"] is True
+
+    def test_json_escaped_op_string_is_still_a_batch(self, shard_paths):
+        # A conforming encoder may escape any character: "check-batch"
+        # decodes to the batch op and must enter the streaming read loop
+        # (a byte-level sniff would misread the item lines as requests).
+        header = (
+            '{"op": "check\\u002dbatch", "dtd": ' + json.dumps(FIGURE1)
+            + ', "count": 1}\n'
+        ).encode("utf-8")
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            client._file.write(header)
+            client.send({"doc": DOC_OK})
+            item = client.recv()
+            trailer = client.recv()
+        assert item["op"] == "check-batch-item"
+        assert item["potentially_valid"] is True
+        assert trailer["op"] == "check-batch" and trailer["items"] == 1
+
+    def test_batch_count_must_be_a_non_negative_int(self, shard_paths):
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            reply = client.send_raw(
+                protocol.encode(
+                    {"op": "check-batch", "dtd": FIGURE1, "count": -3}
+                )
+            )
+        assert reply["error"]["code"] == "bad-request"
+
+
+# -- pipelining --------------------------------------------------------------
+
+
+class TestPipelining:
+    def test_pipeline_correlates_falsy_ids(self, shard_paths):
+        payloads = [
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_OK, "id": 0},
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_BAD, "id": False},
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_OK, "id": ""},
+            {"op": "classify", "dtd": FIGURE1, "id": [1, "x"]},
+        ]
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            replies = client.pipeline(payloads)
+        assert [r["id"] for r in replies] == [0, False, "", [1, "x"]]
+        assert replies[0]["potentially_valid"] is True
+        assert replies[1]["potentially_valid"] is False
+        assert replies[2]["potentially_valid"] is True
+        assert replies[3]["op"] == "classify"
+
+    def test_pipeline_error_replies_are_correlatable(self, shard_paths):
+        payloads = [
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_OK, "id": "good"},
+            {"op": "check", "dtd": "<!ELEMENT broken", "doc": DOC_OK,
+             "id": "bad"},
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_OK, "id": "tail"},
+        ]
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            replies = client.pipeline(payloads)
+        assert replies[0]["ok"] is True and replies[0]["id"] == "good"
+        assert replies[1]["ok"] is False and replies[1]["id"] == "bad"
+        assert replies[1]["error"]["code"] == "bad-dtd"
+        assert replies[2]["ok"] is True and replies[2]["id"] == "tail"
+
+    def test_pipeline_without_ids_trusts_arrival_order(self, shard_paths):
+        payloads = [
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_OK},
+            {"op": "check", "dtd": FIGURE1, "doc": DOC_BAD},
+        ]
+        with ValidationClient.connect_unix(shard_paths[0]) as client:
+            replies = client.pipeline(payloads)
+        assert [r["potentially_valid"] for r in replies] == [True, False]
+
+    def test_correlation_key_distinguishes_numeric_look_alikes(self):
+        keys = {correlation_key(v) for v in (0, False, "", None, "0", 0.5)}
+        assert len(keys) == 6
+
+
+# -- the sharded client ------------------------------------------------------
+
+
+class TestShardedClient:
+    def test_routing_is_deterministic(self, shard_paths):
+        with ShardedClient(shard_paths) as ring:
+            first = ring.check(FIGURE1, DOC_OK)
+            assert first["schema"]["registry"] == "miss"
+            again = ring.check(FIGURE1, DOC_OK)
+            assert again["schema"]["registry"] == "hit"
+            by_member = ring.ring_stats["requests_by_member"]
+        # Both requests landed on the one owning shard.
+        assert sorted(by_member.values()) == [2]
+
+    def test_each_schema_compiles_once_ring_wide(self, shard_paths):
+        schemas = [schema_text(i) for i in range(8)]
+        with ShardedClient(shard_paths) as ring:
+            for _round in range(2):
+                for index, dtd in enumerate(schemas):
+                    reply = ring.check(dtd, doc_text(index))
+                    assert reply["potentially_valid"] is True
+            stats = ring.stats()
+        total_misses = sum(
+            shard["registry"]["misses"]
+            for shard in stats["shards"].values()
+            if shard is not None
+        )
+        assert total_misses == len(schemas)
+        assert stats["ring"]["compiles_observed"] == len(schemas)
+
+    def test_corpus_spreads_across_shards(self, shard_paths):
+        schemas = [schema_text(i) for i in range(12)]
+        with ShardedClient(shard_paths) as ring:
+            owners = {
+                member_label(ring.ring.owner(ring.fingerprint(dtd)))
+                for dtd in schemas
+            }
+        # 12 schemas over 3 shards: statistically certain to touch >1
+        # shard (and with this fixed family, all 3).
+        assert len(owners) > 1
+
+    def test_membership_change_hands_off_instead_of_recompiling(
+        self, shard_handles
+    ):
+        paths = [handle.unix_path for handle in shard_handles]
+        with ShardedClient(paths) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            fingerprint = ring.fingerprint(FIGURE1)
+            owner = ring.ring.owner(fingerprint)
+            ring.ring.remove(owner)
+            reply = ring.check(FIGURE1, DOC_OK)
+        # The new owner answered warm from the handed-off artifact.
+        assert reply["schema"]["registry"] == "hit"
+        assert ring.ring_stats["handoffs"] == 1
+        assert ring.ring_stats["handoff_bytes"] > 0
+        # Ring-wide (including the departed shard, where the one honest
+        # compile lives) nothing was ever compiled twice.
+        total_misses = sum(
+            handle.server.registry.stats.misses for handle in shard_handles
+        )
+        assert total_misses == 1
+
+    def test_failover_when_a_shard_dies(self, shard_handles):
+        paths = [handle.unix_path for handle in shard_handles]
+        with ShardedClient(paths) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            fingerprint = ring.fingerprint(FIGURE1)
+            owner = ring.ring.owner(fingerprint)
+            shard_handles[paths.index(owner)].stop()
+            reply = ring.check(FIGURE1, DOC_OK)
+            assert reply["potentially_valid"] is True
+            assert ring.ring_stats["failovers"] == 1
+            assert member_label(owner) in ring.ring_stats["down"]
+            # Deterministic: the same fallback serves the repeat.
+            again = ring.check(FIGURE1, DOC_OK)
+            assert again["schema"]["registry"] == "hit"
+
+    def test_all_shards_down_raises_connection_error(self, tmp_path):
+        ring = ShardedClient([str(tmp_path / "nobody-home.sock")])
+        with pytest.raises(ConnectionError):
+            ring.check(FIGURE1, DOC_OK)
+
+    def test_bad_dtd_raises_without_touching_the_ring(self, shard_paths):
+        with ShardedClient(shard_paths) as ring:
+            with pytest.raises(ProtocolError) as excinfo:
+                ring.check("<!ELEMENT broken", DOC_OK)
+            assert excinfo.value.code == "bad-dtd"
+            assert ring.ring_stats["requests_by_member"] == {}
+
+    def test_check_batch_routes_to_owner(self, shard_paths):
+        with ShardedClient(shard_paths) as ring:
+            replies, trailer = ring.check_batch(FIGURE1, [DOC_OK, DOC_BAD])
+            assert [r["potentially_valid"] for r in replies] == [True, False]
+            assert trailer["items"] == 2
+            owner = member_label(ring.ring.owner(ring.fingerprint(FIGURE1)))
+            assert ring.ring_stats["requests_by_member"] == {owner: 1}
+
+    def test_check_corpus_parallel_fan_out(self, shard_paths):
+        batches = [
+            (schema_text(index), [doc_text(index)] * 4) for index in range(6)
+        ]
+        with ShardedClient(shard_paths) as ring:
+            results = ring.check_corpus(batches)
+            stats = ring.stats()
+        assert len(results) == 6
+        for index, (replies, trailer) in enumerate(results):
+            assert trailer["items"] == 4
+            assert all(r["potentially_valid"] for r in replies)
+        total_misses = sum(
+            shard["registry"]["misses"]
+            for shard in stats["shards"].values()
+            if shard is not None
+        )
+        assert total_misses == 6
+
+    def test_classify_and_validate_route_too(self, shard_paths):
+        with ShardedClient(shard_paths) as ring:
+            classify = ring.classify(FIGURE1)
+            assert classify["dtd_class"] == "non-recursive"
+            validate = ring.validate(FIGURE1, DOC_OK)
+            assert validate["valid"] is False
+            # Three schema-touching calls, one owner, zero extra compiles.
+            stats = ring.stats()
+        total_misses = sum(
+            shard["registry"]["misses"]
+            for shard in stats["shards"].values()
+            if shard is not None
+        )
+        assert total_misses == 1
+
+    def test_needs_at_least_one_member(self):
+        with pytest.raises(ValueError):
+            ShardedClient([])

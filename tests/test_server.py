@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import threading
 
 import pytest
@@ -87,6 +88,31 @@ class TestProtocol:
         encoded = protocol.encode({"ok": True, "nested": {"a": [1, 2]}})
         assert encoded.endswith(b"\n")
         assert encoded.count(b"\n") == 1
+
+    def test_decode_reply_wraps_bad_json(self):
+        # Regression: this used to leak a raw json.JSONDecodeError,
+        # violating the "failures are structured" contract.
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_reply(b"this is { not json\n")
+        assert excinfo.value.code == "bad-reply"
+
+    def test_decode_reply_wraps_bad_utf8(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_reply(b"\xff\xfe{}\n")
+        assert excinfo.value.code == "bad-reply"
+
+    def test_decode_reply_requires_ok(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_reply(b'{"fine": true}\n')
+        assert excinfo.value.code == "bad-reply"
+
+    def test_decode_batch_item(self):
+        item = protocol.decode_batch_item(b'{"doc": "<r/>", "id": 0}')
+        assert item.doc == "<r/>" and item.id == 0
+        for garbage in (b"nope {", b"[1]", b'{"id": 3}', b'{"doc": 42}'):
+            with pytest.raises(ProtocolError) as excinfo:
+                protocol.decode_batch_item(garbage)
+            assert excinfo.value.code == "bad-item"
 
 
 # -- live server tests -------------------------------------------------------
@@ -209,6 +235,18 @@ class TestServerErrors:
         assert reply["error"]["code"] == "bad-dtd"
         assert reply["id"] == 42
 
+    def test_server_error_carries_the_full_reply_and_id(self, client):
+        # Regression: ServerError used to discard the reply object, which
+        # made error replies uncorrelatable under pipelining.
+        with pytest.raises(ServerError) as excinfo:
+            client.check("<!ELEMENT broken", DOC_OK, id="req-7")
+        error = excinfo.value
+        assert error.code == "bad-dtd"
+        assert error.id == "req-7"
+        assert error.reply["ok"] is False
+        assert error.reply["id"] == "req-7"
+        assert error.reply["error"]["code"] == "bad-dtd"
+
 
 class TestConcurrentClients:
     def test_many_connections_share_one_registry(self):
@@ -248,8 +286,8 @@ class _SlowServer(ValidationServer):
         super().__init__(**kwargs)
         self.delay = delay
 
-    async def _handle_line(self, line: bytes) -> dict:
-        response = await super()._handle_line(line)
+    async def _handle_line(self, line: bytes, *args: object) -> dict:
+        response = await super()._handle_line(line, *args)
         await asyncio.sleep(self.delay)
         return response
 
@@ -361,6 +399,152 @@ class TestProcessPoolServer:
                     handle.server._pool.submit(os._exit, 1).result()
                 # The next request rebuilds the pool and still answers.
                 assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+
+
+def _one_shot_server(respond) -> tuple[str, int, threading.Thread]:
+    """A fake TCP server: accept one connection, run *respond*, close."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()
+
+    def serve() -> None:
+        conn, _addr = listener.accept()
+        try:
+            respond(conn)
+        finally:
+            conn.close()
+            listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+class TestClientWireDefects:
+    """The client's own structured-failure contract (satellite coverage)."""
+
+    def test_garbage_reply_is_a_protocol_error(self):
+        def respond(conn: socket.socket) -> None:
+            conn.makefile("rb").readline()
+            conn.sendall(b"this is definitely { not json\n")
+
+        host, port, thread = _one_shot_server(respond)
+        with ValidationClient.connect_tcp(host, port) as client:
+            with pytest.raises(ProtocolError) as excinfo:
+                client.request({"op": "stats"})
+        thread.join(timeout=5)
+        assert excinfo.value.code == "bad-reply"
+
+    def test_mid_reply_hangup_is_a_connection_error(self):
+        def respond(conn: socket.socket) -> None:
+            conn.makefile("rb").readline()
+            conn.sendall(b'{"ok": tru')  # dies with the reply half-written
+
+        host, port, thread = _one_shot_server(respond)
+        with ValidationClient.connect_tcp(host, port) as client:
+            with pytest.raises(ConnectionError) as excinfo:
+                client.request({"op": "stats"})
+        thread.join(timeout=5)
+        assert "mid-reply" in str(excinfo.value)
+
+    def test_hangup_before_any_reply_is_a_connection_error(self):
+        def respond(conn: socket.socket) -> None:
+            conn.makefile("rb").readline()  # read the request, say nothing
+
+        host, port, thread = _one_shot_server(respond)
+        with ValidationClient.connect_tcp(host, port) as client:
+            with pytest.raises(ConnectionError):
+                client.request({"op": "stats"})
+        thread.join(timeout=5)
+
+
+class TestOverLimitRequests:
+    """MAX_LINE_BYTES exceeded -> structured error, then disconnect."""
+
+    @pytest.fixture
+    def small_limit(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 4096)
+
+    def test_overlong_request_gets_error_then_disconnect(self, small_limit):
+        with ServerThread(host="127.0.0.1", port=0) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                client.send(
+                    {"op": "check", "dtd": FIGURE1, "doc": "<r>" + "x" * 8192}
+                )
+                reply = client.recv()
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "bad-request"
+                assert "exceeds" in reply["error"]["message"]
+                # The framing is unrecoverable, so the server closes: the
+                # documented disconnect.
+                with pytest.raises(ConnectionError):
+                    client.request({"op": "stats"})
+
+    def test_within_limit_still_fine(self, small_limit):
+        with ServerThread(host="127.0.0.1", port=0) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+
+    def test_overlong_batch_item_gets_error_then_disconnect(self, small_limit):
+        with ServerThread(host="127.0.0.1", port=0) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                client.send(
+                    {"op": "check-batch", "dtd": FIGURE1, "count": 1},
+                    flush=False,
+                )
+                client.send({"doc": "<r>" + "y" * 8192})
+                reply = client.recv()
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "bad-request"
+                with pytest.raises(ConnectionError):
+                    client.request({"op": "stats"})
+
+
+class TestUnixSocketLifecycle:
+    """Stale socket paths must not brick a restarted server (satellite)."""
+
+    def test_stop_unlinks_the_socket_path(self, tmp_path):
+        path = tmp_path / "pv.sock"
+        with ServerThread(unix_path=str(path)) as handle:
+            assert path.exists()
+            assert handle.unix_path == str(path)
+        assert not path.exists()
+
+    def test_restart_over_a_stale_socket_succeeds(self, tmp_path):
+        # Simulate a crash: a bound-then-abandoned socket file with no
+        # listener behind it (what SIGKILL leaves on disk).
+        path = tmp_path / "pv.sock"
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(str(path))
+        stale.close()  # closed without listen/accept and without unlink
+        assert path.exists()
+        with ServerThread(unix_path=str(path)) as handle:
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+        assert not path.exists()
+
+    def test_restart_after_restart(self, tmp_path):
+        # The original regression: serve, stop, serve again on one path.
+        path = str(tmp_path / "pv.sock")
+        for _round in range(3):
+            with ServerThread(unix_path=path) as handle:
+                with ValidationClient.connect_unix(handle.unix_path) as client:
+                    assert client.check(FIGURE1, DOC_OK)["ok"]
+
+    def test_live_socket_is_not_stolen(self, tmp_path):
+        path = str(tmp_path / "pv.sock")
+        with ServerThread(unix_path=path):
+            with pytest.raises(OSError):
+                ServerThread(unix_path=path).start()
+            # And the probe did not kill the live server's socket.
+            with ValidationClient.connect_unix(path) as client:
+                assert client.check(FIGURE1, DOC_OK)["ok"]
+
+    def test_regular_file_is_never_clobbered(self, tmp_path):
+        path = tmp_path / "precious.txt"
+        path.write_text("do not delete")
+        with pytest.raises(OSError):
+            ServerThread(unix_path=str(path)).start()
+        assert path.read_text() == "do not delete"
 
 
 class TestServerConstruction:
