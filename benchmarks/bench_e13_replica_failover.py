@@ -1,0 +1,290 @@
+"""E13 — replica failover: kill a shard, lose nothing; join a shard, warm.
+
+E12 showed the ring scales throughput while compiling each schema once.
+E13 holds the **availability** layer to the same standard over real
+``python -m repro serve`` subprocesses:
+
+* **replica fan-out** — a 3-shard ring at ``replica_count=2`` warms an
+  8-schema corpus; every compiled artifact must end up on both of its
+  owners (one compile + one hand-off each, never two compiles);
+* **kill one shard mid-corpus** — the primary owner of a measured
+  schema is SIGKILLed halfway through a corpus replay.  Required: **zero
+  failed checks** (every document still gets its verdict, identical to
+  the baseline) and **zero recompiles** (the surviving replicas answer
+  from fanned-out artifacts; their registry miss counters do not move);
+* **add one shard** — a fourth server joins through the
+  :class:`~repro.server.coordinator.RingCoordinator`, which prefetches
+  the joiner's hottest owned fingerprints *before* publishing the join.
+  Required: the joiner serves its first routed request from a
+  **prefetched** artifact — 0 compiles on join (its miss counter stays
+  0 through traffic).
+
+``REPRO_BENCH_FAST=1`` shrinks the corpus for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.bench.harness import Table, throughput
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serialize import dtd_to_text
+from repro.server.client import ValidationClient
+from repro.server.coordinator import RingCoordinator
+from repro.server.ring import ShardedClient, ShardRing, member_label
+from repro.service.compiled import schema_fingerprint
+from repro.workloads.degrade import degrade
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.serialize import to_xml
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+DOCS_PER_SCHEMA = 6 if FAST else 16
+TARGET_NODES = 12
+SHARDS = 3
+REPLICAS = 2
+
+SCHEMA_BUILDERS = (
+    catalog.paper_figure1,
+    catalog.example5_t1,
+    catalog.example6_t2,
+    catalog.tei_lite,
+    catalog.xhtml_basic,
+    catalog.docbook_article,
+    catalog.play,
+    catalog.dictionary,
+)
+
+
+def _corpus() -> list[tuple[str, str | None, list[str]]]:
+    batches = []
+    for index, builder in enumerate(SCHEMA_BUILDERS):
+        dtd = builder()
+        rng = random.Random(300 + index)
+        generator = DocumentGenerator(dtd, seed=300 + index)
+        texts: list[str] = []
+        for document in generator.documents(
+            DOCS_PER_SCHEMA // 2, target_nodes=TARGET_NODES
+        ):
+            texts.append(to_xml(document))
+            degraded, _count = degrade(document, rng, fraction=0.5)
+            texts.append(to_xml(degraded))
+        batches.append((dtd_to_text(dtd), dtd.root, texts))
+    return batches
+
+
+def _spawn_server(unix_path: str) -> subprocess.Popen:
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--no-tcp", "--unix", unix_path],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited with {process.returncode} before binding"
+            )
+        if os.path.exists(unix_path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(unix_path)
+                return process
+            except OSError:
+                pass
+            finally:
+                probe.close()
+        time.sleep(0.02)
+    process.terminate()
+    raise RuntimeError(f"server on {unix_path} did not come up in time")
+
+
+def _stop(processes: list[subprocess.Popen]) -> None:
+    for process in processes:
+        if process.poll() is None:
+            process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            process.kill()
+            process.wait(timeout=10)
+
+
+def _registry_misses(unix_path: str) -> int:
+    with ValidationClient.connect_unix(unix_path) as client:
+        return client.stats()["registry"]["misses"]
+
+
+def _pick_paths(tmp_path, fingerprints) -> tuple[list[str], str]:
+    """Shard paths that spread the corpus, plus a joiner that will own
+    at least one schema — salted deterministically so the measured
+    scenario (a kill on an owner; a join that takes traffic) always
+    exists regardless of the random tmp directory."""
+    for salt in range(128):
+        paths = [
+            str(tmp_path / f"shard-{index}-{salt}.sock")
+            for index in range(SHARDS)
+        ]
+        ring = ShardRing(paths, replica_count=REPLICAS)
+        owners = {member_label(ring.owner(fp)) for fp in fingerprints}
+        if len(owners) <= 1:
+            continue
+        for joiner_salt in range(128):
+            joiner = str(tmp_path / f"joiner-{joiner_salt}.sock")
+            grown = ShardRing([*paths, joiner], replica_count=REPLICAS)
+            if any(
+                member_label(grown.owner(fp)) == joiner for fp in fingerprints
+            ):
+                return paths, joiner
+    raise AssertionError("no salt produced a usable topology")
+
+
+def test_e13_replica_failover(benchmark, tmp_path):
+    batches = _corpus()
+    total_docs = sum(len(docs) for _dtd, _root, docs in batches)
+    fingerprints = [
+        schema_fingerprint(parse_dtd(dtd, root=root))
+        for dtd, root, _docs in batches
+    ]
+    shard_paths, joiner_path = _pick_paths(tmp_path, fingerprints)
+    processes = [_spawn_server(path) for path in shard_paths]
+    coordinator = RingCoordinator(
+        shard_paths, replica_count=REPLICAS, prefetch=len(batches)
+    )
+    try:
+        coordinator.publish()
+        with ShardedClient(shard_paths, replica_count=REPLICAS) as ring:
+            # -- phase 1: warm the ring (one compile per schema, fan-out) -----
+            warm_started = time.perf_counter()
+            baseline: list[bool] = []
+            for dtd, root, docs in batches:
+                replies, _trailer = ring.check_batch(dtd, docs, root=root)
+                baseline.extend(r["potentially_valid"] for r in replies)
+            warm_seconds = time.perf_counter() - warm_started
+            compiles_after_warm = sum(
+                _registry_misses(path) for path in shard_paths
+            )
+            benchmark(
+                lambda: ring.check(
+                    batches[0][0], batches[0][2][0], root=batches[0][1]
+                )
+            )
+
+            # -- phase 2: SIGKILL the primary of a measured schema -----------
+            victim = member_label(ring.ring.owner(fingerprints[0]))
+            victim_index = shard_paths.index(victim)
+            survivors = [
+                path for path in shard_paths if path != victim
+            ]
+            survivor_misses_before = {
+                path: _registry_misses(path) for path in survivors
+            }
+            kill_at = len(batches) // 2
+            failed_checks = 0
+            replay: list[bool] = []
+            replay_started = time.perf_counter()
+            for index, (dtd, root, docs) in enumerate(batches):
+                if index == kill_at:
+                    processes[victim_index].send_signal(signal.SIGKILL)
+                    processes[victim_index].wait(timeout=10)
+                    coordinator.probe_once()
+                    coordinator.probe_once()  # down_after probes -> epoch bump
+                for doc in docs:
+                    try:
+                        reply = ring.check(dtd, doc, root=root)
+                    except Exception:  # noqa: BLE001 - counted, not raised
+                        failed_checks += 1
+                        replay.append(None)  # type: ignore[arg-type]
+                        continue
+                    replay.append(reply["potentially_valid"])
+            replay_seconds = time.perf_counter() - replay_started
+            survivor_misses_after = {
+                path: _registry_misses(path) for path in survivors
+            }
+            recompiles = sum(
+                survivor_misses_after[path] - survivor_misses_before[path]
+                for path in survivors
+            )
+
+            # -- phase 3: join a prefetched shard ----------------------------
+            processes.append(_spawn_server(joiner_path))
+            prefetched = coordinator.add_member(joiner_path)
+            joiner_misses_at_join = _registry_misses(joiner_path)
+            join_verdicts: list[bool] = []
+            for dtd, root, docs in batches:
+                reply = ring.check(dtd, docs[0], root=root)
+                join_verdicts.append(reply["potentially_valid"])
+            joiner_misses_after_traffic = _registry_misses(joiner_path)
+            joiner_requests = 0
+            with ValidationClient.connect_unix(joiner_path) as client:
+                joiner_requests = client.stats()["server"]["requests"]
+            ring_stats = ring.ring_stats
+    finally:
+        coordinator.stop()
+        _stop(processes)
+
+    table = Table(
+        "E13: replica failover (3-shard ring, R=2, subprocess servers)",
+        ["phase", "docs", "seconds", "docs/s", "failed checks", "recompiles"],
+    )
+    table.add_row(
+        "warm (cold ring)", total_docs, warm_seconds,
+        throughput(total_docs, warm_seconds), 0, compiles_after_warm,
+    )
+    table.add_row(
+        "replay + SIGKILL owner", total_docs, replay_seconds,
+        throughput(total_docs, replay_seconds), failed_checks, recompiles,
+    )
+    table.print()
+    print(f"handoffs: {ring_stats['handoffs']} "
+          f"({ring_stats['handoff_bytes']} bytes), "
+          f"failovers: {ring_stats['failovers']}, "
+          f"epoch: {ring_stats['epoch']}")
+    print(f"join: prefetched {prefetched} artifact(s); joiner compiles "
+          f"at join {joiner_misses_at_join}, after traffic "
+          f"{joiner_misses_after_traffic} (requests served: "
+          f"{joiner_requests})")
+
+    # Phase 1: one compile per schema ring-wide, despite R=2 owners each.
+    assert compiles_after_warm == len(batches), (
+        f"warm ring compiled {compiles_after_warm} != {len(batches)} schemas"
+    )
+
+    # Phase 2: the kill lost nothing — every check answered, identically,
+    # and the survivors recompiled nothing (their replicas were warm).
+    assert failed_checks == 0
+    assert replay == baseline
+    assert recompiles == 0, (
+        f"killing {victim} caused {recompiles} recompile(s) on survivors"
+    )
+    # Recovery took one of two documented paths (timing decides which):
+    # the client tripped on the dead socket and failed over, or the
+    # coordinator's epoch bump re-resolved placement first.
+    assert ring_stats["failovers"] >= 1 or ring_stats["epoch_refreshes"] >= 1
+
+    # Phase 3: the joiner took traffic without ever compiling — its hot
+    # set arrived by prefetch before the join was published.
+    assert prefetched >= 1
+    assert joiner_misses_at_join == 0
+    assert joiner_misses_after_traffic == 0, (
+        "the joining shard compiled despite prefetch"
+    )
+    assert all(join_verdicts[i] == baseline[sum(
+        len(docs) for _d, _r, docs in batches[:i]
+    )] for i in range(len(batches)))
+    assert joiner_requests >= 1, (
+        "the joiner never served a request — placement salt failed"
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven commands wrap the library for shell use:
+Eight commands wrap the library for shell use:
 
 ``classify SCHEMA.dtd``
     Print the Definition 6-8 classification report of a DTD.
@@ -29,7 +29,14 @@ Seven commands wrap the library for shell use:
     persistent artifact store and a process pool.  ``--ring N`` starts a
     local ring of N shard servers (consecutive ports / suffixed socket
     paths, one registry and store partition each) for development and
-    smoke testing of the sharded topology.
+    smoke testing of the sharded topology; ``--replicas R`` publishes a
+    ring view (epoch 1, replica-set size R) to every shard so replies
+    carry epochs and clients route reads to any of R owners.
+
+``ring-status ADDR[,ADDR...]``
+    Probe every shard of a running ring with the ``health`` op and print
+    a liveness/epoch/traffic table; exits 0 when all shards answer, 1
+    when any is down.
 
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the persistent artifact store.
@@ -177,7 +184,7 @@ def _cmd_batch_ring(args: argparse.Namespace) -> int:
         return USAGE_ERROR
     dtd_text = Path(args.schema).read_text()
     docs = [Path(path).read_text() for path in args.documents]
-    with ShardedClient(members) as ring:
+    with ShardedClient(members, replica_count=args.replicas) as ring:
         try:
             replies, trailer = ring.check_batch(
                 dtd_text, docs, algorithm=args.algorithm, root=args.root
@@ -266,6 +273,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             unix = f"{unix}.{index}"
         return port, unix
 
+    def shard_label(server: ValidationServer) -> str:
+        # A shard's canonical ring label: the Unix path when it has one
+        # (the ShardedClient hashes the same string), else host:port.
+        if server.unix_path is not None:
+            return server.unix_path
+        assert server.tcp_address is not None
+        return f"{server.tcp_address[0]}:{server.tcp_address[1]}"
+
     async def run() -> None:
         started: list[ValidationServer] = []
         try:
@@ -286,6 +301,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if server.store is not None:
                     print(f"{name}artifact store: {server.store.directory}",
                           file=sys.stderr)
+            if shards > 1:
+                # Publish the initial ring view (epoch 1) in-process so
+                # every reply carries an epoch and clients serve reads
+                # from any of the R replicas of a fingerprint.
+                labels = [shard_label(server) for server in started]
+                for server in started:
+                    server.set_ring_view(1, labels, args.replicas)
+                print(
+                    f"ring view published: epoch 1, {len(labels)} member(s), "
+                    f"replicas {args.replicas}",
+                    file=sys.stderr,
+                )
             await asyncio.gather(*(server.serve_forever() for server in started))
         finally:
             for server in started:
@@ -300,6 +327,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return RUNTIME_ERROR
     return 0
+
+
+def _cmd_ring_status(args: argparse.Namespace) -> int:
+    """Probe every shard of a ring: liveness, epoch, traffic, registry."""
+    from repro.server.client import ValidationClient
+    from repro.server.ring import member_label, parse_member
+
+    try:
+        members = [parse_member(text) for text in args.members.split(",") if text]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return USAGE_ERROR
+    if not members:
+        print("error: ring-status needs at least one ADDR", file=sys.stderr)
+        return USAGE_ERROR
+    all_up = True
+    epochs: set[int] = set()
+    for member in members:
+        label = member_label(member)
+        try:
+            with ValidationClient.connect(member, timeout=args.timeout) as client:
+                health = client.health()
+                stats = client.stats() if args.stats else None
+        except Exception as error:  # noqa: BLE001 - reported per shard
+            all_up = False
+            print(f"{label}: DOWN ({error})")
+            continue
+        epoch = health.get("epoch")
+        if isinstance(epoch, int):
+            epochs.add(epoch)
+        line = (
+            f"{label}: up, epoch={epoch}, "
+            f"uptime={health['uptime_seconds']:.1f}s, "
+            f"requests={health['requests']}, "
+            f"connections={health['connections']}"
+        )
+        print(line)
+        if stats is not None:
+            registry = stats["registry"]
+            hot = stats.get("hot") or []
+            print(
+                f"  registry: {registry['hits']} hit(s), "
+                f"{registry['misses']} miss(es); "
+                f"hot schemas: "
+                + (
+                    ", ".join(f"{fp[:12]}...x{count}" for fp, count in hot[:5])
+                    or "(none)"
+                )
+            )
+    if len(epochs) > 1:
+        print(
+            f"warning: shards disagree on the ring epoch ({sorted(epochs)}) — "
+            "a membership change is still propagating",
+            file=sys.stderr,
+        )
+    return 0 if all_up else RUNTIME_ERROR
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -418,6 +501,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "checking locally (ADDR is host:port or a unix socket path)"
         ),
     )
+    batch.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="replica-set size of the ring named by --ring (failover reads)",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     complete = sub.add_parser("complete", help="compute a valid extension")
@@ -474,7 +564,39 @@ def _build_parser() -> argparse.ArgumentParser:
             "socket paths suffixed .0..N-1, one store partition each)"
         ),
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help=(
+            "replica-set size published with the ring view: each schema "
+            "fingerprint is owned by R shards (reads from any live one, "
+            "artifacts fanned out to all R); requires --ring N >= R"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    ring_status = sub.add_parser(
+        "ring-status", help="probe the shards of a running validation ring"
+    )
+    ring_status.add_argument(
+        "members",
+        metavar="ADDR[,ADDR...]",
+        help="shard addresses (host:port or unix socket paths)",
+    )
+    ring_status.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print each shard's registry and hot-schema statistics",
+    )
+    ring_status.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-shard probe timeout, seconds",
+    )
+    ring_status.set_defaults(handler=_cmd_ring_status)
 
     cache = sub.add_parser(
         "cache", help="manage the persistent compiled-artifact store"
@@ -508,11 +630,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.handler is _cmd_batch and args.ring and args.workers != 1:
         print("error: --ring and --workers are mutually exclusive", file=sys.stderr)
         return USAGE_ERROR
+    if args.handler is _cmd_batch and args.replicas < 1:
+        print("error: --replicas must be >= 1", file=sys.stderr)
+        return USAGE_ERROR
     if args.handler is _cmd_serve and args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
         return USAGE_ERROR
     if args.handler is _cmd_serve and args.ring < 1:
         print("error: --ring must be >= 1", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and not 1 <= args.replicas <= args.ring:
+        print("error: --replicas must be between 1 and --ring N", file=sys.stderr)
         return USAGE_ERROR
     try:
         return args.handler(args)

@@ -14,17 +14,26 @@ process serving traffic:
   NDJSON client (pipelining, streaming ``check-batch``, artifact
   transfer) used by tests, the benchmarks, and the CI smoke jobs.
 * :mod:`repro.server.ring` — the horizontal-scaling layer:
-  :class:`ShardRing` (consistent hashing with virtual nodes) and
-  :class:`ShardedClient` (fingerprint routing, deterministic failover,
-  compile-at-most-once artifact hand-off between shards).
+  :class:`ShardRing` (consistent hashing with virtual nodes and replica
+  sets) and :class:`ShardedClient` (fingerprint routing to any live
+  replica, deterministic failover, compile-at-most-once artifact
+  hand-off and replica fan-out, epoch-driven placement refresh).
+* :mod:`repro.server.coordinator` — :class:`RingCoordinator`, the
+  control plane: ``health``-probe-driven live membership, epoch-stamped
+  ``ring-config`` publishing, and hot-artifact prefetch so a joining
+  shard takes its first request warm.
 
 Start one from the shell with ``python -m repro serve`` (or a local
-ring of N shards with ``python -m repro serve --ring N``).
+ring of N shards with R replicas per schema via ``python -m repro
+serve --ring N --replicas R``); inspect a running ring with ``python
+-m repro ring-status ADDR[,ADDR...]``.
 """
 
 from repro.server.client import ServerError, ValidationClient
+from repro.server.coordinator import RingCoordinator
 from repro.server.protocol import (
     ALGORITHMS,
+    ERROR_CODES,
     MAX_LINE_BYTES,
     OPS,
     SCHEMA_OPS,
@@ -38,8 +47,19 @@ from repro.server.protocol import (
     error_payload,
     verdict_fields,
 )
-from repro.server.ring import ShardedClient, ShardRing, member_label, parse_member
-from repro.server.server import ArtifactMissError, ServerThread, ValidationServer
+from repro.server.ring import (
+    ShardedClient,
+    ShardRing,
+    ShardUnavailableError,
+    member_label,
+    parse_member,
+)
+from repro.server.server import (
+    HANDLED_OPS,
+    ArtifactMissError,
+    ServerThread,
+    ValidationServer,
+)
 
 __all__ = [
     "ValidationServer",
@@ -49,6 +69,8 @@ __all__ = [
     "ArtifactMissError",
     "ShardRing",
     "ShardedClient",
+    "ShardUnavailableError",
+    "RingCoordinator",
     "member_label",
     "parse_member",
     "ProtocolError",
@@ -57,6 +79,8 @@ __all__ = [
     "OPS",
     "SCHEMA_OPS",
     "ALGORITHMS",
+    "ERROR_CODES",
+    "HANDLED_OPS",
     "MAX_LINE_BYTES",
     "decode_request",
     "decode_batch_item",

@@ -24,7 +24,15 @@ Beyond one-request-per-round-trip calls, the client supports
 * **artifact hand-off** — :meth:`ValidationClient.get_artifact` /
   :meth:`ValidationClient.put_artifact` move compiled schema artifacts
   between servers by fingerprint, the primitive the sharding ring's
-  coordinator uses.
+  coordinator uses;
+* **membership ops** — :meth:`ValidationClient.health` (the liveness
+  probe, carrying the shard's ring view) and
+  :meth:`ValidationClient.ring_config` (publish an epoch-stamped view),
+  plus an optional ``epoch=`` on every routed op so stale placement is
+  answered ``wrong-epoch`` with the refresh.
+
+The wire format behind all of this is specified in
+``docs/PROTOCOL.md``.
 """
 
 from __future__ import annotations
@@ -196,11 +204,17 @@ class ValidationClient:
         algorithm: str | None = None,
         root: str | None = None,
         id: Any = None,
+        epoch: int | None = None,
     ) -> dict[str, Any]:
-        """Potential-validity check; the reply carries the verdict fields."""
+        """Potential-validity check; the reply carries the verdict fields.
+
+        *epoch*, when given, stamps the request with the ring epoch this
+        client routed under; a shard holding a newer view answers with a
+        ``wrong-epoch`` error carrying the refresh (see ``ring-config``).
+        """
         return self.request(
             self._payload("check", dtd=dtd, doc=doc, algorithm=algorithm,
-                          root=root, id=id)
+                          root=root, id=id, epoch=epoch)
         )
 
     def check_batch(
@@ -211,6 +225,7 @@ class ValidationClient:
         root: str | None = None,
         id: Any = None,
         window: int | None = None,
+        epoch: int | None = None,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
         """Stream *docs* through one ``check-batch`` op on this connection.
 
@@ -219,11 +234,13 @@ class ValidationClient:
         the client supplies as each item's ``id``).  Item replies may be
         ``ok: false`` for per-document defects; the batch still completes.
         At most *window* items (default :data:`BATCH_WINDOW`) are in
-        flight ahead of the replies read.
+        flight ahead of the replies read.  *epoch* stamps the header with
+        the routing epoch (a stale one is a ``wrong-epoch`` header error).
         """
         window = self.BATCH_WINDOW if window is None else max(1, window)
         header = self._payload(
-            "check-batch", dtd=dtd, algorithm=algorithm, root=root, id=id
+            "check-batch", dtd=dtd, algorithm=algorithm, root=root, id=id,
+            epoch=epoch,
         )
         header["count"] = len(docs)
         self.send(header, flush=False)
@@ -267,22 +284,56 @@ class ValidationClient:
         return replies, trailer  # type: ignore[return-value]
 
     def validate(
-        self, dtd: str, doc: str, root: str | None = None, id: Any = None
+        self,
+        dtd: str,
+        doc: str,
+        root: str | None = None,
+        id: Any = None,
+        epoch: int | None = None,
     ) -> dict[str, Any]:
         """Standard DTD validation."""
         return self.request(
-            self._payload("validate", dtd=dtd, doc=doc, root=root, id=id)
+            self._payload("validate", dtd=dtd, doc=doc, root=root, id=id,
+                          epoch=epoch)
         )
 
     def classify(
-        self, dtd: str, root: str | None = None, id: Any = None
+        self,
+        dtd: str,
+        root: str | None = None,
+        id: Any = None,
+        epoch: int | None = None,
     ) -> dict[str, Any]:
         """Definition 6-8 classification of a DTD."""
-        return self.request(self._payload("classify", dtd=dtd, root=root, id=id))
+        return self.request(
+            self._payload("classify", dtd=dtd, root=root, id=id, epoch=epoch)
+        )
 
     def stats(self) -> dict[str, Any]:
-        """Server, registry, store, and dispatcher statistics."""
+        """Server, registry, store, hot-fingerprint, and dispatch statistics."""
         return self.request({"op": "stats"})
+
+    def health(self) -> dict[str, Any]:
+        """The liveness probe: status, uptime, and the shard's ring view."""
+        return self.request({"op": "health"})
+
+    def ring_config(
+        self, epoch: int, members: list[str], replica_count: int = 1
+    ) -> dict[str, Any]:
+        """Publish a ring view (epoch + member labels) to this shard.
+
+        The shard adopts the view only when *epoch* is at least as new as
+        the one it holds; an older push raises :class:`ServerError` with
+        code ``wrong-epoch`` carrying the shard's current view.
+        """
+        return self.request(
+            {
+                "op": "ring-config",
+                "epoch": epoch,
+                "members": list(members),
+                "replica_count": replica_count,
+            }
+        )
 
     def get_artifact(self, fingerprint: str) -> bytes:
         """The server's compiled artifact for *fingerprint*, as the

@@ -1,0 +1,427 @@
+"""Live ring membership: health probing, epochs, and hot-artifact prefetch.
+
+:class:`RingCoordinator` is the control plane of a validation ring.  The
+data plane (:class:`~repro.server.ring.ShardedClient`) routes requests
+and moves artifacts; the coordinator watches the shards themselves:
+
+* **Health probing** — every member is probed with the payload-free
+  ``health`` wire op.  A member failing :attr:`down_after` consecutive
+  probes is marked down and dropped from the published ring; a member
+  answering again is restored.  Probes run on demand
+  (:meth:`probe_once`) or on a background thread (:meth:`start`).
+* **Epoch publishing** — every membership change (a join, a leave, an
+  up/down transition) bumps a monotonically increasing **epoch** and
+  pushes the new view — epoch, live member labels, replica count — to
+  every live shard with the ``ring-config`` op.  Shards stamp the epoch
+  into replies; clients routing under an older epoch get ``wrong-epoch``
+  plus the new view and re-resolve without restarting.  Two racing
+  changes converge because shards and clients only ever adopt newer
+  epochs.
+* **Hot-artifact prefetch** — before a joining shard is published (and
+  therefore before any client routes traffic to it), the coordinator
+  aggregates every live shard's most-requested fingerprints (the ``hot``
+  list in ``stats``), computes which of them the joiner will own under
+  the new ring, and ships the top :attr:`prefetch` of those artifacts to
+  the joiner with ``get-artifact``/``put-artifact``.  Scale-out therefore
+  causes **zero compiles and zero cold misses** on the new shard's hot
+  set: its first request is a registry hit.
+
+The coordinator deliberately publishes only *live* members: a dead shard
+must leave placement so reads fail over to its replicas immediately, and
+the preference order of the survivors is untouched (the consistent-hash
+stability property).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable
+
+from repro.server.client import ServerError, ValidationClient
+from repro.server.protocol import ProtocolError
+from repro.server.ring import (
+    DEFAULT_VNODES,
+    Member,
+    ShardRing,
+    member_label,
+)
+
+__all__ = ["RingCoordinator"]
+
+
+class RingCoordinator:
+    """Watches shard health and publishes epoch-stamped ring views.
+
+    Parameters
+    ----------
+    members:
+        Initial shard addresses.  All are assumed up until a probe says
+        otherwise; call :meth:`probe_once` (or :meth:`start`) to verify.
+    replica_count:
+        Replica-set size published to shards and used for prefetch
+        placement.
+    vnodes:
+        Virtual nodes per member for placement computations.
+    probe_interval:
+        Seconds between background probe rounds (:meth:`start`).
+    down_after:
+        Consecutive probe failures before a member is marked down.
+    prefetch:
+        How many of a joiner's hottest owned fingerprints to ship to it
+        before publishing the join (0 disables prefetch).
+    timeout:
+        Per-connection socket timeout for probes and artifact transfers.
+    connect:
+        Connection factory ``(member, timeout) -> ValidationClient``;
+        injectable for tests.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[Member],
+        replica_count: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+        probe_interval: float = 1.0,
+        down_after: int = 2,
+        prefetch: int = 8,
+        timeout: float | None = 5.0,
+        connect: Callable[[Member, float | None], ValidationClient] | None = None,
+    ) -> None:
+        if replica_count < 1:
+            raise ValueError("replica_count must be >= 1")
+        if down_after < 1:
+            raise ValueError("down_after must be >= 1")
+        self.replica_count = replica_count
+        self.vnodes = vnodes
+        self.probe_interval = probe_interval
+        self.down_after = down_after
+        self.prefetch = prefetch
+        self.timeout = timeout
+        self._connect = connect or (
+            lambda member, timeout: ValidationClient.connect(member, timeout=timeout)
+        )
+        self._lock = threading.RLock()
+        self._members: dict[str, Member] = {
+            member_label(member): member for member in members
+        }
+        if not self._members:
+            raise ValueError("a ring coordinator needs at least one member")
+        self._up: set[str] = set(self._members)
+        self._failures: Counter[str] = Counter()
+        self._epoch = 1
+        self._clients: dict[str, ValidationClient] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._prefetched = 0
+        self._prefetched_bytes = 0
+        self._publishes = 0
+
+    # -- the view ------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current (latest published) ring epoch."""
+        with self._lock:
+            return self._epoch
+
+    def live_members(self) -> list[Member]:
+        """Addresses of the members currently marked up, label-sorted."""
+        with self._lock:
+            return [self._members[label] for label in sorted(self._up)]
+
+    def ring(self) -> ShardRing:
+        """The placement ring over the current live members."""
+        return ShardRing(
+            self.live_members(),
+            vnodes=self.vnodes,
+            replica_count=self.replica_count,
+        )
+
+    def status(self) -> dict[str, Any]:
+        """A JSON-ready snapshot for operators (the ``ring-status`` CLI)."""
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "replica_count": self.replica_count,
+                "members": sorted(self._members),
+                "up": sorted(self._up),
+                "down": sorted(set(self._members) - self._up),
+                "prefetched_artifacts": self._prefetched,
+                "prefetched_bytes": self._prefetched_bytes,
+                "publishes": self._publishes,
+            }
+
+    # -- connections ---------------------------------------------------------
+
+    def _client(self, label: str) -> ValidationClient:
+        with self._lock:
+            client = self._clients.get(label)
+            if client is not None:
+                return client
+            member = self._members[label]
+        client = self._connect(member, self.timeout)
+        extra: ValidationClient | None = None
+        with self._lock:
+            cached = self._clients.get(label)
+            if cached is not None:
+                # A concurrent caller (probe thread vs. a membership op)
+                # connected first; keep theirs, close ours.
+                extra, client = client, cached
+            else:
+                self._clients[label] = client
+        if extra is not None:
+            try:
+                extra.close()
+            except OSError:
+                pass
+        return client
+
+    def _drop_client(self, label: str) -> None:
+        with self._lock:
+            client = self._clients.pop(label, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    # -- probing -------------------------------------------------------------
+
+    def probe_once(self) -> dict[str, dict[str, Any] | None]:
+        """Probe every member's ``health`` once; apply up/down transitions.
+
+        Probes run **concurrently** (one thread per member): a
+        network-partitioned member whose connect hangs for the full
+        socket timeout must not stall the round and delay down-detection
+        of everyone else.  Returns each member's health reply (``None``
+        for the unreachable).  Any liveness transition bumps the epoch
+        and publishes the new view to the live shards.
+        """
+        with self._lock:
+            labels = sorted(self._members)
+
+        def probe(label: str) -> dict[str, Any] | None:
+            try:
+                return self._client(label).health()
+            except (OSError, ServerError, ProtocolError):
+                self._drop_client(label)
+                return None
+
+        if len(labels) == 1:
+            replies = {labels[0]: probe(labels[0])}
+        else:
+            with ThreadPoolExecutor(max_workers=len(labels)) as pool:
+                replies = dict(zip(labels, pool.map(probe, labels)))
+        changed = False
+        with self._lock:
+            for label, reply in replies.items():
+                if label not in self._members:
+                    continue  # removed while the probe was in flight
+                if reply is not None:
+                    self._failures[label] = 0
+                    if label not in self._up:
+                        self._up.add(label)
+                        changed = True
+                else:
+                    self._failures[label] += 1
+                    if (
+                        label in self._up
+                        and self._failures[label] >= self.down_after
+                    ):
+                        self._up.discard(label)
+                        changed = True
+        if changed:
+            self._bump_and_publish()
+        return replies
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval):
+            try:
+                self.probe_once()
+            except Exception:  # noqa: BLE001 - the probe loop must survive
+                pass
+
+    # -- membership changes --------------------------------------------------
+
+    def add_member(self, member: Member) -> int:
+        """Join *member* to the ring; returns the artifacts prefetched.
+
+        The join is published only **after** the prefetch: the joiner
+        receives its hottest owned artifacts while the old epoch still
+        routes traffic away from it, so its first routed request is a
+        warm registry hit, never a compile.
+        """
+        label = member_label(member)
+        with self._lock:
+            if label in self._members and label in self._up:
+                return 0
+            self._members[label] = member
+        prefetched = self._prefetch_to(label) if self.prefetch else 0
+        with self._lock:
+            self._up.add(label)
+            self._failures[label] = 0
+        self._bump_and_publish()
+        return prefetched
+
+    def remove_member(self, member: Member) -> None:
+        """Drop *member* from the ring and publish the shrink."""
+        label = member_label(member)
+        with self._lock:
+            if self._members.pop(label, None) is None:
+                return
+            self._up.discard(label)
+            self._failures.pop(label, None)
+        self._drop_client(label)
+        self._bump_and_publish()
+
+    def _bump_and_publish(self) -> None:
+        with self._lock:
+            self._epoch += 1
+        self.publish()
+
+    def publish(self, _leapfrog_retry: bool = True) -> int:
+        """Push the current view to every live shard; returns successes.
+
+        Best-effort: a shard that cannot be reached right now learns the
+        view from the next probe round's publish, and clients it answers
+        meanwhile still converge via the stale shard's older stamp being
+        superseded on their next contact with any updated shard.
+        """
+        with self._lock:
+            epoch = self._epoch
+            labels = sorted(self._up)
+        delivered = 0
+        leapfrogged = False
+        for label in labels:
+            try:
+                self._client(label).ring_config(
+                    epoch, labels, self.replica_count
+                )
+                delivered += 1
+            except ServerError as error:
+                if error.code != "wrong-epoch":
+                    continue  # the shard rejected the push; skip it
+                # The shard holds an epoch ours does not supersede (a
+                # racing coordinator moved ahead, or tied with a
+                # different view).  Adopt its epoch as a floor so the
+                # retry below supersedes it everywhere.
+                stamped = (error.reply.get("error") or {}).get("epoch")
+                if isinstance(stamped, int):
+                    with self._lock:
+                        if stamped >= self._epoch:
+                            self._epoch = stamped + 1
+                            leapfrogged = True
+            except (OSError, ProtocolError):
+                self._drop_client(label)
+        with self._lock:
+            self._publishes += 1
+        if leapfrogged and _leapfrog_retry:
+            # Re-publish once under the superseding epoch so the ring
+            # converges now, not at the next membership transition.
+            return self.publish(_leapfrog_retry=False)
+        return delivered
+
+    # -- hot-artifact prefetch -----------------------------------------------
+
+    def _hot_fingerprints(self) -> tuple[Counter[str], dict[str, list[str]]]:
+        """Aggregate live shards' hot lists: counts and who-holds-what."""
+        counts: Counter[str] = Counter()
+        holders: dict[str, list[str]] = {}
+        with self._lock:
+            labels = sorted(self._up)
+        for label in labels:
+            try:
+                stats = self._client(label).stats()
+            except (OSError, ServerError, ProtocolError):
+                self._drop_client(label)
+                continue
+            for entry in stats.get("hot") or []:
+                if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+                    continue
+                fingerprint, count = entry
+                if not isinstance(fingerprint, str) or not isinstance(count, int):
+                    continue
+                counts[fingerprint] += count
+                holders.setdefault(fingerprint, []).append(label)
+        return counts, holders
+
+    def _prefetch_to(self, joiner_label: str) -> int:
+        """Ship the joiner's hottest owned artifacts to it (best-effort)."""
+        counts, holders = self._hot_fingerprints()
+        if not counts:
+            return 0
+        with self._lock:
+            future_members = [
+                self._members[label]
+                for label in sorted(self._up | {joiner_label})
+            ]
+        future_ring = ShardRing(
+            future_members,
+            vnodes=self.vnodes,
+            replica_count=self.replica_count,
+        )
+        owned = [
+            fingerprint
+            for fingerprint, _count in counts.most_common()
+            if joiner_label
+            in {member_label(m) for m in future_ring.owners(fingerprint)}
+        ]
+        shipped = 0
+        for fingerprint in owned[: self.prefetch]:
+            blob: bytes | None = None
+            for source in holders.get(fingerprint, []):
+                try:
+                    blob = self._client(source).get_artifact(fingerprint)
+                    break
+                except (OSError, ServerError, ProtocolError):
+                    self._drop_client(source)
+            if blob is None:
+                continue
+            try:
+                self._client(joiner_label).put_artifact(fingerprint, blob)
+            except (OSError, ServerError, ProtocolError):
+                self._drop_client(joiner_label)
+                break  # an unreachable joiner cannot be prefetched
+            shipped += 1
+            with self._lock:
+                self._prefetched += 1
+                self._prefetched_bytes += len(blob)
+        return shipped
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "RingCoordinator":
+        """Publish the initial view and begin background probing."""
+        self.publish()
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._probe_loop,
+                name="repro-ring-coordinator",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop background probing and close every probe connection."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RingCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

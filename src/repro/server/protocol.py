@@ -5,7 +5,8 @@ One request per line, one response per line, UTF-8 JSON either way.
 Request object::
 
     {"op": "check" | "classify" | "validate" | "stats"
-           | "check-batch" | "put-artifact" | "get-artifact",
+           | "check-batch" | "put-artifact" | "get-artifact"
+           | "health" | "ring-config",
      "dtd": "<!ELEMENT ...>",        # required for schema-carrying ops
      "doc": "<r>...</r>",            # required for "check"/"validate"
      "algorithm": "machine" | "figure5" | "earley" | "auto",  # optional
@@ -13,6 +14,9 @@ Request object::
      "fingerprint": "9f...",         # required for the artifact ops
      "artifact": "<base64>",         # required for "put-artifact"
      "count": 12,                    # optional item count for "check-batch"
+     "epoch": 3,                     # optional ring epoch (see below)
+     "members": ["host:port", ...],  # required for "ring-config"
+     "replica_count": 2,             # optional for "ring-config"
      "id": <any JSON value>}         # optional, echoed back verbatim
 
 Streaming batch op
@@ -35,6 +39,21 @@ base64-encoded — and ``put-artifact`` seeds one into the registry (and
 the disk store, when attached).  Together they let a ring coordinator
 move artifacts between shards by fingerprint so each schema is compiled
 at most once ring-wide.
+
+Membership ops and epochs
+-------------------------
+``health`` is the liveness probe: it carries no payload and answers with
+the server's status, uptime, and — when a ring view has been published
+to it — the current ring ``epoch``, ``members``, and ``replica_count``.
+``ring-config`` publishes a ring view to a shard: a monotonically
+increasing ``epoch``, the member labels of the ring, and the replica
+count.  A shard holding a view stamps ``"epoch"`` into every success
+reply; a request carrying an ``epoch`` **older** than the shard's view
+is answered with error code ``wrong-epoch`` whose error object carries
+the shard's current ``epoch``, ``members``, and ``replica_count`` — the
+full refresh a client needs to re-resolve placement without restarting.
+A ``ring-config`` older than the view already held is rejected the same
+way, so two racing membership changes converge on the newest epoch.
 
 .. warning:: **Trust model.**  The protocol has no authentication, and
    ``put-artifact`` payloads are unpickled (after header and fingerprint
@@ -63,7 +82,9 @@ not a valid request object), ``bad-dtd`` / ``bad-document`` (payload does
 not parse), ``bad-item`` (a batch item line is defective),
 ``bad-artifact`` (a ``put-artifact`` blob fails decoding or fingerprint
 verification), ``artifact-miss`` (``get-artifact`` for a fingerprint this
-server does not hold), ``unsupported-op``, ``internal``.  A
+server does not hold), ``wrong-epoch`` (the request's ring epoch is
+older than the shard's view; the error object carries the current view),
+``unsupported-op``, ``internal``.  A
 protocol-level error is recoverable — the server keeps the connection
 open and reads the next line — so one malformed request never costs a
 client its warm socket.  On the client side, a reply line that is not
@@ -83,6 +104,7 @@ __all__ = [
     "OPS",
     "SCHEMA_OPS",
     "ALGORITHMS",
+    "ERROR_CODES",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "Request",
@@ -104,6 +126,29 @@ OPS = (
     "check-batch",
     "put-artifact",
     "get-artifact",
+    "health",
+    "ring-config",
+)
+
+#: Every structured error code a server may answer with, plus the two
+#: client-side codes that reuse the same ``{"code", "message"}`` shape:
+#: ``bad-reply`` (a garbled reply line) and ``unreachable`` (no replica
+#: of a fingerprint answered — raised by the ring client and used in
+#: ``check_corpus`` failure entries).  ``docs/PROTOCOL.md`` documents
+#: each one; a test diffs that document against this tuple.
+ERROR_CODES = (
+    "bad-json",
+    "bad-request",
+    "bad-dtd",
+    "bad-document",
+    "bad-item",
+    "bad-artifact",
+    "artifact-miss",
+    "wrong-epoch",
+    "unsupported-op",
+    "internal",
+    "bad-reply",
+    "unreachable",
 )
 
 #: Operations that carry a DTD and therefore require the ``dtd`` field.
@@ -118,12 +163,20 @@ MAX_LINE_BYTES = 32 * 1024 * 1024
 
 
 class ProtocolError(Exception):
-    """A request the server rejects with a structured error response."""
+    """A request the server rejects with a structured error response.
 
-    def __init__(self, code: str, message: str) -> None:
+    *details*, when given, is merged into the wire error object — the
+    mechanism ``wrong-epoch`` uses to carry the current ring view
+    (``epoch``/``members``/``replica_count``) alongside code and message.
+    """
+
+    def __init__(
+        self, code: str, message: str, details: dict[str, Any] | None = None
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.details = details
 
 
 @dataclass(frozen=True)
@@ -138,6 +191,9 @@ class Request:
     fingerprint: str | None = None
     artifact: str | None = None
     count: int | None = None
+    epoch: int | None = None
+    members: list[str] | None = None
+    replica_count: int | None = None
     id: Any = field(default=None)
 
 
@@ -182,6 +238,28 @@ def decode_request(line: str | bytes) -> Request:
     if count is not None and (isinstance(count, bool) or not isinstance(count, int)
                              or count < 0):
         raise ProtocolError("bad-request", "'count' must be a non-negative integer")
+    epoch = payload.get("epoch")
+    if epoch is not None and (isinstance(epoch, bool) or not isinstance(epoch, int)
+                              or epoch < 0):
+        raise ProtocolError("bad-request", "'epoch' must be a non-negative integer")
+    members = payload.get("members")
+    if members is not None and (
+        not isinstance(members, list)
+        or not members
+        or not all(isinstance(m, str) and m for m in members)
+    ):
+        raise ProtocolError(
+            "bad-request", "'members' must be a non-empty list of member labels"
+        )
+    replica_count = payload.get("replica_count")
+    if replica_count is not None and (
+        isinstance(replica_count, bool)
+        or not isinstance(replica_count, int)
+        or replica_count < 1
+    ):
+        raise ProtocolError(
+            "bad-request", "'replica_count' must be a positive integer"
+        )
     request = Request(
         op=op,
         dtd=payload.get("dtd"),
@@ -191,6 +269,9 @@ def decode_request(line: str | bytes) -> Request:
         fingerprint=payload.get("fingerprint"),
         artifact=payload.get("artifact"),
         count=count,
+        epoch=epoch,
+        members=members,
+        replica_count=replica_count,
         id=payload.get("id"),
     )
     if request.op in SCHEMA_OPS and request.dtd is None:
@@ -201,6 +282,10 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError("bad-request", f"op {op!r} requires 'fingerprint'")
     if request.op == "put-artifact" and request.artifact is None:
         raise ProtocolError("bad-request", "op 'put-artifact' requires 'artifact'")
+    if request.op == "ring-config" and (request.epoch is None or members is None):
+        raise ProtocolError(
+            "bad-request", "op 'ring-config' requires 'epoch' and 'members'"
+        )
     return request
 
 
@@ -255,11 +340,22 @@ def decode_reply(line: str | bytes) -> dict[str, Any]:
     return payload
 
 
-def error_payload(code: str, message: str, id: Any = None) -> dict[str, Any]:
-    payload: dict[str, Any] = {
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+def error_payload(
+    code: str,
+    message: str,
+    id: Any = None,
+    details: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A structured ``ok: false`` reply object.
+
+    *details* keys are merged into the error object (``code`` and
+    ``message`` always win) — how ``wrong-epoch`` ships the current ring
+    view to the client that needs it.
+    """
+    error: dict[str, Any] = dict(details) if details else {}
+    error["code"] = code
+    error["message"] = message
+    payload: dict[str, Any] = {"ok": False, "error": error}
     if id is not None:
         payload["id"] = id
     return payload

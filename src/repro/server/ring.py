@@ -11,17 +11,28 @@ shard *owning* the request's schema.
   change: removing one of N members remaps only the keys that member
   owned (about 1/N of them), never shuffling the rest — the property
   that keeps every other shard's warm registry warm through a scale
-  event.
+  event.  With ``replica_count=R`` every fingerprint maps to a *replica
+  set* — the first R distinct members along the ring — so reads survive
+  R-1 shard failures and the preference order stays deterministic under
+  membership change.
 * :class:`ShardedClient` — the blocking coordinator.  It fingerprints
   each request's DTD locally (memoized), routes ``check`` / ``classify``
-  / ``validate`` / ``check-batch`` to the owning shard, and fails over
-  deterministically along the ring's preference order when a shard is
-  unreachable.  When routing would land a schema on a shard that has not
-  seen it while another shard already holds the compiled artifact, the
-  coordinator moves the artifact first — ``get-artifact`` from a holder,
-  ``put-artifact`` to the target, in the artifact store's own file
-  format — so each schema is compiled **at most once ring-wide**, no
-  matter how membership shifts.
+  / ``validate`` / ``check-batch`` to any live replica of the owning
+  set (primary first), and fails over deterministically along the ring's
+  preference order when a shard is unreachable.  When routing would land
+  a schema on a shard that has not seen it while another shard already
+  holds the compiled artifact, the coordinator moves the artifact first —
+  ``get-artifact`` from a holder, ``put-artifact`` to the target, in the
+  artifact store's own file format — and when a shard is observed
+  compiling a schema the artifact is fanned out to the rest of its
+  replica set, so each schema is compiled **at most once ring-wide** and
+  killing any single replica loses neither checks nor compiled work.
+* Live membership: replies from shards holding a published ring view are
+  stamped with the view's **epoch**; a request routed under a stale
+  epoch is answered ``wrong-epoch`` together with the current member
+  list, and the client rebuilds its ring and re-resolves — no restart.
+  :class:`repro.server.coordinator.RingCoordinator` is the piece that
+  probes shard health and publishes those views.
 
 Addresses are either a Unix socket path (``str``) or a ``(host, port)``
 tuple; :func:`parse_member` turns CLI-style ``host:port`` strings into
@@ -38,7 +49,7 @@ from typing import Any, Callable, Iterable
 
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
-from repro.server.client import ValidationClient
+from repro.server.client import ServerError, ValidationClient
 from repro.server.protocol import ProtocolError
 from repro.service.compiled import schema_fingerprint
 
@@ -46,6 +57,7 @@ __all__ = [
     "Member",
     "ShardRing",
     "ShardedClient",
+    "ShardUnavailableError",
     "member_label",
     "parse_member",
 ]
@@ -53,14 +65,34 @@ __all__ = [
 #: A shard address: a Unix socket path or a ``(host, port)`` pair.
 Member = Any
 
-#: Virtual nodes per member.  More replicas smooth the key distribution
-#: (the std-dev of shard load shrinks like 1/sqrt(replicas)) at the cost
+#: Virtual nodes per member.  More vnodes smooth the key distribution
+#: (the std-dev of shard load shrinks like 1/sqrt(vnodes)) at the cost
 #: of a longer sorted point array; 64 keeps a 3-shard ring within a few
 #: percent of even.
-DEFAULT_REPLICAS = 64
+DEFAULT_VNODES = 64
+
+#: How many wrong-epoch refreshes one routed call will follow before
+#: giving up — bounds the retry loop when membership churns faster than
+#: the client can re-resolve.
+_MAX_EPOCH_REFRESHES = 4
 
 #: Bound on the coordinator's (dtd text, root) -> fingerprint memo.
 _FINGERPRINT_MEMO_SIZE = 1024
+
+
+class ShardUnavailableError(ServerError, ConnectionError):
+    """No replica (nor any fallback member) of a fingerprint is reachable.
+
+    Raised by :class:`ShardedClient` when every candidate shard for a
+    request failed — a **clear, immediate** error, never a hang.  It is
+    both a :class:`~repro.server.client.ServerError` (structured code
+    ``unreachable``) and a :class:`ConnectionError`, so callers written
+    against either contract catch it.
+    """
+
+    def __init__(self, message: str, fingerprint: str | None = None) -> None:
+        ServerError.__init__(self, "unreachable", message)
+        self.fingerprint = fingerprint
 
 
 def member_label(member: Member) -> str:
@@ -97,21 +129,34 @@ def _point(token: str) -> int:
 
 
 class ShardRing:
-    """A consistent-hash ring with virtual nodes.
+    """A consistent-hash ring with virtual nodes and replica sets.
 
     Keys (schema fingerprints, but any string works) map to the first
     member point at or clockwise after the key's own point.  Each member
-    contributes *replicas* points, so load spreads evenly and a
-    membership change only remaps keys adjacent to the changed member's
-    points.
+    contributes *vnodes* points, so load spreads evenly and a membership
+    change only remaps keys adjacent to the changed member's points.
+
+    With ``replica_count=R`` each key maps to a **replica set** — the
+    first R *distinct* members walking clockwise from the key
+    (:meth:`owners`); the first is the primary.  Because the walk order
+    is a pure function of the hash space, the set (and the failover
+    order beyond it, :meth:`preference`) is deterministic and stays
+    stable for surviving members under any membership change.  A ring
+    smaller than R simply yields every member.
     """
 
     def __init__(
-        self, members: Iterable[Member] = (), replicas: int = DEFAULT_REPLICAS
+        self,
+        members: Iterable[Member] = (),
+        vnodes: int = DEFAULT_VNODES,
+        replica_count: int = 1,
     ) -> None:
-        if replicas <= 0:
-            raise ValueError("replicas must be positive")
-        self.replicas = replicas
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        if replica_count < 1:
+            raise ValueError("replica_count must be >= 1")
+        self.vnodes = vnodes
+        self.replica_count = replica_count
         self._members: dict[str, Member] = {}
         # Parallel arrays sorted by point: bisect runs on the ints alone.
         self._points: list[int] = []
@@ -140,8 +185,8 @@ class ShardRing:
         self._members[label] = member
         pairs = list(zip(self._points, self._labels))
         pairs.extend(
-            (_point(f"{label}#{replica}"), label)
-            for replica in range(self.replicas)
+            (_point(f"{label}#{vnode}"), label)
+            for vnode in range(self.vnodes)
         )
         pairs.sort()
         self._points = [point for point, _ in pairs]
@@ -163,8 +208,15 @@ class ShardRing:
     # -- placement -----------------------------------------------------------
 
     def owner(self, key: str) -> Member:
-        """The member owning *key* (raises when the ring is empty)."""
+        """The primary owner of *key* (raises when the ring is empty)."""
         return self.preference(key)[0]
+
+    def owners(self, key: str) -> list[Member]:
+        """The replica set of *key*: its first ``replica_count`` distinct
+        members in preference order (all members when the ring is
+        smaller than the replica count).  ``owners(key)[0]`` is the
+        primary; ``put-artifact`` fan-out targets the whole list."""
+        return self.preference(key)[: self.replica_count]
 
     def preference(self, key: str) -> list[Member]:
         """Every member, in deterministic failover order for *key*.
@@ -192,7 +244,10 @@ class ShardRing:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         labels = ", ".join(sorted(self._members))
-        return f"ShardRing([{labels}], replicas={self.replicas})"
+        return (
+            f"ShardRing([{labels}], vnodes={self.vnodes}, "
+            f"replica_count={self.replica_count})"
+        )
 
 
 class ShardedClient:
@@ -202,7 +257,12 @@ class ShardedClient:
     ----------
     members:
         Shard addresses (Unix paths and/or ``(host, port)`` tuples).
-    replicas:
+    replica_count:
+        Replica-set size R: every fingerprint's reads may be served by
+        any of its R owners, and compiled artifacts are fanned out to
+        all R, so any R-1 of them can die without losing a check or a
+        compile.
+    vnodes:
         Virtual nodes per member for the ring.
     timeout:
         Per-connection socket timeout, seconds.
@@ -214,16 +274,24 @@ class ShardedClient:
     lock and each member's connection behind its own, so
     :meth:`check_corpus` can drive every shard from its own thread while
     artifact hand-offs stay serialized per connection.
+
+    Live membership: once a reply stamps a ring ``epoch``, requests carry
+    it; a ``wrong-epoch`` answer (a shard holds a newer view) delivers
+    the new member list in its error object, and the client rebuilds its
+    ring and re-resolves the call — placement refreshes without any
+    restart.  A success reply stamped with a *newer* epoch triggers a
+    one-round-trip ``health`` fetch of the membership behind it.
     """
 
     def __init__(
         self,
         members: Iterable[Member],
-        replicas: int = DEFAULT_REPLICAS,
+        replica_count: int = 1,
+        vnodes: int = DEFAULT_VNODES,
         timeout: float | None = 30.0,
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
     ) -> None:
-        self.ring = ShardRing(members, replicas=replicas)
+        self.ring = ShardRing(members, vnodes=vnodes, replica_count=replica_count)
         if not len(self.ring):
             raise ValueError("a sharded client needs at least one member")
         self.timeout = timeout
@@ -244,6 +312,8 @@ class ShardedClient:
         self._holders: dict[str, set[str]] = {}
         self._fingerprints: OrderedDict[tuple[str, str | None], str] = OrderedDict()
         self._requests_by_member: Counter[str] = Counter()
+        self._epoch: int | None = None
+        self._epoch_refreshes = 0
         self._handoffs = 0
         self._handoff_bytes = 0
         self._failovers = 0
@@ -324,69 +394,239 @@ class ShardedClient:
             except OSError:
                 pass
 
+    def _drop_client_locked(self, label: str, client: ValidationClient) -> None:
+        """Evict and close a connection without marking the member down.
+
+        Used after a ``wrong-epoch`` answer: the shard is alive and
+        healthy (it just answered), but a rejected batch header closes
+        the connection server-side, so the cached client must go.
+        **Caller must hold the member's connection lock** — that is what
+        guarantees no other thread is mid-request on this client, so
+        closing it here cannot abort a healthy peer call (the hazard
+        :meth:`_mark_down` documents).
+        """
+        with self._lock:
+            if self._clients.get(label) is client:
+                self._clients.pop(label)
+        try:
+            client.close()
+        except OSError:
+            pass
+
     def mark_up(self, member: Member) -> None:
         """Forget that *member* was unreachable (it is retried next call)."""
         with self._lock:
             self._down.discard(member_label(member))
 
+    # -- ring view / epochs --------------------------------------------------
+
+    @property
+    def epoch(self) -> int | None:
+        """The ring epoch this client routes under (``None`` until one is
+        learned from a reply stamp, a refresh, or :meth:`refresh`)."""
+        with self._lock:
+            return self._epoch
+
+    def refresh(
+        self,
+        members: Iterable[Member],
+        epoch: int | None = None,
+        replica_count: int | None = None,
+    ) -> None:
+        """Adopt a new ring view: rebuild placement over *members*.
+
+        Called internally on ``wrong-epoch`` answers; public so embedders
+        driving their own membership source can push views too.  An
+        *epoch* older than the one already held is ignored (two racing
+        membership changes converge on the newest).
+        """
+        old = self.ring
+        with self._lock:
+            if (
+                epoch is not None
+                and self._epoch is not None
+                and epoch < self._epoch
+            ):
+                return
+            new_ring = ShardRing(
+                members,
+                vnodes=old.vnodes,
+                replica_count=(
+                    replica_count
+                    if replica_count is not None
+                    else old.replica_count
+                ),
+            )
+            if not len(new_ring):
+                return  # an empty view routes nothing: keep the old one
+            self.ring = new_ring
+            if epoch is not None:
+                self._epoch = epoch
+                self._epoch_refreshes += 1
+            for member in new_ring.members:
+                self._addresses.setdefault(member_label(member), member)
+
+    def _adopt_view(self, fields: dict[str, Any]) -> bool:
+        """Refresh from a ``wrong-epoch`` error object (or health reply)."""
+        epoch = fields.get("epoch")
+        members = fields.get("members")
+        if not isinstance(epoch, int) or not isinstance(members, list):
+            return False
+        try:
+            parsed = [parse_member(str(m)) for m in members if m]
+        except ValueError:
+            return False
+        if not parsed:
+            return False
+        replica_count = fields.get("replica_count")
+        self.refresh(
+            parsed,
+            epoch=epoch,
+            replica_count=(
+                replica_count if isinstance(replica_count, int) else None
+            ),
+        )
+        return True
+
+    def _maybe_refresh(self, member: Member, result: Any) -> None:
+        """Chase a newer epoch stamped on a success reply.
+
+        The stamp carries only the epoch int; the membership behind it is
+        one ``health`` round trip away on the shard that answered.
+        """
+        reply = result[1] if isinstance(result, tuple) else result
+        if not isinstance(reply, dict):
+            return
+        stamped = reply.get("epoch")
+        if not isinstance(stamped, int):
+            return
+        with self._lock:
+            current = self._epoch
+            if current is None:
+                # First stamp seen: adopt the epoch (membership already
+                # matches — this shard answered the routed request).
+                self._epoch = stamped
+                return
+        if stamped <= current:
+            return
+        label = member_label(member)
+        try:
+            with self._member_lock(label):
+                view = self._client(member).health()
+        except (OSError, ServerError, ProtocolError):
+            return  # best-effort: the next wrong-epoch answer will teach us
+        self._adopt_view(view)
+
     # -- routing core --------------------------------------------------------
 
     def _candidates(self, fingerprint: str) -> list[Member]:
+        """Failover order for *fingerprint*: live replicas first, then the
+        live remainder of the preference list (availability beats
+        compile-thrift when a whole replica set is dark), then — with
+        everything down — the full list, because an error beats silently
+        giving up and a shard may have come back."""
         preference = self.ring.preference(fingerprint)
         with self._lock:
             up = [m for m in preference if member_label(m) not in self._down]
-        # With every preference down, try them all anyway: a shard may
-        # have come back, and an error beats silently giving up.
         return up or preference
 
     def _call(
         self,
         fingerprint: str,
-        fn: Callable[[ValidationClient], Any],
+        fn: Callable[[ValidationClient, int | None], Any],
         handoff: bool = True,
     ) -> Any:
-        """Run *fn* against the owning shard, failing over down the
-        preference list; hand the artifact over first when possible."""
-        candidates = self._candidates(fingerprint)
-        owner = candidates[0]
+        """Run *fn* against a live replica of the owning set, failing over
+        down the preference list; hand the artifact over first when
+        possible.  *fn* receives the connection **and the epoch** to
+        stamp on the request; a ``wrong-epoch`` answer refreshes the ring
+        from the error object and re-resolves (bounded), so membership
+        changes never require a client restart."""
         last_error: Exception | None = None
-        for member in candidates:
-            label = member_label(member)
-            if handoff:
-                self._ensure_artifact(member, fingerprint)
-            client: ValidationClient | None = None
-            try:
-                with self._member_lock(label):
-                    client = self._client(member)
-                    result = fn(client)
-            except OSError as error:  # covers ConnectionError and timeouts
-                self._mark_down(member, client)
-                last_error = error
-                continue
-            with self._lock:
-                self._requests_by_member[label] += 1
-                if member is not owner:
-                    self._failovers += 1
-            self._note_schema(label, result)
-            return result
-        raise ConnectionError(
-            f"no reachable shard for fingerprint {fingerprint[:16]}...: {last_error}"
+        for _refresh in range(_MAX_EPOCH_REFRESHES):
+            candidates = self._candidates(fingerprint)
+            owner = candidates[0]
+            stale = False
+            for member in candidates:
+                label = member_label(member)
+                if handoff:
+                    self._ensure_artifact(member, fingerprint)
+                client: ValidationClient | None = None
+                wrong_epoch: ServerError | None = None
+                with self._lock:
+                    epoch = self._epoch
+                try:
+                    with self._member_lock(label):
+                        client = self._client(member)
+                        try:
+                            result = fn(client, epoch)
+                        except ServerError as error:
+                            if error.code != "wrong-epoch":
+                                raise
+                            # The shard holds a newer view; its error
+                            # object carries the refresh.  Drop the
+                            # connection while still holding the member
+                            # lock (a batch header rejection closes it
+                            # server-side, and no peer thread can be
+                            # mid-request on it under the lock).
+                            self._drop_client_locked(label, client)
+                            wrong_epoch = error
+                except OSError as error:  # covers ConnectionError and timeouts
+                    self._mark_down(member, client)
+                    last_error = error
+                    continue
+                if wrong_epoch is not None:
+                    self._adopt_view(wrong_epoch.reply.get("error") or {})
+                    last_error = wrong_epoch
+                    stale = True
+                    break  # re-resolve placement under the new view
+                with self._lock:
+                    self._requests_by_member[label] += 1
+                    if member is not owner:
+                        self._failovers += 1
+                compiled = self._note_schema(label, result)
+                if compiled and self.ring.replica_count > 1:
+                    # The one honest compile just happened: fan the
+                    # artifact out to the rest of the replica set now, so
+                    # killing this shard later loses nothing.
+                    self._replicate(fingerprint)
+                self._maybe_refresh(member, result)
+                return result
+            if not stale:
+                break
+        raise ShardUnavailableError(
+            f"no reachable replica for fingerprint {fingerprint[:16]}...: "
+            f"{last_error}",
+            fingerprint=fingerprint,
         )
 
-    def _note_schema(self, label: str, result: Any) -> None:
+    def _note_schema(self, label: str, result: Any) -> bool:
+        """Record which shard holds the schema a reply names; ``True``
+        when the reply shows the shard compiled it just now."""
         reply = result[1] if isinstance(result, tuple) else result
         schema = reply.get("schema") if isinstance(reply, dict) else None
         if not isinstance(schema, dict):
-            return
+            return False
         fingerprint = schema.get("fingerprint")
         if not isinstance(fingerprint, str):
-            return
+            return False
         with self._lock:
             holders = self._holders.setdefault(fingerprint, set())
             holders.add(label)
             if schema.get("registry") == "miss":
                 # The shard compiled: the one compile this schema gets.
                 self._compiles_observed += 1
+                return True
+        return False
+
+    def _replicate(self, fingerprint: str) -> None:
+        """Fan the compiled artifact out to every replica of *fingerprint*.
+
+        Best-effort, like all artifact movement: an unreachable replica
+        simply compiles for itself if traffic ever reaches it cold.
+        """
+        for member in self.ring.owners(fingerprint):
+            self._ensure_artifact(member, fingerprint)
 
     def _ensure_artifact(self, member: Member, fingerprint: str) -> None:
         """Move the compiled artifact to *member* when another shard has it.
@@ -454,30 +694,38 @@ class ShardedClient:
         root: str | None = None,
         id: Any = None,
     ) -> dict[str, Any]:
-        """Potential-validity check, routed to the schema's owning shard."""
+        """Potential-validity check, served by any live replica of the
+        schema's owning set (primary preferred)."""
         fingerprint = self.fingerprint(dtd, root)
         return self._call(
             fingerprint,
-            lambda client: client.check(
-                dtd, doc, algorithm=algorithm, root=root, id=id
+            lambda client, epoch: client.check(
+                dtd, doc, algorithm=algorithm, root=root, id=id, epoch=epoch
             ),
         )
 
     def validate(
         self, dtd: str, doc: str, root: str | None = None, id: Any = None
     ) -> dict[str, Any]:
+        """Standard DTD validation, routed like :meth:`check`."""
         fingerprint = self.fingerprint(dtd, root)
         return self._call(
             fingerprint,
-            lambda client: client.validate(dtd, doc, root=root, id=id),
+            lambda client, epoch: client.validate(
+                dtd, doc, root=root, id=id, epoch=epoch
+            ),
         )
 
     def classify(
         self, dtd: str, root: str | None = None, id: Any = None
     ) -> dict[str, Any]:
+        """Definition 6-8 classification, routed like :meth:`check`."""
         fingerprint = self.fingerprint(dtd, root)
         return self._call(
-            fingerprint, lambda client: client.classify(dtd, root=root, id=id)
+            fingerprint,
+            lambda client, epoch: client.classify(
+                dtd, root=root, id=id, epoch=epoch
+            ),
         )
 
     def check_batch(
@@ -487,12 +735,12 @@ class ShardedClient:
         algorithm: str | None = None,
         root: str | None = None,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
-        """Stream a whole corpus for one schema to its owning shard."""
+        """Stream a whole corpus for one schema to a live owning replica."""
         fingerprint = self.fingerprint(dtd, root)
         return self._call(
             fingerprint,
-            lambda client: client.check_batch(
-                dtd, docs, algorithm=algorithm, root=root
+            lambda client, epoch: client.check_batch(
+                dtd, docs, algorithm=algorithm, root=root, epoch=epoch
             ),
         )
 
@@ -501,7 +749,7 @@ class ShardedClient:
         batches: list[tuple],
         algorithm: str | None = None,
         root: str | None = None,
-    ) -> list[tuple[list[dict[str, Any]], dict[str, Any]]]:
+    ) -> list[tuple[list[dict[str, Any]] | None, dict[str, Any]]]:
         """Check many schema batches, shards driven in parallel.
 
         Each batch is ``(dtd, docs)`` or ``(dtd, docs, root)`` — a
@@ -509,8 +757,15 @@ class ShardedClient:
         by owning shard and each shard's groups run sequentially over its
         one connection while distinct shards run concurrently (one thread
         per shard) — the scale-out shape the E12 benchmark measures.
-        Results come back in *batches* order; a batch whose every shard
-        candidate failed raises.
+
+        Results come back in *batches* order.  A batch that failed —
+        every candidate shard unreachable, a server rejection — does
+        **not** abort the rest of the corpus (a dead shard mid-corpus
+        used to raise away every other shard's finished work): its entry
+        is ``(None, trailer)`` where the trailer is the structured error
+        shape ``{"ok": False, "error": {"code": ..., "message": ...}}``,
+        so callers distinguish per-batch failures positionally, exactly
+        like per-item errors inside a batch.
         """
         normalized: list[tuple[str, list[str], str | None]] = [
             (entry[0], entry[1], entry[2] if len(entry) > 2 else root)
@@ -523,7 +778,19 @@ class ShardedClient:
             )
             by_member.setdefault(label, []).append(index)
         results: list[Any] = [None] * len(batches)
-        errors: list[Exception] = []
+
+        def failure_entry(error: Exception) -> tuple[None, dict[str, Any]]:
+            code = getattr(error, "code", None)
+            if code is None:
+                code = (
+                    "unreachable"
+                    if isinstance(error, (ConnectionError, OSError))
+                    else "internal"
+                )
+            return (
+                None,
+                {"ok": False, "error": {"code": code, "message": str(error)}},
+            )
 
         def run(indexes: list[int]) -> None:
             for index in indexes:
@@ -532,9 +799,8 @@ class ShardedClient:
                     results[index] = self.check_batch(
                         dtd, docs, algorithm=algorithm, root=batch_root
                     )
-                except Exception as error:  # noqa: BLE001 - surfaced below
-                    errors.append(error)
-                    return
+                except Exception as error:  # noqa: BLE001 - surfaced in place
+                    results[index] = failure_entry(error)
 
         threads = [
             threading.Thread(target=run, args=(indexes,), daemon=True)
@@ -544,8 +810,6 @@ class ShardedClient:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            raise errors[0]
         return results
 
     def stats(self) -> dict[str, Any]:
@@ -570,6 +834,9 @@ class ShardedClient:
             return {
                 "members": [member_label(m) for m in self.ring.members],
                 "down": sorted(self._down),
+                "epoch": self._epoch,
+                "epoch_refreshes": self._epoch_refreshes,
+                "replica_count": self.ring.replica_count,
                 "requests_by_member": dict(self._requests_by_member),
                 "handoffs": self._handoffs,
                 "handoff_bytes": self._handoff_bytes,

@@ -61,7 +61,31 @@ from repro.service.store import ArtifactStore, decode_artifact, encode_artifact
 from repro.validity.validator import DTDValidator
 from repro.xmlmodel.parser import parse_xml
 
-__all__ = ["ValidationServer", "ServerThread", "ArtifactMissError"]
+__all__ = ["ValidationServer", "ServerThread", "ArtifactMissError", "HANDLED_OPS"]
+
+#: Every op :class:`ValidationServer` dispatches.  Kept in lockstep with
+#: :data:`repro.server.protocol.OPS` (and with ``docs/PROTOCOL.md``) by a
+#: test that diffs the three.
+HANDLED_OPS = (
+    "check",
+    "classify",
+    "validate",
+    "stats",
+    "check-batch",
+    "put-artifact",
+    "get-artifact",
+    "health",
+    "ring-config",
+)
+
+#: How many of the most-requested fingerprints ``stats`` reports — the
+#: list a joining shard's prefetch is computed from.
+HOT_FINGERPRINTS = 32
+
+#: Bound on the per-fingerprint request counter; past this the counter is
+#: compacted to its hottest half (exact counts are a prefetch heuristic,
+#: not an accounting invariant).
+_HOT_COUNTER_SIZE = 4096
 
 #: Bound on the (dtd text, root) -> fingerprint memo that lets warm
 #: requests skip DTD re-parsing entirely.
@@ -226,6 +250,18 @@ def _pool_check(
 class ValidationServer:
     """A long-running NDJSON potential-validity service.
 
+    Dispatches every op of the wire protocol (:data:`HANDLED_OPS`;
+    specified in full in ``docs/PROTOCOL.md``): the verdict ops
+    ``check`` / ``classify`` / ``validate``, the streaming
+    ``check-batch``, ``stats`` (including the ``hot`` most-requested
+    fingerprint list that feeds a ring coordinator's join-prefetch),
+    the artifact hand-off pair ``put-artifact`` / ``get-artifact``, the
+    ``health`` liveness probe, and ``ring-config``.  When a ring view
+    has been published (:meth:`set_ring_view` or the ``ring-config``
+    op), every success reply is stamped with the view's epoch and a
+    request routed under an older epoch is answered ``wrong-epoch``
+    together with the current membership.
+
     Parameters
     ----------
     registry:
@@ -286,6 +322,13 @@ class ValidationServer:
         self._batches = 0
         self._batch_items = 0
         self._started_at: float | None = None
+        # Per-fingerprint request counts: the "hot" list a joining shard's
+        # prefetch is computed from.
+        self._hot_counts: Counter[str] = Counter()
+        # The published ring view: (epoch, member labels, replica_count).
+        # None until a coordinator (or the CLI's local-ring mode) pushes
+        # one; only epoch-newer views replace it.
+        self._ring_view: tuple[int, list[str], int] | None = None
 
     # -- endpoints -----------------------------------------------------------
 
@@ -362,6 +405,71 @@ class ValidationServer:
             except OSError:
                 pass
             self._unix_path = None
+
+    # -- ring membership -----------------------------------------------------
+
+    @property
+    def ring_view(self) -> tuple[int, list[str], int] | None:
+        """The published ``(epoch, member labels, replica_count)``, if any."""
+        return self._ring_view
+
+    def set_ring_view(
+        self, epoch: int, members: list[str], replica_count: int = 1
+    ) -> None:
+        """Adopt a ring view (epoch-guarded; older epochs are rejected).
+
+        The wire path is the ``ring-config`` op; embedders (the CLI's
+        local-ring mode, tests) call this directly.  Raises
+        :class:`~repro.server.protocol.ProtocolError` with code
+        ``wrong-epoch`` when *epoch* is older than the view already
+        held, **or** equal to it with different contents — two
+        publishers that raced to the same epoch with different
+        membership must not silently diverge; the rejected one adopts a
+        higher epoch and republishes, so the ring converges on one
+        view.  Re-pushing the identical view is idempotent.
+        """
+        current = self._ring_view
+        proposed = (epoch, list(members), replica_count)
+        if current is not None and (
+            epoch < current[0] or (epoch == current[0] and proposed != current)
+        ):
+            raise ProtocolError(
+                "wrong-epoch",
+                f"ring-config epoch {epoch} does not supersede the current view",
+                details=self._view_details(),
+            )
+        self._ring_view = proposed
+
+    def _view_details(self) -> dict[str, Any] | None:
+        """The current view as ``wrong-epoch`` error-object fields."""
+        view = self._ring_view
+        if view is None:
+            return None
+        return {"epoch": view[0], "members": list(view[1]),
+                "replica_count": view[2]}
+
+    def _check_epoch(self, request: Request) -> None:
+        """Reject a request routed under an epoch older than this view.
+
+        A request carrying no epoch (or arriving before any view was
+        published) is always served — epochs tighten routing, they do not
+        gate plain clients out.
+        """
+        view = self._ring_view
+        if view is None or request.epoch is None or request.epoch >= view[0]:
+            return
+        raise ProtocolError(
+            "wrong-epoch",
+            f"request epoch {request.epoch} is older than ring epoch {view[0]}",
+            details=self._view_details(),
+        )
+
+    def _count_hot(self, fingerprint: str, requests: int = 1) -> None:
+        self._hot_counts[fingerprint] += requests
+        if len(self._hot_counts) > _HOT_COUNTER_SIZE:
+            self._hot_counts = Counter(
+                dict(self._hot_counts.most_common(_HOT_COUNTER_SIZE // 2))
+            )
 
     # -- connection handling -------------------------------------------------
 
@@ -471,18 +579,28 @@ class ValidationServer:
             response = await self._dispatch_request(request)
         except ProtocolError as error:
             self._errors += 1
-            return protocol.error_payload(error.code, error.message, id=request_id)
+            return protocol.error_payload(
+                error.code, error.message, id=request_id, details=error.details
+            )
         except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
             self._errors += 1
             return protocol.error_payload(
                 "internal", f"{type(error).__name__}: {error}", id=request_id
             )
         response["elapsed_ms"] = round((perf_counter() - started) * 1000.0, 3)
+        view = self._ring_view
+        if view is not None:
+            response.setdefault("epoch", view[0])
         if request_id is not None:
             response["id"] = request_id
         return response
 
     async def _dispatch_request(self, request: Request) -> dict[str, Any]:
+        if request.op == "health":
+            return self._op_health()
+        if request.op == "ring-config":
+            return self._op_ring_config(request)
+        self._check_epoch(request)
         if request.op == "stats":
             return self._op_stats()
         if request.op == "put-artifact":
@@ -491,6 +609,7 @@ class ValidationServer:
             return await self._op_get_artifact(request)
         assert request.dtd is not None  # decode_request guarantees it
         schema, disposition = self._resolve_schema(request.dtd, request.root)
+        self._count_hot(schema.fingerprint)
         if request.op == "check":
             return await self._op_check(request, schema, disposition)
         if request.op == "classify":
@@ -696,13 +815,17 @@ class ValidationServer:
         schema: CompiledSchema | None = None
         disposition = "miss"
         try:
+            self._check_epoch(request)
             assert request.dtd is not None  # decode_request guarantees it
             schema, disposition = self._resolve_schema(request.dtd, request.root)
         except ProtocolError as error:
             self._errors += 1
             writer.write(
                 protocol.encode(
-                    protocol.error_payload(error.code, error.message, id=request.id)
+                    protocol.error_payload(
+                        error.code, error.message, id=request.id,
+                        details=error.details,
+                    )
                 )
             )
             await writer.drain()
@@ -755,6 +878,7 @@ class ValidationServer:
                 errors += 1
             writer.write(protocol.encode(reply))
             await writer.drain()
+        self._count_hot(schema.fingerprint, max(items, 1))
         trailer: dict[str, Any] = {
             "ok": True,
             "op": "check-batch",
@@ -763,6 +887,9 @@ class ValidationServer:
             "schema": self._schema_fields(schema, disposition),
             "elapsed_ms": round((perf_counter() - started) * 1000.0, 3),
         }
+        view = self._ring_view
+        if view is not None:
+            trailer["epoch"] = view[0]
         if request.id is not None:
             trailer["id"] = request.id
         writer.write(protocol.encode(trailer))
@@ -784,7 +911,9 @@ class ValidationServer:
                 raise ProtocolError(*error)
         except ProtocolError as error:
             self._errors += 1
-            reply = protocol.error_payload(error.code, error.message, id=item_id)
+            reply = protocol.error_payload(
+                error.code, error.message, id=item_id, details=error.details
+            )
             reply["op"] = "check-batch-item"
             return reply
         except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
@@ -938,11 +1067,43 @@ class ValidationServer:
             "schema": self._schema_fields(schema, disposition),
         }
 
+    def _op_health(self) -> dict[str, Any]:
+        """The liveness probe: cheap, payload-free, always answerable.
+
+        Carries the ring view so a client (or coordinator) that learns of
+        a newer epoch from a reply stamp can fetch the full membership
+        with one round trip.
+        """
+        uptime = (
+            monotonic() - self._started_at if self._started_at is not None else 0.0
+        )
+        view = self._view_details() or {}
+        return {
+            "ok": True,
+            "op": "health",
+            "status": "ok",
+            "uptime_seconds": round(uptime, 3),
+            "requests": self._requests,
+            "connections": len(self._conn_tasks),
+            "epoch": view.get("epoch"),
+            "members": view.get("members"),
+            "replica_count": view.get("replica_count"),
+        }
+
+    def _op_ring_config(self, request: Request) -> dict[str, Any]:
+        """Adopt a published ring view (the coordinator's push path)."""
+        assert request.epoch is not None and request.members is not None
+        self.set_ring_view(
+            request.epoch, request.members, request.replica_count or 1
+        )
+        return {"ok": True, "op": "ring-config", "epoch": request.epoch}
+
     def _op_stats(self) -> dict[str, Any]:
         dispatch = dict(self._dispatch_counts)
         uptime = (
             monotonic() - self._started_at if self._started_at is not None else 0.0
         )
+        view = self._ring_view
         return {
             "ok": True,
             "op": "stats",
@@ -955,10 +1116,17 @@ class ValidationServer:
                 "connections": len(self._conn_tasks),
                 "workers": self.workers,
                 "default_algorithm": self.default_algorithm,
+                "ring_epoch": view[0] if view is not None else None,
             },
             "registry": self.registry.stats.as_dict(),
             "store": self.store.stats.as_dict() if self.store is not None else None,
             "dispatch": dispatch,
+            "hot": [
+                [fingerprint, count]
+                for fingerprint, count in self._hot_counts.most_common(
+                    HOT_FINGERPRINTS
+                )
+            ],
         }
 
 

@@ -306,3 +306,139 @@ class TestErrors:
         path = tmp_path / "bad.xml"
         path.write_text("<r><a></r>")
         assert main(["check", schema, str(path)]) == 2
+
+
+class TestRingStatusCli:
+    def test_all_up_reports_and_exits_zero(self, tmp_path, capsys):
+        from repro.server.server import ServerThread
+
+        handles = [
+            ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"),
+                         port=0).start()
+            for i in range(2)
+        ]
+        for handle in handles:
+            handle.server.set_ring_view(
+                4, [h.unix_path for h in handles], 2
+            )
+        try:
+            addrs = ",".join(handle.unix_path for handle in handles)
+            status = main(["ring-status", addrs, "--stats"])
+        finally:
+            for handle in handles:
+                handle.stop()
+        out = capsys.readouterr().out
+        assert status == 0
+        assert out.count("up, epoch=4") == 2
+        assert "registry:" in out
+
+    def test_down_shard_exits_one(self, tmp_path, capsys):
+        from repro.server.server import ServerThread
+
+        handle = ServerThread(
+            unix_path=str(tmp_path / "up.sock"), port=0
+        ).start()
+        dead = str(tmp_path / "nobody.sock")
+        try:
+            status = main(
+                ["ring-status", f"{handle.unix_path},{dead}", "--timeout", "2"]
+            )
+        finally:
+            handle.stop()
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "DOWN" in out
+        assert "up, epoch=" in out
+
+    def test_epoch_disagreement_warns(self, tmp_path, capsys):
+        from repro.server.server import ServerThread
+
+        handles = [
+            ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"),
+                         port=0).start()
+            for i in range(2)
+        ]
+        handles[0].server.set_ring_view(1, ["a"], 1)
+        handles[1].server.set_ring_view(2, ["a"], 1)
+        try:
+            addrs = ",".join(handle.unix_path for handle in handles)
+            status = main(["ring-status", addrs])
+        finally:
+            for handle in handles:
+                handle.stop()
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "disagree on the ring epoch" in captured.err
+
+    def test_bad_address_is_usage_error(self, capsys):
+        assert main(["ring-status", "127.0.0.1:875O"]) == 2
+        assert "bad ring address" in capsys.readouterr().err
+
+    def test_empty_address_list_is_usage_error(self):
+        assert main(["ring-status", ","]) == 2
+
+
+class TestServeReplicasCli:
+    def test_replicas_must_fit_the_ring(self):
+        assert main(["serve", "--ring", "2", "--replicas", "3"]) == 2
+        assert main(["serve", "--ring", "2", "--replicas", "0"]) == 2
+
+    def test_batch_replicas_must_be_positive(self, schema, doc_s_file):
+        assert main(
+            ["batch", schema, doc_s_file, "--ring", "a.sock",
+             "--replicas", "0"]
+        ) == 2
+
+    def test_serve_ring_publishes_the_view(self, tmp_path):
+        # `serve --ring 2 --replicas 2` publishes epoch 1 to both shards:
+        # health reports it and replies carry the stamp.
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        import repro
+        from repro.server.client import ValidationClient
+
+        base = str(tmp_path / "ring.sock")
+        paths = [f"{base}.0", f"{base}.1"]
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--ring", "2",
+             "--replicas", "2", "--no-tcp", "--unix", base],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if all(os.path.exists(path) for path in paths):
+                    break
+                assert process.poll() is None, "serve --ring exited early"
+                time.sleep(0.02)
+            else:  # pragma: no cover - failure path
+                pytest.fail("ring shards did not come up")
+            for path in paths:
+                with ValidationClient.connect_unix(path) as client:
+                    deadline = time.monotonic() + 10
+                    while time.monotonic() < deadline:
+                        health = client.health()
+                        if health["epoch"] is not None:
+                            break
+                        time.sleep(0.02)
+                    assert health["epoch"] == 1
+                    assert health["replica_count"] == 2
+                    assert sorted(health["members"]) == paths
+                    reply = client.check(FIGURE1, DOC_S)
+                    assert reply["epoch"] == 1
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=15) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - failure path
+                process.kill()
+                process.wait(timeout=10)

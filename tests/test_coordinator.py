@@ -1,0 +1,264 @@
+"""Tests for the ring control plane: probing, epochs, join prefetch."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.server.coordinator import RingCoordinator
+from repro.server.ring import ShardedClient, member_label
+from repro.server.server import ServerThread
+
+FIGURE1 = """
+<!ELEMENT r (a+)>
+<!ELEMENT a (b?, (c | f), d)>
+<!ELEMENT b (d | f)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA | e)*>
+<!ELEMENT e EMPTY>
+<!ELEMENT f (c, e)>
+"""
+DOC_OK = "<r><a><b>A quick brown</b><c> fox</c> dog<e></e></a></r>"
+
+
+def schema_text(index: int) -> str:
+    return (
+        f"<!ELEMENT r{index} (a{index}*)>"
+        f"<!ELEMENT a{index} (#PCDATA)>"
+    )
+
+
+def doc_text(index: int) -> str:
+    return f"<r{index}><a{index}>x</a{index}></r{index}>"
+
+
+@pytest.fixture
+def shard_handles(tmp_path):
+    handles = [
+        ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"), port=0).start()
+        for i in range(3)
+    ]
+    yield handles
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def shard_paths(shard_handles):
+    return [handle.unix_path for handle in shard_handles]
+
+
+class TestPublish:
+    def test_publish_pushes_the_view_to_every_shard(
+        self, shard_handles, shard_paths
+    ):
+        coordinator = RingCoordinator(shard_paths, replica_count=2)
+        try:
+            assert coordinator.publish() == 3
+            for handle in shard_handles:
+                view = handle.server.ring_view
+                assert view is not None
+                epoch, members, replica_count = view
+                assert epoch == 1
+                assert members == sorted(shard_paths)
+                assert replica_count == 2
+        finally:
+            coordinator.stop()
+
+    def test_needs_at_least_one_member(self):
+        with pytest.raises(ValueError):
+            RingCoordinator([])
+
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            RingCoordinator([str(tmp_path / "x.sock")], replica_count=0)
+        with pytest.raises(ValueError):
+            RingCoordinator([str(tmp_path / "x.sock")], down_after=0)
+
+
+class TestProbing:
+    def test_probe_reports_health_per_member(self, shard_paths):
+        coordinator = RingCoordinator(shard_paths)
+        try:
+            replies = coordinator.probe_once()
+            assert set(replies) == set(shard_paths)
+            assert all(r is not None and r["status"] == "ok"
+                       for r in replies.values())
+            assert coordinator.status()["down"] == []
+        finally:
+            coordinator.stop()
+
+    def test_dead_shard_is_marked_down_and_unpublished(
+        self, shard_handles, shard_paths
+    ):
+        coordinator = RingCoordinator(shard_paths, down_after=2)
+        try:
+            coordinator.publish()
+            shard_handles[1].stop()
+            coordinator.probe_once()  # failure 1: still published up
+            assert shard_paths[1] not in coordinator.status()["down"]
+            coordinator.probe_once()  # failure 2: down, epoch bumped
+            status = coordinator.status()
+            assert shard_paths[1] in status["down"]
+            assert status["epoch"] == 2
+            survivors = sorted(p for p in shard_paths if p != shard_paths[1])
+            for index in (0, 2):
+                view = shard_handles[index].server.ring_view
+                assert view is not None and view[0] == 2
+                assert view[1] == survivors
+        finally:
+            coordinator.stop()
+
+    def test_recovered_shard_is_restored(self, shard_handles, shard_paths, tmp_path):
+        coordinator = RingCoordinator(shard_paths, down_after=1)
+        try:
+            coordinator.publish()
+            shard_handles[1].stop()
+            coordinator.probe_once()
+            assert shard_paths[1] in coordinator.status()["down"]
+            revived = ServerThread(unix_path=shard_paths[1], port=0).start()
+            try:
+                coordinator.probe_once()
+                status = coordinator.status()
+                assert status["down"] == []
+                assert status["epoch"] == 3  # one bump down, one bump up
+            finally:
+                revived.stop()
+        finally:
+            coordinator.stop()
+
+    def test_background_probing_detects_a_death(self, shard_handles, shard_paths):
+        coordinator = RingCoordinator(
+            shard_paths, probe_interval=0.05, down_after=1
+        )
+        try:
+            coordinator.start()
+            shard_handles[2].stop()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if shard_paths[2] in coordinator.status()["down"]:
+                    break
+                time.sleep(0.02)
+            assert shard_paths[2] in coordinator.status()["down"]
+        finally:
+            coordinator.stop()
+
+
+class TestMembershipChanges:
+    def test_remove_member_publishes_the_shrink(self, shard_handles, shard_paths):
+        coordinator = RingCoordinator(shard_paths)
+        try:
+            coordinator.publish()
+            coordinator.remove_member(shard_paths[0])
+            status = coordinator.status()
+            assert shard_paths[0] not in status["members"]
+            assert status["epoch"] == 2
+            view = shard_handles[1].server.ring_view
+            assert view is not None
+            assert view[1] == sorted(shard_paths[1:])
+        finally:
+            coordinator.stop()
+
+    def test_add_member_prefetches_hot_artifacts_before_publishing(
+        self, shard_handles, shard_paths, tmp_path
+    ):
+        # Warm the 3-shard ring with a schema family, then join a fourth
+        # shard: it must receive its hottest owned artifacts *before* the
+        # join is published, so its registry never compiles.
+        schemas = [schema_text(i) for i in range(8)]
+        with ShardedClient(shard_paths) as ring:
+            for index, dtd in enumerate(schemas):
+                ring.check(dtd, doc_text(index))
+        coordinator = RingCoordinator(shard_paths, replica_count=1, prefetch=16)
+        joiner = ServerThread(
+            unix_path=str(tmp_path / "joiner.sock"), port=0
+        ).start()
+        try:
+            coordinator.publish()
+            shipped = coordinator.add_member(joiner.unix_path)
+            # The joiner holds artifacts without having compiled any.
+            registry = joiner.server.registry.stats
+            assert registry.misses == 0
+            status = coordinator.status()
+            assert status["prefetched_artifacts"] == shipped
+            future_owned = [
+                fingerprint
+                for fingerprint in (
+                    ShardedClient(shard_paths).fingerprint(dtd)
+                    for dtd in schemas
+                )
+                if member_label(coordinator.ring().owner(fingerprint))
+                == joiner.unix_path
+            ]
+            if future_owned:  # placement hashes tmp paths: usually true
+                assert shipped >= len(future_owned)
+                # Traffic routed to the joiner is served warm: 0 compiles.
+                with ShardedClient(
+                    [*shard_paths, joiner.unix_path]
+                ) as ring:
+                    for index, dtd in enumerate(schemas):
+                        assert ring.check(dtd, doc_text(index))["ok"]
+                assert joiner.server.registry.stats.misses == 0
+        finally:
+            joiner.stop()
+            coordinator.stop()
+
+    def test_add_member_with_prefetch_disabled_ships_nothing(
+        self, shard_paths, tmp_path
+    ):
+        coordinator = RingCoordinator(shard_paths, prefetch=0)
+        joiner = ServerThread(
+            unix_path=str(tmp_path / "joiner.sock"), port=0
+        ).start()
+        try:
+            assert coordinator.add_member(joiner.unix_path) == 0
+        finally:
+            joiner.stop()
+            coordinator.stop()
+
+    def test_stale_coordinator_leapfrogs_a_newer_shard_epoch(
+        self, shard_handles, shard_paths
+    ):
+        # A shard already holds epoch 9 (another coordinator raced ahead).
+        # Publishing epoch 1 must not roll it back; the coordinator adopts
+        # a higher floor so its next publish supersedes everywhere.
+        shard_handles[0].server.set_ring_view(9, shard_paths, 1)
+        coordinator = RingCoordinator(shard_paths)
+        try:
+            coordinator.publish()
+            assert coordinator.epoch >= 10
+            coordinator.publish()
+            view = shard_handles[0].server.ring_view
+            assert view is not None and view[0] >= 10
+        finally:
+            coordinator.stop()
+
+
+class TestClientConvergence:
+    def test_client_follows_a_coordinator_driven_change(
+        self, shard_handles, shard_paths
+    ):
+        coordinator = RingCoordinator(shard_paths, replica_count=2)
+        try:
+            coordinator.publish()
+            with ShardedClient(shard_paths, replica_count=2) as ring:
+                ring.check(FIGURE1, DOC_OK)
+                assert ring.epoch == 1
+                victim = member_label(
+                    ring.ring.owner(ring.fingerprint(FIGURE1))
+                )
+                index = shard_paths.index(victim)
+                shard_handles[index].stop()
+                coordinator.probe_once()
+                coordinator.probe_once()  # down_after=2 by default
+                assert coordinator.epoch == 2
+                reply = ring.check(FIGURE1, DOC_OK)
+                assert reply["potentially_valid"] is True
+                # Replica fan-out made the failover warm, and the client
+                # converged on the coordinator's epoch.
+                assert reply["schema"]["registry"] == "hit"
+                assert ring.epoch == 2
+                assert victim not in ring.ring_stats["members"]
+        finally:
+            coordinator.stop()

@@ -1,0 +1,116 @@
+"""Docs/implementation lockstep: the wire spec cannot drift silently.
+
+``docs/PROTOCOL.md`` claims to cover every op the server accepts; these
+tests diff that document against the protocol's op tuple and the
+server's handler table, and the error-code table against the codes the
+implementation can actually emit.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.server import protocol
+from repro.server.server import HANDLED_OPS
+
+DOCS = Path(__file__).resolve().parents[1] / "docs"
+
+
+def protocol_md() -> str:
+    return (DOCS / "PROTOCOL.md").read_text()
+
+
+def heading_ops(text: str) -> set[str]:
+    """Op names documented as ``### `op``` headings."""
+    return set(re.findall(r"^### `([a-z-]+)`", text, flags=re.MULTILINE))
+
+
+class TestProtocolDocCoverage:
+    def test_docs_tree_exists(self):
+        for name in ("ARCHITECTURE.md", "PROTOCOL.md", "OPERATIONS.md"):
+            assert (DOCS / name).is_file(), f"docs/{name} is missing"
+
+    def test_handler_table_matches_the_protocol_ops(self):
+        assert set(HANDLED_OPS) == set(protocol.OPS)
+
+    def test_every_accepted_op_has_a_spec_section(self):
+        documented = heading_ops(protocol_md())
+        missing = set(protocol.OPS) - documented
+        assert not missing, f"docs/PROTOCOL.md lacks op section(s): {missing}"
+
+    def test_no_phantom_ops_are_documented(self):
+        phantom = heading_ops(protocol_md()) - set(protocol.OPS)
+        assert not phantom, (
+            f"docs/PROTOCOL.md documents op(s) the server does not "
+            f"accept: {phantom}"
+        )
+
+    def test_every_error_code_is_documented(self):
+        text = protocol_md()
+        missing = [
+            code for code in protocol.ERROR_CODES if f"`{code}`" not in text
+        ]
+        assert not missing, (
+            f"docs/PROTOCOL.md lacks error code(s): {missing}"
+        )
+
+    def test_error_codes_cover_what_the_implementation_raises(self):
+        """Every ProtocolError(code) literal in the server package is in
+        ERROR_CODES (and therefore, by the test above, documented)."""
+        src = Path(__file__).resolve().parents[1] / "src" / "repro" / "server"
+        raised: set[str] = set()
+        for path in src.glob("*.py"):
+            raised.update(
+                re.findall(r"ProtocolError\(\s*[\"']([a-z-]+)[\"']",
+                           path.read_text())
+            )
+        undeclared = raised - set(protocol.ERROR_CODES)
+        assert not undeclared, (
+            f"codes raised but not declared/documented: {undeclared}"
+        )
+
+
+class TestOperationsDocAccuracy:
+    def test_cli_commands_named_in_docs_exist(self):
+        """Every ``python -m repro <command>`` in the docs parses."""
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        subactions = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "_name_parser_map")
+        )
+        known = set(subactions._name_parser_map)
+        text = "".join(
+            (DOCS / name).read_text()
+            for name in ("OPERATIONS.md", "ARCHITECTURE.md")
+        ) + (DOCS.parent / "README.md").read_text()
+        used = set(re.findall(r"python -m repro ([a-z-]+)", text))
+        unknown = used - known - {"--version"}
+        assert not unknown, f"docs reference unknown CLI command(s): {unknown}"
+
+    def test_serve_flags_named_in_docs_exist(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        text = (DOCS / "OPERATIONS.md").read_text()
+        serve_flags = {
+            flag
+            for line in text.splitlines()
+            if "repro serve" in line
+            for flag in re.findall(r"(--[a-z-]+)", line)
+        }
+        serve_parser = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "_name_parser_map")
+        )._name_parser_map["serve"]
+        known = {
+            option
+            for action in serve_parser._actions
+            for option in action.option_strings
+        }
+        unknown = serve_flags - known
+        assert not unknown, f"docs use unknown serve flag(s): {unknown}"

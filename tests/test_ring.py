@@ -13,6 +13,7 @@ from repro.server.protocol import ProtocolError
 from repro.server.ring import (
     ShardedClient,
     ShardRing,
+    ShardUnavailableError,
     member_label,
     parse_member,
 )
@@ -546,3 +547,228 @@ class TestShardedClient:
     def test_needs_at_least_one_member(self):
         with pytest.raises(ValueError):
             ShardedClient([])
+
+
+# -- replica sets ------------------------------------------------------------
+
+
+class TestReplicaSets:
+    def test_owners_are_a_prefix_of_preference(self):
+        ring = ShardRing(
+            ["a.sock", "b.sock", "c.sock", "d.sock"], replica_count=2
+        )
+        for key in (f"key-{i}" for i in range(50)):
+            owners = ring.owners(key)
+            assert len(owners) == 2
+            assert owners == ring.preference(key)[:2]
+            assert owners[0] == ring.owner(key)
+
+    def test_replica_count_larger_than_ring_yields_every_member(self):
+        members = ["a.sock", "b.sock", "c.sock"]
+        ring = ShardRing(members, replica_count=5)
+        assert sorted(ring.owners("anything")) == sorted(members)
+
+    def test_replica_sets_are_stable_for_survivors(self):
+        ring = ShardRing(
+            ["a.sock", "b.sock", "c.sock", "d.sock"], replica_count=2
+        )
+        keys = [f"key-{i}" for i in range(300)]
+        before = {k: ring.owners(k) for k in keys}
+        ring.remove("d.sock")
+        for key in keys:
+            survivors = [m for m in before[key] if m != "d.sock"]
+            # Surviving replicas keep their relative order; a lost slot is
+            # refilled by the next member down the old preference walk.
+            assert ring.owners(key)[: len(survivors)] == survivors
+
+    def test_replica_count_validation(self):
+        with pytest.raises(ValueError):
+            ShardRing(["a.sock"], replica_count=0)
+        with pytest.raises(ValueError):
+            ShardRing(["a.sock"], vnodes=0)
+
+
+class TestReplicatedClient:
+    def test_compile_fans_out_to_the_replica_set(self, shard_handles):
+        paths = [handle.unix_path for handle in shard_handles]
+        with ShardedClient(paths, replica_count=2) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            fingerprint = ring.fingerprint(FIGURE1)
+            owners = {member_label(m) for m in ring.ring.owners(fingerprint)}
+            stats = ring.ring_stats
+            # One compile, one fan-out hand-off to the second replica.
+            assert stats["compiles_observed"] == 1
+            assert stats["handoffs"] == 1
+        # Both replicas answer warm; non-replicas never saw the schema.
+        total_misses = 0
+        for handle in shard_handles:
+            misses = handle.server.registry.stats.misses
+            total_misses += misses
+            held = handle.server.registry.lookup(fingerprint) is not None
+            assert held == (handle.unix_path in owners)
+        assert total_misses == 1
+
+    def test_killing_one_replica_loses_no_checks_and_no_compiles(
+        self, shard_handles
+    ):
+        paths = [handle.unix_path for handle in shard_handles]
+        with ShardedClient(paths, replica_count=2) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            fingerprint = ring.fingerprint(FIGURE1)
+            primary = ring.ring.owner(fingerprint)
+            shard_handles[paths.index(primary)].stop()
+            reply = ring.check(FIGURE1, DOC_OK)
+            assert reply["potentially_valid"] is True
+            # The surviving replica answered from its fanned-out artifact:
+            # a registry hit, not a recompile.
+            assert reply["schema"]["registry"] == "hit"
+            assert ring.ring_stats["failovers"] == 1
+            assert ring.ring_stats["compiles_observed"] == 1
+
+    def test_all_replicas_down_is_a_clear_error_not_a_hang(self, tmp_path):
+        # Every member of the (whole-ring) replica set is unreachable: the
+        # call must fail fast with a structured, catchable error.
+        paths = [str(tmp_path / f"nobody-{i}.sock") for i in range(2)]
+        ring = ShardedClient(paths, replica_count=2, timeout=2.0)
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            ring.check(FIGURE1, DOC_OK)
+        assert excinfo.value.code == "unreachable"
+        assert excinfo.value.fingerprint == ring.fingerprint(FIGURE1)
+        # Both contracts hold: it is a ServerError and a ConnectionError.
+        assert isinstance(excinfo.value, ServerError)
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_replica_count_above_live_members_still_serves(self, shard_paths):
+        with ShardedClient(shard_paths, replica_count=7) as ring:
+            reply = ring.check(FIGURE1, DOC_OK)
+            assert reply["potentially_valid"] is True
+            fingerprint = ring.fingerprint(FIGURE1)
+            assert len(ring.ring.owners(fingerprint)) == len(shard_paths)
+
+
+# -- epochs on the client ----------------------------------------------------
+
+
+class TestClientEpochs:
+    def test_client_adopts_the_first_stamped_epoch(self, shard_handles):
+        paths = [handle.unix_path for handle in shard_handles]
+        for handle in shard_handles:
+            handle.server.set_ring_view(3, paths, 1)
+        with ShardedClient(paths) as ring:
+            assert ring.epoch is None
+            ring.check(FIGURE1, DOC_OK)
+            assert ring.epoch == 3
+
+    def test_wrong_epoch_refreshes_membership_without_restart(
+        self, shard_handles, tmp_path
+    ):
+        paths = [handle.unix_path for handle in shard_handles]
+        for handle in shard_handles:
+            handle.server.set_ring_view(1, paths, 1)
+        with ShardedClient(paths) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            assert ring.epoch == 1
+            # Membership changes behind the client's back: every shard
+            # learns epoch 2 with one member gone.
+            survivors = paths[:2]
+            for handle in shard_handles[:2]:
+                handle.server.set_ring_view(2, survivors, 1)
+            shard_handles[2].stop()
+            reply = ring.check(FIGURE1, DOC_OK)
+            assert reply["potentially_valid"] is True
+            assert ring.epoch == 2
+            assert ring.ring_stats["members"] == sorted(survivors)
+
+    def test_epoch_race_between_two_membership_changes(self, shard_handles):
+        # The client sleeps through two changes; one wrong-epoch answer
+        # must deliver the *newest* view, and a stale view pushed later
+        # must not roll the client back.
+        paths = [handle.unix_path for handle in shard_handles]
+        for handle in shard_handles:
+            handle.server.set_ring_view(1, paths, 1)
+        with ShardedClient(paths) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            assert ring.epoch == 1
+            for handle in shard_handles:  # change 1 then change 2, racing
+                handle.server.set_ring_view(2, paths[:2], 1)
+                handle.server.set_ring_view(3, paths[:1], 1)
+            assert ring.check(FIGURE1, DOC_OK)["potentially_valid"]
+            assert ring.epoch == 3
+            assert ring.ring_stats["members"] == [paths[0]]
+            # A stale refresh arriving late is ignored.
+            ring.refresh(paths[:2], epoch=2)
+            assert ring.epoch == 3
+            assert ring.ring_stats["members"] == [paths[0]]
+
+    def test_success_reply_with_newer_epoch_triggers_health_refresh(
+        self, shard_handles
+    ):
+        paths = [handle.unix_path for handle in shard_handles]
+        for handle in shard_handles:
+            handle.server.set_ring_view(1, paths, 1)
+        with ShardedClient(paths) as ring:
+            ring.check(FIGURE1, DOC_OK)
+            assert ring.epoch == 1
+            # The view advances but the client's next request carries the
+            # old epoch — which is *older*, so the shard rejects it... to
+            # exercise the stamp-chasing path instead, advance only the
+            # reply stamp via a fresh fingerprint routed to a shard that
+            # already adopted epoch 2.
+            for handle in shard_handles:
+                handle.server.set_ring_view(2, paths[:2], 1)
+            assert ring.check(FIGURE1, DOC_OK)["potentially_valid"]
+            assert ring.epoch == 2
+
+
+# -- corpus-level failure surfacing ------------------------------------------
+
+
+class TestCheckCorpusFailures:
+    def test_dead_shard_mid_corpus_fails_over_losing_nothing(self, tmp_path):
+        # One live shard, one address nobody serves: batches owned by the
+        # dead member fail over to the live one — the corpus completes
+        # with zero lost checks and no exception.
+        live = ServerThread(unix_path=str(tmp_path / "live.sock"), port=0).start()
+        dead_path = str(tmp_path / "dead.sock")
+        try:
+            with ShardedClient(
+                [live.unix_path, dead_path], timeout=2.0
+            ) as ring:
+                batches = [
+                    (schema_text(index), [doc_text(index)] * 2)
+                    for index in range(8)
+                ]
+                dead_owned = [
+                    index
+                    for index, (dtd, _docs) in enumerate(batches)
+                    if member_label(ring.ring.owner(ring.fingerprint(dtd)))
+                    == dead_path
+                ]
+                assert dead_owned, "salt the schema family: no batch mapped"
+                results = ring.check_corpus(batches)
+                stats = ring.ring_stats
+        finally:
+            live.stop()
+        assert len(results) == len(batches)
+        for replies, trailer in results:
+            assert trailer["ok"] is True
+            assert all(r["potentially_valid"] for r in replies)
+        # Only the first routed call pays the failover (the dead member is
+        # then marked down and later batches route straight to the live one).
+        assert stats["failovers"] >= 1
+        assert dead_path in stats["down"]
+
+    def test_failed_batch_does_not_abort_the_shards_remaining_work(
+        self, tmp_path
+    ):
+        # Both batches route to the same dead member: each gets its own
+        # failure entry (the old behavior abandoned the second).
+        dead_path = str(tmp_path / "dead.sock")
+        ring = ShardedClient([dead_path], timeout=2.0)
+        results = ring.check_corpus(
+            [(schema_text(0), [doc_text(0)]), (schema_text(1), [doc_text(1)])]
+        )
+        assert len(results) == 2
+        for replies, trailer in results:
+            assert replies is None
+            assert trailer["error"]["code"] == "unreachable"

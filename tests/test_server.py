@@ -566,3 +566,128 @@ class TestServerConstruction:
             _host, port = handle.tcp_address
             with pytest.raises(OSError):
                 ServerThread(host="127.0.0.1", port=port).start()
+
+
+# -- health, ring views, and epochs ------------------------------------------
+
+
+class TestHealthOp:
+    def test_health_without_a_view(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["epoch"] is None
+        assert health["members"] is None
+        assert health["uptime_seconds"] >= 0.0
+
+    def test_health_reports_the_published_view(self, server_handle, client):
+        client.ring_config(3, ["a.sock", "b.sock"], replica_count=2)
+        health = client.health()
+        assert health["epoch"] == 3
+        assert health["members"] == ["a.sock", "b.sock"]
+        assert health["replica_count"] == 2
+
+
+class TestRingConfigOp:
+    def test_replies_are_stamped_after_a_view(self, client):
+        assert "epoch" not in client.check(FIGURE1, DOC_OK)
+        client.ring_config(5, ["a.sock"])
+        reply = client.check(FIGURE1, DOC_OK)
+        assert reply["epoch"] == 5
+        assert client.stats()["server"]["ring_epoch"] == 5
+
+    def test_stale_request_epoch_is_wrong_epoch_with_the_view(self, client):
+        client.ring_config(4, ["a.sock", "b.sock"], replica_count=2)
+        with pytest.raises(ServerError) as excinfo:
+            client.check(FIGURE1, DOC_OK, epoch=2)
+        error = excinfo.value.reply["error"]
+        assert error["code"] == "wrong-epoch"
+        assert error["epoch"] == 4
+        assert error["members"] == ["a.sock", "b.sock"]
+        assert error["replica_count"] == 2
+        # The connection survives: a recoverable protocol error.
+        assert client.check(FIGURE1, DOC_OK, epoch=4)["potentially_valid"]
+
+    def test_current_and_future_epochs_are_served(self, client):
+        client.ring_config(4, ["a.sock"])
+        assert client.check(FIGURE1, DOC_OK, epoch=4)["ok"]
+        # A client ahead of this shard (it missed a push) is not gated.
+        assert client.check(FIGURE1, DOC_OK, epoch=9)["ok"]
+
+    def test_epochless_requests_are_always_served(self, client):
+        client.ring_config(7, ["a.sock"])
+        assert client.check(FIGURE1, DOC_OK)["potentially_valid"]
+
+    def test_stale_ring_config_is_rejected(self, client):
+        client.ring_config(6, ["a.sock"])
+        with pytest.raises(ServerError) as excinfo:
+            client.ring_config(2, ["b.sock"])
+        assert excinfo.value.code == "wrong-epoch"
+        assert excinfo.value.reply["error"]["epoch"] == 6
+        # Same epoch re-push is idempotent; newer replaces.
+        assert client.ring_config(6, ["a.sock"])["epoch"] == 6
+        assert client.ring_config(8, ["b.sock"])["epoch"] == 8
+        assert client.health()["members"] == ["b.sock"]
+
+    def test_equal_epoch_with_a_different_view_is_rejected(self, client):
+        # Two publishers racing to the same epoch with different member
+        # lists must not silently diverge: the tie is rejected so the
+        # losing publisher leapfrogs to a superseding epoch.
+        client.ring_config(5, ["a.sock", "b.sock"], replica_count=2)
+        with pytest.raises(ServerError) as excinfo:
+            client.ring_config(5, ["a.sock", "c.sock"], replica_count=2)
+        assert excinfo.value.code == "wrong-epoch"
+        with pytest.raises(ServerError):
+            client.ring_config(5, ["a.sock", "b.sock"], replica_count=1)
+        # The held view is untouched by the rejected pushes.
+        assert client.health()["members"] == ["a.sock", "b.sock"]
+
+    def test_ring_config_requires_epoch_and_members(self, client):
+        reply = client.send_raw(
+            protocol.encode({"op": "ring-config", "epoch": 1})
+        )
+        assert reply["error"]["code"] == "bad-request"
+        reply = client.send_raw(
+            protocol.encode({"op": "ring-config", "members": ["a.sock"]})
+        )
+        assert reply["error"]["code"] == "bad-request"
+
+    def test_batch_header_with_stale_epoch_errors_then_disconnects(
+        self, server_handle
+    ):
+        with ValidationClient.connect(server_handle.tcp_address) as client:
+            client.ring_config(4, ["a.sock"])
+            with pytest.raises(ServerError) as excinfo:
+                client.check_batch(FIGURE1, [DOC_OK], epoch=1)
+            assert excinfo.value.code == "wrong-epoch"
+            with pytest.raises((ConnectionError, OSError)):
+                client.check(FIGURE1, DOC_OK)
+
+    def test_wrong_epoch_happens_before_any_work(self, client):
+        client.ring_config(4, ["a.sock"])
+        with pytest.raises(ServerError):
+            client.check("<!ELEMENT broken", DOC_OK, epoch=1)
+        # The stale epoch answered first: the broken DTD was never parsed,
+        # so the error code is wrong-epoch, not bad-dtd.
+        try:
+            client.check("<!ELEMENT broken", DOC_OK, epoch=1)
+        except ServerError as error:
+            assert error.code == "wrong-epoch"
+
+
+class TestHotFingerprints:
+    def test_stats_rank_fingerprints_by_request_count(self, client):
+        other = "<!ELEMENT q (z*)><!ELEMENT z EMPTY>"
+        for _ in range(3):
+            client.check(FIGURE1, DOC_OK)
+        client.check(other, "<q/>")
+        hot = client.stats()["hot"]
+        assert len(hot) == 2
+        (top_fp, top_count), (second_fp, second_count) = hot
+        assert top_count == 3 and second_count == 1
+        assert top_fp == client.check(FIGURE1, DOC_OK)["schema"]["fingerprint"]
+        assert top_fp != second_fp
+
+    def test_batch_items_count_toward_heat(self, client):
+        client.check_batch(FIGURE1, [DOC_OK] * 5)
+        hot = client.stats()["hot"]
+        assert hot[0][1] >= 5
