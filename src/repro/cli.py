@@ -20,8 +20,11 @@ Eight commands wrap the library for shell use:
     Compile the schema once and check a whole corpus, optionally over a
     worker pool (``--workers N``); prints one verdict per document plus
     aggregate throughput statistics.  With ``--ring ADDR[,ADDR...]`` the
-    corpus is instead streamed (one ``check-batch`` op) to the owning
-    shard of a validation-server ring.
+    corpus is instead streamed (``check-batch`` ops) to the owning
+    shards of a validation-server ring; ``--read-policy`` picks how the
+    documents spread over a schema's live replicas (``primary-first``
+    pins them to the primary, ``round-robin`` / ``least-inflight``
+    spread windows over all R owners).
 
 ``serve``
     Run the long-lived NDJSON validation server (TCP and/or a Unix
@@ -77,6 +80,10 @@ USAGE_ERROR = 2
 RUNTIME_ERROR = 1
 
 _ALGORITHMS = ("machine", "figure5", "earley")
+
+# Mirrors repro.server.protocol.READ_POLICIES without importing the
+# server stack at CLI-parse time (a test keeps the two in lockstep).
+_READ_POLICIES = ("primary-first", "round-robin", "least-inflight")
 
 
 def _version() -> str:
@@ -184,10 +191,15 @@ def _cmd_batch_ring(args: argparse.Namespace) -> int:
         return USAGE_ERROR
     dtd_text = Path(args.schema).read_text()
     docs = [Path(path).read_text() for path in args.documents]
-    with ShardedClient(members, replica_count=args.replicas) as ring:
+    with ShardedClient(
+        members, replica_count=args.replicas, read_policy=args.read_policy
+    ) as ring:
         try:
-            replies, trailer = ring.check_batch(
-                dtd_text, docs, algorithm=args.algorithm, root=args.root
+            # One schema, one batch — but the corpus scheduler applies
+            # the read policy: under round-robin / least-inflight the
+            # documents spread in windows over every live owning replica.
+            results = ring.check_corpus(
+                [(dtd_text, docs, args.root)], algorithm=args.algorithm
             )
         except ProtocolError as error:
             print(f"error: {error.message}", file=sys.stderr)
@@ -204,6 +216,16 @@ def _cmd_batch_ring(args: argparse.Namespace) -> int:
             # No shard reachable: a deployment failure, not bad usage.
             print(f"error: {error}", file=sys.stderr)
             return RUNTIME_ERROR
+        replies, trailer = results[0]
+        if replies is None:
+            # The whole batch failed (surfaced in place by the corpus
+            # path): unreachable ring or a server rejection.
+            error = trailer.get("error") or {}
+            print(
+                f"error: {error.get('code')}: {error.get('message')}",
+                file=sys.stderr,
+            )
+            return RUNTIME_ERROR
         all_ok = True
         for path, reply in zip(args.documents, replies):
             if not reply.get("ok"):
@@ -216,16 +238,18 @@ def _cmd_batch_ring(args: argparse.Namespace) -> int:
                 all_ok = False
                 count = len(reply["failures"])
                 print(f"{path}: NOT potentially valid ({count} blocked node(s))")
-        # The shard that actually served the batch (failover may have
-        # routed past the ring owner); this fresh client made one call.
+        # The shard(s) that actually served the batch: one under
+        # primary-first (failover aside), the live replica set under the
+        # balanced policies.
         served_by = ring.ring_stats["requests_by_member"]
-        shard = next(iter(served_by)) if served_by else member_label(
+        shards = ", ".join(sorted(served_by)) or member_label(
             ring.ring.owner(ring.fingerprint(dtd_text, args.root))
         )
         print(
             f"{trailer['items']} document(s), {trailer['errors']} error(s) in "
-            f"{trailer['elapsed_ms']:.1f} ms on shard {shard} "
-            f"(registry: {trailer['schema']['registry']})",
+            f"{trailer['elapsed_ms']:.1f} ms on shard(s) {shards} "
+            f"(policy: {ring.read_policy}, "
+            f"registry: {trailer['schema']['registry']})",
             file=sys.stderr,
         )
         if args.stats:
@@ -303,14 +327,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           file=sys.stderr)
             if shards > 1:
                 # Publish the initial ring view (epoch 1) in-process so
-                # every reply carries an epoch and clients serve reads
-                # from any of the R replicas of a fingerprint.
+                # every reply carries an epoch, clients serve reads from
+                # the R replicas of a fingerprint, and the advertised
+                # read policy (if any) reaches policy-less clients.
                 labels = [shard_label(server) for server in started]
                 for server in started:
-                    server.set_ring_view(1, labels, args.replicas)
+                    server.set_ring_view(
+                        1, labels, args.replicas,
+                        read_policy=args.read_policy,
+                    )
+                policy_note = (
+                    f", read policy {args.read_policy}"
+                    if args.read_policy
+                    else ""
+                )
                 print(
                     f"ring view published: epoch 1, {len(labels)} member(s), "
-                    f"replicas {args.replicas}",
+                    f"replicas {args.replicas}{policy_note}",
                     file=sys.stderr,
                 )
             await asyncio.gather(*(server.serve_forever() for server in started))
@@ -366,10 +399,15 @@ def _cmd_ring_status(args: argparse.Namespace) -> int:
         print(line)
         if stats is not None:
             registry = stats["registry"]
+            server = stats.get("server") or {}
             hot = stats.get("hot") or []
+            # Inflight is the load signal the least-inflight read policy
+            # balances on; hot is the per-fingerprint traffic top-N that
+            # also feeds join prefetch.
             print(
                 f"  registry: {registry['hits']} hit(s), "
                 f"{registry['misses']} miss(es); "
+                f"inflight: {server.get('inflight', 0)}; "
                 f"hot schemas: "
                 + (
                     ", ".join(f"{fp[:12]}...x{count}" for fp, count in hot[:5])
@@ -508,6 +546,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="R",
         help="replica-set size of the ring named by --ring (failover reads)",
     )
+    batch.add_argument(
+        "--read-policy",
+        choices=_READ_POLICIES,
+        default=None,
+        help=(
+            "how ring reads pick among a schema's live replicas "
+            "(requires --ring; default: follow the ring's advertised "
+            "policy, else primary-first)"
+        ),
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     complete = sub.add_parser("complete", help="compute a valid extension")
@@ -575,6 +623,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "artifacts fanned out to all R); requires --ring N >= R"
         ),
     )
+    serve.add_argument(
+        "--read-policy",
+        choices=_READ_POLICIES,
+        default=None,
+        help=(
+            "read policy advertised with the published ring view "
+            "(requires --ring N >= 2): clients without an explicit "
+            "policy follow it"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     ring_status = sub.add_parser(
@@ -633,6 +691,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.handler is _cmd_batch and args.replicas < 1:
         print("error: --replicas must be >= 1", file=sys.stderr)
         return USAGE_ERROR
+    if args.handler is _cmd_batch and args.read_policy and not args.ring:
+        print("error: --read-policy requires --ring", file=sys.stderr)
+        return USAGE_ERROR
     if args.handler is _cmd_serve and args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)
         return USAGE_ERROR
@@ -641,6 +702,12 @@ def main(argv: list[str] | None = None) -> int:
         return USAGE_ERROR
     if args.handler is _cmd_serve and not 1 <= args.replicas <= args.ring:
         print("error: --replicas must be between 1 and --ring N", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.read_policy and args.ring < 2:
+        print(
+            "error: --read-policy requires a ring view (--ring N >= 2)",
+            file=sys.stderr,
+        )
         return USAGE_ERROR
     try:
         return args.handler(args)

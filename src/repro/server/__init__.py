@@ -13,11 +13,24 @@ process serving traffic:
 * :mod:`repro.server.client` — :class:`ValidationClient`, the blocking
   NDJSON client (pipelining, streaming ``check-batch``, artifact
   transfer) used by tests, the benchmarks, and the CI smoke jobs.
-* :mod:`repro.server.ring` — the horizontal-scaling layer:
-  :class:`ShardRing` (consistent hashing with virtual nodes and replica
-  sets) and :class:`ShardedClient` (fingerprint routing to any live
-  replica, deterministic failover, compile-at-most-once artifact
-  hand-off and replica fan-out, epoch-driven placement refresh).
+* :mod:`repro.server.placement` — the placement core shared by client,
+  server, and coordinator: :class:`ShardRing` (consistent hashing with
+  virtual nodes and replica sets) and :class:`PlacementView` (the
+  epoch-stamped view with a bounded fingerprint→owners memo and both
+  wire reconciliation disciplines).
+* :mod:`repro.server.pool` — :class:`ConnectionPool`, pooled blocking
+  connections with per-member locks and liveness marks.
+* :mod:`repro.server.router` — :class:`Router`, pluggable read
+  policies (``primary-first`` / ``round-robin`` / ``least-inflight``)
+  over the placement view.
+* :mod:`repro.server.scheduler` — :class:`CorpusScheduler`,
+  replica-aware corpus spreading (seed-window compile-once, window
+  work-stealing, straggler hand-off).
+* :mod:`repro.server.ring` — :class:`ShardedClient`, the routing
+  client composed of the layers above (fingerprint routing to a live
+  replica picked by the read policy, deterministic failover,
+  compile-at-most-once artifact hand-off and replica fan-out,
+  epoch-driven placement refresh).
 * :mod:`repro.server.coordinator` — :class:`RingCoordinator`, the
   control plane: ``health``-probe-driven live membership, epoch-stamped
   ``ring-config`` publishing, and hot-artifact prefetch so a joining
@@ -31,11 +44,14 @@ serve --ring N --replicas R``); inspect a running ring with ``python
 
 from repro.server.client import ServerError, ValidationClient
 from repro.server.coordinator import RingCoordinator
+from repro.server.placement import PlacementView
+from repro.server.pool import ConnectionPool
 from repro.server.protocol import (
     ALGORITHMS,
     ERROR_CODES,
     MAX_LINE_BYTES,
     OPS,
+    READ_POLICIES,
     SCHEMA_OPS,
     BatchItem,
     ProtocolError,
@@ -54,6 +70,8 @@ from repro.server.ring import (
     member_label,
     parse_member,
 )
+from repro.server.router import DEFAULT_READ_POLICY, Router
+from repro.server.scheduler import CorpusScheduler
 from repro.server.server import (
     HANDLED_OPS,
     ArtifactMissError,
@@ -70,9 +88,15 @@ __all__ = [
     "ShardRing",
     "ShardedClient",
     "ShardUnavailableError",
+    "PlacementView",
+    "ConnectionPool",
+    "Router",
+    "CorpusScheduler",
     "RingCoordinator",
     "member_label",
     "parse_member",
+    "READ_POLICIES",
+    "DEFAULT_READ_POLICY",
     "ProtocolError",
     "Request",
     "BatchItem",

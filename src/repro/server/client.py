@@ -318,22 +318,29 @@ class ValidationClient:
         return self.request({"op": "health"})
 
     def ring_config(
-        self, epoch: int, members: list[str], replica_count: int = 1
+        self,
+        epoch: int,
+        members: list[str],
+        replica_count: int = 1,
+        read_policy: str | None = None,
     ) -> dict[str, Any]:
         """Publish a ring view (epoch + member labels) to this shard.
 
         The shard adopts the view only when *epoch* is at least as new as
         the one it holds; an older push raises :class:`ServerError` with
         code ``wrong-epoch`` carrying the shard's current view.
+        *read_policy*, when given, is advertised with the view so
+        routing clients without an explicit policy follow it.
         """
-        return self.request(
-            {
-                "op": "ring-config",
-                "epoch": epoch,
-                "members": list(members),
-                "replica_count": replica_count,
-            }
-        )
+        payload: dict[str, Any] = {
+            "op": "ring-config",
+            "epoch": epoch,
+            "members": list(members),
+            "replica_count": replica_count,
+        }
+        if read_policy is not None:
+            payload["read_policy"] = read_policy
+        return self.request(payload)
 
     def get_artifact(self, fingerprint: str) -> bytes:
         """The server's compiled artifact for *fingerprint*, as the

@@ -9,14 +9,17 @@ and moves artifacts; the coordinator watches the shards themselves:
   probes is marked down and dropped from the published ring; a member
   answering again is restored.  Probes run on demand
   (:meth:`probe_once`) or on a background thread (:meth:`start`).
-* **Epoch publishing** — every membership change (a join, a leave, an
-  up/down transition) bumps a monotonically increasing **epoch** and
-  pushes the new view — epoch, live member labels, replica count — to
-  every live shard with the ``ring-config`` op.  Shards stamp the epoch
-  into replies; clients routing under an older epoch get ``wrong-epoch``
-  plus the new view and re-resolve without restarting.  Two racing
-  changes converge because shards and clients only ever adopt newer
-  epochs.
+* **Epoch publishing** — the published view lives in a
+  :class:`~repro.server.placement.PlacementView` (the same placement
+  core the client and the server consume).  Every membership change (a
+  join, a leave, an up/down transition) adopts the new live member set
+  under a bumped, monotonically increasing **epoch** and pushes it —
+  epoch, live member labels, replica count, and the advertised read
+  policy, if any — to every live shard with the ``ring-config`` op.
+  Shards stamp the epoch into replies; clients routing under an older
+  epoch get ``wrong-epoch`` plus the new view and re-resolve without
+  restarting.  Two racing changes converge because shards and clients
+  only ever adopt newer epochs.
 * **Hot-artifact prefetch** — before a joining shard is published (and
   therefore before any client routes traffic to it), the coordinator
   aggregates every live shard's most-requested fingerprints (the ``hot``
@@ -40,13 +43,15 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable
 
 from repro.server.client import ServerError, ValidationClient
-from repro.server.protocol import ProtocolError
-from repro.server.ring import (
+from repro.server.placement import (
     DEFAULT_VNODES,
     Member,
+    PlacementView,
     ShardRing,
     member_label,
 )
+from repro.server.pool import ConnectionPool
+from repro.server.protocol import ProtocolError, READ_POLICIES
 
 __all__ = ["RingCoordinator"]
 
@@ -62,6 +67,10 @@ class RingCoordinator:
     replica_count:
         Replica-set size published to shards and used for prefetch
         placement.
+    read_policy:
+        Read policy advertised with every published view (``None`` =
+        none advertised; routing clients then default to
+        ``primary-first``).
     vnodes:
         Virtual nodes per member for placement computations.
     probe_interval:
@@ -82,6 +91,7 @@ class RingCoordinator:
         self,
         members: Iterable[Member],
         replica_count: int = 1,
+        read_policy: str | None = None,
         vnodes: int = DEFAULT_VNODES,
         probe_interval: float = 1.0,
         down_after: int = 2,
@@ -93,25 +103,37 @@ class RingCoordinator:
             raise ValueError("replica_count must be >= 1")
         if down_after < 1:
             raise ValueError("down_after must be >= 1")
+        if read_policy is not None and read_policy not in READ_POLICIES:
+            raise ValueError(
+                f"unknown read policy {read_policy!r}; "
+                f"expected one of {', '.join(READ_POLICIES)}"
+            )
         self.replica_count = replica_count
+        self.read_policy = read_policy
         self.vnodes = vnodes
         self.probe_interval = probe_interval
         self.down_after = down_after
         self.prefetch = prefetch
         self.timeout = timeout
-        self._connect = connect or (
-            lambda member, timeout: ValidationClient.connect(member, timeout=timeout)
-        )
+        self._pool = ConnectionPool(timeout=timeout, connect=connect)
         self._lock = threading.RLock()
         self._members: dict[str, Member] = {
             member_label(member): member for member in members
         }
         if not self._members:
             raise ValueError("a ring coordinator needs at least one member")
+        self._pool.remember(self._members.values())
         self._up: set[str] = set(self._members)
         self._failures: Counter[str] = Counter()
-        self._epoch = 1
-        self._clients: dict[str, ValidationClient] = {}
+        # The published view: the shared placement core, seeded at epoch
+        # 1 over every initial member (all assumed up until probed).
+        self._view = PlacementView(
+            self._members.values(),
+            replica_count=replica_count,
+            vnodes=vnodes,
+            epoch=1,
+            read_policy=read_policy,
+        )
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._prefetched = 0
@@ -123,8 +145,9 @@ class RingCoordinator:
     @property
     def epoch(self) -> int:
         """The current (latest published) ring epoch."""
-        with self._lock:
-            return self._epoch
+        epoch = self._view.epoch
+        assert epoch is not None  # the coordinator always stamps a view
+        return epoch
 
     def live_members(self) -> list[Member]:
         """Addresses of the members currently marked up, label-sorted."""
@@ -133,18 +156,15 @@ class RingCoordinator:
 
     def ring(self) -> ShardRing:
         """The placement ring over the current live members."""
-        return ShardRing(
-            self.live_members(),
-            vnodes=self.vnodes,
-            replica_count=self.replica_count,
-        )
+        return self._view.ring
 
     def status(self) -> dict[str, Any]:
         """A JSON-ready snapshot for operators (the ``ring-status`` CLI)."""
         with self._lock:
             return {
-                "epoch": self._epoch,
+                "epoch": self.epoch,
                 "replica_count": self.replica_count,
+                "read_policy": self.read_policy,
                 "members": sorted(self._members),
                 "up": sorted(self._up),
                 "down": sorted(set(self._members) - self._up),
@@ -153,39 +173,51 @@ class RingCoordinator:
                 "publishes": self._publishes,
             }
 
+    def _adopt_live(self, epoch: int) -> None:
+        """Adopt the current live member set under *epoch* (placement's
+        client discipline: only newer epochs win, memo invalidated)."""
+        live = self.live_members()
+        if live:
+            self._view.adopt(
+                live, epoch=epoch, replica_count=self.replica_count,
+                read_policy=self.read_policy,
+            )
+
     # -- connections ---------------------------------------------------------
 
-    def _client(self, label: str) -> ValidationClient:
-        with self._lock:
-            client = self._clients.get(label)
-            if client is not None:
-                return client
-            member = self._members[label]
-        client = self._connect(member, self.timeout)
-        extra: ValidationClient | None = None
-        with self._lock:
-            cached = self._clients.get(label)
-            if cached is not None:
-                # A concurrent caller (probe thread vs. a membership op)
-                # connected first; keep theirs, close ours.
-                extra, client = client, cached
-            else:
-                self._clients[label] = client
-        if extra is not None:
-            try:
-                extra.close()
-            except OSError:
-                pass
-        return client
+    def _request(self, label: str, fn: Callable[[ValidationClient], Any]) -> Any:
+        """Run *fn* over the pooled connection for *label*.
 
-    def _drop_client(self, label: str) -> None:
+        Raises whatever the round trip raises.  Pool hygiene matches
+        the failure class: a transport failure marks the member down
+        (dropping the dead connection); a garbled reply drops the
+        connection (its framing state is unknown) without a down mark;
+        a structured :class:`ServerError` — e.g. the expected
+        ``wrong-epoch`` during an epoch race — touches nothing, the
+        connection is healthy and stays pooled.
+        """
+        member = self._member(label)
+        client: ValidationClient | None = None
+        try:
+            with self._pool.lock(member):
+                client = self._pool.client(member)
+                try:
+                    return fn(client)
+                except ProtocolError:
+                    # Still under the member lock: no peer can be
+                    # mid-request on this connection while we drop it.
+                    self._pool.discard(member, client)
+                    raise
+        except OSError:
+            self._pool.mark_down(member, client)
+            raise
+
+    def _member(self, label: str) -> Member:
         with self._lock:
-            client = self._clients.pop(label, None)
-        if client is not None:
-            try:
-                client.close()
-            except OSError:
-                pass
+            member = self._members.get(label)
+        if member is None:
+            member = self._pool.address(label)
+        return member if member is not None else label
 
     # -- probing -------------------------------------------------------------
 
@@ -204,9 +236,8 @@ class RingCoordinator:
 
         def probe(label: str) -> dict[str, Any] | None:
             try:
-                return self._client(label).health()
+                return self._request(label, lambda client: client.health())
             except (OSError, ServerError, ProtocolError):
-                self._drop_client(label)
                 return None
 
         if len(labels) == 1:
@@ -258,6 +289,7 @@ class RingCoordinator:
             if label in self._members and label in self._up:
                 return 0
             self._members[label] = member
+        self._pool.remember([member])
         prefetched = self._prefetch_to(label) if self.prefetch else 0
         with self._lock:
             self._up.add(label)
@@ -273,12 +305,15 @@ class RingCoordinator:
                 return
             self._up.discard(label)
             self._failures.pop(label, None)
-        self._drop_client(label)
+        self._pool.mark_down(member)
         self._bump_and_publish()
 
     def _bump_and_publish(self) -> None:
+        # Read-epoch + adopt must be atomic: two racing membership
+        # changes (the probe thread vs. an embedder's add/remove) must
+        # never publish the same epoch with different member sets.
         with self._lock:
-            self._epoch += 1
+            self._adopt_live(self.epoch + 1)
         self.publish()
 
     def publish(self, _leapfrog_retry: bool = True) -> int:
@@ -289,15 +324,19 @@ class RingCoordinator:
         meanwhile still converge via the stale shard's older stamp being
         superseded on their next contact with any updated shard.
         """
+        epoch = self.epoch
         with self._lock:
-            epoch = self._epoch
             labels = sorted(self._up)
         delivered = 0
         leapfrogged = False
         for label in labels:
             try:
-                self._client(label).ring_config(
-                    epoch, labels, self.replica_count
+                self._request(
+                    label,
+                    lambda client: client.ring_config(
+                        epoch, labels, self.replica_count,
+                        read_policy=self.read_policy,
+                    ),
                 )
                 delivered += 1
             except ServerError as error:
@@ -310,11 +349,11 @@ class RingCoordinator:
                 stamped = (error.reply.get("error") or {}).get("epoch")
                 if isinstance(stamped, int):
                     with self._lock:
-                        if stamped >= self._epoch:
-                            self._epoch = stamped + 1
+                        if stamped >= self.epoch:
+                            self._adopt_live(stamped + 1)
                             leapfrogged = True
             except (OSError, ProtocolError):
-                self._drop_client(label)
+                pass  # marked down in the pool by _request
         with self._lock:
             self._publishes += 1
         if leapfrogged and _leapfrog_retry:
@@ -333,9 +372,8 @@ class RingCoordinator:
             labels = sorted(self._up)
         for label in labels:
             try:
-                stats = self._client(label).stats()
+                stats = self._request(label, lambda client: client.stats())
             except (OSError, ServerError, ProtocolError):
-                self._drop_client(label)
                 continue
             for entry in stats.get("hot") or []:
                 if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
@@ -357,7 +395,7 @@ class RingCoordinator:
                 self._members[label]
                 for label in sorted(self._up | {joiner_label})
             ]
-        future_ring = ShardRing(
+        future_view = PlacementView(
             future_members,
             vnodes=self.vnodes,
             replica_count=self.replica_count,
@@ -366,23 +404,28 @@ class RingCoordinator:
             fingerprint
             for fingerprint, _count in counts.most_common()
             if joiner_label
-            in {member_label(m) for m in future_ring.owners(fingerprint)}
+            in {member_label(m) for m in future_view.owners(fingerprint)}
         ]
         shipped = 0
         for fingerprint in owned[: self.prefetch]:
             blob: bytes | None = None
             for source in holders.get(fingerprint, []):
                 try:
-                    blob = self._client(source).get_artifact(fingerprint)
+                    blob = self._request(
+                        source,
+                        lambda client: client.get_artifact(fingerprint),
+                    )
                     break
                 except (OSError, ServerError, ProtocolError):
-                    self._drop_client(source)
+                    continue
             if blob is None:
                 continue
             try:
-                self._client(joiner_label).put_artifact(fingerprint, blob)
+                self._request(
+                    joiner_label,
+                    lambda client: client.put_artifact(fingerprint, blob),
+                )
             except (OSError, ServerError, ProtocolError):
-                self._drop_client(joiner_label)
                 break  # an unreachable joiner cannot be prefetched
             shipped += 1
             with self._lock:
@@ -411,14 +454,7 @@ class RingCoordinator:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
-        with self._lock:
-            clients = list(self._clients.values())
-            self._clients.clear()
-        for client in clients:
-            try:
-                client.close()
-            except OSError:
-                pass
+        self._pool.close()
 
     def __enter__(self) -> "RingCoordinator":
         return self.start()

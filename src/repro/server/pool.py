@@ -1,0 +1,181 @@
+"""Pooled blocking connections to ring members, with liveness state.
+
+:class:`ConnectionPool` is the one place the ring stack keeps sockets:
+one cached :class:`~repro.server.client.ValidationClient` per member,
+one lock per member (a blocking NDJSON connection serves one request at
+a time), and the up/down marks that routing consults.  Both the data
+plane (:class:`~repro.server.ring.ShardedClient` and its
+:class:`~repro.server.scheduler.CorpusScheduler`) and the control plane
+(:class:`~repro.server.coordinator.RingCoordinator`) lease connections
+from it, so reconnect/mark-down behavior is defined exactly once.
+
+The pool also remembers every address it has ever been told about,
+keyed by label.  Ring membership may shrink (scale-in), but a departed
+member can still be reachable and is exactly where hand-off artifacts
+come from — placement and reachability are separate facts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.server.client import ValidationClient
+from repro.server.placement import Member, member_label
+
+__all__ = ["ConnectionPool"]
+
+
+class ConnectionPool:
+    """One cached connection, one lock, and a liveness mark per member.
+
+    Parameters
+    ----------
+    timeout:
+        Per-connection socket timeout, seconds.
+    connect:
+        Connection factory, ``(member, timeout) -> ValidationClient``;
+        injectable for tests.
+
+    Usage discipline: hold :meth:`lock` for the member across the whole
+    request — acquire the client inside it, run the round trip, release.
+    That serializes requests per connection (the NDJSON protocol is one
+    request per reply on a plain socket) while distinct members proceed
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        timeout: float | None = 30.0,
+        connect: Callable[[Member, float | None], ValidationClient] | None = None,
+    ) -> None:
+        self.timeout = timeout
+        self._connect = connect or (
+            lambda member, timeout: ValidationClient.connect(member, timeout=timeout)
+        )
+        self._lock = threading.Lock()
+        self._member_locks: dict[str, threading.Lock] = {}
+        self._clients: dict[str, ValidationClient] = {}
+        self._addresses: dict[str, Member] = {}
+        self._down: set[str] = set()
+
+    # -- addresses -----------------------------------------------------------
+
+    def remember(self, members: Iterable[Member]) -> None:
+        """Record addresses for later lookup by label (idempotent)."""
+        with self._lock:
+            for member in members:
+                self._addresses.setdefault(member_label(member), member)
+
+    def address(self, label: str) -> Member | None:
+        """The member address once known under *label*, if any."""
+        with self._lock:
+            return self._addresses.get(label)
+
+    # -- liveness ------------------------------------------------------------
+
+    @property
+    def down(self) -> set[str]:
+        """Labels currently marked unreachable (a copy)."""
+        with self._lock:
+            return set(self._down)
+
+    def is_down(self, member: Member) -> bool:
+        with self._lock:
+            return member_label(member) in self._down
+
+    def mark_up(self, member: Member) -> None:
+        """Forget that *member* was unreachable (it is retried next call)."""
+        with self._lock:
+            self._down.discard(member_label(member))
+
+    def mark_down(
+        self, member: Member, failed: ValidationClient | None = None
+    ) -> None:
+        """Record a failure of *member*, closing the *failed* connection.
+
+        Only the connection that actually failed is evicted: between a
+        caller's failure and this call another thread may already have
+        reconnected a healthy client under the member lock, and closing
+        that one would abort its in-flight work and mark a live shard
+        down for nothing.
+        """
+        label = member_label(member)
+        with self._lock:
+            cached = self._clients.get(label)
+            if failed is None or cached is failed:
+                self._clients.pop(label, None)
+                self._down.add(label)
+            to_close = failed if failed is not None else cached
+        if to_close is not None:
+            try:
+                to_close.close()
+            except OSError:
+                pass
+
+    # -- connections ---------------------------------------------------------
+
+    def lock(self, member: Member) -> threading.Lock:
+        """The per-member connection lock (created on first use)."""
+        label = member_label(member)
+        with self._lock:
+            lock = self._member_locks.get(label)
+            if lock is None:
+                lock = self._member_locks[label] = threading.Lock()
+            return lock
+
+    def client(self, member: Member) -> ValidationClient:
+        """The live connection for *member*, connecting on first use.
+
+        Caller must hold :meth:`lock` for the member.
+        """
+        label = member_label(member)
+        with self._lock:
+            client = self._clients.get(label)
+        if client is not None:
+            return client
+        client = self._connect(member, self.timeout)
+        with self._lock:
+            self._clients[label] = client
+            self._addresses[label] = member
+            self._down.discard(label)
+        return client
+
+    def discard(self, member: Member, client: ValidationClient) -> None:
+        """Evict and close a connection without marking the member down.
+
+        Used after a ``wrong-epoch`` answer: the shard is alive and
+        healthy (it just answered), but a rejected batch header closes
+        the connection server-side, so the cached client must go.
+        **Caller must hold the member's connection lock** — that is what
+        guarantees no other thread is mid-request on this client, so
+        closing it here cannot abort a healthy peer call (the hazard
+        :meth:`mark_down` documents).
+        """
+        label = member_label(member)
+        with self._lock:
+            if self._clients.get(label) is client:
+                self._clients.pop(label)
+        try:
+            client.close()
+        except OSError:
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every pooled connection (liveness marks are kept)."""
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

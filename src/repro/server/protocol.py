@@ -17,6 +17,7 @@ Request object::
      "epoch": 3,                     # optional ring epoch (see below)
      "members": ["host:port", ...],  # required for "ring-config"
      "replica_count": 2,             # optional for "ring-config"
+     "read_policy": "round-robin",   # optional for "ring-config"
      "id": <any JSON value>}         # optional, echoed back verbatim
 
 Streaming batch op
@@ -46,8 +47,10 @@ Membership ops and epochs
 the server's status, uptime, and — when a ring view has been published
 to it — the current ring ``epoch``, ``members``, and ``replica_count``.
 ``ring-config`` publishes a ring view to a shard: a monotonically
-increasing ``epoch``, the member labels of the ring, and the replica
-count.  A shard holding a view stamps ``"epoch"`` into every success
+increasing ``epoch``, the member labels of the ring, the replica
+count, and optionally a ``read_policy`` the ring advertises to routing
+clients (one of :data:`READ_POLICIES`; clients with no explicit policy
+follow it).  A shard holding a view stamps ``"epoch"`` into every success
 reply; a request carrying an ``epoch`` **older** than the shard's view
 is answered with error code ``wrong-epoch`` whose error object carries
 the shard's current ``epoch``, ``members``, and ``replica_count`` — the
@@ -105,6 +108,7 @@ __all__ = [
     "SCHEMA_OPS",
     "ALGORITHMS",
     "ERROR_CODES",
+    "READ_POLICIES",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "Request",
@@ -157,6 +161,14 @@ SCHEMA_OPS = ("check", "classify", "validate", "check-batch")
 #: Accepted ``algorithm`` values; ``auto`` routes through the dispatcher.
 ALGORITHMS = ("machine", "figure5", "earley", "auto")
 
+#: Read policies a ring may advertise (``ring-config``) and a routing
+#: client may apply: ``primary-first`` serves every read from a
+#: fingerprint's primary replica (the compatibility default),
+#: ``round-robin`` rotates reads across the live replica set, and
+#: ``least-inflight`` picks the live replica with the fewest requests
+#: currently in flight from this client.
+READ_POLICIES = ("primary-first", "round-robin", "least-inflight")
+
 #: Upper bound on one request line (shields the server from unbounded
 #: buffering; generous enough for multi-megabyte documents).
 MAX_LINE_BYTES = 32 * 1024 * 1024
@@ -194,6 +206,7 @@ class Request:
     epoch: int | None = None
     members: list[str] | None = None
     replica_count: int | None = None
+    read_policy: str | None = None
     id: Any = field(default=None)
 
 
@@ -260,6 +273,13 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError(
             "bad-request", "'replica_count' must be a positive integer"
         )
+    read_policy = payload.get("read_policy")
+    if read_policy is not None and read_policy not in READ_POLICIES:
+        raise ProtocolError(
+            "bad-request",
+            "'read_policy' must be one of "
+            f"{', '.join(READ_POLICIES)} (got {read_policy!r})",
+        )
     request = Request(
         op=op,
         dtd=payload.get("dtd"),
@@ -272,6 +292,7 @@ def decode_request(line: str | bytes) -> Request:
         epoch=epoch,
         members=members,
         replica_count=replica_count,
+        read_policy=read_policy,
         id=payload.get("id"),
     )
     if request.op in SCHEMA_OPS and request.dtd is None:

@@ -1,56 +1,69 @@
-"""Schema sharding across validation servers: the consistent-hash ring.
+"""Schema sharding across validation servers: the routing client.
 
-This module is the horizontal-scaling layer over :mod:`repro.server`: a
-fleet of independent :class:`~repro.server.server.ValidationServer`
-processes ("shards"), each with its own registry (and optionally its own
-disk store), fronted by a coordinator that routes every request to the
-shard *owning* the request's schema.
+This module is the data plane of the horizontal-scaling layer over
+:mod:`repro.server`: a fleet of independent
+:class:`~repro.server.server.ValidationServer` processes ("shards"),
+each with its own registry (and optionally its own disk store), fronted
+by a client that routes every request to a shard owning the request's
+schema.  It composes the focused layers of the ring stack:
 
-* :class:`ShardRing` — a consistent-hash ring with virtual nodes mapping
-  schema fingerprints to members.  Placement is stable under membership
-  change: removing one of N members remaps only the keys that member
-  owned (about 1/N of them), never shuffling the rest — the property
-  that keeps every other shard's warm registry warm through a scale
-  event.  With ``replica_count=R`` every fingerprint maps to a *replica
-  set* — the first R distinct members along the ring — so reads survive
-  R-1 shard failures and the preference order stays deterministic under
-  membership change.
-* :class:`ShardedClient` — the blocking coordinator.  It fingerprints
-  each request's DTD locally (memoized), routes ``check`` / ``classify``
-  / ``validate`` / ``check-batch`` to any live replica of the owning
-  set (primary first), and fails over deterministically along the ring's
-  preference order when a shard is unreachable.  When routing would land
-  a schema on a shard that has not seen it while another shard already
-  holds the compiled artifact, the coordinator moves the artifact first —
-  ``get-artifact`` from a holder, ``put-artifact`` to the target, in the
-  artifact store's own file format — and when a shard is observed
-  compiling a schema the artifact is fanned out to the rest of its
-  replica set, so each schema is compiled **at most once ring-wide** and
-  killing any single replica loses neither checks nor compiled work.
-* Live membership: replies from shards holding a published ring view are
-  stamped with the view's **epoch**; a request routed under a stale
-  epoch is answered ``wrong-epoch`` together with the current member
-  list, and the client rebuilds its ring and re-resolves — no restart.
-  :class:`repro.server.coordinator.RingCoordinator` is the piece that
-  probes shard health and publishes those views.
+* :mod:`repro.server.placement` — :class:`ShardRing` (consistent
+  hashing with virtual nodes and replica sets) and
+  :class:`~repro.server.placement.PlacementView` (the epoch-stamped
+  single source of truth for membership and ownership, shared with the
+  server and the coordinator).  Re-exported here for compatibility.
+* :mod:`repro.server.pool` — :class:`~repro.server.pool.ConnectionPool`
+  (pooled blocking connections with liveness marks).
+* :mod:`repro.server.router` — :class:`~repro.server.router.Router`
+  (pluggable read policies: ``primary-first``, ``round-robin``,
+  ``least-inflight``).
+* :mod:`repro.server.scheduler` —
+  :class:`~repro.server.scheduler.CorpusScheduler` (replica-aware
+  corpus spreading with straggler hand-off).
 
-Addresses are either a Unix socket path (``str``) or a ``(host, port)``
-tuple; :func:`parse_member` turns CLI-style ``host:port`` strings into
-the latter.
+:class:`ShardedClient` is the blocking coordinator over those layers.
+It fingerprints each request's DTD locally (memoized), routes ``check``
+/ ``classify`` / ``validate`` / ``check-batch`` to a live replica of
+the owning set picked by the read policy, and fails over
+deterministically along the ring's preference order when a shard is
+unreachable.  When routing would land a schema on a shard that has not
+seen it while another shard already holds the compiled artifact, the
+client moves the artifact first — ``get-artifact`` from a holder,
+``put-artifact`` to the target — and when a shard is observed compiling
+a schema the artifact is fanned out to the rest of its replica set, so
+each schema is compiled **at most once ring-wide** and killing any
+single replica loses neither checks nor compiled work.
+
+Live membership: replies from shards holding a published ring view are
+stamped with the view's **epoch**; a request routed under a stale epoch
+is answered ``wrong-epoch`` together with the current member list, and
+the client adopts the new view — which also invalidates every cached
+placement decision — and re-resolves, no restart.
+:class:`repro.server.coordinator.RingCoordinator` is the piece that
+probes shard health and publishes those views.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
-from bisect import bisect_right
-from collections import Counter, OrderedDict
+from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
 from repro.server.client import ServerError, ValidationClient
-from repro.server.protocol import ProtocolError
+from repro.server.placement import (
+    DEFAULT_VNODES,
+    Member,
+    PlacementView,
+    ShardRing,
+    member_label,
+    parse_member,
+)
+from repro.server.pool import ConnectionPool
+from repro.server.protocol import ProtocolError, READ_POLICIES
+from repro.server.router import Router
+from repro.server.scheduler import DEFAULT_WINDOW, CorpusScheduler
 from repro.service.compiled import schema_fingerprint
 
 __all__ = [
@@ -60,16 +73,8 @@ __all__ = [
     "ShardUnavailableError",
     "member_label",
     "parse_member",
+    "READ_POLICIES",
 ]
-
-#: A shard address: a Unix socket path or a ``(host, port)`` pair.
-Member = Any
-
-#: Virtual nodes per member.  More vnodes smooth the key distribution
-#: (the std-dev of shard load shrinks like 1/sqrt(vnodes)) at the cost
-#: of a longer sorted point array; 64 keeps a 3-shard ring within a few
-#: percent of even.
-DEFAULT_VNODES = 64
 
 #: How many wrong-epoch refreshes one routed call will follow before
 #: giving up — bounds the retry loop when membership churns faster than
@@ -95,163 +100,8 @@ class ShardUnavailableError(ServerError, ConnectionError):
         self.fingerprint = fingerprint
 
 
-def member_label(member: Member) -> str:
-    """The canonical display / hashing label of a member address."""
-    if isinstance(member, tuple):
-        host, port = member
-        return f"{host}:{port}"
-    return str(member)
-
-
-def parse_member(text: str) -> Member:
-    """A CLI address string to a member: ``host:port`` or a socket path.
-
-    Anything containing a path separator (or with no colon at all) is a
-    Unix socket path; otherwise the last colon splits host from port.  A
-    colon-bearing, separator-free string whose port is not a number is a
-    typo, not a path — it raises :class:`ValueError` so the CLI can
-    report bad usage instead of failing to connect to a phantom socket.
-    """
-    if "/" in text or ":" not in text:
-        return text
-    host, _, port_text = text.rpartition(":")
-    try:
-        return (host, int(port_text))
-    except ValueError:
-        raise ValueError(f"bad ring address {text!r}: port {port_text!r} "
-                         "is not a number")
-
-
-def _point(token: str) -> int:
-    """A stable 64-bit position on the ring for *token*."""
-    digest = hashlib.sha256(token.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
-
-
-class ShardRing:
-    """A consistent-hash ring with virtual nodes and replica sets.
-
-    Keys (schema fingerprints, but any string works) map to the first
-    member point at or clockwise after the key's own point.  Each member
-    contributes *vnodes* points, so load spreads evenly and a membership
-    change only remaps keys adjacent to the changed member's points.
-
-    With ``replica_count=R`` each key maps to a **replica set** — the
-    first R *distinct* members walking clockwise from the key
-    (:meth:`owners`); the first is the primary.  Because the walk order
-    is a pure function of the hash space, the set (and the failover
-    order beyond it, :meth:`preference`) is deterministic and stays
-    stable for surviving members under any membership change.  A ring
-    smaller than R simply yields every member.
-    """
-
-    def __init__(
-        self,
-        members: Iterable[Member] = (),
-        vnodes: int = DEFAULT_VNODES,
-        replica_count: int = 1,
-    ) -> None:
-        if vnodes <= 0:
-            raise ValueError("vnodes must be positive")
-        if replica_count < 1:
-            raise ValueError("replica_count must be >= 1")
-        self.vnodes = vnodes
-        self.replica_count = replica_count
-        self._members: dict[str, Member] = {}
-        # Parallel arrays sorted by point: bisect runs on the ints alone.
-        self._points: list[int] = []
-        self._labels: list[str] = []
-        for member in members:
-            self.add(member)
-
-    # -- membership ----------------------------------------------------------
-
-    @property
-    def members(self) -> list[Member]:
-        """Current members, in label order (stable for display)."""
-        return [self._members[label] for label in sorted(self._members)]
-
-    def __len__(self) -> int:
-        return len(self._members)
-
-    def __contains__(self, member: object) -> bool:
-        return member_label(member) in self._members
-
-    def add(self, member: Member) -> None:
-        """Add *member* (idempotent)."""
-        label = member_label(member)
-        if label in self._members:
-            return
-        self._members[label] = member
-        pairs = list(zip(self._points, self._labels))
-        pairs.extend(
-            (_point(f"{label}#{vnode}"), label)
-            for vnode in range(self.vnodes)
-        )
-        pairs.sort()
-        self._points = [point for point, _ in pairs]
-        self._labels = [entry for _, entry in pairs]
-
-    def remove(self, member: Member) -> None:
-        """Remove *member* (a no-op when absent)."""
-        label = member_label(member)
-        if self._members.pop(label, None) is None:
-            return
-        kept = [
-            (point, entry)
-            for point, entry in zip(self._points, self._labels)
-            if entry != label
-        ]
-        self._points = [point for point, _ in kept]
-        self._labels = [entry for _, entry in kept]
-
-    # -- placement -----------------------------------------------------------
-
-    def owner(self, key: str) -> Member:
-        """The primary owner of *key* (raises when the ring is empty)."""
-        return self.preference(key)[0]
-
-    def owners(self, key: str) -> list[Member]:
-        """The replica set of *key*: its first ``replica_count`` distinct
-        members in preference order (all members when the ring is
-        smaller than the replica count).  ``owners(key)[0]`` is the
-        primary; ``put-artifact`` fan-out targets the whole list."""
-        return self.preference(key)[: self.replica_count]
-
-    def preference(self, key: str) -> list[Member]:
-        """Every member, in deterministic failover order for *key*.
-
-        The first entry is the owner; the rest are the distinct members
-        encountered walking the ring clockwise from the key's point —
-        the order a coordinator tries when shards are unreachable, and
-        the order that keeps failover placement as stable as primary
-        placement under membership change.
-        """
-        if not self._points:
-            raise ValueError("ring has no members")
-        start = bisect_right(self._points, _point(key))
-        seen: list[Member] = []
-        seen_labels: set[str] = set()
-        count = len(self._points)
-        for offset in range(count):
-            label = self._labels[(start + offset) % count]
-            if label not in seen_labels:
-                seen_labels.add(label)
-                seen.append(self._members[label])
-                if len(seen_labels) == len(self._members):
-                    break
-        return seen
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        labels = ", ".join(sorted(self._members))
-        return (
-            f"ShardRing([{labels}], vnodes={self.vnodes}, "
-            f"replica_count={self.replica_count})"
-        )
-
-
 class ShardedClient:
-    """A blocking coordinator routing requests over a :class:`ShardRing`.
+    """A blocking routing client over a replicated validation ring.
 
     Parameters
     ----------
@@ -262,6 +112,11 @@ class ShardedClient:
         any of its R owners, and compiled artifacts are fanned out to
         all R, so any R-1 of them can die without losing a check or a
         compile.
+    read_policy:
+        How reads pick among a fingerprint's live replicas — one of
+        :data:`~repro.server.protocol.READ_POLICIES`.  ``None`` (the
+        default) follows the policy the ring advertises in its
+        published view, falling back to ``primary-first``.
     vnodes:
         Virtual nodes per member for the ring.
     timeout:
@@ -270,54 +125,97 @@ class ShardedClient:
         Connection factory, ``(member, timeout) -> ValidationClient``;
         injectable for tests.
 
-    The coordinator is thread-safe: shared routing state sits behind one
-    lock and each member's connection behind its own, so
-    :meth:`check_corpus` can drive every shard from its own thread while
-    artifact hand-offs stay serialized per connection.
+    The client is thread-safe: placement sits in a
+    :class:`~repro.server.placement.PlacementView`, connections in a
+    :class:`~repro.server.pool.ConnectionPool` (one lock per member),
+    and load accounting in a :class:`~repro.server.router.Router`, so
+    :meth:`check_corpus` can drive every shard from its own thread
+    while artifact hand-offs stay serialized per connection.
 
-    Live membership: once a reply stamps a ring ``epoch``, requests carry
-    it; a ``wrong-epoch`` answer (a shard holds a newer view) delivers
-    the new member list in its error object, and the client rebuilds its
-    ring and re-resolves the call — placement refreshes without any
-    restart.  A success reply stamped with a *newer* epoch triggers a
-    one-round-trip ``health`` fetch of the membership behind it.
+    Live membership: once a reply stamps a ring ``epoch``, requests
+    carry it; a ``wrong-epoch`` answer (a shard holds a newer view)
+    delivers the new member list in its error object, and the client
+    adopts it and re-resolves the call — placement refreshes without
+    any restart.  A success reply stamped with a *newer* epoch triggers
+    a one-round-trip ``health`` fetch of the membership behind it.
+    **Every** adoption path invalidates the fingerprint→owners memo, so
+    a stale placement decision can never route to a removed member.
     """
 
     def __init__(
         self,
         members: Iterable[Member],
         replica_count: int = 1,
+        read_policy: str | None = None,
         vnodes: int = DEFAULT_VNODES,
         timeout: float | None = 30.0,
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
     ) -> None:
-        self.ring = ShardRing(members, vnodes=vnodes, replica_count=replica_count)
-        if not len(self.ring):
+        self.placement = PlacementView(
+            members, replica_count=replica_count, vnodes=vnodes
+        )
+        if not len(self.placement):
             raise ValueError("a sharded client needs at least one member")
         self.timeout = timeout
-        self._connect = connect or (
-            lambda member, timeout: ValidationClient.connect(member, timeout=timeout)
-        )
+        self.pool = ConnectionPool(timeout=timeout, connect=connect)
+        self.pool.remember(self.placement.members)
+        self.router = Router(self.placement, self.pool, policy=read_policy)
         self._lock = threading.Lock()
-        self._member_locks: dict[str, threading.Lock] = {}
-        self._clients: dict[str, ValidationClient] = {}
-        # Every address this coordinator has ever known, keyed by label.
-        # Ring membership may shrink (scale-in), but a departed member can
-        # still be reachable and is exactly where hand-off artifacts come
-        # from — placement and reachability are separate facts.
-        self._addresses: dict[str, Member] = {
-            member_label(member): member for member in self.ring.members
-        }
-        self._down: set[str] = set()
         self._holders: dict[str, set[str]] = {}
         self._fingerprints: OrderedDict[tuple[str, str | None], str] = OrderedDict()
-        self._requests_by_member: Counter[str] = Counter()
-        self._epoch: int | None = None
-        self._epoch_refreshes = 0
         self._handoffs = 0
         self._handoff_bytes = 0
         self._failovers = 0
         self._compiles_observed = 0
+
+    # -- placement compatibility surface -------------------------------------
+
+    @property
+    def ring(self) -> ShardRing:
+        """The current placement ring (mutable; embedders and tests
+        drive scale events by mutating it directly — the placement
+        view's memo tracks the mutation)."""
+        return self.placement.ring
+
+    @property
+    def epoch(self) -> int | None:
+        """The ring epoch this client routes under (``None`` until one is
+        learned from a reply stamp, a refresh, or :meth:`refresh`)."""
+        return self.placement.epoch
+
+    @property
+    def read_policy(self) -> str:
+        """The effective read policy (explicit, else ring-advertised)."""
+        return self.router.policy
+
+    def refresh(
+        self,
+        members: Iterable[Member],
+        epoch: int | None = None,
+        replica_count: int | None = None,
+    ) -> None:
+        """Adopt a new ring view: rebuild placement over *members*.
+
+        Called internally on ``wrong-epoch`` answers; public so embedders
+        driving their own membership source can push views too.  An
+        *epoch* older than the one already held is ignored (two racing
+        membership changes converge on the newest).
+        """
+        if self.placement.adopt(
+            members, epoch=epoch, replica_count=replica_count
+        ):
+            self.pool.remember(self.placement.members)
+
+    def _adopt_view(self, fields: dict[str, Any]) -> bool:
+        """Refresh from a ``wrong-epoch`` error object (or health reply)."""
+        if self.placement.adopt_fields(fields):
+            self.pool.remember(self.placement.members)
+            return True
+        return False
+
+    def mark_up(self, member: Member) -> None:
+        """Forget that *member* was unreachable (it is retried next call)."""
+        self.pool.mark_up(member)
 
     # -- schema identity -----------------------------------------------------
 
@@ -344,155 +242,17 @@ class ShardedClient:
                 self._fingerprints.popitem(last=False)
         return fingerprint
 
-    # -- connections ---------------------------------------------------------
-
-    def _member_lock(self, label: str) -> threading.Lock:
-        with self._lock:
-            lock = self._member_locks.get(label)
-            if lock is None:
-                lock = self._member_locks[label] = threading.Lock()
-            return lock
-
-    def _client(self, member: Member) -> ValidationClient:
-        """The live connection for *member*, connecting on first use.
-
-        Caller must hold the member's connection lock.
-        """
-        label = member_label(member)
-        with self._lock:
-            client = self._clients.get(label)
-        if client is not None:
-            return client
-        client = self._connect(member, self.timeout)
-        with self._lock:
-            self._clients[label] = client
-            self._addresses[label] = member
-            self._down.discard(label)
-        return client
-
-    def _mark_down(
-        self, member: Member, failed: ValidationClient | None = None
-    ) -> None:
-        """Record a failure of *member*, closing the *failed* connection.
-
-        Only the connection that actually failed is evicted: between a
-        caller's failure and this call another thread may already have
-        reconnected a healthy client under the member lock, and closing
-        that one would abort its in-flight work and mark a live shard
-        down for nothing.
-        """
-        label = member_label(member)
-        with self._lock:
-            cached = self._clients.get(label)
-            if failed is None or cached is failed:
-                self._clients.pop(label, None)
-                self._down.add(label)
-            to_close = failed if failed is not None else cached
-        if to_close is not None:
-            try:
-                to_close.close()
-            except OSError:
-                pass
-
-    def _drop_client_locked(self, label: str, client: ValidationClient) -> None:
-        """Evict and close a connection without marking the member down.
-
-        Used after a ``wrong-epoch`` answer: the shard is alive and
-        healthy (it just answered), but a rejected batch header closes
-        the connection server-side, so the cached client must go.
-        **Caller must hold the member's connection lock** — that is what
-        guarantees no other thread is mid-request on this client, so
-        closing it here cannot abort a healthy peer call (the hazard
-        :meth:`_mark_down` documents).
-        """
-        with self._lock:
-            if self._clients.get(label) is client:
-                self._clients.pop(label)
-        try:
-            client.close()
-        except OSError:
-            pass
-
-    def mark_up(self, member: Member) -> None:
-        """Forget that *member* was unreachable (it is retried next call)."""
-        with self._lock:
-            self._down.discard(member_label(member))
-
-    # -- ring view / epochs --------------------------------------------------
-
-    @property
-    def epoch(self) -> int | None:
-        """The ring epoch this client routes under (``None`` until one is
-        learned from a reply stamp, a refresh, or :meth:`refresh`)."""
-        with self._lock:
-            return self._epoch
-
-    def refresh(
-        self,
-        members: Iterable[Member],
-        epoch: int | None = None,
-        replica_count: int | None = None,
-    ) -> None:
-        """Adopt a new ring view: rebuild placement over *members*.
-
-        Called internally on ``wrong-epoch`` answers; public so embedders
-        driving their own membership source can push views too.  An
-        *epoch* older than the one already held is ignored (two racing
-        membership changes converge on the newest).
-        """
-        old = self.ring
-        with self._lock:
-            if (
-                epoch is not None
-                and self._epoch is not None
-                and epoch < self._epoch
-            ):
-                return
-            new_ring = ShardRing(
-                members,
-                vnodes=old.vnodes,
-                replica_count=(
-                    replica_count
-                    if replica_count is not None
-                    else old.replica_count
-                ),
-            )
-            if not len(new_ring):
-                return  # an empty view routes nothing: keep the old one
-            self.ring = new_ring
-            if epoch is not None:
-                self._epoch = epoch
-                self._epoch_refreshes += 1
-            for member in new_ring.members:
-                self._addresses.setdefault(member_label(member), member)
-
-    def _adopt_view(self, fields: dict[str, Any]) -> bool:
-        """Refresh from a ``wrong-epoch`` error object (or health reply)."""
-        epoch = fields.get("epoch")
-        members = fields.get("members")
-        if not isinstance(epoch, int) or not isinstance(members, list):
-            return False
-        try:
-            parsed = [parse_member(str(m)) for m in members if m]
-        except ValueError:
-            return False
-        if not parsed:
-            return False
-        replica_count = fields.get("replica_count")
-        self.refresh(
-            parsed,
-            epoch=epoch,
-            replica_count=(
-                replica_count if isinstance(replica_count, int) else None
-            ),
-        )
-        return True
+    # -- epoch chasing -------------------------------------------------------
 
     def _maybe_refresh(self, member: Member, result: Any) -> None:
-        """Chase a newer epoch stamped on a success reply.
+        """Chase the view behind an epoch stamped on a success reply.
 
-        The stamp carries only the epoch int; the membership behind it is
-        one ``health`` round trip away on the shard that answered.
+        The stamp carries only the epoch int; the full view behind it —
+        membership, replica count, the advertised read policy — is one
+        ``health`` round trip away on the shard that answered.  Runs on
+        the first stamp a client ever sees and on every stamp newer
+        than the held epoch.  Adoption (like every other path) rebuilds
+        placement and drops the owners memo.
         """
         reply = result[1] if isinstance(result, tuple) else result
         if not isinstance(reply, dict):
@@ -500,35 +260,23 @@ class ShardedClient:
         stamped = reply.get("epoch")
         if not isinstance(stamped, int):
             return
-        with self._lock:
-            current = self._epoch
-            if current is None:
-                # First stamp seen: adopt the epoch (membership already
-                # matches — this shard answered the routed request).
-                self._epoch = stamped
-                return
-        if stamped <= current:
+        current = self.placement.epoch
+        if current is not None and stamped <= current:
             return
-        label = member_label(member)
         try:
-            with self._member_lock(label):
-                view = self._client(member).health()
+            with self.pool.lock(member):
+                view = self.pool.client(member).health()
         except (OSError, ServerError, ProtocolError):
-            return  # best-effort: the next wrong-epoch answer will teach us
-        self._adopt_view(view)
+            view = None  # best-effort; fall back to the stamp alone
+        if view is not None and self._adopt_view(view):
+            return
+        if current is None:
+            # The health fetch failed (or carried no view): adopt at
+            # least the epoch — membership already matches, this shard
+            # just answered the routed request.
+            self.placement.adopt(self.placement.members, epoch=stamped)
 
     # -- routing core --------------------------------------------------------
-
-    def _candidates(self, fingerprint: str) -> list[Member]:
-        """Failover order for *fingerprint*: live replicas first, then the
-        live remainder of the preference list (availability beats
-        compile-thrift when a whole replica set is dark), then — with
-        everything down — the full list, because an error beats silently
-        giving up and a shard may have come back."""
-        preference = self.ring.preference(fingerprint)
-        with self._lock:
-            up = [m for m in preference if member_label(m) not in self._down]
-        return up or preference
 
     def _call(
         self,
@@ -536,15 +284,16 @@ class ShardedClient:
         fn: Callable[[ValidationClient, int | None], Any],
         handoff: bool = True,
     ) -> Any:
-        """Run *fn* against a live replica of the owning set, failing over
-        down the preference list; hand the artifact over first when
-        possible.  *fn* receives the connection **and the epoch** to
-        stamp on the request; a ``wrong-epoch`` answer refreshes the ring
-        from the error object and re-resolves (bounded), so membership
-        changes never require a client restart."""
+        """Run *fn* against a live replica picked by the read policy,
+        failing over down the preference list; hand the artifact over
+        first when possible.  *fn* receives the connection **and the
+        epoch** to stamp on the request; a ``wrong-epoch`` answer
+        refreshes the ring from the error object and re-resolves
+        (bounded), so membership changes never require a client
+        restart."""
         last_error: Exception | None = None
         for _refresh in range(_MAX_EPOCH_REFRESHES):
-            candidates = self._candidates(fingerprint)
+            candidates = self.router.candidates(fingerprint)
             owner = candidates[0]
             stale = False
             for member in candidates:
@@ -553,13 +302,15 @@ class ShardedClient:
                     self._ensure_artifact(member, fingerprint)
                 client: ValidationClient | None = None
                 wrong_epoch: ServerError | None = None
-                with self._lock:
-                    epoch = self._epoch
+                epoch = self.placement.epoch
+                self.router.begin(member)
+                served = False
                 try:
-                    with self._member_lock(label):
-                        client = self._client(member)
+                    with self.pool.lock(member):
+                        client = self.pool.client(member)
                         try:
                             result = fn(client, epoch)
+                            served = True
                         except ServerError as error:
                             if error.code != "wrong-epoch":
                                 raise
@@ -569,23 +320,24 @@ class ShardedClient:
                             # lock (a batch header rejection closes it
                             # server-side, and no peer thread can be
                             # mid-request on it under the lock).
-                            self._drop_client_locked(label, client)
+                            self.pool.discard(member, client)
                             wrong_epoch = error
                 except OSError as error:  # covers ConnectionError and timeouts
-                    self._mark_down(member, client)
+                    self.pool.mark_down(member, client)
                     last_error = error
                     continue
+                finally:
+                    self.router.finish(member, served=served)
                 if wrong_epoch is not None:
                     self._adopt_view(wrong_epoch.reply.get("error") or {})
                     last_error = wrong_epoch
                     stale = True
                     break  # re-resolve placement under the new view
-                with self._lock:
-                    self._requests_by_member[label] += 1
-                    if member is not owner:
+                if member is not owner:
+                    with self._lock:
                         self._failovers += 1
                 compiled = self._note_schema(label, result)
-                if compiled and self.ring.replica_count > 1:
+                if compiled and self.placement.replica_count > 1:
                     # The one honest compile just happened: fan the
                     # artifact out to the rest of the replica set now, so
                     # killing this shard later loses nothing.
@@ -625,7 +377,7 @@ class ShardedClient:
         Best-effort, like all artifact movement: an unreachable replica
         simply compiles for itself if traffic ever reaches it cold.
         """
-        for member in self.ring.owners(fingerprint):
+        for member in self.placement.owners(fingerprint):
             self._ensure_artifact(member, fingerprint)
 
     def _ensure_artifact(self, member: Member, fingerprint: str) -> None:
@@ -636,11 +388,12 @@ class ShardedClient:
         slower, never wrong.
         """
         label = member_label(member)
+        down = self.pool.down
         with self._lock:
             holders = self._holders.get(fingerprint, set())
             if label in holders:
                 return
-            sources = [h for h in holders if h not in self._down and h != label]
+            sources = [h for h in holders if h not in down and h != label]
         if not sources:
             return
         blob: bytes | None = None
@@ -650,12 +403,12 @@ class ShardedClient:
                 continue
             source_client: ValidationClient | None = None
             try:
-                with self._member_lock(source):
-                    source_client = self._client(source_member)
+                with self.pool.lock(source_member):
+                    source_client = self.pool.client(source_member)
                     blob = source_client.get_artifact(fingerprint)
                 break
             except OSError:
-                self._mark_down(source_member, source_client)
+                self.pool.mark_down(source_member, source_client)
             except ProtocolError:
                 return  # garbled transfer: let the target compile
             except Exception:
@@ -665,8 +418,8 @@ class ShardedClient:
         if blob is None:
             return
         try:
-            with self._member_lock(label):
-                self._client(member).put_artifact(fingerprint, blob)
+            with self.pool.lock(member):
+                self.pool.client(member).put_artifact(fingerprint, blob)
         except Exception:  # noqa: BLE001 - best-effort transfer
             return  # the routed call will fail over / compile as needed
         with self._lock:
@@ -675,11 +428,10 @@ class ShardedClient:
             self._handoff_bytes += len(blob)
 
     def _member_by_label(self, label: str) -> Member | None:
-        with self._lock:
-            known = self._addresses.get(label)
+        known = self.pool.address(label)
         if known is not None:
             return known
-        for member in self.ring.members:
+        for member in self.placement.members:
             if member_label(member) == label:
                 return member
         return None
@@ -694,8 +446,8 @@ class ShardedClient:
         root: str | None = None,
         id: Any = None,
     ) -> dict[str, Any]:
-        """Potential-validity check, served by any live replica of the
-        schema's owning set (primary preferred)."""
+        """Potential-validity check, served by a live replica of the
+        schema's owning set picked by the read policy."""
         fingerprint = self.fingerprint(dtd, root)
         return self._call(
             fingerprint,
@@ -744,100 +496,127 @@ class ShardedClient:
             ),
         )
 
+    def batch_on_member(
+        self,
+        member: Member,
+        dtd: str,
+        docs: list[str],
+        algorithm: str | None = None,
+        root: str | None = None,
+        fingerprint: str | None = None,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Stream one ``check-batch`` window to a **specific** member.
+
+        The direct-placement primitive the
+        :class:`~repro.server.scheduler.CorpusScheduler` spreads windows
+        with: artifact hand-off, epoch stamping, in-flight accounting,
+        and ``wrong-epoch`` adoption all apply, but there is no
+        failover — a transport failure marks the member down and raises,
+        so the scheduler can re-queue the window onto survivors.
+        """
+        if fingerprint is None:
+            fingerprint = self.fingerprint(dtd, root)
+        label = member_label(member)
+        wrong_epoch: ServerError | None = None
+        for _refresh in range(_MAX_EPOCH_REFRESHES):
+            self._ensure_artifact(member, fingerprint)
+            epoch = self.placement.epoch
+            client: ValidationClient | None = None
+            wrong_epoch = None
+            self.router.begin(member)
+            served = False
+            try:
+                with self.pool.lock(member):
+                    client = self.pool.client(member)
+                    try:
+                        result = client.check_batch(
+                            dtd, docs, algorithm=algorithm, root=root,
+                            epoch=epoch,
+                        )
+                        served = True
+                    except ServerError as error:
+                        if error.code != "wrong-epoch":
+                            raise
+                        self.pool.discard(member, client)
+                        wrong_epoch = error
+            except OSError:
+                self.pool.mark_down(member, client)
+                raise
+            finally:
+                self.router.finish(member, served=served)
+            if wrong_epoch is None:
+                self._note_schema(label, result)
+                self._maybe_refresh(member, result)
+                return result
+            # The member is alive and just taught us the newer view;
+            # adopt it (clearing cached placement) and retry right here —
+            # servers gate on epoch, not ownership.
+            self._adopt_view(wrong_epoch.reply.get("error") or {})
+        raise ConnectionError(
+            f"shard {label} kept answering wrong-epoch: {wrong_epoch}"
+        )
+
     def check_corpus(
         self,
         batches: list[tuple],
         algorithm: str | None = None,
         root: str | None = None,
+        read_policy: str | None = None,
+        window: int = DEFAULT_WINDOW,
     ) -> list[tuple[list[dict[str, Any]] | None, dict[str, Any]]]:
-        """Check many schema batches, shards driven in parallel.
+        """Check many schema batches across the ring.
 
         Each batch is ``(dtd, docs)`` or ``(dtd, docs, root)`` — a
-        per-batch root overrides the *root* default.  Batches are grouped
-        by owning shard and each shard's groups run sequentially over its
-        one connection while distinct shards run concurrently (one thread
-        per shard) — the scale-out shape the E12 benchmark measures.
+        per-batch root overrides the *root* default.  Scheduling is the
+        :class:`~repro.server.scheduler.CorpusScheduler`'s: under
+        ``primary-first`` each schema streams to its primary owner
+        (batches grouped per shard, shards driven in parallel — the
+        classic placement, byte for byte); under ``round-robin`` /
+        ``least-inflight`` each schema's documents are split into
+        *window*-sized chunks spread over all R live owners with
+        straggler hand-off.  *read_policy* overrides the client's
+        effective policy for this corpus only.
 
         Results come back in *batches* order.  A batch that failed —
         every candidate shard unreachable, a server rejection — does
-        **not** abort the rest of the corpus (a dead shard mid-corpus
-        used to raise away every other shard's finished work): its entry
-        is ``(None, trailer)`` where the trailer is the structured error
+        **not** abort the rest of the corpus: its entry is
+        ``(None, trailer)`` where the trailer is the structured error
         shape ``{"ok": False, "error": {"code": ..., "message": ...}}``,
         so callers distinguish per-batch failures positionally, exactly
         like per-item errors inside a batch.
         """
-        normalized: list[tuple[str, list[str], str | None]] = [
-            (entry[0], entry[1], entry[2] if len(entry) > 2 else root)
-            for entry in batches
-        ]
-        by_member: dict[str, list[int]] = {}
-        for index, (dtd, _docs, batch_root) in enumerate(normalized):
-            label = member_label(
-                self.ring.owner(self.fingerprint(dtd, batch_root))
-            )
-            by_member.setdefault(label, []).append(index)
-        results: list[Any] = [None] * len(batches)
-
-        def failure_entry(error: Exception) -> tuple[None, dict[str, Any]]:
-            code = getattr(error, "code", None)
-            if code is None:
-                code = (
-                    "unreachable"
-                    if isinstance(error, (ConnectionError, OSError))
-                    else "internal"
-                )
-            return (
-                None,
-                {"ok": False, "error": {"code": code, "message": str(error)}},
-            )
-
-        def run(indexes: list[int]) -> None:
-            for index in indexes:
-                dtd, docs, batch_root = normalized[index]
-                try:
-                    results[index] = self.check_batch(
-                        dtd, docs, algorithm=algorithm, root=batch_root
-                    )
-                except Exception as error:  # noqa: BLE001 - surfaced in place
-                    results[index] = failure_entry(error)
-
-        threads = [
-            threading.Thread(target=run, args=(indexes,), daemon=True)
-            for indexes in by_member.values()
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        return results
+        scheduler = CorpusScheduler(self, policy=read_policy, window=window)
+        return scheduler.run(batches, algorithm=algorithm, root=root)
 
     def stats(self) -> dict[str, Any]:
-        """Per-shard server stats plus the coordinator's own counters."""
+        """Per-shard server stats plus the client's own counters."""
         shards: dict[str, Any] = {}
-        for member in self.ring.members:
+        for member in self.placement.members:
             label = member_label(member)
             stats_client: ValidationClient | None = None
             try:
-                with self._member_lock(label):
-                    stats_client = self._client(member)
+                with self.pool.lock(member):
+                    stats_client = self.pool.client(member)
                     shards[label] = stats_client.stats()
             except OSError:
-                self._mark_down(member, stats_client)
+                self.pool.mark_down(member, stats_client)
                 shards[label] = None
         return {"shards": shards, "ring": self.ring_stats}
 
     @property
     def ring_stats(self) -> dict[str, Any]:
-        """The coordinator's routing counters (JSON-ready)."""
+        """The client's routing counters (JSON-ready)."""
+        router_stats = self.router.stats()
         with self._lock:
             return {
-                "members": [member_label(m) for m in self.ring.members],
-                "down": sorted(self._down),
-                "epoch": self._epoch,
-                "epoch_refreshes": self._epoch_refreshes,
-                "replica_count": self.ring.replica_count,
-                "requests_by_member": dict(self._requests_by_member),
+                "members": [member_label(m) for m in self.placement.members],
+                "down": sorted(self.pool.down),
+                "epoch": self.placement.epoch,
+                "epoch_refreshes": self.placement.refreshes,
+                "replica_count": self.placement.replica_count,
+                "read_policy": router_stats["policy"],
+                "requests_by_member": router_stats["requests_by_member"],
+                "inflight": router_stats["inflight"],
                 "handoffs": self._handoffs,
                 "handoff_bytes": self._handoff_bytes,
                 "failovers": self._failovers,
@@ -848,14 +627,7 @@ class ShardedClient:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        with self._lock:
-            clients = list(self._clients.values())
-            self._clients.clear()
-        for client in clients:
-            try:
-                client.close()
-            except OSError:
-                pass
+        self.pool.close()
 
     def __enter__(self) -> "ShardedClient":
         return self

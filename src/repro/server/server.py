@@ -53,6 +53,7 @@ from repro.core.pv import PVChecker
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
 from repro.server import protocol
+from repro.server.placement import PlacementView
 from repro.server.protocol import ProtocolError, Request
 from repro.service.compiled import CompiledSchema
 from repro.service.dispatch import DEFAULT_POLICY, BackendDispatcher, DispatchPolicy
@@ -321,14 +322,18 @@ class ValidationServer:
         self._errors = 0
         self._batches = 0
         self._batch_items = 0
+        # Verdict work currently executing off-loop — the load signal a
+        # "least-inflight" routing client balances on, surfaced in stats.
+        self._inflight = 0
         self._started_at: float | None = None
         # Per-fingerprint request counts: the "hot" list a joining shard's
         # prefetch is computed from.
         self._hot_counts: Counter[str] = Counter()
-        # The published ring view: (epoch, member labels, replica_count).
-        # None until a coordinator (or the CLI's local-ring mode) pushes
-        # one; only epoch-newer views replace it.
-        self._ring_view: tuple[int, list[str], int] | None = None
+        # The published ring view — the shared placement core with the
+        # server-side (strict) reconciliation discipline.  Epoch is None
+        # until a coordinator (or the CLI's local-ring mode) pushes a
+        # view; only superseding views replace it.
+        self._placement = PlacementView()
 
     # -- endpoints -----------------------------------------------------------
 
@@ -409,44 +414,41 @@ class ValidationServer:
     # -- ring membership -----------------------------------------------------
 
     @property
+    def placement(self) -> PlacementView:
+        """The shared placement view (epoch, members, replica count)."""
+        return self._placement
+
+    @property
     def ring_view(self) -> tuple[int, list[str], int] | None:
         """The published ``(epoch, member labels, replica_count)``, if any."""
-        return self._ring_view
+        return self._placement.as_tuple()
 
     def set_ring_view(
-        self, epoch: int, members: list[str], replica_count: int = 1
+        self,
+        epoch: int,
+        members: list[str],
+        replica_count: int = 1,
+        read_policy: str | None = None,
     ) -> None:
         """Adopt a ring view (epoch-guarded; older epochs are rejected).
 
         The wire path is the ``ring-config`` op; embedders (the CLI's
-        local-ring mode, tests) call this directly.  Raises
+        local-ring mode, tests) call this directly.  Delegates the
+        reconciliation discipline to
+        :meth:`~repro.server.placement.PlacementView.publish`: raises
         :class:`~repro.server.protocol.ProtocolError` with code
-        ``wrong-epoch`` when *epoch* is older than the view already
-        held, **or** equal to it with different contents — two
-        publishers that raced to the same epoch with different
-        membership must not silently diverge; the rejected one adopts a
-        higher epoch and republishes, so the ring converges on one
-        view.  Re-pushing the identical view is idempotent.
+        ``wrong-epoch`` when *epoch* does not supersede the view already
+        held (older, or equal with different contents); re-pushing the
+        identical view is idempotent.
         """
-        current = self._ring_view
-        proposed = (epoch, list(members), replica_count)
-        if current is not None and (
-            epoch < current[0] or (epoch == current[0] and proposed != current)
-        ):
-            raise ProtocolError(
-                "wrong-epoch",
-                f"ring-config epoch {epoch} does not supersede the current view",
-                details=self._view_details(),
-            )
-        self._ring_view = proposed
+        self._placement.publish(
+            epoch, members, replica_count=replica_count,
+            read_policy=read_policy,
+        )
 
     def _view_details(self) -> dict[str, Any] | None:
         """The current view as ``wrong-epoch`` error-object fields."""
-        view = self._ring_view
-        if view is None:
-            return None
-        return {"epoch": view[0], "members": list(view[1]),
-                "replica_count": view[2]}
+        return self._placement.details()
 
     def _check_epoch(self, request: Request) -> None:
         """Reject a request routed under an epoch older than this view.
@@ -455,14 +457,7 @@ class ValidationServer:
         published) is always served — epochs tighten routing, they do not
         gate plain clients out.
         """
-        view = self._ring_view
-        if view is None or request.epoch is None or request.epoch >= view[0]:
-            return
-        raise ProtocolError(
-            "wrong-epoch",
-            f"request epoch {request.epoch} is older than ring epoch {view[0]}",
-            details=self._view_details(),
-        )
+        self._placement.check_request_epoch(request.epoch)
 
     def _count_hot(self, fingerprint: str, requests: int = 1) -> None:
         self._hot_counts[fingerprint] += requests
@@ -588,9 +583,9 @@ class ValidationServer:
                 "internal", f"{type(error).__name__}: {error}", id=request_id
             )
         response["elapsed_ms"] = round((perf_counter() - started) * 1000.0, 3)
-        view = self._ring_view
-        if view is not None:
-            response.setdefault("epoch", view[0])
+        epoch = self._placement.epoch
+        if epoch is not None:
+            response.setdefault("epoch", epoch)
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -663,12 +658,22 @@ class ValidationServer:
     async def _run_check(
         self, schema: CompiledSchema, doc_text: str, algorithm: str
     ) -> dict[str, Any]:
-        """One verdict's raw fields, off-loop (thread or process pool)."""
-        if self._pool is not None:
-            return await self._pool_round_trip(schema, doc_text, algorithm)
-        return await asyncio.to_thread(
-            self._inline_check, schema, doc_text, algorithm
-        )
+        """One verdict's raw fields, off-loop (thread or process pool).
+
+        Brackets the off-loop work with the ``inflight`` gauge (the
+        increments run on the event loop, so no lock is needed): the
+        stats-visible load signal a ``least-inflight`` routing client
+        balances on.
+        """
+        self._inflight += 1
+        try:
+            if self._pool is not None:
+                return await self._pool_round_trip(schema, doc_text, algorithm)
+            return await asyncio.to_thread(
+                self._inline_check, schema, doc_text, algorithm
+            )
+        finally:
+            self._inflight -= 1
 
     async def _op_check(
         self, request: Request, schema: CompiledSchema, disposition: str
@@ -887,9 +892,9 @@ class ValidationServer:
             "schema": self._schema_fields(schema, disposition),
             "elapsed_ms": round((perf_counter() - started) * 1000.0, 3),
         }
-        view = self._ring_view
-        if view is not None:
-            trailer["epoch"] = view[0]
+        epoch = self._placement.epoch
+        if epoch is not None:
+            trailer["epoch"] = epoch
         if request.id is not None:
             trailer["id"] = request.id
         writer.write(protocol.encode(trailer))
@@ -1056,7 +1061,11 @@ class ValidationServer:
                 "issues": [str(issue) for issue in report.issues],
             }
 
-        fields = await asyncio.to_thread(run)
+        self._inflight += 1
+        try:
+            fields = await asyncio.to_thread(run)
+        finally:
+            self._inflight -= 1
         error = fields.pop("error", None)
         if error is not None:
             raise ProtocolError(*error)
@@ -1084,17 +1093,22 @@ class ValidationServer:
             "status": "ok",
             "uptime_seconds": round(uptime, 3),
             "requests": self._requests,
+            "inflight": self._inflight,
             "connections": len(self._conn_tasks),
             "epoch": view.get("epoch"),
             "members": view.get("members"),
             "replica_count": view.get("replica_count"),
+            "read_policy": view.get("read_policy"),
         }
 
     def _op_ring_config(self, request: Request) -> dict[str, Any]:
         """Adopt a published ring view (the coordinator's push path)."""
         assert request.epoch is not None and request.members is not None
         self.set_ring_view(
-            request.epoch, request.members, request.replica_count or 1
+            request.epoch,
+            request.members,
+            request.replica_count or 1,
+            read_policy=request.read_policy,
         )
         return {"ok": True, "op": "ring-config", "epoch": request.epoch}
 
@@ -1103,7 +1117,6 @@ class ValidationServer:
         uptime = (
             monotonic() - self._started_at if self._started_at is not None else 0.0
         )
-        view = self._ring_view
         return {
             "ok": True,
             "op": "stats",
@@ -1113,10 +1126,11 @@ class ValidationServer:
                 "errors": self._errors,
                 "batches": self._batches,
                 "batch_items": self._batch_items,
+                "inflight": self._inflight,
                 "connections": len(self._conn_tasks),
                 "workers": self.workers,
                 "default_algorithm": self.default_algorithm,
-                "ring_epoch": view[0] if view is not None else None,
+                "ring_epoch": self._placement.epoch,
             },
             "registry": self.registry.stats.as_dict(),
             "store": self.store.stats.as_dict() if self.store is not None else None,

@@ -186,6 +186,57 @@ class TestRingCli:
         assert status == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_batch_ring_read_policy_round_trip(
+        self, schema, doc_s_file, doc_w_file, tmp_path, capsys
+    ):
+        from repro.server.server import ServerThread
+
+        handles = [
+            ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"),
+                         port=0).start()
+            for i in range(2)
+        ]
+        try:
+            ring_arg = ",".join(handle.unix_path for handle in handles)
+            status = main(
+                ["batch", schema, doc_s_file, doc_w_file,
+                 "--ring", ring_arg, "--replicas", "2",
+                 "--read-policy", "round-robin", "--stats"]
+            )
+            # Compile-once held under the balanced policy.
+            compiles = sum(
+                handle.server.registry.stats.misses for handle in handles
+            )
+        finally:
+            for handle in handles:
+                handle.stop()
+        captured = capsys.readouterr()
+        assert status == 1  # one document is not potentially valid
+        assert "policy: round-robin" in captured.err
+        assert compiles == 1
+
+    def test_batch_read_policy_requires_ring(self, schema, doc_s_file,
+                                             capsys):
+        status = main(
+            ["batch", schema, doc_s_file, "--read-policy", "round-robin"]
+        )
+        assert status == 2
+        assert "--read-policy requires --ring" in capsys.readouterr().err
+
+    def test_batch_unknown_read_policy_is_usage_error(self, schema,
+                                                      doc_s_file):
+        status = main(
+            ["batch", schema, doc_s_file, "--ring", "a.sock",
+             "--read-policy", "sticky"]
+        )
+        assert status == 2
+
+    def test_cli_read_policies_match_the_protocol(self):
+        from repro.cli import _READ_POLICIES
+        from repro.server.protocol import READ_POLICIES
+
+        assert _READ_POLICIES == READ_POLICIES
+
     def test_batch_ring_bad_dtd_is_usage_error(self, tmp_path, doc_s_file,
                                                capsys):
         # The ring client fingerprints the schema locally; a parse error
@@ -331,6 +382,9 @@ class TestRingStatusCli:
         assert status == 0
         assert out.count("up, epoch=4") == 2
         assert "registry:" in out
+        # The load/heat observability the least-inflight policy needs.
+        assert out.count("inflight: 0") == 2
+        assert "hot schemas:" in out
 
     def test_down_shard_exits_one(self, tmp_path, capsys):
         from repro.server.server import ServerThread
@@ -387,6 +441,13 @@ class TestServeReplicasCli:
         assert main(
             ["batch", schema, doc_s_file, "--ring", "a.sock",
              "--replicas", "0"]
+        ) == 2
+
+    def test_serve_read_policy_requires_a_ring(self, capsys):
+        assert main(["serve", "--read-policy", "round-robin"]) == 2
+        assert "--read-policy requires" in capsys.readouterr().err
+        assert main(
+            ["serve", "--ring", "1", "--read-policy", "least-inflight"]
         ) == 2
 
     def test_serve_ring_publishes_the_view(self, tmp_path):

@@ -719,6 +719,108 @@ class TestClientEpochs:
             assert ring.check(FIGURE1, DOC_OK)["potentially_valid"]
             assert ring.epoch == 2
 
+    def test_health_chased_adoption_invalidates_the_owners_memo(
+        self, shard_handles
+    ):
+        # The bugfix: the fingerprint→owners memo must be dropped on
+        # *every* epoch adoption, not only on wrong-epoch replies.  Warm
+        # the memo, bump the epoch behind the client's back with the
+        # schema's owner removed from the view, let a success-reply stamp
+        # chase the refresh — the next request must not route to the
+        # removed member.
+        paths = [handle.unix_path for handle in shard_handles]
+        for handle in shard_handles:
+            handle.server.set_ring_view(1, paths, 1)
+        with ShardedClient(paths) as ring:
+            ring.check(FIGURE1, DOC_OK)  # memo warm, epoch 1 adopted
+            fingerprint = ring.fingerprint(FIGURE1)
+            removed = member_label(ring.placement.owners(fingerprint)[0])
+            survivors = [p for p in paths if p != removed]
+            # Every shard (including the removed one, which stays up and
+            # would happily serve a stale-routed request) learns epoch 2.
+            for handle in shard_handles:
+                handle.server.set_ring_view(2, survivors, 1)
+            served_before = ring.ring_stats["requests_by_member"].get(
+                removed, 0
+            )
+            # A schema owned by a survivor: its success reply is stamped
+            # epoch 2 and the client chases the view via health.
+            for index in range(8):
+                ring.check(schema_text(index), doc_text(index))
+                if ring.epoch == 2:
+                    break
+            assert ring.epoch == 2
+            assert ring.ring_stats["members"] == sorted(survivors)
+            # The memo entry for FIGURE1 died with the adoption: the
+            # request re-resolves under the new view, away from the
+            # removed member.
+            reply = ring.check(FIGURE1, DOC_OK)
+            assert reply["potentially_valid"] is True
+            assert member_label(
+                ring.placement.owners(fingerprint)[0]
+            ) != removed
+            assert (
+                ring.ring_stats["requests_by_member"].get(removed, 0)
+                == served_before
+            )
+
+    def test_client_adopts_the_advertised_read_policy(self, shard_handles):
+        paths = [handle.unix_path for handle in shard_handles]
+        for handle in shard_handles:
+            handle.server.set_ring_view(
+                1, paths, 2, read_policy="round-robin"
+            )
+        with ShardedClient(paths, replica_count=2) as ring:
+            assert ring.read_policy == "primary-first"  # nothing learned yet
+            ring.check(FIGURE1, DOC_OK)
+            # The first stamped reply triggered a health fetch of the
+            # full view, advertised policy included.
+            assert ring.read_policy == "round-robin"
+            assert ring.placement.read_policy == "round-robin"
+
+
+class TestReadPolicies:
+    def test_round_robin_reads_alternate_across_the_replica_set(
+        self, shard_handles
+    ):
+        paths = [handle.unix_path for handle in shard_handles]
+        with ShardedClient(
+            paths, replica_count=2, read_policy="round-robin"
+        ) as ring:
+            for _ in range(6):
+                assert ring.check(FIGURE1, DOC_OK)["ok"]
+            fingerprint = ring.fingerprint(FIGURE1)
+            owners = {member_label(m) for m in ring.ring.owners(fingerprint)}
+            served = ring.ring_stats["requests_by_member"]
+        # Both replicas took reads; each at least 2 of the 6.
+        assert set(served) == owners
+        assert all(count >= 2 for count in served.values())
+        # The spread cost nothing: one compile, artifacts fanned out.
+        assert sum(
+            handle.server.registry.stats.misses for handle in shard_handles
+        ) == 1
+
+    def test_least_inflight_serves_from_an_idle_replica(self, shard_paths):
+        with ShardedClient(
+            shard_paths, replica_count=2, read_policy="least-inflight"
+        ) as ring:
+            fingerprint = ring.fingerprint(FIGURE1)
+            primary, replica = ring.ring.owners(fingerprint)
+            ring.check(FIGURE1, DOC_OK)  # compiles on the primary, fans out
+            # Simulate a straggling primary: a request pinned in flight.
+            ring.router.begin(primary)
+            try:
+                reply = ring.check(FIGURE1, DOC_OK)
+                assert reply["potentially_valid"] is True
+                served = ring.ring_stats["requests_by_member"]
+                assert served.get(member_label(replica), 0) >= 1
+            finally:
+                ring.router.finish(primary)
+
+    def test_invalid_read_policy_is_rejected(self, shard_paths):
+        with pytest.raises(ValueError):
+            ShardedClient(shard_paths, read_policy="sticky")
+
 
 # -- corpus-level failure surfacing ------------------------------------------
 

@@ -641,6 +641,39 @@ class TestRingConfigOp:
         # The held view is untouched by the rejected pushes.
         assert client.health()["members"] == ["a.sock", "b.sock"]
 
+    def test_ring_config_advertises_a_read_policy(self, client):
+        client.ring_config(
+            3, ["a.sock", "b.sock"], replica_count=2,
+            read_policy="round-robin",
+        )
+        health = client.health()
+        assert health["read_policy"] == "round-robin"
+        # The wrong-epoch refresh carries it too, so a routing client
+        # adopting the view learns the policy from the error alone.
+        with pytest.raises(ServerError) as excinfo:
+            client.check(FIGURE1, DOC_OK, epoch=1)
+        assert excinfo.value.reply["error"]["read_policy"] == "round-robin"
+
+    def test_read_policy_absent_until_advertised(self, client):
+        client.ring_config(3, ["a.sock"])
+        assert client.health()["read_policy"] is None
+
+    def test_same_epoch_with_a_different_read_policy_is_rejected(self, client):
+        client.ring_config(5, ["a.sock"], read_policy="round-robin")
+        with pytest.raises(ServerError) as excinfo:
+            client.ring_config(5, ["a.sock"], read_policy="least-inflight")
+        assert excinfo.value.code == "wrong-epoch"
+        assert client.health()["read_policy"] == "round-robin"
+
+    def test_unknown_read_policy_is_bad_request(self, client):
+        reply = client.send_raw(
+            protocol.encode(
+                {"op": "ring-config", "epoch": 1, "members": ["a.sock"],
+                 "read_policy": "sticky"}
+            )
+        )
+        assert reply["error"]["code"] == "bad-request"
+
     def test_ring_config_requires_epoch_and_members(self, client):
         reply = client.send_raw(
             protocol.encode({"op": "ring-config", "epoch": 1})
@@ -672,6 +705,51 @@ class TestRingConfigOp:
             client.check("<!ELEMENT broken", DOC_OK, epoch=1)
         except ServerError as error:
             assert error.code == "wrong-epoch"
+
+
+class TestInflightGauge:
+    def test_idle_server_reports_zero_inflight(self, client):
+        client.check(FIGURE1, DOC_OK)
+        stats = client.stats()
+        assert stats["server"]["inflight"] == 0
+        assert client.health()["inflight"] == 0
+
+    def test_inflight_counts_a_parked_verdict(self, server_handle):
+        # Hold one check in flight on a second connection and observe it
+        # through stats on the first — the signal a least-inflight
+        # router balances on.
+        import threading
+        import time
+
+        release = threading.Event()
+        server = server_handle.server
+        original = server._inline_check
+
+        def slow_check(schema, doc_text, algorithm):
+            release.wait(timeout=10)
+            return original(schema, doc_text, algorithm)
+
+        server._inline_check = slow_check
+        try:
+            with ValidationClient.connect(server_handle.tcp_address) as busy:
+                busy.send({"op": "check", "dtd": FIGURE1, "doc": DOC_OK})
+                with ValidationClient.connect(
+                    server_handle.tcp_address
+                ) as observer:
+                    deadline = time.monotonic() + 5.0
+                    seen = 0
+                    while time.monotonic() < deadline:
+                        seen = observer.stats()["server"]["inflight"]
+                        if seen >= 1:
+                            break
+                        time.sleep(0.01)
+                    assert seen >= 1
+                    release.set()
+                    assert busy.recv()["potentially_valid"] is True
+                    assert observer.stats()["server"]["inflight"] == 0
+        finally:
+            server._inline_check = original
+            release.set()
 
 
 class TestHotFingerprints:
