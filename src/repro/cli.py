@@ -79,7 +79,7 @@ USAGE_ERROR = 2
 #: Runtime failures (bind errors, unwritable stores) exit with this status.
 RUNTIME_ERROR = 1
 
-_ALGORITHMS = ("machine", "figure5", "earley")
+_ALGORITHMS = ("machine", "kernel", "figure5", "earley")
 
 # Mirrors repro.server.protocol.READ_POLICIES without importing the
 # server stack at CLI-parse time (a test keeps the two in lockstep).

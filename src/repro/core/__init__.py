@@ -6,7 +6,11 @@
   depth countdown),
 * :mod:`repro.core.machine` — ``PVMachine``, an exact recognizer for the
   same problem that tracks the full hypothesis set as a graph-structured
-  stack; the library's production checker,
+  stack; the semantics reference for the kernel,
+* :mod:`repro.core.tables` / :mod:`repro.core.kernel` — the machine's
+  automata compiled to dense integer tables with bitmask state sets, and
+  ``KernelMachine``/``KernelChecker`` running the same GSS semantics over
+  them (with an optional native build); the library's production checker,
 * :mod:`repro.core.pv` — Problem PV / Problem ECPV drivers over documents,
 * :mod:`repro.core.incremental` — update-time checks (Theorem 2,
   Proposition 3, the O(1) character-data rules, markup insertion as two
@@ -21,6 +25,8 @@
 from repro.core.pv import PVChecker, PVVerdict
 from repro.core.recognizer import ECRecognizer
 from repro.core.machine import PVMachine
+from repro.core.kernel import KernelChecker, KernelMachine
+from repro.core.tables import CompiledTables, compile_tables
 from repro.core.classify import classify_dtd, ClassificationReport
 from repro.core.witness import minimal_instance
 from repro.core.completion import complete_document, CompletionError
@@ -30,6 +36,10 @@ __all__ = [
     "PVVerdict",
     "ECRecognizer",
     "PVMachine",
+    "KernelChecker",
+    "KernelMachine",
+    "CompiledTables",
+    "compile_tables",
     "classify_dtd",
     "ClassificationReport",
     "minimal_instance",

@@ -1,0 +1,104 @@
+"""The table-driven verdict kernel: dispatch seam and checker surface.
+
+The kernel is the fourth (and fastest) backend of the exactness ladder:
+the merged-GSS semantics of :class:`~repro.core.machine.PVMachine`
+recompiled over the dense integer tables of :mod:`repro.core.tables`.
+It is exact and unbounded for every DTD class — the differential suite
+pins ``kernel ≡ machine ≡ earley`` on the full random-DTD corpus.
+
+Native build seam
+-----------------
+The hot loop lives in :mod:`repro.core._kernel_impl`, written to compile
+cleanly with Cython.  ``tools/build_native_kernel.py`` (run by the CI
+kernel job; never required locally) compiles a copy of that module as
+``repro.core._kernel_native`` and drops the extension into this package.
+This module imports the native build when present and silently falls
+back to the pure-python implementation otherwise, so the kernel backend
+works — at full exactness, just without the extra constant factor — on
+a bare checkout with no compiler and no third-party packages.  Set
+``REPRO_KERNEL_PURE=1`` to force the fallback even when the extension
+is installed (the CI job uses this to prove both paths agree).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.config import CheckerConfig, DEFAULT_CONFIG
+from repro.core.pv import PVChecker
+from repro.dtd.model import DTD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> core)
+    from repro.service.compiled import CompiledSchema
+
+__all__ = [
+    "KernelMachine",
+    "KernelChecker",
+    "kernel_machine_for_dtd",
+    "NATIVE",
+    "IMPLEMENTATION",
+]
+
+if os.environ.get("REPRO_KERNEL_PURE"):
+    from repro.core import _kernel_impl as _impl
+
+    NATIVE = False
+else:
+    try:
+        from repro.core import _kernel_native as _impl  # type: ignore[attr-defined]
+
+        NATIVE = True
+    except ImportError:
+        from repro.core import _kernel_impl as _impl
+
+        NATIVE = False
+
+#: "native" when the compiled extension is live, else "pure".
+IMPLEMENTATION: str = "native" if NATIVE else "pure"
+
+KernelMachine = _impl.KernelMachine
+
+
+def kernel_machine_for_dtd(dtd: DTD, element: str | None = None) -> "KernelMachine":
+    """A :class:`KernelMachine` straight from a DTD (tests/examples).
+
+    Production paths should go through a
+    :class:`~repro.service.compiled.CompiledSchema` instead, whose
+    ``tables`` property carries the compiled tables inside the pickled
+    artifact.
+    """
+    from repro.core.dag import build_dag
+    from repro.core.tables import compile_tables
+
+    tables = compile_tables(build_dag(dtd))
+    return KernelMachine(tables, element if element is not None else dtd.root)
+
+
+class KernelChecker(PVChecker):
+    """A :class:`PVChecker` pinned to the kernel backend.
+
+    Identical result surface (``check_content`` / ``check_document`` /
+    ``PVVerdict``); exists so callers holding a compiled artifact can ask
+    for the fast exact backend without threading algorithm strings.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        config: CheckerConfig = DEFAULT_CONFIG,
+        *,
+        compiled: "CompiledSchema | None" = None,
+    ) -> None:
+        super().__init__(dtd, config=config, algorithm="kernel", compiled=compiled)
+
+    @classmethod
+    def from_compiled(
+        cls,
+        compiled: "CompiledSchema",
+        config: CheckerConfig = DEFAULT_CONFIG,
+        algorithm: str = "kernel",
+    ) -> "KernelChecker":
+        if algorithm != "kernel":
+            raise ValueError("KernelChecker only runs the kernel backend")
+        return cls(compiled.dtd, config=config, compiled=compiled)

@@ -8,9 +8,11 @@ node's children are wrapped independently.  The differential test suite
 verifies this decomposition against the whole-document Earley baseline on
 ``G'_{T,r}``.
 
-:class:`PVChecker` is the public entry point; it supports three backends:
+:class:`PVChecker` is the public entry point; it supports four backends:
 
 * ``"machine"`` — the exact :class:`~repro.core.machine.PVMachine` (default),
+* ``"kernel"`` — the same merged-GSS semantics over the dense integer
+  tables of :mod:`repro.core.tables` (exact, unbounded, fastest),
 * ``"figure5"`` — the paper's greedy :class:`~repro.core.recognizer.ECRecognizer`,
 * ``"earley"`` — the per-node content-grammar Earley reference (exact but
   slow; the paper's Section 3.3 baseline).
@@ -43,7 +45,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> core)
 
 __all__ = ["Algorithm", "NodeFailure", "PVVerdict", "PVChecker"]
 
-Algorithm = Literal["machine", "figure5", "earley"]
+Algorithm = Literal["machine", "kernel", "figure5", "earley"]
+
+# Resolved on first kernel-backend use: repro.core.kernel subclasses
+# PVChecker, so a top-level import would be circular.
+_kernel_machine_cls = None
+
+
+def _kernel_machine():
+    global _kernel_machine_cls
+    if _kernel_machine_cls is None:
+        from repro.core.kernel import KernelMachine
+
+        _kernel_machine_cls = KernelMachine
+    return _kernel_machine_cls
 
 
 @dataclass(frozen=True)
@@ -141,6 +156,9 @@ class PVChecker:
         """
         if self.algorithm == "machine":
             return PVMachine(self.dag, element, self.machine_depth).recognize(symbols)
+        if self.algorithm == "kernel":
+            machine = _kernel_machine()(self.compiled.tables, element)
+            return machine.recognize(symbols)
         if self.algorithm == "figure5":
             recognizer = ECRecognizer(self.dag, element, self.depth)
             return recognizer.accepts(symbols)
@@ -176,7 +194,8 @@ class PVChecker:
         verdict_ok = not failures
         # A "no" can only be an artifact of the depth bound when a bound is
         # actually in force: the default machine is exact and unbounded;
-        # the figure5 backend always carries one; Earley never does.
+        # the figure5 backend always carries one; the kernel and Earley
+        # never do.
         bounded = (
             self.algorithm == "figure5"
             or (self.algorithm == "machine" and self.machine_depth is not None)

@@ -1,0 +1,238 @@
+"""Dense integer transition tables for the verdict kernel.
+
+The exact :class:`~repro.core.machine.PVMachine` walks dict-of-frozenset
+Glushkov follow relations, interning labels as strings and consulting the
+analysis' ``can_embed`` table per position per token.  This module compiles
+all of that — once per :class:`~repro.service.compiled.CompiledSchema` —
+into the densest structures CPython indexes fast:
+
+* **interned tag ids** — every element name (plus the ``#PCDATA``/sigma
+  sentinel) becomes a small integer, so the hot loop never compares
+  strings;
+* **flat ``array('l')`` maps** — per position: the interned label id and
+  the element id a descend would hypothesize (``-1`` for ``#PCDATA``);
+* **state sets as int bitmasks** — first/follow/silent-closure/can-finish
+  sets become Python ints, so a token round is bitwise ``&`` plus a
+  lowest-set-bit loop instead of set iteration.  Python ints are
+  arbitrary-width, so automata with more than 63 positions work
+  unchanged (covered by the bitmask-width tests).
+
+The silent closures the machine computes lazily per checker instance are
+precomputed here for *every* ``(element, position)`` pair, moving that
+repeated cost into the one-time schema compile the registry amortizes.
+
+Everything in this module is plain data (ints, arrays, dicts, tuples):
+the tables pickle cheaply, ride inside the artifact-store format
+(version 2) and the ring's ``put-artifact`` wire blobs, and are shared
+read-only across threads and worker processes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+
+from repro.core.dag import ENTRY, DtdDag, PositionTables
+from repro.dtd.model import PCDATA
+
+__all__ = ["ElementTables", "CompiledTables", "compile_tables"]
+
+
+@dataclass(frozen=True)
+class ElementTables:
+    """One element's content automaton in dense form.
+
+    Positions are the exact (original content model) Glushkov positions;
+    bit ``i`` of every mask refers to position ``i``.  ``closures[0]`` is
+    the ENTRY closure (nothing consumed yet); ``closures[i + 1]`` belongs
+    to position ``i`` — the ``+ 1`` slot shift keeps the virtual ENTRY
+    position (index ``-1``) addressable without a dict.
+
+    Attributes
+    ----------
+    element_id:
+        The interned id of this element (its index in
+        :attr:`CompiledTables.elements`).
+    size:
+        Number of automaton positions (0 for ``EMPTY`` content).
+    closures:
+        Per ``(position + 1)``: the silent-completion closure as a
+        bitmask — every position eligible to match the next token.
+    match_masks:
+        Per interned symbol id: the positions whose label *is* that
+        symbol.  Missing ids match nowhere.
+    embed_masks:
+        Per interned symbol id: the positions whose (element) label can
+        embed that symbol somewhere strictly inside an inserted subtree —
+        the descend candidates.  Missing ids descend nowhere.
+    pos_label / pos_elem:
+        Flat per-position maps: the interned label id, and the element id
+        a descend at the position would hypothesize (``-1`` for
+        ``#PCDATA`` positions, which are never descended into).
+    fin_mask:
+        Positions from which the rest of the content model is silently
+        completable (the machine's ``can_finish`` as one int).
+    entry_fin:
+        ``can_finish`` for the virtual ENTRY position.
+    """
+
+    element_id: int
+    size: int
+    closures: tuple[int, ...]
+    match_masks: dict[int, int]
+    embed_masks: dict[int, int]
+    pos_label: array
+    pos_elem: array
+    fin_mask: int
+    entry_fin: bool
+
+
+@dataclass(frozen=True)
+class CompiledTables:
+    """All per-element tables plus the interned symbol space.
+
+    Attributes
+    ----------
+    symbols:
+        Interned symbol names: element names in declaration order, then
+        the ``#PCDATA`` sentinel last.  ``symbols[i]`` has id ``i``.
+    sid:
+        The reverse map, name → id.  Tokens not in it (undeclared
+        elements in a document) have no transitions anywhere.
+    elements:
+        Per element id: that element's :class:`ElementTables`.
+    sigma_id:
+        The id of the ``#PCDATA``/sigma sentinel.
+    root_id:
+        The id of the DTD's designated root element.
+    emissions:
+        Runtime-only memo shared by every :class:`KernelMachine` over
+        these tables: packed ``(element, position, symbol)`` key → the
+        key's emission lists (match indices, descend ``(index, child)``
+        pairs), which are document-independent.  Bounded by positions ×
+        symbols; never pickled (artifacts stay deterministic), starts
+        empty in every unpickling process.
+    """
+
+    symbols: tuple[str, ...]
+    sid: dict[str, int] = field(repr=False)
+    elements: tuple[ElementTables, ...] = field(repr=False)
+    sigma_id: int
+    root_id: int
+    emissions: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["emissions"] = {}
+        return state
+
+    def __setstate__(self, state):
+        state.setdefault("emissions", {})
+        self.__dict__.update(state)
+
+    def element(self, name: str) -> ElementTables:
+        """The tables of element *name* (KeyError for undeclared names)."""
+        return self.elements[self.sid[name]]
+
+    @property
+    def total_positions(self) -> int:
+        """Total automaton positions across all elements (≈ the paper's k)."""
+        return sum(tables.size for tables in self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledTables({len(self.elements)} element(s), "
+            f"{self.total_positions} position(s))"
+        )
+
+
+def _silent_closure(tables: PositionTables, position: int) -> frozenset[int]:
+    """The machine's ``_silent_closure`` computed eagerly for one position."""
+    if tables.automaton is None:
+        return frozenset()
+    start = set(tables.children(position))
+    eligible = set(start)
+    stack = [index for index in start if tables.insertable[index]]
+    seen = set(stack)
+    while stack:
+        index = stack.pop()
+        for successor in tables.children(index):
+            eligible.add(successor)
+            if tables.insertable[successor] and successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return frozenset(eligible)
+
+
+def _mask(indices) -> int:
+    result = 0
+    for index in indices:
+        result |= 1 << index
+    return result
+
+
+def compile_tables(dag: DtdDag) -> CompiledTables:
+    """Compile ``DAG_T``'s exact automata into dense kernel tables."""
+    dtd = dag.dtd
+    analysis = dag.analysis
+    names = tuple(dtd.element_names())
+    symbols = names + (PCDATA,)
+    sid = {name: index for index, name in enumerate(symbols)}
+    sigma_id = sid[PCDATA]
+
+    elements: list[ElementTables] = []
+    for name in names:
+        element_id = sid[name]
+        tables = dag.dag(name).exact_tables
+        automaton = tables.automaton
+        size = automaton.size if automaton is not None else 0
+
+        closures = [_mask(_silent_closure(tables, ENTRY))]
+        for index in range(size):
+            closures.append(_mask(_silent_closure(tables, index)))
+
+        pos_label = array("l")
+        pos_elem = array("l")
+        match_masks: dict[int, int] = {}
+        embed_masks: dict[int, int] = {}
+        for index in range(size):
+            position = automaton.position(index)
+            label = position.label
+            assert label is not None  # exact automata have no group positions
+            label_id = sid[label]
+            pos_label.append(label_id)
+            pos_elem.append(-1 if label == PCDATA else label_id)
+            match_masks[label_id] = match_masks.get(label_id, 0) | (1 << index)
+            if label != PCDATA:
+                for target in analysis.embed_reach.get(label, frozenset()):
+                    target_id = sid.get(target)
+                    if target_id is None:
+                        continue
+                    embed_masks[target_id] = (
+                        embed_masks.get(target_id, 0) | (1 << index)
+                    )
+
+        fin_mask = _mask(
+            index for index in range(size) if tables.can_finish[index]
+        )
+        elements.append(
+            ElementTables(
+                element_id=element_id,
+                size=size,
+                closures=tuple(closures),
+                match_masks=match_masks,
+                embed_masks=embed_masks,
+                pos_label=pos_label,
+                pos_elem=pos_elem,
+                fin_mask=fin_mask,
+                entry_fin=tables.entry_can_finish,
+            )
+        )
+
+    return CompiledTables(
+        symbols=symbols,
+        sid=sid,
+        elements=tuple(elements),
+        sigma_id=sigma_id,
+        root_id=sid[dtd.root],
+    )

@@ -9,7 +9,8 @@ Request object::
            | "health" | "ring-config",
      "dtd": "<!ELEMENT ...>",        # required for schema-carrying ops
      "doc": "<r>...</r>",            # required for "check"/"validate"
-     "algorithm": "machine" | "figure5" | "earley" | "auto",  # optional
+     "algorithm": "machine" | "kernel" | "figure5" | "earley"
+                | "auto",                # optional
      "root": "r",                    # optional DTD root override
      "fingerprint": "9f...",         # required for the artifact ops
      "artifact": "<base64>",         # required for "put-artifact"
@@ -159,7 +160,7 @@ ERROR_CODES = (
 SCHEMA_OPS = ("check", "classify", "validate", "check-batch")
 
 #: Accepted ``algorithm`` values; ``auto`` routes through the dispatcher.
-ALGORITHMS = ("machine", "figure5", "earley", "auto")
+ALGORITHMS = ("machine", "kernel", "figure5", "earley", "auto")
 
 #: Read policies a ring may advertise (``ring-config``) and a routing
 #: client may apply: ``primary-first`` serves every read from a

@@ -193,7 +193,8 @@ class BatchChecker:
         A :class:`CompiledSchema`, or a bare :class:`DTD` which is resolved
         through *registry* (the process default unless overridden).
     algorithm:
-        Backend for every document (``machine``/``figure5``/``earley``).
+        Backend for every document
+        (``machine``/``kernel``/``figure5``/``earley``).
     workers:
         Pool size.  ``1`` (the default) checks inline in this process;
         ``N > 1`` forks a pool whose workers each receive the compiled

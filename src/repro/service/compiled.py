@@ -3,10 +3,11 @@
 A :class:`CompiledSchema` bundles everything any checking backend derives
 from a DTD — the reachability/classification analysis (Definition 5-8),
 the Section 4.2 DAG model consumed by the exact :class:`PVMachine` and the
-Figure-5 recognizer, and (lazily, because only the Earley backend needs
-it) the per-element content grammar of Section 3.3.  Once built, verdicts
-never touch DTD text again; that is the paper's amortization argument
-made into an object.
+Figure-5 recognizer, the dense integer tables consumed by the kernel
+backend, and (lazily, because only the Earley backend needs it) the
+per-element content grammar of Section 3.3.  Once built, verdicts never
+touch DTD text again; that is the paper's amortization argument made
+into an object.
 
 Identity is a **content hash** (:func:`schema_fingerprint`): the SHA-256
 of the canonical serialization plus the designated root.  Two DTD sources
@@ -27,6 +28,7 @@ import hashlib
 from time import perf_counter
 
 from repro.core.dag import DtdDag, build_dag
+from repro.core.tables import CompiledTables, compile_tables
 from repro.dtd.analysis import DTDAnalysis, DTDClass, analyze
 from repro.dtd.model import DTD
 from repro.dtd.serialize import dtd_to_text
@@ -66,6 +68,12 @@ class CompiledSchema:
         Reachability table, productivity, recursion class (Defs 5-8).
     dag:
         ``DAG_T`` with both the flattened and the exact position tables.
+    tables:
+        The kernel backend's dense integer tables
+        (:class:`~repro.core.tables.CompiledTables`).  Built eagerly by
+        :func:`compile_schema` and carried inside the pickle (artifact
+        format version 2); artifacts unpickled from the version-1 layout
+        rebuild them lazily on first kernel use.
     compile_seconds:
         Wall time the compilation took (feeds registry statistics and the
         E10 benchmark's amortization table).
@@ -77,6 +85,7 @@ class CompiledSchema:
         "analysis",
         "dag",
         "compile_seconds",
+        "_tables",
         "_content_cfg",
         "_earley",
     )
@@ -88,12 +97,14 @@ class CompiledSchema:
         analysis: DTDAnalysis,
         dag: DtdDag,
         compile_seconds: float = 0.0,
+        tables: CompiledTables | None = None,
     ) -> None:
         self.dtd = dtd
         self.fingerprint = fingerprint
         self.analysis = analysis
         self.dag = dag
         self.compile_seconds = compile_seconds
+        self._tables = tables
         self._content_cfg = None
         self._earley: EarleyRecognizer | None = None
 
@@ -114,6 +125,19 @@ class CompiledSchema:
         if self._earley is None:
             self._earley = EarleyRecognizer(self.content_cfg())
         return self._earley
+
+    @property
+    def tables(self) -> CompiledTables:
+        """The kernel backend's dense tables (rebuilt if the pickle lacked
+        them — i.e. the artifact predates format version 2)."""
+        if self._tables is None:
+            self._tables = compile_tables(self.dag)
+        return self._tables
+
+    @property
+    def has_tables(self) -> bool:
+        """Whether the tables are already present (no rebuild needed)."""
+        return self._tables is not None
 
     def checker(self, algorithm: str = "machine", config=None):
         """A :class:`~repro.core.pv.PVChecker` backed by this artifact."""
@@ -136,6 +160,7 @@ class CompiledSchema:
             "analysis": self.analysis,
             "dag": self.dag,
             "compile_seconds": self.compile_seconds,
+            "tables": self._tables,
         }
 
     def __setstate__(self, state) -> None:
@@ -144,6 +169,9 @@ class CompiledSchema:
         self.analysis = state["analysis"]
         self.dag = state["dag"]
         self.compile_seconds = state["compile_seconds"]
+        # Version-1 artifacts predate the kernel tables; absent means
+        # "rebuild lazily", so old pickles keep loading.
+        self._tables = state.get("tables")
         self._content_cfg = None
         self._earley = None
 
@@ -164,6 +192,7 @@ def compile_schema(dtd: DTD, fingerprint: str | None = None) -> CompiledSchema:
     """
     started = perf_counter()
     dag = DtdDag(dtd)
+    tables = compile_tables(dag)
     elapsed = perf_counter() - started
     return CompiledSchema(
         dtd=dtd,
@@ -171,6 +200,7 @@ def compile_schema(dtd: DTD, fingerprint: str | None = None) -> CompiledSchema:
         analysis=dag.analysis,
         dag=dag,
         compile_seconds=elapsed,
+        tables=tables,
     )
 
 

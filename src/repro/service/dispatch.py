@@ -1,11 +1,15 @@
 """Per-document backend selection with an auditable decision log.
 
-The three checking backends trade constant factors for generality:
+The checking backends trade constant factors for generality (the full
+contract lives in ``docs/BACKENDS.md``, kept in lockstep with
+:data:`BACKENDS` by a test):
 
+* ``kernel`` — the machine's merged-GSS semantics over dense integer
+  tables; exact for every DTD class with the smallest exact constant,
 * ``figure5`` — the paper's greedy recognizer; the cheapest per node, but
   its verdict for PV-strong recursive DTDs is only "within depth D",
-* ``machine`` — the exact GSS machine; linear with a larger constant,
-  exact for every DTD class,
+* ``machine`` — the exact GSS machine over object graphs; the semantics
+  reference the kernel is differentially pinned against,
 * ``earley`` — the Section 3.3 content-grammar reference; slow, used as a
   cross-check.
 
@@ -34,6 +38,8 @@ from repro.xmlmodel.delta import SIGMA, content_symbols
 from repro.xmlmodel.tree import XmlDocument, XmlElement
 
 __all__ = [
+    "BackendInfo",
+    "BACKENDS",
     "DocumentShape",
     "measure_shape",
     "DispatchPolicy",
@@ -42,6 +48,69 @@ __all__ = [
     "DispatchedVerdict",
     "BackendDispatcher",
 ]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """One row of the backend contract (mirrored by ``docs/BACKENDS.md``).
+
+    Attributes
+    ----------
+    name:
+        The ``--algorithm`` token.
+    exactness:
+        What the verdict means: ``"exact"`` (Problem PV decided for every
+        DTD class, no bound), ``"depth-bounded"`` (exact only up to the
+        configured insertion depth; PV-strong recursive DTDs may need
+        more), or ``"bounded-oracle"`` (the Definitions 2-3 brute-force
+        search, only total for small bounds — a test oracle, not a
+        serving backend).
+    auto:
+        Whether :meth:`BackendDispatcher.choose` ever selects it.
+    summary:
+        One line of what the backend is.
+    """
+
+    name: str
+    exactness: str
+    auto: bool
+    summary: str
+
+
+#: Every verdict tier, fastest exact first.  ``docs/BACKENDS.md`` renders
+#: this table; ``tests/test_docs.py`` fails if the two drift apart.
+BACKENDS: tuple[BackendInfo, ...] = (
+    BackendInfo(
+        name="kernel",
+        exactness="exact",
+        auto=True,
+        summary="merged-GSS semantics over dense integer tables and bitmasks",
+    ),
+    BackendInfo(
+        name="machine",
+        exactness="exact",
+        auto=True,
+        summary="the exact GSS machine over object graphs (semantics reference)",
+    ),
+    BackendInfo(
+        name="figure5",
+        exactness="depth-bounded",
+        auto=True,
+        summary="the paper's greedy Figure 5 recognizer (smallest per-node cost)",
+    ),
+    BackendInfo(
+        name="earley",
+        exactness="exact",
+        auto=True,
+        summary="the Section 3.3 content-grammar Earley reference (audit tier)",
+    ),
+    BackendInfo(
+        name="naive",
+        exactness="bounded-oracle",
+        auto=False,
+        summary="brute-force Ext(w, T) search straight from Definitions 2-3",
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -100,19 +169,24 @@ class DispatchPolicy:
         Documents at or under both bounds go to the greedy ``figure5``
         recognizer, whose per-node constant is the smallest.
     gap_heavy:
-        Gap density at or above this routes to the exact machine even for
+        Gap density at or above this routes to the exact backend even for
         small documents: dense character data multiplies the star-group
         alternatives the greedy recognizer enumerates.
     audit_every:
         When positive, every N-th decision is routed to the Earley
         reference instead, a deterministic in-production cross-check.
         ``0`` disables auditing.
+    exact_backend:
+        Which exact tier serves the routes that need exactness:
+        ``"kernel"`` (default, the table-driven machine) or ``"machine"``
+        (the object-graph reference — same verdicts, larger constant).
     """
 
     small_elements: int = 64
     shallow_depth: int = 8
     gap_heavy: float = 0.5
     audit_every: int = 0
+    exact_backend: str = "kernel"
 
     def __post_init__(self) -> None:
         if self.small_elements < 0 or self.shallow_depth < 0:
@@ -121,6 +195,8 @@ class DispatchPolicy:
             raise ValueError("gap_heavy must be a fraction in [0, 1]")
         if self.audit_every < 0:
             raise ValueError("audit_every must be >= 0 (0 disables audits)")
+        if self.exact_backend not in ("kernel", "machine"):
+            raise ValueError('exact_backend must be "kernel" or "machine"')
 
 
 DEFAULT_POLICY = DispatchPolicy()
@@ -190,10 +266,11 @@ class BackendDispatcher:
         with self._lock:
             self._sequence += 1
             sequence = self._sequence
+        exact = policy.exact_backend
         if self.schema.is_pv_strong:
-            algorithm, reason = "machine", (
-                "PV-strong recursive DTD: only the exact machine answers "
-                "without a depth bound"
+            algorithm, reason = exact, (
+                f"PV-strong recursive DTD: only the exact {exact} backend "
+                "answers without a depth bound"
             )
         elif policy.audit_every and sequence % policy.audit_every == 0:
             algorithm, reason = "earley", (
@@ -201,7 +278,7 @@ class BackendDispatcher:
                 "Earley reference"
             )
         elif shape.gap_density >= policy.gap_heavy and shape.content_tokens:
-            algorithm, reason = "machine", (
+            algorithm, reason = exact, (
                 f"gap-heavy content (density {shape.gap_density:.2f} >= "
                 f"{policy.gap_heavy:.2f})"
             )
@@ -215,7 +292,7 @@ class BackendDispatcher:
                 "on constants"
             )
         else:
-            algorithm, reason = "machine", "default exact backend"
+            algorithm, reason = exact, f"default exact backend ({exact})"
         decision = DispatchDecision(
             sequence=sequence,
             algorithm=algorithm,  # type: ignore[arg-type]

@@ -53,6 +53,7 @@ class RegistryStats:
     size: int = 0
     maxsize: int = 0
     store_hits: int = 0
+    store_upgrades: int = 0
 
     @property
     def lookups(self) -> int:
@@ -75,6 +76,7 @@ class RegistryStats:
             "hits": self.hits,
             "misses": self.misses,
             "store_hits": self.store_hits,
+            "store_upgrades": self.store_upgrades,
             "evictions": self.evictions,
             "compile_seconds": self.compile_seconds,
             "size": self.size,
@@ -92,6 +94,7 @@ class RegistryStats:
             size=self.size + other.size,
             maxsize=self.maxsize + other.maxsize,
             store_hits=self.store_hits + other.store_hits,
+            store_upgrades=self.store_upgrades + other.store_upgrades,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -245,6 +248,10 @@ class SchemaRegistry:
 
     @property
     def stats(self) -> RegistryStats:
+        # upgrade_count is a counter read, not the store's full stats
+        # snapshot (which walks the artifact directory).
+        store = self.store
+        upgrades = store.upgrade_count if store is not None else 0
         with self._lock:
             return RegistryStats(
                 hits=self._hits,
@@ -254,6 +261,7 @@ class SchemaRegistry:
                 size=len(self._entries),
                 maxsize=self.maxsize,
                 store_hits=self._store_hits,
+                store_upgrades=upgrades,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,6 +20,19 @@ The header makes files self-describing: a load rejects a wrong magic, a
 future format version, or a payload whose embedded fingerprint does not
 match the file name (a renamed or tampered file).
 
+Format versions
+---------------
+* **1** — original layout: pickled ``CompiledSchema`` without kernel
+  tables.
+* **2** (current) — the pickle carries the kernel backend's dense
+  integer tables (:mod:`repro.core.tables`).
+
+A *supported older* version (see :data:`SUPPORTED_FORMAT_VERSIONS`) is a
+legitimate artifact, not corruption: the load succeeds, the missing
+derived data is rebuilt, and the file is rewritten in place at the
+current version — counted in :attr:`StoreStats.upgrades` and logged once
+per store.  Only a *future* or unknown version is treated as a miss.
+
 Durability rules
 ----------------
 * **Atomic write** — :meth:`ArtifactStore.save` writes to a temp file in
@@ -34,6 +47,7 @@ Durability rules
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -46,18 +60,27 @@ from repro.service.compiled import CompiledSchema
 __all__ = [
     "STORE_MAGIC",
     "STORE_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "StoreStats",
     "ArtifactStore",
     "default_store_dir",
     "encode_artifact",
     "decode_artifact",
+    "artifact_format_version",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: First header token of every artifact file.
 STORE_MAGIC = "repro-pv-artifact"
 
-#: Bump when the on-disk layout changes; older files then load as misses.
-STORE_FORMAT_VERSION = 1
+#: The version new artifacts are written at.  Bump when the layout grows.
+STORE_FORMAT_VERSION = 2
+
+#: Versions a load accepts.  Older-but-supported files decode fine (any
+#: missing derived data rebuilds lazily) and are upgraded in place by the
+#: store; anything else is treated as a miss.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 _SUFFIX = ".pkl"
 
@@ -73,14 +96,12 @@ def encode_artifact(schema: CompiledSchema) -> bytes:
     return header + pickle.dumps(schema, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_artifact(blob: bytes, fingerprint: str) -> CompiledSchema | None:
-    """Decode :func:`encode_artifact` bytes, or ``None`` on any defect.
+def artifact_format_version(blob: bytes) -> int | None:
+    """The header's format version, or ``None`` for a malformed header.
 
-    Every defect — missing or bad header, future format version, truncated
-    or garbled pickle, an embedded fingerprint that does not match the
-    expected one — yields ``None``, never an exception: the disk store
-    treats it as a cache miss and the server's ``put-artifact`` op turns it
-    into a structured ``bad-artifact`` error.
+    Purely syntactic: a well-formed header with an *unsupported* version
+    still reports its number, so callers can distinguish "older supported
+    layout" (upgradeable) from garbage.
     """
     newline = blob.find(b"\n")
     if newline < 0:
@@ -91,7 +112,23 @@ def decode_artifact(blob: bytes, fingerprint: str) -> CompiledSchema | None:
         return None
     if magic != STORE_MAGIC or not version_text.isdigit():
         return None
-    if int(version_text) != STORE_FORMAT_VERSION:
+    return int(version_text)
+
+
+def decode_artifact(blob: bytes, fingerprint: str) -> CompiledSchema | None:
+    """Decode :func:`encode_artifact` bytes, or ``None`` on any defect.
+
+    Every defect — missing or bad header, unsupported format version,
+    truncated or garbled pickle, an embedded fingerprint that does not
+    match the expected one — yields ``None``, never an exception: the disk
+    store treats it as a cache miss and the server's ``put-artifact`` op
+    turns it into a structured ``bad-artifact`` error.  Supported *older*
+    versions decode normally (lazy members absent from the old layout are
+    rebuilt on demand).
+    """
+    newline = blob.find(b"\n")
+    version = artifact_format_version(blob)
+    if version is None or version not in SUPPORTED_FORMAT_VERSIONS:
         return None
     try:
         schema = pickle.loads(blob[newline + 1 :])
@@ -130,6 +167,7 @@ class StoreStats:
     misses: int = 0
     corrupt: int = 0
     saves: int = 0
+    upgrades: int = 0
 
     def as_dict(self) -> dict[str, object]:
         """A JSON-ready rendering (the server's ``stats`` op uses this)."""
@@ -141,13 +179,15 @@ class StoreStats:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "saves": self.saves,
+            "upgrades": self.upgrades,
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{self.artifacts} artifact(s), {self.total_bytes} byte(s) in "
             f"{self.directory} — {self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.corrupt} corrupt, {self.saves} save(s)"
+            f"{self.corrupt} corrupt, {self.saves} save(s), "
+            f"{self.upgrades} upgrade(s)"
         )
 
 
@@ -169,6 +209,8 @@ class ArtifactStore:
         self._misses = 0
         self._corrupt = 0
         self._saves = 0
+        self._upgrades = 0
+        self._upgrade_logged = False
 
     # -- paths --------------------------------------------------------------
 
@@ -200,10 +242,12 @@ class ArtifactStore:
     def load(self, fingerprint: str) -> CompiledSchema | None:
         """The stored artifact for *fingerprint*, or ``None``.
 
-        Any defect — missing file, bad magic, future format version,
+        Any defect — missing file, bad magic, unsupported format version,
         truncated or garbled pickle, fingerprint mismatch — is a miss;
         corrupt files are additionally counted and unlinked best-effort so
-        the next write-through replaces them cleanly.
+        the next write-through replaces them cleanly.  A file at a
+        *supported older* format version is a hit: it is decoded, upgraded
+        in place to the current version, and counted separately.
         """
         path = self.path_for(fingerprint)
         try:
@@ -222,9 +266,40 @@ class ArtifactStore:
             except OSError:
                 pass
             return None
+        version = artifact_format_version(blob)
+        if version is not None and version < STORE_FORMAT_VERSION:
+            self._upgrade_in_place(schema, version)
         with self._lock:
             self._hits += 1
         return schema
+
+    def _upgrade_in_place(self, schema: CompiledSchema, version: int) -> None:
+        """Rewrite an older-format artifact at the current version.
+
+        The derived data the old layout lacked is built eagerly so the
+        rewritten file is a full current-version artifact; a store that
+        cannot be written (read-only mount) still serves the upgraded
+        object, it just retries the rewrite on the next load.
+        """
+        if not schema.has_tables:
+            schema.tables  # noqa: B018 - builds the v2 payload
+        try:
+            self.save(schema)
+        except OSError:
+            pass
+        with self._lock:
+            self._upgrades += 1
+            already_logged = self._upgrade_logged
+            self._upgrade_logged = True
+        if not already_logged:
+            logger.info(
+                "upgraded artifact %s from format version %d to %d in %s "
+                "(further upgrades in this store are counted silently)",
+                schema.fingerprint[:12],
+                version,
+                STORE_FORMAT_VERSION,
+                self.directory,
+            )
 
     def save(self, schema: CompiledSchema) -> Path:
         """Atomically persist *schema*, returning the artifact path."""
@@ -300,7 +375,15 @@ class ArtifactStore:
                 misses=self._misses,
                 corrupt=self._corrupt,
                 saves=self._saves,
+                upgrades=self._upgrades,
             )
+
+    @property
+    def upgrade_count(self) -> int:
+        """Format-version upgrades performed, without the directory walk
+        :attr:`stats` does (registry snapshots poll this per call)."""
+        with self._lock:
+            return self._upgrades
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactStore({str(self.directory)!r})"

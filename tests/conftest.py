@@ -22,7 +22,7 @@ EXAMPLE1_W_PRIME = (
     "<d> dog<e></e></d></a></r>"
 )
 
-ALGORITHMS = ("machine", "figure5", "earley")
+ALGORITHMS = ("kernel", "machine", "figure5", "earley")
 
 #: Catalog DTDs that satisfy the paper's standing assumptions (all usable)
 #: and are practical for differential testing.

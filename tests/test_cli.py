@@ -86,7 +86,7 @@ class TestCheck:
         assert "NOT potentially valid" in out
         assert "/r/a[0]" in out
 
-    @pytest.mark.parametrize("algorithm", ["machine", "figure5", "earley"])
+    @pytest.mark.parametrize("algorithm", ["kernel", "machine", "figure5", "earley"])
     def test_algorithms(self, schema, doc_s_file, algorithm):
         assert main(["check", schema, doc_s_file, "--algorithm", algorithm]) == 0
 

@@ -57,34 +57,42 @@ class TestPolicyRouting:
         assert decision.algorithm == "figure5"
         assert "small and shallow" in decision.reason
 
-    def test_gap_heavy_goes_machine(self):
+    def test_gap_heavy_goes_exact(self):
         dispatcher = BackendDispatcher(parse_dtd(FIGURE1))
         decision = dispatcher.choose(parse_xml("<r><a>plenty of text</a></r>"))
-        assert decision.algorithm == "machine"
+        assert decision.algorithm == "kernel"
         assert "gap-heavy" in decision.reason
 
-    def test_large_document_goes_machine(self):
+    def test_large_document_goes_exact(self):
         dispatcher = BackendDispatcher(
             parse_dtd(FIGURE1), policy=DispatchPolicy(small_elements=2)
         )
         decision = dispatcher.choose(
             parse_xml("<r><a><e></e></a><a><e></e></a></r>")
         )
-        assert decision.algorithm == "machine"
-        assert decision.reason == "default exact backend"
+        assert decision.algorithm == "kernel"
+        assert decision.reason == "default exact backend (kernel)"
 
-    def test_deep_document_goes_machine(self):
+    def test_deep_document_goes_exact(self):
         dispatcher = BackendDispatcher(
             parse_dtd(FIGURE1), policy=DispatchPolicy(shallow_depth=1)
         )
         decision = dispatcher.choose(parse_xml("<r><a><e></e></a></r>"))
-        assert decision.algorithm == "machine"
+        assert decision.algorithm == "kernel"
 
-    def test_pv_strong_always_machine(self):
+    def test_pv_strong_always_exact(self):
         dispatcher = BackendDispatcher(parse_dtd(STRONG))
         decision = dispatcher.choose(parse_xml("<a></a>"))
-        assert decision.algorithm == "machine"
+        assert decision.algorithm == "kernel"
         assert "PV-strong" in decision.reason
+
+    def test_exact_backend_is_swappable_to_the_machine(self):
+        """The object-graph reference stays selectable as the exact tier."""
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(exact_backend="machine")
+        )
+        decision = dispatcher.choose(parse_xml("<r><a>plenty of text</a></r>"))
+        assert decision.algorithm == "machine"
 
     def test_audit_slice_goes_earley(self):
         dispatcher = BackendDispatcher(
@@ -104,6 +112,8 @@ class TestPolicyRouting:
             DispatchPolicy(audit_every=-1)
         with pytest.raises(ValueError):
             DispatchPolicy(small_elements=-1)
+        with pytest.raises(ValueError):
+            DispatchPolicy(exact_backend="earley")
 
 
 class TestDispatchedChecking:
@@ -115,7 +125,9 @@ class TestDispatchedChecking:
         for document in generator.documents(6, target_nodes=20):
             outcome = dispatcher.check_document(document)
             assert bool(outcome) == direct.is_potentially_valid(document)
-            assert outcome.decision.algorithm in ("machine", "figure5", "earley")
+            assert outcome.decision.algorithm in (
+                "kernel", "machine", "figure5", "earley",
+            )
 
     def test_decision_log_is_bounded(self):
         dispatcher = BackendDispatcher(parse_dtd(FIGURE1), log_size=2)

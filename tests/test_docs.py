@@ -3,7 +3,9 @@
 ``docs/PROTOCOL.md`` claims to cover every op the server accepts; these
 tests diff that document against the protocol's op tuple and the
 server's handler table, and the error-code table against the codes the
-implementation can actually emit.
+implementation can actually emit.  ``docs/BACKENDS.md`` claims to
+mirror the in-code backend registry; its ladder table is diffed against
+``repro.service.dispatch.BACKENDS`` the same way.
 """
 
 from __future__ import annotations
@@ -69,6 +71,77 @@ class TestProtocolDocCoverage:
         assert not undeclared, (
             f"codes raised but not declared/documented: {undeclared}"
         )
+
+
+class TestBackendsDocCoverage:
+    """docs/BACKENDS.md renders dispatch.BACKENDS; they may not drift."""
+
+    TABLE_ROW = re.compile(
+        r"^\| `([a-z0-9]+)` \| `([a-z-]+)` \| (yes|no) \| (.+?) \|$",
+        flags=re.MULTILINE,
+    )
+
+    def backends_md(self) -> str:
+        return (DOCS / "BACKENDS.md").read_text()
+
+    def documented_rows(self) -> list[tuple[str, str, bool, str]]:
+        return [
+            (name, exactness, auto == "yes", summary)
+            for name, exactness, auto, summary in self.TABLE_ROW.findall(
+                self.backends_md()
+            )
+        ]
+
+    def test_doc_exists(self):
+        assert (DOCS / "BACKENDS.md").is_file()
+
+    def test_ladder_table_matches_the_registry(self):
+        from repro.service.dispatch import BACKENDS
+
+        documented = [
+            (name, exactness, auto)
+            for name, exactness, auto, _summary in self.documented_rows()
+        ]
+        registered = [
+            (info.name, info.exactness, info.auto) for info in BACKENDS
+        ]
+        # Same rows, same order (the registry is "fastest exact first",
+        # and the doc claims to render it).
+        assert documented == registered, (
+            "docs/BACKENDS.md ladder table drifted from "
+            f"dispatch.BACKENDS:\ndoc:      {documented}\nregistry: {registered}"
+        )
+
+    def test_summaries_match_the_registry(self):
+        from repro.service.dispatch import BACKENDS
+
+        documented = {
+            name: summary for name, _e, _a, summary in self.documented_rows()
+        }
+        for info in BACKENDS:
+            assert documented.get(info.name) == info.summary, (
+                f"docs/BACKENDS.md summary for {info.name!r} drifted from "
+                f"the registry: {documented.get(info.name)!r} != "
+                f"{info.summary!r}"
+            )
+
+    def test_default_exact_backend_is_documented(self):
+        from repro.service.dispatch import DEFAULT_POLICY
+
+        assert f'`"{DEFAULT_POLICY.exact_backend}"` by default' in (
+            self.backends_md()
+        )
+
+    def test_store_format_versions_are_documented(self):
+        from repro.service.store import (
+            STORE_FORMAT_VERSION,
+            SUPPORTED_FORMAT_VERSIONS,
+        )
+
+        text = self.backends_md()
+        assert f"**version {STORE_FORMAT_VERSION}** (current)" in text
+        for version in SUPPORTED_FORMAT_VERSIONS:
+            assert f"version {version}" in text
 
 
 class TestOperationsDocAccuracy:

@@ -18,7 +18,12 @@ from repro.server.ring import (
     parse_member,
 )
 from repro.server.server import ServerThread
-from repro.service.store import ArtifactStore, encode_artifact
+from repro.service.store import (
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    ArtifactStore,
+    encode_artifact,
+)
 
 FIGURE1 = """
 <!ELEMENT r (a+)>
@@ -159,7 +164,9 @@ class TestArtifactOps:
             fingerprint = reply["schema"]["fingerprint"]
             assert reply["schema"]["registry"] == "miss"
             blob = first.get_artifact(fingerprint)
-        assert blob.startswith(b"repro-pv-artifact ")
+        assert blob.startswith(
+            f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode()
+        )
         with ValidationClient.connect_unix(shard_paths[1]) as second:
             put = second.put_artifact(fingerprint, blob)
             assert put["stored"] == "registry"
@@ -177,7 +184,8 @@ class TestArtifactOps:
     def test_put_garbage_blob_is_bad_artifact(self, shard_paths):
         with ValidationClient.connect_unix(shard_paths[0]) as client:
             with pytest.raises(ServerError) as excinfo:
-                client.put_artifact("f" * 64, b"repro-pv-artifact 1\ngarbage")
+                garbage = f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode() + b"garbage"
+                client.put_artifact("f" * 64, garbage)
             assert excinfo.value.code == "bad-artifact"
 
     def test_put_wrong_fingerprint_is_bad_artifact(self, shard_paths):
@@ -216,7 +224,9 @@ class TestArtifactOps:
         ) as handle:
             with ValidationClient.connect_unix(handle.unix_path) as client:
                 blob = client.get_artifact(fingerprint)
-        assert blob.startswith(b"repro-pv-artifact ")
+        assert blob.startswith(
+            f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode()
+        )
 
     def test_wire_blob_equals_store_file_format(self, shard_paths, tmp_path):
         with ValidationClient.connect_unix(shard_paths[0]) as client:
@@ -225,9 +235,8 @@ class TestArtifactOps:
         store = ArtifactStore(tmp_path / "fmt")
         schema = store._decode(blob, fingerprint)
         assert schema is not None and schema.fingerprint == fingerprint
-        assert encode_artifact(schema)[: len(b"repro-pv-artifact 1\n")] == (
-            b"repro-pv-artifact 1\n"
-        )
+        header = f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode()
+        assert encode_artifact(schema)[: len(header)] == header
 
 
 # -- the streaming batch op --------------------------------------------------

@@ -155,13 +155,13 @@ class TestServerRoundTrip:
             algorithm: client.check(FIGURE1, DOC_OK, algorithm=algorithm)[
                 "potentially_valid"
             ]
-            for algorithm in ("machine", "figure5", "earley")
+            for algorithm in ("kernel", "machine", "figure5", "earley")
         }
         assert set(verdicts.values()) == {True}
 
     def test_auto_dispatch_reports_reason(self, client):
         reply = client.check(FIGURE1, DOC_OK, algorithm="auto")
-        assert reply["algorithm"] in ("machine", "figure5", "earley")
+        assert reply["algorithm"] in ("kernel", "machine", "figure5", "earley")
         assert reply["dispatch_reason"]
 
     def test_id_is_echoed(self, client):

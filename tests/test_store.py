@@ -7,12 +7,15 @@ import os
 import pytest
 
 from repro.dtd.parser import parse_dtd
-from repro.service.compiled import compile_schema
+from repro.service.compiled import CompiledSchema, compile_schema
 from repro.service.registry import SchemaRegistry
 from repro.service.store import (
     STORE_FORMAT_VERSION,
     STORE_MAGIC,
+    SUPPORTED_FORMAT_VERSIONS,
     ArtifactStore,
+    artifact_format_version,
+    decode_artifact,
     default_store_dir,
 )
 
@@ -145,6 +148,94 @@ class TestCorruptionTolerance:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"")
         assert store.load(schema.fingerprint) is None
+
+
+def _write_v1_artifact(store: ArtifactStore, schema: CompiledSchema) -> None:
+    """An authentic format-version-1 file: v1 header, pickle without tables."""
+    import pickle
+
+    old_layout = CompiledSchema(
+        dtd=schema.dtd,
+        fingerprint=schema.fingerprint,
+        analysis=schema.analysis,
+        dag=schema.dag,
+        compile_seconds=schema.compile_seconds,
+        tables=None,
+    )
+    blob = f"{STORE_MAGIC} 1\n".encode() + pickle.dumps(
+        old_layout, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    store.directory.mkdir(parents=True, exist_ok=True)
+    store.path_for(schema.fingerprint).write_bytes(blob)
+
+
+class TestFormatUpgrade:
+    """Supported older versions are hits that upgrade in place, not corruption."""
+
+    def test_version_constants_are_coherent(self):
+        assert STORE_FORMAT_VERSION in SUPPORTED_FORMAT_VERSIONS
+        assert 1 in SUPPORTED_FORMAT_VERSIONS  # v1 artifacts keep loading
+
+    def test_v1_load_is_a_hit_that_upgrades_in_place(self, store, schema):
+        _write_v1_artifact(store, schema)
+        loaded = store.load(schema.fingerprint)
+        assert loaded is not None
+        stats = store.stats
+        assert stats.hits == 1
+        assert stats.corrupt == 0
+        assert stats.upgrades == 1
+        # The file on disk was rewritten as a full current-version artifact.
+        blob = store.path_for(schema.fingerprint).read_bytes()
+        assert artifact_format_version(blob) == STORE_FORMAT_VERSION
+        revived = decode_artifact(blob, schema.fingerprint)
+        assert revived is not None and revived.has_tables
+
+    def test_upgraded_artifact_serves_the_kernel_backend(self, store, schema):
+        _write_v1_artifact(store, schema)
+        loaded = store.load(schema.fingerprint)
+        assert loaded.checker("kernel").check_content("r", ["a"])
+
+    def test_second_v1_load_after_upgrade_is_a_plain_hit(self, store, schema):
+        _write_v1_artifact(store, schema)
+        store.load(schema.fingerprint)
+        store.load(schema.fingerprint)
+        stats = store.stats
+        assert stats.hits == 2
+        assert stats.upgrades == 1  # the rewrite stuck; no second upgrade
+
+    def test_upgrades_are_logged_once_per_store(self, store, schema, caplog):
+        _write_v1_artifact(store, schema)
+        other = compile_schema(parse_dtd(PLAY))
+        _write_v1_artifact(store, other)
+        with caplog.at_level("INFO", logger="repro.service.store"):
+            assert store.load(schema.fingerprint) is not None
+            assert store.load(other.fingerprint) is not None
+        upgrade_logs = [
+            record for record in caplog.records if "upgraded artifact" in record.message
+        ]
+        assert len(upgrade_logs) == 1
+        assert store.stats.upgrades == 2  # both counted, one logged
+
+    def test_artifact_format_version_is_purely_syntactic(self, schema):
+        from repro.service.store import encode_artifact
+
+        assert artifact_format_version(encode_artifact(schema)) == (
+            STORE_FORMAT_VERSION
+        )
+        # A future version still reports its number (distinguishable from
+        # garbage), it just is not loadable.
+        future = f"{STORE_MAGIC} {STORE_FORMAT_VERSION + 7}\npayload".encode()
+        assert artifact_format_version(future) == STORE_FORMAT_VERSION + 7
+        assert artifact_format_version(b"not a header") is None
+        assert artifact_format_version(b"") is None
+
+    def test_registry_snapshot_counts_store_upgrades(self, tmp_path, schema):
+        store = ArtifactStore(tmp_path / "artifacts")
+        _write_v1_artifact(store, schema)
+        registry = SchemaRegistry(store=store)
+        registry.get(schema.dtd)
+        assert registry.stats.store_upgrades == 1
+        assert registry.stats.misses == 0  # the v1 file prevented a compile
 
 
 class TestRegistryIntegration:
