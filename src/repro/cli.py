@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Eight commands wrap the library for shell use:
+Nine commands wrap the library for shell use:
 
 ``classify SCHEMA.dtd``
     Print the Definition 6-8 classification report of a DTD.
@@ -39,7 +39,15 @@ Eight commands wrap the library for shell use:
 ``ring-status ADDR[,ADDR...]``
     Probe every shard of a running ring with the ``health`` op and print
     a liveness/epoch/traffic table; exits 0 when all shards answer, 1
-    when any is down.
+    when any is down.  ``--metrics`` additionally scrapes each shard's
+    ``metrics`` op and prints the ring-wide aggregate.
+
+``metrics ADDR[,ADDR...]``
+    Scrape every shard's ``metrics`` op and print ring-wide aggregates:
+    counters summed, latency histograms merged, with p50/p90/p99 per op
+    and per verdict backend.  ``--prometheus`` prints the merged
+    snapshot as Prometheus text exposition instead.  Exits 1 when any
+    shard is down (the aggregate over the survivors still prints).
 
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the persistent artifact store.
@@ -279,11 +287,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return ArtifactStore(args.store)
         return ArtifactStore(Path(args.store) / f"shard-{index}")
 
+    events = None
+    if args.events:
+        from repro.obs.events import EventLog
+
+        try:
+            # One shared append-mode log: shards interleave whole lines
+            # (the EventLog serializes writes), and every event carries
+            # its member label.
+            events = EventLog.to_path(args.events)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return RUNTIME_ERROR
+
     servers = [
         ValidationServer(
             store=shard_store(index),
             workers=args.workers,
             default_algorithm=args.algorithm,
+            events=events,
+            slow_ms=args.slow_ms,
+            hot_limit=args.hot_limit,
         )
         for index in range(shards)
     ]
@@ -362,6 +386,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_merged_metrics(merged: dict) -> None:
+    """Ring-wide counter totals and latency quantiles from a merged
+    metrics snapshot (shared by ``metrics`` and ``ring-status --metrics``)."""
+    from repro.obs.metrics import (
+        counter_value,
+        histogram_entries,
+        histogram_quantile,
+    )
+
+    print(
+        "ring: "
+        f"requests={counter_value(merged, 'repro_requests_total'):.0f}, "
+        f"batch items={counter_value(merged, 'repro_batch_items_total'):.0f}, "
+        f"errors={counter_value(merged, 'repro_errors_total'):.0f}, "
+        f"slow={counter_value(merged, 'repro_slow_requests_total'):.0f}"
+    )
+
+    def table(title: str, name: str, label_key: str) -> None:
+        entries = [
+            entry for entry in histogram_entries(merged, name)
+            if entry["count"]
+        ]
+        if not entries:
+            return
+        print(title)
+        for entry in entries:
+            key = entry["labels"].get(label_key, "?")
+            quantiles = ", ".join(
+                f"p{int(q * 100)}={(histogram_quantile(entry, q) or 0.0) * 1000.0:.3f}ms"
+                for q in (0.5, 0.9, 0.99)
+            )
+            print(f"  {key}: n={entry['count']}, {quantiles}")
+
+    table("latency by op:", "repro_request_seconds", "op")
+    table("verdict latency by backend:", "repro_verdict_seconds", "backend")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape every shard's ``metrics`` op; print ring-wide aggregates."""
+    from repro.obs.metrics import counter_value, merge_snapshots
+    from repro.obs.promtext import render
+    from repro.server.client import ValidationClient
+    from repro.server.ring import member_label, parse_member
+
+    try:
+        members = [parse_member(text) for text in args.members.split(",") if text]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return USAGE_ERROR
+    if not members:
+        print("error: metrics needs at least one ADDR", file=sys.stderr)
+        return USAGE_ERROR
+    all_up = True
+    snapshots: list[tuple[str, dict]] = []
+    for member in members:
+        label = member_label(member)
+        try:
+            with ValidationClient.connect(member, timeout=args.timeout) as client:
+                reply = client.metrics()
+        except Exception as error:  # noqa: BLE001 - reported per shard
+            all_up = False
+            print(f"{label}: DOWN ({error})", file=sys.stderr)
+            continue
+        snapshots.append((label, reply.get("metrics") or {}))
+    merged = merge_snapshots(snapshot for _label, snapshot in snapshots)
+    if args.prometheus:
+        print(render(merged), end="")
+        return 0 if all_up else RUNTIME_ERROR
+    for label, snapshot in snapshots:
+        print(
+            f"{label}: up, "
+            f"requests={counter_value(snapshot, 'repro_requests_total'):.0f}, "
+            f"errors={counter_value(snapshot, 'repro_errors_total'):.0f}"
+        )
+    _print_merged_metrics(merged)
+    return 0 if all_up else RUNTIME_ERROR
+
+
 def _cmd_ring_status(args: argparse.Namespace) -> int:
     """Probe every shard of a ring: liveness, epoch, traffic, registry."""
     from repro.server.client import ValidationClient
@@ -377,12 +479,14 @@ def _cmd_ring_status(args: argparse.Namespace) -> int:
         return USAGE_ERROR
     all_up = True
     epochs: set[int] = set()
+    metric_snapshots: list[dict] = []
     for member in members:
         label = member_label(member)
         try:
             with ValidationClient.connect(member, timeout=args.timeout) as client:
                 health = client.health()
                 stats = client.stats() if args.stats else None
+                scraped = client.metrics() if args.metrics else None
         except Exception as error:  # noqa: BLE001 - reported per shard
             all_up = False
             print(f"{label}: DOWN ({error})")
@@ -414,6 +518,12 @@ def _cmd_ring_status(args: argparse.Namespace) -> int:
                     or "(none)"
                 )
             )
+        if scraped is not None:
+            metric_snapshots.append(scraped.get("metrics") or {})
+    if metric_snapshots:
+        from repro.obs.metrics import merge_snapshots
+
+        _print_merged_metrics(merge_snapshots(metric_snapshots))
     if len(epochs) > 1:
         print(
             f"warning: shards disagree on the ring epoch ({sorted(epochs)}) — "
@@ -633,6 +743,32 @@ def _build_parser() -> argparse.ArgumentParser:
             "policy follow it"
         ),
     )
+    serve.add_argument(
+        "--hot-limit",
+        type=int,
+        default=32,
+        metavar="N",
+        help=(
+            "top-N hot fingerprints reported by the stats op and used "
+            "for join prefetch (default: 32)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "count requests slower than MS milliseconds (and log a "
+            "slow-request event when --events is set)"
+        ),
+    )
+    serve.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append JSON-line observability events to PATH",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     ring_status = sub.add_parser(
@@ -654,7 +790,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="per-shard probe timeout, seconds",
     )
+    ring_status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also scrape each shard's metrics op and print the "
+        "ring-wide aggregate",
+    )
     ring_status.set_defaults(handler=_cmd_ring_status)
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape and aggregate ring-wide metrics"
+    )
+    metrics.add_argument(
+        "members",
+        metavar="ADDR[,ADDR...]",
+        help="shard addresses (host:port or unix socket paths)",
+    )
+    metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the merged snapshot as Prometheus text exposition",
+    )
+    metrics.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-shard scrape timeout, seconds",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     cache = sub.add_parser(
         "cache", help="manage the persistent compiled-artifact store"
@@ -708,6 +871,12 @@ def main(argv: list[str] | None = None) -> int:
             "error: --read-policy requires a ring view (--ring N >= 2)",
             file=sys.stderr,
         )
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.hot_limit < 1:
+        print("error: --hot-limit must be >= 1", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.slow_ms is not None and args.slow_ms < 0:
+        print("error: --slow-ms must be >= 0", file=sys.stderr)
         return USAGE_ERROR
     try:
         return args.handler(args)

@@ -1,0 +1,54 @@
+"""Observability: metrics, request tracing, events, and exposition.
+
+The package is deliberately stdlib-only and dependency-free in both
+directions: nothing in :mod:`repro.obs` imports the server stack, and
+every hook the server stack calls is cheap enough to stay on the hot
+path (a dict probe plus a lock-guarded integer add).  The four modules:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges, and
+  log-bucketed latency histograms in a :class:`MetricsRegistry`;
+  snapshots are plain JSON-ready dicts that merge associatively, so
+  ring-wide aggregation is ``merge_snapshots(per_shard_snapshots)``.
+* :mod:`repro.obs.promtext` — Prometheus text exposition (version
+  0.0.4) rendered from a snapshot, plus a validator for tests.
+* :mod:`repro.obs.trace` — client-generated trace ids and the per-hop
+  span accumulator threaded through ring calls and failover retries.
+* :mod:`repro.obs.events` — a structured JSON-line event log with a
+  configurable sink (disabled by default).
+
+The metric catalog — every name the instrumented stack may register —
+lives in :data:`repro.obs.metrics.CATALOG` and is diffed against
+``docs/OBSERVABILITY.md`` by the docs drift tests.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Stopwatch,
+    histogram_quantile,
+    merge_snapshots,
+)
+from repro.obs.promtext import render, validate_exposition
+from repro.obs.trace import TraceContext, new_trace_id
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Stopwatch",
+    "TraceContext",
+    "histogram_quantile",
+    "merge_snapshots",
+    "new_trace_id",
+    "render",
+    "validate_exposition",
+]

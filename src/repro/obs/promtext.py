@@ -1,0 +1,136 @@
+"""Prometheus text exposition (format 0.0.4) for metric snapshots.
+
+Stdlib only, deterministic output: families sorted by name, samples in
+snapshot order (which :meth:`MetricsRegistry.snapshot` already sorts),
+histogram buckets cumulative with the canonical ``+Inf`` terminator and
+``_sum``/``_count`` samples.  :func:`validate_exposition` is the
+line-level checker the tests and the CI ring-smoke job use to assert
+the output stays parseable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+__all__ = ["render", "validate_exposition"]
+
+_HELP: dict[str, str] = {}
+
+
+def _help_texts() -> dict[str, str]:
+    if not _HELP:
+        from repro.obs.metrics import CATALOG
+
+        _HELP.update({spec.name: spec.help for spec in CATALOG})
+    return _HELP
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _number(value: float) -> str:
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _bound(value: float) -> str:
+    return format(float(value), "g")
+
+
+def render(snapshot: Mapping[str, Any]) -> str:
+    """Render a snapshot (or a merged snapshot) as exposition text."""
+    families: dict[str, tuple[str, list[str]]] = {}
+
+    def family(name: str, kind: str) -> list[str]:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = (kind, [])
+        elif entry[0] != kind:
+            raise ValueError(f"metric {name!r} rendered as {entry[0]} "
+                             f"and {kind}")
+        return entry[1]
+
+    for entry in snapshot.get("counters", []):
+        family(entry["name"], "counter").append(
+            f"{entry['name']}{_labels(entry.get('labels', {}))} "
+            f"{_number(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", []):
+        family(entry["name"], "gauge").append(
+            f"{entry['name']}{_labels(entry.get('labels', {}))} "
+            f"{_number(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", []):
+        name = entry["name"]
+        labels = entry.get("labels", {})
+        lines = family(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(entry["le"], entry["counts"]):
+            cumulative += count
+            le = 'le="' + _bound(bound) + '"'
+            lines.append(
+                f"{name}_bucket{_labels(labels, le)} {_number(cumulative)}"
+            )
+        cumulative += entry["counts"][len(entry["le"])]
+        inf = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_labels(labels, inf)} {_number(cumulative)}"
+        )
+        lines.append(f"{name}_sum{_labels(labels)} {_number(entry['sum'])}")
+        lines.append(f"{name}_count{_labels(labels)} "
+                     f"{_number(entry['count'])}")
+
+    helps = _help_texts()
+    out: list[str] = []
+    for name in sorted(families):
+        kind, lines = families[name]
+        help_text = helps.get(name)
+        if help_text:
+            out.append(f"# HELP {name} {_escape(help_text)}")
+        out.append(f"# TYPE {name} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + "\n" if out else ""
+
+
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"               # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_+][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def validate_exposition(text: str) -> int:
+    """Check *text* line-by-line against the exposition grammar.
+
+    Returns the number of sample lines; raises ``ValueError`` naming
+    the first offending line.
+    """
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    samples = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not _COMMENT.match(line):
+                raise ValueError(f"line {number}: bad comment: {line!r}")
+            continue
+        if not _SAMPLE.match(line):
+            raise ValueError(f"line {number}: bad sample: {line!r}")
+        samples += 1
+    return samples

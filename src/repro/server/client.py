@@ -205,16 +205,19 @@ class ValidationClient:
         root: str | None = None,
         id: Any = None,
         epoch: int | None = None,
+        trace: str | None = None,
     ) -> dict[str, Any]:
         """Potential-validity check; the reply carries the verdict fields.
 
         *epoch*, when given, stamps the request with the ring epoch this
         client routed under; a shard holding a newer view answers with a
         ``wrong-epoch`` error carrying the refresh (see ``ring-config``).
+        *trace*, when given, opts the request into tracing: the reply
+        gains a ``trace`` object with the server's per-phase span.
         """
         return self.request(
             self._payload("check", dtd=dtd, doc=doc, algorithm=algorithm,
-                          root=root, id=id, epoch=epoch)
+                          root=root, id=id, epoch=epoch, trace=trace)
         )
 
     def check_batch(
@@ -226,6 +229,7 @@ class ValidationClient:
         id: Any = None,
         window: int | None = None,
         epoch: int | None = None,
+        trace: str | None = None,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
         """Stream *docs* through one ``check-batch`` op on this connection.
 
@@ -240,7 +244,7 @@ class ValidationClient:
         window = self.BATCH_WINDOW if window is None else max(1, window)
         header = self._payload(
             "check-batch", dtd=dtd, algorithm=algorithm, root=root, id=id,
-            epoch=epoch,
+            epoch=epoch, trace=trace,
         )
         header["count"] = len(docs)
         self.send(header, flush=False)
@@ -290,11 +294,12 @@ class ValidationClient:
         root: str | None = None,
         id: Any = None,
         epoch: int | None = None,
+        trace: str | None = None,
     ) -> dict[str, Any]:
         """Standard DTD validation."""
         return self.request(
             self._payload("validate", dtd=dtd, doc=doc, root=root, id=id,
-                          epoch=epoch)
+                          epoch=epoch, trace=trace)
         )
 
     def classify(
@@ -312,6 +317,11 @@ class ValidationClient:
     def stats(self) -> dict[str, Any]:
         """Server, registry, store, hot-fingerprint, and dispatch statistics."""
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict[str, Any]:
+        """The metrics scrape: a mergeable snapshot (``"metrics"``) plus
+        Prometheus text exposition (``"prometheus"``)."""
+        return self.request({"op": "metrics"})
 
     def health(self) -> dict[str, Any]:
         """The liveness probe: status, uptime, and the shard's ring view."""

@@ -42,6 +42,8 @@ from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable
 
+from repro.obs.events import EventLog
+from repro.obs.metrics import merge_snapshots
 from repro.server.client import ServerError, ValidationClient
 from repro.server.placement import (
     DEFAULT_VNODES,
@@ -85,6 +87,11 @@ class RingCoordinator:
     connect:
         Connection factory ``(member, timeout) -> ValidationClient``;
         injectable for tests.
+    events:
+        Optional :class:`~repro.obs.events.EventLog`; membership
+        transitions emit ``member-up`` / ``member-down`` /
+        ``member-joined`` / ``member-removed`` and every view push
+        emits ``epoch-published``.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class RingCoordinator:
         prefetch: int = 8,
         timeout: float | None = 5.0,
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if replica_count < 1:
             raise ValueError("replica_count must be >= 1")
@@ -139,6 +147,11 @@ class RingCoordinator:
         self._prefetched = 0
         self._prefetched_bytes = 0
         self._publishes = 0
+        self.events = events if events is not None else EventLog()
+        # Ring-wide counter totals from the last scrape_metrics round,
+        # and the change since the round before it.
+        self._metric_totals: dict[str, float] = {}
+        self._metric_deltas: dict[str, float] = {}
 
     # -- the view ------------------------------------------------------------
 
@@ -171,6 +184,7 @@ class RingCoordinator:
                 "prefetched_artifacts": self._prefetched,
                 "prefetched_bytes": self._prefetched_bytes,
                 "publishes": self._publishes,
+                "metrics_deltas": dict(self._metric_deltas),
             }
 
     def _adopt_live(self, epoch: int) -> None:
@@ -246,6 +260,8 @@ class RingCoordinator:
             with ThreadPoolExecutor(max_workers=len(labels)) as pool:
                 replies = dict(zip(labels, pool.map(probe, labels)))
         changed = False
+        came_up: list[str] = []
+        went_down: list[str] = []
         with self._lock:
             for label, reply in replies.items():
                 if label not in self._members:
@@ -254,6 +270,7 @@ class RingCoordinator:
                     self._failures[label] = 0
                     if label not in self._up:
                         self._up.add(label)
+                        came_up.append(label)
                         changed = True
                 else:
                     self._failures[label] += 1
@@ -262,7 +279,14 @@ class RingCoordinator:
                         and self._failures[label] >= self.down_after
                     ):
                         self._up.discard(label)
+                        went_down.append(label)
                         changed = True
+        for label in came_up:
+            self.events.emit("member-up", member=label)
+        for label in went_down:
+            self.events.emit(
+                "member-down", member=label, failures=self.down_after
+            )
         if changed:
             self._bump_and_publish()
         return replies
@@ -294,6 +318,7 @@ class RingCoordinator:
         with self._lock:
             self._up.add(label)
             self._failures[label] = 0
+        self.events.emit("member-joined", member=label, prefetched=prefetched)
         self._bump_and_publish()
         return prefetched
 
@@ -306,6 +331,7 @@ class RingCoordinator:
             self._up.discard(label)
             self._failures.pop(label, None)
         self._pool.mark_down(member)
+        self.events.emit("member-removed", member=label)
         self._bump_and_publish()
 
     def _bump_and_publish(self) -> None:
@@ -356,11 +382,60 @@ class RingCoordinator:
                 pass  # marked down in the pool by _request
         with self._lock:
             self._publishes += 1
+        self.events.emit(
+            "epoch-published", epoch=epoch, members=labels,
+            delivered=delivered,
+        )
         if leapfrogged and _leapfrog_retry:
             # Re-publish once under the superseding epoch so the ring
             # converges now, not at the next membership transition.
             return self.publish(_leapfrog_retry=False)
         return delivered
+
+    # -- metrics scraping ----------------------------------------------------
+
+    def scrape_metrics(self) -> dict[str, Any]:
+        """Scrape every live shard's ``metrics`` op and aggregate.
+
+        Returns per-shard snapshots (``None`` for a shard that failed
+        the scrape), their :func:`~repro.obs.metrics.merge_snapshots`
+        merge, ring-wide counter totals by name (labels collapsed), and
+        the change in each total since the previous scrape.  The deltas
+        also ride along in :meth:`status` as ``metrics_deltas``, so an
+        operator polling ``ring-status`` sees the ring's request rate
+        without a separate scrape pipeline.
+        """
+        with self._lock:
+            labels = sorted(self._up)
+        shards: dict[str, Any] = {}
+        reachable: list[dict[str, Any]] = []
+        for label in labels:
+            try:
+                reply = self._request(label, lambda client: client.metrics())
+            except (OSError, ServerError, ProtocolError):
+                shards[label] = None
+                continue
+            snapshot = reply.get("metrics") or {}
+            shards[label] = snapshot
+            reachable.append(snapshot)
+        merged = merge_snapshots(reachable)
+        totals: dict[str, float] = {}
+        for entry in merged["counters"]:
+            totals[entry["name"]] = totals.get(entry["name"], 0.0) + entry["value"]
+        with self._lock:
+            previous = self._metric_totals
+            deltas = {
+                name: value - previous.get(name, 0.0)
+                for name, value in totals.items()
+            }
+            self._metric_totals = totals
+            self._metric_deltas = deltas
+        return {
+            "shards": shards,
+            "merged": merged,
+            "totals": totals,
+            "deltas": deltas,
+        }
 
     # -- hot-artifact prefetch -----------------------------------------------
 

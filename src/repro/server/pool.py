@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable
 
+from repro.obs.events import EventLog
 from repro.server.client import ValidationClient
 from repro.server.placement import Member, member_label
 
@@ -36,6 +37,9 @@ class ConnectionPool:
     connect:
         Connection factory, ``(member, timeout) -> ValidationClient``;
         injectable for tests.
+    events:
+        Optional :class:`~repro.obs.events.EventLog`; liveness
+        transitions emit ``member-down`` / ``member-up`` events.
 
     Usage discipline: hold :meth:`lock` for the member across the whole
     request — acquire the client inside it, run the round trip, release.
@@ -48,8 +52,10 @@ class ConnectionPool:
         self,
         timeout: float | None = 30.0,
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.timeout = timeout
+        self.events = events if events is not None else EventLog()
         self._connect = connect or (
             lambda member, timeout: ValidationClient.connect(member, timeout=timeout)
         )
@@ -86,8 +92,12 @@ class ConnectionPool:
 
     def mark_up(self, member: Member) -> None:
         """Forget that *member* was unreachable (it is retried next call)."""
+        label = member_label(member)
         with self._lock:
-            self._down.discard(member_label(member))
+            was_down = label in self._down
+            self._down.discard(label)
+        if was_down:
+            self.events.emit("member-up", member=label)
 
     def mark_down(
         self, member: Member, failed: ValidationClient | None = None
@@ -101,12 +111,16 @@ class ConnectionPool:
         down for nothing.
         """
         label = member_label(member)
+        went_down = False
         with self._lock:
             cached = self._clients.get(label)
             if failed is None or cached is failed:
                 self._clients.pop(label, None)
+                went_down = label not in self._down
                 self._down.add(label)
             to_close = failed if failed is not None else cached
+        if went_down:
+            self.events.emit("member-down", member=label)
         if to_close is not None:
             try:
                 to_close.close()
@@ -138,7 +152,10 @@ class ConnectionPool:
         with self._lock:
             self._clients[label] = client
             self._addresses[label] = member
+            came_back = label in self._down
             self._down.discard(label)
+        if came_back:
+            self.events.emit("member-up", member=label)
         return client
 
     def discard(self, member: Member, client: ValidationClient) -> None:

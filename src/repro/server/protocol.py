@@ -6,7 +6,7 @@ Request object::
 
     {"op": "check" | "classify" | "validate" | "stats"
            | "check-batch" | "put-artifact" | "get-artifact"
-           | "health" | "ring-config",
+           | "health" | "ring-config" | "metrics",
      "dtd": "<!ELEMENT ...>",        # required for schema-carrying ops
      "doc": "<r>...</r>",            # required for "check"/"validate"
      "algorithm": "machine" | "kernel" | "figure5" | "earley"
@@ -19,7 +19,22 @@ Request object::
      "members": ["host:port", ...],  # required for "ring-config"
      "replica_count": 2,             # optional for "ring-config"
      "read_policy": "round-robin",   # optional for "ring-config"
+     "trace": "f3a9c2d417b8e05a",    # optional opt-in trace id
      "id": <any JSON value>}         # optional, echoed back verbatim
+
+Observability ops and tracing
+-----------------------------
+``metrics`` answers with the server's metrics snapshot (counters,
+gauges, log-bucketed latency histograms — the :mod:`repro.obs.metrics`
+snapshot shape, mergeable across shards) plus a ready-rendered
+Prometheus text exposition under ``"prometheus"``.  Like ``health`` it
+carries no payload and is **not** epoch-gated: scrapers talk to a shard
+directly, not through ring routing.  A request carrying a non-empty
+``trace`` string opts into tracing: the success reply (for
+``check-batch``, the trailer; item replies get a timing stub) gains a
+``"trace": {"id", "span"}`` object whose span records the member, op,
+total wall time, and the per-phase timings the server measured.
+Requests without the field pay nothing.
 
 Streaming batch op
 ------------------
@@ -133,6 +148,7 @@ OPS = (
     "get-artifact",
     "health",
     "ring-config",
+    "metrics",
 )
 
 #: Every structured error code a server may answer with, plus the two
@@ -208,6 +224,7 @@ class Request:
     members: list[str] | None = None
     replica_count: int | None = None
     read_policy: str | None = None
+    trace: str | None = None
     id: Any = field(default=None)
 
 
@@ -238,10 +255,13 @@ def decode_request(line: str | bytes) -> Request:
             "unsupported-op",
             f"op must be one of {', '.join(OPS)} (got {op!r})",
         )
-    for key in ("dtd", "doc", "root", "fingerprint", "artifact"):
+    for key in ("dtd", "doc", "root", "fingerprint", "artifact", "trace"):
         value = payload.get(key)
         if value is not None and not isinstance(value, str):
             raise ProtocolError("bad-request", f"{key!r} must be a string")
+    trace = payload.get("trace")
+    if trace is not None and not trace:
+        raise ProtocolError("bad-request", "'trace' must be a non-empty string")
     algorithm = payload.get("algorithm")
     if algorithm is not None and algorithm not in ALGORITHMS:
         raise ProtocolError(
@@ -294,6 +314,7 @@ def decode_request(line: str | bytes) -> Request:
         members=members,
         replica_count=replica_count,
         read_policy=read_policy,
+        trace=trace,
         id=payload.get("id"),
     )
     if request.op in SCHEMA_OPS and request.dtd is None:

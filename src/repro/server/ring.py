@@ -51,6 +51,9 @@ from typing import Any, Callable, Iterable
 
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.trace import TraceContext
 from repro.server.client import ServerError, ValidationClient
 from repro.server.placement import (
     DEFAULT_VNODES,
@@ -124,6 +127,14 @@ class ShardedClient:
     connect:
         Connection factory, ``(member, timeout) -> ValidationClient``;
         injectable for tests.
+    telemetry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` mirroring
+        the client-side routing counters (reads per member, failovers,
+        corpus requeues/steals).  Named ``telemetry`` — not ``metrics``
+        — because :meth:`metrics` is the ring-wide scrape op.
+    events:
+        Optional :class:`~repro.obs.events.EventLog`; the client emits
+        ``failover`` and (via its pool) ``member-down`` / ``member-up``.
 
     The client is thread-safe: placement sits in a
     :class:`~repro.server.placement.PlacementView`, connections in a
@@ -150,6 +161,8 @@ class ShardedClient:
         vnodes: int = DEFAULT_VNODES,
         timeout: float | None = 30.0,
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
+        telemetry: MetricsRegistry | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.placement = PlacementView(
             members, replica_count=replica_count, vnodes=vnodes
@@ -157,9 +170,17 @@ class ShardedClient:
         if not len(self.placement):
             raise ValueError("a sharded client needs at least one member")
         self.timeout = timeout
-        self.pool = ConnectionPool(timeout=timeout, connect=connect)
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self.pool = ConnectionPool(
+            timeout=timeout, connect=connect, events=self.events
+        )
         self.pool.remember(self.placement.members)
-        self.router = Router(self.placement, self.pool, policy=read_policy)
+        self.router = Router(
+            self.placement, self.pool, policy=read_policy,
+            metrics=self.telemetry,
+        )
+        self._m_failovers = self.telemetry.counter("repro_ring_failovers_total")
         self._lock = threading.Lock()
         self._holders: dict[str, set[str]] = {}
         self._fingerprints: OrderedDict[tuple[str, str | None], str] = OrderedDict()
@@ -283,6 +304,7 @@ class ShardedClient:
         fingerprint: str,
         fn: Callable[[ValidationClient, int | None], Any],
         handoff: bool = True,
+        trace: TraceContext | None = None,
     ) -> Any:
         """Run *fn* against a live replica picked by the read policy,
         failing over down the preference list; hand the artifact over
@@ -290,7 +312,8 @@ class ShardedClient:
         epoch** to stamp on the request; a ``wrong-epoch`` answer
         refreshes the ring from the error object and re-resolves
         (bounded), so membership changes never require a client
-        restart."""
+        restart.  With a :class:`~repro.obs.trace.TraceContext` every
+        attempted member becomes one hop record on the context."""
         last_error: Exception | None = None
         for _refresh in range(_MAX_EPOCH_REFRESHES):
             candidates = self.router.candidates(fingerprint)
@@ -303,6 +326,7 @@ class ShardedClient:
                 client: ValidationClient | None = None
                 wrong_epoch: ServerError | None = None
                 epoch = self.placement.epoch
+                hop = trace.begin_hop(label) if trace is not None else None
                 self.router.begin(member)
                 served = False
                 try:
@@ -324,18 +348,31 @@ class ShardedClient:
                             wrong_epoch = error
                 except OSError as error:  # covers ConnectionError and timeouts
                     self.pool.mark_down(member, client)
+                    if hop is not None and trace is not None:
+                        trace.fail_hop(hop, error)
                     last_error = error
                     continue
                 finally:
                     self.router.finish(member, served=served)
                 if wrong_epoch is not None:
+                    if hop is not None and trace is not None:
+                        trace.fail_hop(hop, "wrong-epoch")
                     self._adopt_view(wrong_epoch.reply.get("error") or {})
                     last_error = wrong_epoch
                     stale = True
                     break  # re-resolve placement under the new view
+                if hop is not None and trace is not None:
+                    trace.end_hop(hop, result)
                 if member is not owner:
                     with self._lock:
                         self._failovers += 1
+                    self._m_failovers.inc()
+                    self.events.emit(
+                        "failover",
+                        fingerprint=fingerprint[:16],
+                        member=label,
+                        owner=member_label(owner),
+                    )
                 compiled = self._note_schema(label, result)
                 if compiled and self.placement.replica_count > 1:
                     # The one honest compile just happened: fan the
@@ -445,28 +482,45 @@ class ShardedClient:
         algorithm: str | None = None,
         root: str | None = None,
         id: Any = None,
+        trace: bool | str = False,
     ) -> dict[str, Any]:
         """Potential-validity check, served by a live replica of the
-        schema's owning set picked by the read policy."""
+        schema's owning set picked by the read policy.
+
+        With ``trace=True`` (or a caller-chosen trace id string) the
+        reply's ``trace`` object records every hop the routed call
+        attempted — failed members with their errors, the serving member
+        with the server's per-phase span (see :mod:`repro.obs.trace`).
+        """
         fingerprint = self.fingerprint(dtd, root)
-        return self._call(
+        ctx = TraceContext.make(trace)
+        trace_id = ctx.id if ctx is not None else None
+        result = self._call(
             fingerprint,
             lambda client, epoch: client.check(
-                dtd, doc, algorithm=algorithm, root=root, id=id, epoch=epoch
+                dtd, doc, algorithm=algorithm, root=root, id=id, epoch=epoch,
+                trace=trace_id,
             ),
+            trace=ctx,
         )
+        return ctx.attach(result) if ctx is not None else result
 
     def validate(
-        self, dtd: str, doc: str, root: str | None = None, id: Any = None
+        self, dtd: str, doc: str, root: str | None = None, id: Any = None,
+        trace: bool | str = False,
     ) -> dict[str, Any]:
-        """Standard DTD validation, routed like :meth:`check`."""
+        """Standard DTD validation, routed (and traced) like :meth:`check`."""
         fingerprint = self.fingerprint(dtd, root)
-        return self._call(
+        ctx = TraceContext.make(trace)
+        trace_id = ctx.id if ctx is not None else None
+        result = self._call(
             fingerprint,
             lambda client, epoch: client.validate(
-                dtd, doc, root=root, id=id, epoch=epoch
+                dtd, doc, root=root, id=id, epoch=epoch, trace=trace_id
             ),
+            trace=ctx,
         )
+        return ctx.attach(result) if ctx is not None else result
 
     def classify(
         self, dtd: str, root: str | None = None, id: Any = None
@@ -486,15 +540,25 @@ class ShardedClient:
         docs: list[str],
         algorithm: str | None = None,
         root: str | None = None,
+        trace: bool | str = False,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
-        """Stream a whole corpus for one schema to a live owning replica."""
+        """Stream a whole corpus for one schema to a live owning replica.
+
+        With ``trace`` the batch **trailer** carries the hop records
+        (per-item replies carry lightweight per-item spans).
+        """
         fingerprint = self.fingerprint(dtd, root)
-        return self._call(
+        ctx = TraceContext.make(trace)
+        trace_id = ctx.id if ctx is not None else None
+        result = self._call(
             fingerprint,
             lambda client, epoch: client.check_batch(
-                dtd, docs, algorithm=algorithm, root=root, epoch=epoch
+                dtd, docs, algorithm=algorithm, root=root, epoch=epoch,
+                trace=trace_id,
             ),
+            trace=ctx,
         )
+        return ctx.attach(result) if ctx is not None else result
 
     def batch_on_member(
         self,
@@ -602,6 +666,38 @@ class ShardedClient:
                 self.pool.mark_down(member, stats_client)
                 shards[label] = None
         return {"shards": shards, "ring": self.ring_stats}
+
+    def metrics(self) -> dict[str, Any]:
+        """Ring-wide metrics scrape: per-shard snapshots, their merge,
+        and the client's own telemetry snapshot.
+
+        ``shards`` maps member label to that shard's snapshot (``None``
+        for an unreachable shard); ``merged`` is the
+        :func:`~repro.obs.metrics.merge_snapshots` aggregation of the
+        reachable ones — ring-wide p99 is one
+        :func:`~repro.obs.metrics.histogram_quantile` call away.
+        """
+        shards: dict[str, Any] = {}
+        reachable: list[dict[str, Any]] = []
+        for member in self.placement.members:
+            label = member_label(member)
+            metrics_client: ValidationClient | None = None
+            try:
+                with self.pool.lock(member):
+                    metrics_client = self.pool.client(member)
+                    reply = metrics_client.metrics()
+            except OSError:
+                self.pool.mark_down(member, metrics_client)
+                shards[label] = None
+                continue
+            snapshot = reply.get("metrics") or {}
+            shards[label] = snapshot
+            reachable.append(snapshot)
+        return {
+            "shards": shards,
+            "merged": merge_snapshots(reachable),
+            "client": self.telemetry.snapshot(),
+        }
 
     @property
     def ring_stats(self) -> dict[str, Any]:

@@ -62,6 +62,7 @@ class Router:
         placement: PlacementView,
         pool: ConnectionPool,
         policy: str | None = None,
+        metrics: Any | None = None,
     ) -> None:
         if policy is not None and policy not in READ_POLICIES:
             raise ValueError(
@@ -75,6 +76,12 @@ class Router:
         self._inflight: Counter[str] = Counter()
         self._requests: Counter[str] = Counter()
         self._rotation: OrderedDict[str, int] = OrderedDict()
+        # Optional observability mirror: served reads per member, as
+        # repro_ring_reads_total{member=...} in a MetricsRegistry.
+        # Handles are cached per label so the per-call cost is one dict
+        # probe (see repro.obs.metrics).
+        self._metrics = metrics
+        self._read_counters: dict[str, Any] = {}
 
     # -- policy --------------------------------------------------------------
 
@@ -166,6 +173,15 @@ class Router:
                 del self._inflight[label]
             if served:
                 self._requests[label] += 1
+                if self._metrics is not None:
+                    counter = self._read_counters.get(label)
+                    if counter is None:
+                        counter = self._read_counters[label] = (
+                            self._metrics.counter(
+                                "repro_ring_reads_total", member=label
+                            )
+                        )
+                    counter.inc()
 
     @property
     def inflight(self) -> dict[str, int]:

@@ -267,8 +267,27 @@ class CorpusScheduler:
         client = self._client
         lock = threading.Lock()
         rejection: list[Exception] = []
+        # Telemetry is optional: the scheduler drives any client with
+        # the routed-batch surface, including test fakes without the
+        # observability attributes.
+        telemetry = getattr(client, "telemetry", None)
+        events = getattr(client, "events", None)
+        requeues = (
+            telemetry.counter("repro_ring_requeues_total")
+            if telemetry is not None else None
+        )
+        steals = (
+            telemetry.counter("repro_ring_steals_total")
+            if telemetry is not None else None
+        )
+        placement = getattr(client, "placement", None)
+        primary_label = (
+            member_label(placement.primary(fingerprint))
+            if placement is not None else None
+        )
 
         def worker(member: Any) -> None:
+            label = member_label(member)
             while True:
                 with lock:
                     if rejection or not windows:
@@ -289,6 +308,15 @@ class CorpusScheduler:
                     # worker — batch_on_member already marked it down.
                     with lock:
                         windows.appendleft((offset, window_docs))
+                    if requeues is not None:
+                        requeues.inc()
+                    if events is not None:
+                        events.emit(
+                            "window-requeued",
+                            member=label,
+                            offset=offset,
+                            docs=len(window_docs),
+                        )
                     return
                 except Exception as error:  # noqa: BLE001 - surfaced in place
                     # A non-transport rejection (a ServerError, a garbled
@@ -298,6 +326,9 @@ class CorpusScheduler:
                     with lock:
                         rejection.append(error)
                     return
+                if steals is not None and primary_label is not None:
+                    if label != primary_label:
+                        steals.inc()
                 with lock:
                     replies[offset : offset + len(window_replies)] = (
                         window_replies

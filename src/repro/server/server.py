@@ -44,7 +44,7 @@ import stat
 import threading
 from collections import Counter, OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from time import monotonic, perf_counter
+from time import monotonic
 from typing import Any
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG
@@ -52,6 +52,9 @@ from repro.core.classify import classify_dtd
 from repro.core.pv import PVChecker
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, Stopwatch
+from repro.obs.promtext import render as render_prometheus
 from repro.server import protocol
 from repro.server.placement import PlacementView
 from repro.server.protocol import ProtocolError, Request
@@ -77,11 +80,16 @@ HANDLED_OPS = (
     "get-artifact",
     "health",
     "ring-config",
+    "metrics",
 )
 
-#: How many of the most-requested fingerprints ``stats`` reports — the
-#: list a joining shard's prefetch is computed from.
+#: Default for how many of the most-requested fingerprints ``stats``
+#: reports — the list a joining shard's prefetch is computed from.
+#: Configurable per server via ``hot_limit`` / ``serve --hot-limit``.
 HOT_FINGERPRINTS = 32
+
+#: The request phases the server times into ``repro_phase_seconds``.
+_PHASES = ("parse", "queue", "decide", "verdict", "artifact")
 
 #: Bound on the per-fingerprint request counter; past this the counter is
 #: compacted to its hottest half (exact counts are a prefetch heuristic,
@@ -218,33 +226,58 @@ def _pool_check(
     config: CheckerConfig,
     policy: DispatchPolicy,
 ) -> dict[str, Any]:
-    """Check one document in a pool worker; returns response fields."""
+    """Check one document in a pool worker; returns response fields.
+
+    The worker times its own phases with its local clock and ships the
+    *durations* back (floats pickle fine); the server derives queue-wait
+    from its side of the boundary, so no cross-process clock is assumed.
+    """
     schema = _pool_schema(fingerprint, blob)
+    parse_watch = Stopwatch()
     try:
         document = parse_xml(doc_text)
     except ReproError as error:
         return {"error": ("bad-document", str(error))}
+    doc_parse = parse_watch.seconds
     if algorithm == "auto":
         dispatcher = _POOL_DISPATCHERS.get(fingerprint)
         if dispatcher is None:
             dispatcher = BackendDispatcher(schema, policy=policy, config=config)
             _POOL_DISPATCHERS[fingerprint] = dispatcher
-        outcome = dispatcher.check_document(document)
+        decide_watch = Stopwatch()
+        decision = dispatcher.choose(document)
+        decide = decide_watch.seconds
+        verdict_watch = Stopwatch()
+        verdict = dispatcher.checker_for(decision.algorithm).check_document(
+            document
+        )
         return {
-            "verdict": protocol.verdict_fields(outcome.verdict),
-            "algorithm": outcome.decision.algorithm,
-            "reason": outcome.decision.reason,
+            "verdict": protocol.verdict_fields(verdict),
+            "algorithm": decision.algorithm,
+            "reason": decision.reason,
+            "timings": {
+                "doc_parse": doc_parse,
+                "decide": decide,
+                "verdict": verdict_watch.seconds,
+                "backend": decision.algorithm,
+            },
         }
     key = (fingerprint, algorithm)
     checker = _POOL_CHECKERS.get(key)
     if checker is None:
         checker = schema.checker(algorithm, config)
         _POOL_CHECKERS[key] = checker
+    verdict_watch = Stopwatch()
     verdict = checker.check_document(document)
     return {
         "verdict": protocol.verdict_fields(verdict),
         "algorithm": algorithm,
         "reason": None,
+        "timings": {
+            "doc_parse": doc_parse,
+            "verdict": verdict_watch.seconds,
+            "backend": algorithm,
+        },
     }
 
 
@@ -288,11 +321,19 @@ class ValidationServer:
         config: CheckerConfig = DEFAULT_CONFIG,
         policy: DispatchPolicy = DEFAULT_POLICY,
         default_algorithm: str = "auto",
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+        slow_ms: float | None = None,
+        hot_limit: int = HOT_FINGERPRINTS,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if default_algorithm not in protocol.ALGORITHMS:
             raise ValueError(f"unknown default algorithm {default_algorithm!r}")
+        if hot_limit < 1:
+            raise ValueError("hot_limit must be >= 1")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
         if registry is None:
             registry = SchemaRegistry(store=store)
         elif store is not None and registry.store is None:
@@ -303,6 +344,46 @@ class ValidationServer:
         self.config = config
         self.policy = policy
         self.default_algorithm = default_algorithm
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self.slow_ms = slow_ms
+        self.hot_limit = hot_limit
+        # Handles are resolved once here, so the per-request cost of a
+        # metric is a lock-guarded add, not a registry lookup.
+        m = self.metrics
+        self._m_requests = {
+            op: m.counter("repro_requests_total", op=op) for op in protocol.OPS
+        }
+        self._m_latency = {
+            op: m.histogram("repro_request_seconds", op=op)
+            for op in protocol.OPS
+        }
+        self._m_errors = {
+            code: m.counter("repro_errors_total", code=code)
+            for code in protocol.ERROR_CODES
+        }
+        self._m_phases = {
+            phase: m.histogram("repro_phase_seconds", phase=phase)
+            for phase in _PHASES
+        }
+        self._m_verdict = {
+            backend: m.histogram("repro_verdict_seconds", backend=backend)
+            for backend in protocol.ALGORITHMS
+            if backend != "auto"
+        }
+        self._m_dispatch = {
+            backend: m.counter("repro_dispatch_total", backend=backend)
+            for backend in protocol.ALGORITHMS
+            if backend != "auto"
+        }
+        self._m_batch_items = m.counter("repro_batch_items_total")
+        self._m_slow = m.counter("repro_slow_requests_total")
+        self._m_traced = m.counter("repro_traced_requests_total")
+        self._g_inflight = m.gauge("repro_inflight")
+        self._g_connections = m.gauge("repro_connections")
+        self.registry.attach_metrics(m)
+        if self.store is not None:
+            self.store.attach_observability(metrics=m, events=self.events)
         self._pool: ProcessPoolExecutor | None = None
         self._shipped: set[str] = set()
         # Derived-object caches hold compiled artifacts alive; bounding
@@ -562,27 +643,40 @@ class ValidationServer:
         *decode_error* that decoding produced) so the line is parsed only
         once; called with just *line*, it decodes for itself.
         """
-        started = perf_counter()
+        watch = Stopwatch()
         self._requests += 1
         request_id: Any = None  # echoed even on errors, once decoded
+        timings: dict[str, Any] = {}
         try:
             if decode_error is not None:
                 raise decode_error
             if request is None:
                 request = protocol.decode_request(line)
             request_id = request.id
-            response = await self._dispatch_request(request)
+            response = await self._dispatch_request(request, timings)
         except ProtocolError as error:
             self._errors += 1
+            self._m_errors.get(error.code, self._m_errors["internal"]).inc()
             return protocol.error_payload(
                 error.code, error.message, id=request_id, details=error.details
             )
         except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
             self._errors += 1
+            self._m_errors["internal"].inc()
             return protocol.error_payload(
                 "internal", f"{type(error).__name__}: {error}", id=request_id
             )
-        response["elapsed_ms"] = round((perf_counter() - started) * 1000.0, 3)
+        # The reply stamp and the latency histogram read one Stopwatch,
+        # so the two can never disagree.
+        response["elapsed_ms"] = watch.elapsed_ms
+        self._observe_request(request.op, watch, timings)
+        if request.trace is not None:
+            self._m_traced.inc()
+            response["trace"] = {
+                "id": request.trace,
+                "span": self._server_span(request.op, watch, timings),
+            }
+        self._note_slow(request.op, watch, request.trace, request_id)
         epoch = self._placement.epoch
         if epoch is not None:
             response.setdefault("epoch", epoch)
@@ -590,27 +684,98 @@ class ValidationServer:
             response["id"] = request_id
         return response
 
-    async def _dispatch_request(self, request: Request) -> dict[str, Any]:
+    # -- instrumentation helpers ---------------------------------------------
+
+    def _observe_request(
+        self, op: str, watch: Stopwatch, timings: dict[str, Any]
+    ) -> None:
+        """Record one served request: op counter, latency, phase timers."""
+        self._m_requests[op].inc()
+        self._m_latency[op].observe(watch.seconds)
+        self._observe_phases(timings)
+
+    def _observe_phases(self, timings: dict[str, Any]) -> None:
+        for phase in _PHASES:
+            seconds = timings.get(phase)
+            if seconds is not None:
+                self._m_phases[phase].observe(seconds)
+        backend = timings.get("backend")
+        if backend in self._m_verdict and timings.get("verdict") is not None:
+            self._m_verdict[backend].observe(timings["verdict"])
+
+    def _note_slow(
+        self, op: str | None, watch: Stopwatch, trace: str | None, id: Any
+    ) -> None:
+        if self.slow_ms is None:
+            return
+        elapsed_ms = watch.elapsed_ms
+        if elapsed_ms <= self.slow_ms:
+            return
+        self._m_slow.inc()
+        fields: dict[str, Any] = {
+            "member": self._member_label(),
+            "op": op,
+            "elapsed_ms": elapsed_ms,
+            "slow_ms": self.slow_ms,
+        }
+        if trace is not None:
+            fields["trace"] = trace
+        if id is not None:
+            fields["id"] = id
+        self.events.emit("slow-request", **fields)
+
+    def _member_label(self) -> str | None:
+        if self._unix_path is not None:
+            return self._unix_path
+        if self._tcp_address is not None:
+            return f"{self._tcp_address[0]}:{self._tcp_address[1]}"
+        return None
+
+    def _server_span(
+        self, op: str, watch: Stopwatch, timings: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The per-hop span a traced request's reply carries."""
+        span: dict[str, Any] = {
+            "member": self._member_label(),
+            "op": op,
+            "total_ms": watch.elapsed_ms,
+        }
+        for phase in _PHASES:
+            seconds = timings.get(phase)
+            if seconds is not None:
+                span[f"{phase}_ms"] = round(seconds * 1000.0, 3)
+        backend = timings.get("backend")
+        if backend is not None:
+            span["backend"] = backend
+        return span
+
+    async def _dispatch_request(
+        self, request: Request, timings: dict[str, Any]
+    ) -> dict[str, Any]:
         if request.op == "health":
             return self._op_health()
+        if request.op == "metrics":
+            return self._op_metrics()
         if request.op == "ring-config":
             return self._op_ring_config(request)
         self._check_epoch(request)
         if request.op == "stats":
             return self._op_stats()
         if request.op == "put-artifact":
-            return await self._op_put_artifact(request)
+            return await self._op_put_artifact(request, timings)
         if request.op == "get-artifact":
-            return await self._op_get_artifact(request)
+            return await self._op_get_artifact(request, timings)
         assert request.dtd is not None  # decode_request guarantees it
+        parse_watch = Stopwatch()
         schema, disposition = self._resolve_schema(request.dtd, request.root)
+        timings["parse"] = parse_watch.seconds
         self._count_hot(schema.fingerprint)
         if request.op == "check":
-            return await self._op_check(request, schema, disposition)
+            return await self._op_check(request, schema, disposition, timings)
         if request.op == "classify":
             return self._op_classify(schema, disposition)
         if request.op == "validate":
-            return await self._op_validate(request, schema, disposition)
+            return await self._op_validate(request, schema, disposition, timings)
         raise ProtocolError("unsupported-op", f"unhandled op {request.op!r}")
 
     def _resolve_schema(
@@ -656,35 +821,64 @@ class ValidationServer:
     # -- ops -----------------------------------------------------------------
 
     async def _run_check(
-        self, schema: CompiledSchema, doc_text: str, algorithm: str
+        self,
+        schema: CompiledSchema,
+        doc_text: str,
+        algorithm: str,
+        timings: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """One verdict's raw fields, off-loop (thread or process pool).
 
         Brackets the off-loop work with the ``inflight`` gauge (the
         increments run on the event loop, so no lock is needed): the
         stats-visible load signal a ``least-inflight`` routing client
-        balances on.
+        balances on.  The off-loop wall clock minus the work the worker
+        itself timed is the queue-wait phase — measured on this side of
+        the boundary so process-pool workers need no shared clock.
         """
         self._inflight += 1
+        self._g_inflight.set(self._inflight)
+        off_loop = Stopwatch()
         try:
             if self._pool is not None:
-                return await self._pool_round_trip(schema, doc_text, algorithm)
-            return await asyncio.to_thread(
-                self._inline_check, schema, doc_text, algorithm
-            )
+                fields = await self._pool_round_trip(schema, doc_text, algorithm)
+            else:
+                fields = await asyncio.to_thread(
+                    self._inline_check, schema, doc_text, algorithm
+                )
         finally:
             self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+        inner = fields.pop("timings", None)
+        if timings is not None and inner is not None:
+            worked = sum(
+                inner.get(key) or 0.0 for key in ("doc_parse", "decide", "verdict")
+            )
+            timings["queue"] = max(0.0, off_loop.seconds - worked)
+            # DTD resolution and document parsing are one "parse" phase.
+            doc_parse = inner.get("doc_parse")
+            if doc_parse is not None:
+                timings["parse"] = timings.get("parse", 0.0) + doc_parse
+            for key in ("decide", "verdict", "backend"):
+                if inner.get(key) is not None:
+                    timings[key] = inner[key]
+        return fields
 
     async def _op_check(
-        self, request: Request, schema: CompiledSchema, disposition: str
+        self,
+        request: Request,
+        schema: CompiledSchema,
+        disposition: str,
+        timings: dict[str, Any],
     ) -> dict[str, Any]:
         assert request.doc is not None
         algorithm = request.algorithm or self.default_algorithm
-        fields = await self._run_check(schema, request.doc, algorithm)
+        fields = await self._run_check(schema, request.doc, algorithm, timings)
         error = fields.pop("error", None)
         if error is not None:
             raise ProtocolError(*error)
         self._dispatch_counts[fields["algorithm"]] += 1
+        self._count_dispatch(fields["algorithm"])
         response: dict[str, Any] = {
             "ok": True,
             "op": "check",
@@ -696,13 +890,20 @@ class ValidationServer:
             response["dispatch_reason"] = fields["reason"]
         return response
 
+    def _count_dispatch(self, backend: str) -> None:
+        counter = self._m_dispatch.get(backend)
+        if counter is not None:
+            counter.inc()
+
     def _inline_check(
         self, schema: CompiledSchema, doc_text: str, algorithm: str
     ) -> dict[str, Any]:
+        parse_watch = Stopwatch()
         try:
             document = parse_xml(doc_text)
         except ReproError as error:
             return {"error": ("bad-document", str(error))}
+        doc_parse = parse_watch.seconds
         if algorithm == "auto":
             dispatcher = self._dispatchers.get(schema.fingerprint)
             if dispatcher is None:
@@ -710,22 +911,40 @@ class ValidationServer:
                     schema, policy=self.policy, config=self.config
                 )
                 self._dispatchers[schema.fingerprint] = dispatcher
-            outcome = dispatcher.check_document(document)
+            decide_watch = Stopwatch()
+            decision = dispatcher.choose(document)
+            decide = decide_watch.seconds
+            verdict_watch = Stopwatch()
+            verdict = dispatcher.checker_for(decision.algorithm).check_document(
+                document
+            )
             return {
-                "verdict": protocol.verdict_fields(outcome.verdict),
-                "algorithm": outcome.decision.algorithm,
-                "reason": outcome.decision.reason,
+                "verdict": protocol.verdict_fields(verdict),
+                "algorithm": decision.algorithm,
+                "reason": decision.reason,
+                "timings": {
+                    "doc_parse": doc_parse,
+                    "decide": decide,
+                    "verdict": verdict_watch.seconds,
+                    "backend": decision.algorithm,
+                },
             }
         key = (schema.fingerprint, algorithm)
         checker = self._checkers.get(key)
         if checker is None:
             checker = schema.checker(algorithm, self.config)
             self._checkers[key] = checker
+        verdict_watch = Stopwatch()
         verdict = checker.check_document(document)
         return {
             "verdict": protocol.verdict_fields(verdict),
             "algorithm": algorithm,
             "reason": None,
+            "timings": {
+                "doc_parse": doc_parse,
+                "verdict": verdict_watch.seconds,
+                "backend": algorithm,
+            },
         }
 
     def _make_pool(self) -> ProcessPoolExecutor:
@@ -815,16 +1034,20 @@ class ValidationServer:
         reinterpret), an over-limit item line, a mid-batch hangup — end
         the connection after an error reply, the documented disconnect.
         """
-        started = perf_counter()
+        watch = Stopwatch()
         self._batches += 1
+        batch_timings: dict[str, Any] = {}
         schema: CompiledSchema | None = None
         disposition = "miss"
         try:
             self._check_epoch(request)
             assert request.dtd is not None  # decode_request guarantees it
+            parse_watch = Stopwatch()
             schema, disposition = self._resolve_schema(request.dtd, request.root)
+            batch_timings["parse"] = parse_watch.seconds
         except ProtocolError as error:
             self._errors += 1
+            self._m_errors.get(error.code, self._m_errors["internal"]).inc()
             writer.write(
                 protocol.encode(
                     protocol.error_payload(
@@ -837,6 +1060,7 @@ class ValidationServer:
             return False
         except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
             self._errors += 1
+            self._m_errors["internal"].inc()
             writer.write(
                 protocol.encode(
                     protocol.error_payload(
@@ -878,7 +1102,10 @@ class ValidationServer:
             items += 1
             self._requests += 1
             self._batch_items += 1
-            reply = await self._handle_batch_item(line, index, schema, algorithm)
+            self._m_batch_items.inc()
+            reply = await self._handle_batch_item(
+                line, index, schema, algorithm, request.trace
+            )
             if not reply.get("ok"):
                 errors += 1
             writer.write(protocol.encode(reply))
@@ -890,8 +1117,17 @@ class ValidationServer:
             "items": items,
             "errors": errors,
             "schema": self._schema_fields(schema, disposition),
-            "elapsed_ms": round((perf_counter() - started) * 1000.0, 3),
+            # The same Stopwatch feeds the trailer stamp and the latency
+            # histogram, so the two can never disagree.
+            "elapsed_ms": watch.elapsed_ms,
         }
+        self._observe_request("check-batch", watch, batch_timings)
+        if request.trace is not None:
+            self._m_traced.inc()
+            span = self._server_span("check-batch", watch, batch_timings)
+            span["items"] = items
+            trailer["trace"] = {"id": request.trace, "span": span}
+        self._note_slow("check-batch", watch, request.trace, request.id)
         epoch = self._placement.epoch
         if epoch is not None:
             trailer["epoch"] = epoch
@@ -902,20 +1138,27 @@ class ValidationServer:
         return True
 
     async def _handle_batch_item(
-        self, line: bytes, index: int, schema: CompiledSchema, algorithm: str
+        self,
+        line: bytes,
+        index: int,
+        schema: CompiledSchema,
+        algorithm: str,
+        trace: str | None = None,
     ) -> dict[str, Any]:
         """One item line to one ``check-batch-item`` reply (never raises)."""
         item_id: Any = index
+        timings: dict[str, Any] = {}
         try:
             item = protocol.decode_batch_item(line)
             if item.id is not None:
                 item_id = item.id
-            fields = await self._run_check(schema, item.doc, algorithm)
+            fields = await self._run_check(schema, item.doc, algorithm, timings)
             error = fields.pop("error", None)
             if error is not None:
                 raise ProtocolError(*error)
         except ProtocolError as error:
             self._errors += 1
+            self._m_errors.get(error.code, self._m_errors["internal"]).inc()
             reply = protocol.error_payload(
                 error.code, error.message, id=item_id, details=error.details
             )
@@ -923,12 +1166,15 @@ class ValidationServer:
             return reply
         except Exception as error:  # noqa: BLE001 - a reply beats a disconnect
             self._errors += 1
+            self._m_errors["internal"].inc()
             reply = protocol.error_payload(
                 "internal", f"{type(error).__name__}: {error}", id=item_id
             )
             reply["op"] = "check-batch-item"
             return reply
         self._dispatch_counts[fields["algorithm"]] += 1
+        self._count_dispatch(fields["algorithm"])
+        self._observe_phases(timings)
         reply = {
             "ok": True,
             "op": "check-batch-item",
@@ -938,11 +1184,20 @@ class ValidationServer:
         }
         if fields.get("reason"):
             reply["dispatch_reason"] = fields["reason"]
+        if trace is not None:
+            stub: dict[str, Any] = {"id": trace}
+            for phase in ("queue", "verdict"):
+                seconds = timings.get(phase)
+                if seconds is not None:
+                    stub[f"{phase}_ms"] = round(seconds * 1000.0, 3)
+            reply["trace"] = stub
         return reply
 
     # -- artifact hand-off ops -----------------------------------------------
 
-    async def _op_put_artifact(self, request: Request) -> dict[str, Any]:
+    async def _op_put_artifact(
+        self, request: Request, timings: dict[str, Any]
+    ) -> dict[str, Any]:
         """Seed a compiled artifact shipped by a ring coordinator.
 
         The payload is the :mod:`repro.service.store` file format (header +
@@ -975,7 +1230,9 @@ class ValidationServer:
                     pass  # an unwritable store degrades to memory-only seeding
             return "registry"
 
+        artifact_watch = Stopwatch()
         stored = await asyncio.to_thread(decode_and_store)
+        timings["artifact"] = artifact_watch.seconds
         if stored is None:
             raise ProtocolError(
                 "bad-artifact",
@@ -988,7 +1245,9 @@ class ValidationServer:
             "stored": stored,
         }
 
-    async def _op_get_artifact(self, request: Request) -> dict[str, Any]:
+    async def _op_get_artifact(
+        self, request: Request, timings: dict[str, Any]
+    ) -> dict[str, Any]:
         """Hand the compiled artifact for a fingerprint to a coordinator.
 
         Pickling (and a possible disk load) runs off-loop, like every
@@ -1007,7 +1266,9 @@ class ValidationServer:
                 return None
             return encode_artifact(schema)
 
+        artifact_watch = Stopwatch()
         blob = await asyncio.to_thread(load_and_encode)
+        timings["artifact"] = artifact_watch.seconds
         if blob is None:
             raise ProtocolError(
                 "artifact-miss",
@@ -1042,7 +1303,11 @@ class ValidationServer:
         }
 
     async def _op_validate(
-        self, request: Request, schema: CompiledSchema, disposition: str
+        self,
+        request: Request,
+        schema: CompiledSchema,
+        disposition: str,
+        timings: dict[str, Any],
     ) -> dict[str, Any]:
         assert request.doc is not None
 
@@ -1055,17 +1320,24 @@ class ValidationServer:
             if validator is None:
                 validator = DTDValidator(schema.dtd)
                 self._validators[schema.fingerprint] = validator
+            verdict_watch = Stopwatch()
             report = validator.validate(document)
             return {
                 "valid": report.valid,
                 "issues": [str(issue) for issue in report.issues],
+                "timings": {"verdict": verdict_watch.seconds},
             }
 
         self._inflight += 1
+        self._g_inflight.set(self._inflight)
         try:
             fields = await asyncio.to_thread(run)
         finally:
             self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+        inner = fields.pop("timings", None)
+        if inner is not None:
+            timings["verdict"] = inner["verdict"]
         error = fields.pop("error", None)
         if error is not None:
             raise ProtocolError(*error)
@@ -1131,6 +1403,8 @@ class ValidationServer:
                 "workers": self.workers,
                 "default_algorithm": self.default_algorithm,
                 "ring_epoch": self._placement.epoch,
+                "hot_limit": self.hot_limit,
+                "slow_ms": self.slow_ms,
             },
             "registry": self.registry.stats.as_dict(),
             "store": self.store.stats.as_dict() if self.store is not None else None,
@@ -1138,9 +1412,27 @@ class ValidationServer:
             "hot": [
                 [fingerprint, count]
                 for fingerprint, count in self._hot_counts.most_common(
-                    HOT_FINGERPRINTS
+                    self.hot_limit
                 )
             ],
+        }
+
+    def _op_metrics(self) -> dict[str, Any]:
+        """The metrics scrape: a mergeable snapshot plus exposition text.
+
+        Not epoch-gated — scrapers address a shard directly, not through
+        ring routing.  Gauges that mirror live server state are set at
+        snapshot time so the scrape never lags the truth.
+        """
+        self._g_inflight.set(self._inflight)
+        self._g_connections.set(len(self._conn_tasks))
+        snapshot = self.metrics.snapshot()
+        return {
+            "ok": True,
+            "op": "metrics",
+            "member": self._member_label(),
+            "metrics": snapshot,
+            "prometheus": render_prometheus(snapshot),
         }
 
 

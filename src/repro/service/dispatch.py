@@ -314,6 +314,15 @@ class BackendDispatcher:
         verdict = self._checker(decision.algorithm).check_document(document)
         return DispatchedVerdict(verdict=verdict, decision=decision)
 
+    def checker_for(self, algorithm: Algorithm) -> PVChecker:
+        """The cached checker for *algorithm*.
+
+        Public so phase-timed callers (the server's instrumentation)
+        can run :meth:`choose` and the verdict under separate timers
+        without duplicating the checker cache.
+        """
+        return self._checker(algorithm)
+
     def _checker(self, algorithm: Algorithm) -> PVChecker:
         with self._lock:
             checker = self._checkers.get(algorithm)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.dtd.model import DTD
 from repro.dtd.parser import parse_dtd
@@ -136,10 +136,31 @@ class SchemaRegistry:
         self._evictions = 0
         self._store_hits = 0
         self._compile_seconds = 0.0
+        # Optional observability mirror: per-event counters in a
+        # MetricsRegistry.  None (the default) costs one attribute check
+        # per event; see attach_metrics.
+        self._event_counters: dict[str, Any] | None = None
 
     def attach_store(self, store: "ArtifactStore | None") -> None:
         """Attach (or detach, with ``None``) the persistent backing store."""
         self.store = store
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Mirror registry events into *metrics* (a
+        :class:`repro.obs.metrics.MetricsRegistry`) as
+        ``repro_registry_events_total{event=...}`` counters.  A later
+        call rebinds the mirror (last attach wins); ``None`` detaches."""
+        if metrics is None:
+            self._event_counters = None
+            return
+        self._event_counters = {
+            event: metrics.counter("repro_registry_events_total", event=event)
+            for event in ("hit", "miss", "store_hit", "eviction")
+        }
+
+    def _count_event(self, event: str, amount: int = 1) -> None:
+        if self._event_counters is not None:
+            self._event_counters[event].inc(amount)
 
     # -- lookup / compilation ----------------------------------------------
 
@@ -154,6 +175,7 @@ class SchemaRegistry:
             cached = self._entries.get(fingerprint)
             if cached is not None:
                 self._hits += 1
+                self._count_event("hit")
                 self._entries.move_to_end(fingerprint)
                 return cached
         # Disk, then compile, both outside the lock: either can be slow and
@@ -178,17 +200,21 @@ class SchemaRegistry:
             if existing is not None:
                 if source != "seed":
                     self._hits += 1
+                    self._count_event("hit")
                 self._entries.move_to_end(fingerprint)
                 return existing
             if source == "store":
                 self._store_hits += 1
+                self._count_event("store_hit")
             elif source == "compile":
                 self._misses += 1
+                self._count_event("miss")
                 self._compile_seconds += schema.compile_seconds
             self._entries[fingerprint] = schema
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                self._count_event("eviction")
         return schema
 
     def put(self, schema: CompiledSchema) -> CompiledSchema:
@@ -222,6 +248,7 @@ class SchemaRegistry:
                 self._entries.move_to_end(fingerprint)
                 if count:
                     self._hits += 1
+                    self._count_event("hit")
             return cached
 
     # -- maintenance --------------------------------------------------------

@@ -211,6 +211,30 @@ class ArtifactStore:
         self._saves = 0
         self._upgrades = 0
         self._upgrade_logged = False
+        # Optional observability mirrors; None (the default) costs one
+        # attribute check per event.  See attach_observability.
+        self._event_counters = None
+        self._events = None
+
+    def attach_observability(self, metrics=None, events=None) -> None:
+        """Mirror store events into a
+        :class:`repro.obs.metrics.MetricsRegistry` (as
+        ``repro_store_events_total{event=...}`` counters) and/or emit
+        ``store-upgrade`` events to a :class:`repro.obs.events.EventLog`.
+        A later call rebinds each sink independently (last attach wins);
+        passing ``None`` for a sink detaches it."""
+        if metrics is None:
+            self._event_counters = None
+        else:
+            self._event_counters = {
+                event: metrics.counter("repro_store_events_total", event=event)
+                for event in ("hit", "miss", "corrupt", "save", "upgrade")
+            }
+        self._events = events if events is not None and events.enabled else None
+
+    def _count_event(self, event: str) -> None:
+        if self._event_counters is not None:
+            self._event_counters[event].inc()
 
     # -- paths --------------------------------------------------------------
 
@@ -255,12 +279,15 @@ class ArtifactStore:
         except OSError:
             with self._lock:
                 self._misses += 1
+            self._count_event("miss")
             return None
         schema = self._decode(blob, fingerprint)
         if schema is None:
             with self._lock:
                 self._corrupt += 1
                 self._misses += 1
+            self._count_event("corrupt")
+            self._count_event("miss")
             try:
                 path.unlink()
             except OSError:
@@ -271,6 +298,7 @@ class ArtifactStore:
             self._upgrade_in_place(schema, version)
         with self._lock:
             self._hits += 1
+        self._count_event("hit")
         return schema
 
     def _upgrade_in_place(self, schema: CompiledSchema, version: int) -> None:
@@ -291,6 +319,15 @@ class ArtifactStore:
             self._upgrades += 1
             already_logged = self._upgrade_logged
             self._upgrade_logged = True
+        self._count_event("upgrade")
+        if self._events is not None:
+            self._events.emit(
+                "store-upgrade",
+                fingerprint=schema.fingerprint,
+                from_version=version,
+                to_version=STORE_FORMAT_VERSION,
+                directory=str(self.directory),
+            )
         if not already_logged:
             logger.info(
                 "upgraded artifact %s from format version %d to %d in %s "
@@ -321,6 +358,7 @@ class ArtifactStore:
             raise
         with self._lock:
             self._saves += 1
+        self._count_event("save")
         return path
 
     def _decode(self, blob: bytes, fingerprint: str) -> CompiledSchema | None:

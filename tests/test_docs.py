@@ -144,6 +144,71 @@ class TestBackendsDocCoverage:
             assert f"version {version}" in text
 
 
+class TestObservabilityDocCoverage:
+    """docs/OBSERVABILITY.md's catalog table renders
+    ``repro.obs.metrics.CATALOG``; they may not drift."""
+
+    TABLE_ROW = re.compile(
+        r"^\| `(repro_[a-z_]+)` \| (counter|gauge|histogram) "
+        r"\| (.+?) \| (.+?) \|$",
+        flags=re.MULTILINE,
+    )
+
+    def observability_md(self) -> str:
+        return (DOCS / "OBSERVABILITY.md").read_text()
+
+    def test_doc_exists(self):
+        assert (DOCS / "OBSERVABILITY.md").is_file()
+
+    def test_catalog_table_matches_the_registry(self):
+        from repro.obs.metrics import CATALOG
+
+        documented = [
+            (name, kind)
+            for name, kind, _labels, _help in self.TABLE_ROW.findall(
+                self.observability_md()
+            )
+        ]
+        declared = [(spec.name, spec.kind) for spec in CATALOG]
+        # Same rows, same order (the doc claims to render the catalog).
+        assert documented == declared, (
+            "docs/OBSERVABILITY.md catalog table drifted from "
+            f"obs.metrics.CATALOG:\ndoc:     {documented}\n"
+            f"catalog: {declared}"
+        )
+
+    def test_catalog_labels_are_documented(self):
+        from repro.obs.metrics import CATALOG
+
+        documented = {
+            name: labels
+            for name, _kind, labels, _help in self.TABLE_ROW.findall(
+                self.observability_md()
+            )
+        }
+        for spec in CATALOG:
+            cell = documented[spec.name]
+            for label in spec.labels:
+                assert f"`{label}`" in cell, (
+                    f"docs/OBSERVABILITY.md row for {spec.name!r} does not "
+                    f"name its {label!r} label"
+                )
+
+    def test_event_vocabulary_is_documented(self):
+        """Every event name the stack emits appears in the doc."""
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        emitted: set[str] = set()
+        for path in src.rglob("*.py"):
+            emitted.update(
+                re.findall(r"\.emit\(\s*[\"']([a-z-]+)[\"']", path.read_text())
+            )
+        text = self.observability_md()
+        missing = {event for event in emitted if f"`{event}`" not in text}
+        assert not missing, (
+            f"docs/OBSERVABILITY.md lacks emitted event(s): {missing}"
+        )
+
+
 class TestOperationsDocAccuracy:
     def test_cli_commands_named_in_docs_exist(self):
         """Every ``python -m repro <command>`` in the docs parses."""
