@@ -35,12 +35,18 @@ Nine commands wrap the library for shell use:
     smoke testing of the sharded topology; ``--replicas R`` publishes a
     ring view (epoch 1, replica-set size R) to every shard so replies
     carry epochs and clients route reads to any of R owners.
+    ``--gossip on`` runs a SWIM-style gossip agent on every shard:
+    membership truth then lives in the shards themselves (probe,
+    suspect, refute, confirm down, mint epochs) and no coordinator is
+    needed.
 
 ``ring-status ADDR[,ADDR...]``
     Probe every shard of a running ring with the ``health`` op and print
     a liveness/epoch/traffic table; exits 0 when all shards answer, 1
     when any is down.  ``--metrics`` additionally scrapes each shard's
-    ``metrics`` op and prints the ring-wide aggregate.
+    ``metrics`` op and prints the ring-wide aggregate.  Instead of
+    listing every ADDR, ``--discover ADDR`` bootstraps the member list
+    from any one live shard's view — no coordinator required.
 
 ``metrics ADDR[,ADDR...]``
     Scrape every shard's ``metrics`` op and print ring-wide aggregates:
@@ -48,6 +54,7 @@ Nine commands wrap the library for shell use:
     and per verdict backend.  ``--prometheus`` prints the merged
     snapshot as Prometheus text exposition instead.  Exits 1 when any
     shard is down (the aggregate over the survivors still prints).
+    ``--discover ADDR`` bootstraps the member list like ``ring-status``.
 
 ``cache {stats,clear,warm}``
     Inspect, empty, or pre-populate the persistent artifact store.
@@ -300,6 +307,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return RUNTIME_ERROR
 
+    gossip_on = args.gossip == "on"
+    gossip_seeds: tuple[str, ...] = ()
+    if args.gossip_seed:
+        gossip_seeds = tuple(
+            part.strip() for part in args.gossip_seed.split(",") if part.strip()
+        )
     servers = [
         ValidationServer(
             store=shard_store(index),
@@ -308,6 +321,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             events=events,
             slow_ms=args.slow_ms,
             hot_limit=args.hot_limit,
+            gossip=gossip_on,
+            gossip_interval=args.gossip_interval,
+            gossip_seeds=gossip_seeds,
         )
         for index in range(shards)
     ]
@@ -350,24 +366,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     print(f"{name}artifact store: {server.store.directory}",
                           file=sys.stderr)
             if shards > 1:
-                # Publish the initial ring view (epoch 1) in-process so
-                # every reply carries an epoch, clients serve reads from
-                # the R replicas of a fingerprint, and the advertised
-                # read policy (if any) reaches policy-less clients.
+                from repro.server.protocol import ProtocolError
+
+                # Publish the initial ring view in-process so every
+                # reply carries an epoch, clients serve reads from the
+                # R replicas of a fingerprint, and the advertised read
+                # policy (if any) reaches policy-less clients.  Epoch 1
+                # classically; with gossip on, each shard's agent has
+                # already minted a self-only view, so the full view must
+                # supersede the highest epoch minted so far (retrying
+                # past any the agents mint while we publish).
                 labels = [shard_label(server) for server in started]
-                for server in started:
-                    server.set_ring_view(
-                        1, labels, args.replicas,
-                        read_policy=args.read_policy,
-                    )
+                epoch = 1
+                if gossip_on:
+                    epoch = max(
+                        (s.placement.epoch or 0) for s in started
+                    ) + 1
+                published = False
+                while not published:
+                    try:
+                        for server in started:
+                            server.set_ring_view(
+                                epoch, labels, args.replicas,
+                                read_policy=args.read_policy,
+                            )
+                        published = True
+                    except ProtocolError:
+                        epoch += 1  # a gossip agent minted past us; retry
                 policy_note = (
                     f", read policy {args.read_policy}"
                     if args.read_policy
                     else ""
                 )
+                gossip_note = ", gossip on" if gossip_on else ""
                 print(
-                    f"ring view published: epoch 1, {len(labels)} member(s), "
-                    f"replicas {args.replicas}{policy_note}",
+                    f"ring view published: epoch {epoch}, "
+                    f"{len(labels)} member(s), "
+                    f"replicas {args.replicas}{policy_note}{gossip_note}",
                     file=sys.stderr,
                 )
             await asyncio.gather(*(server.serve_forever() for server in started))
@@ -423,21 +458,88 @@ def _print_merged_metrics(merged: dict) -> None:
     table("verdict latency by backend:", "repro_verdict_seconds", "backend")
 
 
+def _discover_members(seed_text: str, timeout: float) -> list:
+    """Bootstrap the shard list from one live shard's view.
+
+    Connects to *seed_text*, reads the ``health`` reply's ``members``
+    (the live labels of the view the shard holds — gossip-maintained or
+    coordinator-published), and parses each into an address.  The seed
+    itself is included even when the view omits it, so a solo shard is
+    still discoverable.  Raises ``ValueError`` on an unparseable
+    address and ``OSError``/server errors when the seed is dark.
+    """
+    from repro.server.client import ValidationClient
+    from repro.server.ring import member_label, parse_member
+
+    seed = parse_member(seed_text)
+    with ValidationClient.connect(seed, timeout=timeout) as client:
+        health = client.health()
+    members = []
+    seen: set[str] = set()
+    for label in health.get("members") or []:
+        if not isinstance(label, str) or not label:
+            continue
+        try:
+            member = parse_member(label)
+        except ValueError:
+            continue
+        if member_label(member) not in seen:
+            seen.add(member_label(member))
+            members.append(member)
+    if member_label(seed) not in seen:
+        members.insert(0, seed)
+    return members
+
+
+def _ring_members(args: argparse.Namespace, command: str) -> list | int:
+    """The shard list of ``ring-status`` / ``metrics``: the positional
+    ``ADDR[,ADDR...]``, or ``--discover ADDR`` via one live shard's
+    view.  Returns the exit status instead of a list on failure."""
+    from repro.server.ring import parse_member
+
+    if args.members:
+        try:
+            members = [
+                parse_member(text)
+                for text in args.members.split(",")
+                if text
+            ]
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return USAGE_ERROR
+        if members:
+            return members
+        print(f"error: {command} needs at least one ADDR", file=sys.stderr)
+        return USAGE_ERROR
+    if args.discover:
+        try:
+            return _discover_members(args.discover, args.timeout)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return USAGE_ERROR
+        except Exception as error:  # noqa: BLE001 - the seed shard is dark
+            print(
+                f"error: cannot discover from {args.discover}: {error}",
+                file=sys.stderr,
+            )
+            return RUNTIME_ERROR
+    print(
+        f"error: {command} needs ADDR[,ADDR...] or --discover ADDR",
+        file=sys.stderr,
+    )
+    return USAGE_ERROR
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Scrape every shard's ``metrics`` op; print ring-wide aggregates."""
     from repro.obs.metrics import counter_value, merge_snapshots
     from repro.obs.promtext import render
     from repro.server.client import ValidationClient
-    from repro.server.ring import member_label, parse_member
+    from repro.server.ring import member_label
 
-    try:
-        members = [parse_member(text) for text in args.members.split(",") if text]
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return USAGE_ERROR
-    if not members:
-        print("error: metrics needs at least one ADDR", file=sys.stderr)
-        return USAGE_ERROR
+    members = _ring_members(args, "metrics")
+    if isinstance(members, int):
+        return members
     all_up = True
     snapshots: list[tuple[str, dict]] = []
     for member in members:
@@ -467,16 +569,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_ring_status(args: argparse.Namespace) -> int:
     """Probe every shard of a ring: liveness, epoch, traffic, registry."""
     from repro.server.client import ValidationClient
-    from repro.server.ring import member_label, parse_member
+    from repro.server.ring import member_label
 
-    try:
-        members = [parse_member(text) for text in args.members.split(",") if text]
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return USAGE_ERROR
-    if not members:
-        print("error: ring-status needs at least one ADDR", file=sys.stderr)
-        return USAGE_ERROR
+    members = _ring_members(args, "ring-status")
+    if isinstance(members, int):
+        return members
     all_up = True
     epochs: set[int] = set()
     metric_snapshots: list[dict] = []
@@ -769,6 +866,33 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append JSON-line observability events to PATH",
     )
+    serve.add_argument(
+        "--gossip",
+        choices=("on", "off"),
+        default="off",
+        help=(
+            "run a SWIM-style gossip membership agent on every shard: "
+            "shards probe each other, suspect/confirm failures, and "
+            "mint view epochs themselves — no coordinator needed "
+            "(default: off, the classic coordinator-driven flow)"
+        ),
+    )
+    serve.add_argument(
+        "--gossip-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between gossip probe rounds (default: 1.0)",
+    )
+    serve.add_argument(
+        "--gossip-seed",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help=(
+            "existing ring member(s) to announce this shard to; the "
+            "join then propagates by gossip (multi-host scale-out)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     ring_status = sub.add_parser(
@@ -776,8 +900,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ring_status.add_argument(
         "members",
+        nargs="?",
+        default=None,
         metavar="ADDR[,ADDR...]",
         help="shard addresses (host:port or unix socket paths)",
+    )
+    ring_status.add_argument(
+        "--discover",
+        default=None,
+        metavar="ADDR",
+        help=(
+            "bootstrap the shard list from one live shard's view "
+            "(instead of listing every ADDR); works with no "
+            "coordinator running"
+        ),
     )
     ring_status.add_argument(
         "--stats",
@@ -803,8 +939,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "members",
+        nargs="?",
+        default=None,
         metavar="ADDR[,ADDR...]",
         help="shard addresses (host:port or unix socket paths)",
+    )
+    metrics.add_argument(
+        "--discover",
+        default=None,
+        metavar="ADDR",
+        help=(
+            "bootstrap the shard list from one live shard's view "
+            "(instead of listing every ADDR)"
+        ),
     )
     metrics.add_argument(
         "--prometheus",
@@ -877,6 +1024,34 @@ def main(argv: list[str] | None = None) -> int:
         return USAGE_ERROR
     if args.handler is _cmd_serve and args.slow_ms is not None and args.slow_ms < 0:
         print("error: --slow-ms must be >= 0", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.gossip_interval <= 0:
+        print("error: --gossip-interval must be > 0", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.gossip_seed:
+        if args.gossip != "on":
+            print("error: --gossip-seed requires --gossip on", file=sys.stderr)
+            return USAGE_ERROR
+        from repro.server.placement import parse_member
+
+        for part in args.gossip_seed.split(","):
+            if not part.strip():
+                continue
+            try:
+                parse_member(part.strip())
+            except ValueError:
+                print(
+                    f"error: cannot parse --gossip-seed member: {part.strip()}",
+                    file=sys.stderr,
+                )
+                return USAGE_ERROR
+    if args.handler in (_cmd_ring_status, _cmd_metrics) and (
+        args.members and args.discover
+    ):
+        print(
+            "error: ADDR[,ADDR...] and --discover are mutually exclusive",
+            file=sys.stderr,
+        )
         return USAGE_ERROR
     try:
         return args.handler(args)

@@ -249,6 +249,16 @@ CATALOG: tuple[MetricSpec, ...] = (
                "Corpus windows re-queued after a replica died mid-run."),
     MetricSpec("repro_ring_steals_total", "counter", (),
                "Corpus windows executed on a non-primary owner."),
+    MetricSpec("repro_gossip_probe_seconds", "histogram", (),
+               "Direct gossip probe round-trip latency."),
+    MetricSpec("repro_gossip_suspects_total", "counter", (),
+               "Members this agent marked suspect after failed probes."),
+    MetricSpec("repro_gossip_refutes_total", "counter", (),
+               "Suspicions about this member refuted by incarnation bump."),
+    MetricSpec("repro_gossip_down_total", "counter", (),
+               "Suspicions this agent confirmed down after timeout."),
+    MetricSpec("repro_view_epoch", "gauge", (),
+               "Placement view epoch this member currently holds."),
 )
 
 CATALOG_NAMES: frozenset[str] = frozenset(spec.name for spec in CATALOG)

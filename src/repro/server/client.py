@@ -323,9 +323,27 @@ class ValidationClient:
         Prometheus text exposition (``"prometheus"``)."""
         return self.request({"op": "metrics"})
 
-    def health(self) -> dict[str, Any]:
-        """The liveness probe: status, uptime, and the shard's ring view."""
-        return self.request({"op": "health"})
+    def health(
+        self, gossip: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """The liveness probe: status, uptime, and the shard's ring view.
+
+        *gossip*, when given, piggybacks the caller's membership table
+        on the probe (the shard merges it and answers with its own
+        under ``"gossip"``) — the anti-entropy exchange of
+        coordinator-less rings.
+        """
+        return self.request(self._payload("health", gossip=gossip))
+
+    def probe(
+        self, target: str, gossip: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Ask this shard to probe *target*'s health (the SWIM indirect
+        probe).  The reply carries ``"reachable"`` plus the prober's own
+        gossip table; like ``health``, the op is never epoch-gated."""
+        return self.request(
+            self._payload("probe", target=target, gossip=gossip)
+        )
 
     def ring_config(
         self,

@@ -33,6 +33,16 @@ The coordinator deliberately publishes only *live* members: a dead shard
 must leave placement so reads fail over to its replicas immediately, and
 the preference order of the survivors is untouched (the consistent-hash
 stability property).
+
+**Observer mode** (``observer=True``) demotes all of this to watching:
+with gossip-enabled shards (``serve --gossip on``) membership truth
+lives in the shards' own SWIM-style agents, and a coordinator pushing
+``ring-config`` views would fight them.  An observer still probes
+health every round — but instead of publishing it **adopts** any newer
+view a shard's health reply carries, so :meth:`status` keeps serving an
+operator dashboard (and :meth:`add_member`'s hot-artifact prefetch
+keeps working) while the ring runs coordinator-less.  Killing an
+observer changes nothing about membership convergence.
 """
 
 from __future__ import annotations
@@ -92,6 +102,10 @@ class RingCoordinator:
         transitions emit ``member-up`` / ``member-down`` /
         ``member-joined`` / ``member-removed`` and every view push
         emits ``epoch-published``.
+    observer:
+        ``True`` watches without publishing: health probes adopt newer
+        shard-held views (gossip is the membership authority) and no
+        ``ring-config`` is ever pushed.
     """
 
     def __init__(
@@ -106,6 +120,7 @@ class RingCoordinator:
         timeout: float | None = 5.0,
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
         events: EventLog | None = None,
+        observer: bool = False,
     ) -> None:
         if replica_count < 1:
             raise ValueError("replica_count must be >= 1")
@@ -123,6 +138,7 @@ class RingCoordinator:
         self.down_after = down_after
         self.prefetch = prefetch
         self.timeout = timeout
+        self.observer = bool(observer)
         self._pool = ConnectionPool(timeout=timeout, connect=connect)
         self._lock = threading.RLock()
         self._members: dict[str, Member] = {
@@ -176,6 +192,7 @@ class RingCoordinator:
         with self._lock:
             return {
                 "epoch": self.epoch,
+                "observer": self.observer,
                 "replica_count": self.replica_count,
                 "read_policy": self.read_policy,
                 "members": sorted(self._members),
@@ -287,7 +304,14 @@ class RingCoordinator:
             self.events.emit(
                 "member-down", member=label, failures=self.down_after
             )
-        if changed:
+        if self.observer:
+            # Watch, don't publish: the shards' gossip is the membership
+            # authority.  Adopt the newest view any health reply carries
+            # so status() tracks the ring's truth.
+            for reply in replies.values():
+                if isinstance(reply, dict):
+                    self._view.adopt_fields(reply)
+        elif changed:
             self._bump_and_publish()
         return replies
 
@@ -335,6 +359,8 @@ class RingCoordinator:
         self._bump_and_publish()
 
     def _bump_and_publish(self) -> None:
+        if self.observer:
+            return  # gossip owns the epoch; the next probe adopts it
         # Read-epoch + adopt must be atomic: two racing membership
         # changes (the probe thread vs. an embedder's add/remove) must
         # never publish the same epoch with different member sets.
@@ -349,7 +375,12 @@ class RingCoordinator:
         view from the next probe round's publish, and clients it answers
         meanwhile still converge via the stale shard's older stamp being
         superseded on their next contact with any updated shard.
+
+        An **observer** never publishes (returns 0): membership truth
+        lives in the shards' gossip and a push would fight it.
         """
+        if self.observer:
+            return 0
         epoch = self.epoch
         with self._lock:
             labels = sorted(self._up)
@@ -511,7 +542,8 @@ class RingCoordinator:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "RingCoordinator":
-        """Publish the initial view and begin background probing."""
+        """Publish the initial view (observers skip the publish) and
+        begin background probing."""
         self.publish()
         if self._thread is None:
             self._stop.clear()

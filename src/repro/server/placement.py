@@ -18,7 +18,14 @@ is the single home for both:
   - the *server* discipline (:meth:`PlacementView.publish` /
     :meth:`PlacementView.check_request_epoch`): a push that does not
     supersede the held view raises ``wrong-epoch`` carrying the current
-    view, and so does a request routed under an older epoch.
+    view, and so does a request routed under an older epoch;
+  - the *gossip* discipline (:meth:`PlacementView.merge_delta` /
+    :meth:`PlacementView.gossip_delta` and the local transitions
+    :meth:`PlacementView.suspect` / :meth:`PlacementView.confirm_down` /
+    :meth:`PlacementView.note_alive`): a SWIM-style membership table
+    (status + incarnation per member, suspect → down → removed
+    lifecycle, refutation by incarnation bump) whose merges commute, so
+    coordinator-less rings converge to one view with no publisher.
 
 :class:`~repro.server.ring.ShardedClient`,
 :class:`~repro.server.coordinator.RingCoordinator`, and
@@ -48,6 +55,7 @@ from repro.server.protocol import ProtocolError
 __all__ = [
     "DEFAULT_VNODES",
     "KEEP_POLICY",
+    "MEMBER_STATUSES",
     "Member",
     "PlacementView",
     "ShardRing",
@@ -72,6 +80,24 @@ _OWNERS_MEMO_SIZE = 4096
 #: all, like a plain membership refresh).  ``None``, by contrast, means
 #: "this view advertises no policy" and clears a previously learned one.
 KEEP_POLICY: Any = object()
+
+#: The member lifecycle of the gossip membership table, in supersession
+#: rank order: at equal incarnation, a later status wins a merge
+#: (``down`` > ``suspect`` > ``alive``); a higher incarnation always
+#: wins regardless of status — which is how a falsely suspected member
+#: refutes (it re-asserts ``alive`` under a bumped incarnation).
+MEMBER_STATUSES = ("alive", "suspect", "down")
+
+_STATUS_RANK = {status: rank for rank, status in enumerate(MEMBER_STATUSES)}
+
+
+def _supersedes(proposed: tuple[str, int], current: tuple[str, int]) -> bool:
+    """SWIM-style entry precedence: incarnation first, then status rank."""
+    status, incarnation = proposed
+    current_status, current_incarnation = current
+    if incarnation != current_incarnation:
+        return incarnation > current_incarnation
+    return _STATUS_RANK[status] > _STATUS_RANK[current_status]
 
 
 def member_label(member: Member) -> str:
@@ -298,6 +324,13 @@ class PlacementView:
         self._refreshes = 0
         self._memo: OrderedDict[str, tuple[Member, ...]] = OrderedDict()
         self._memo_version = self._ring.version
+        # The gossip membership table: label -> (status, incarnation).
+        # ``alive`` and ``suspect`` members are in the ring; ``down``
+        # members are out of it but stay in the table so the news keeps
+        # spreading until they are purged (removed).
+        self._membership: dict[str, tuple[str, int]] = {
+            member_label(m): ("alive", 0) for m in self._ring.members
+        }
 
     # -- the view ------------------------------------------------------------
 
@@ -420,6 +453,7 @@ class PlacementView:
             self._published = list(new_ring.members)
             self._memo.clear()
             self._memo_version = new_ring.version
+            self._reseed_membership_locked(new_ring.members)
             if epoch is not None:
                 self._epoch = epoch
                 self._refreshes += 1
@@ -503,6 +537,7 @@ class PlacementView:
             self._published = list(members)
             self._memo.clear()
             self._memo_version = new_ring.version
+            self._reseed_membership_locked(members)
             self._epoch = epoch
             self._read_policy = read_policy
             self._refreshes += 1
@@ -524,6 +559,191 @@ class PlacementView:
             f"request epoch {epoch} is older than ring epoch {current}",
             details=details,
         )
+
+    # -- gossip membership ----------------------------------------------------
+    #
+    # The SWIM-ish membership table underlying coordinator-less rings.
+    # Each member is (status, incarnation); entries merge under
+    # :func:`_supersedes` (higher incarnation wins, then later
+    # lifecycle status), so concurrent deltas applied in any order
+    # converge to the same table on every shard.  Epoch discipline:
+    # merging a delta only ever adopts the *maximum* of the held and
+    # carried epochs, while **local** detections (a down confirmation, a
+    # join, a purge — anything that changes the live set first-hand)
+    # bump to held+1, so the shard that witnessed a change mints the new
+    # epoch exactly once and everyone else converges to it via merges.
+
+    def _reseed_membership_locked(self, members: Iterable[Member]) -> None:
+        """Reset the table to *members*, all alive, keeping known
+        incarnations (a refuted member must not regress to 0)."""
+        self._membership = {
+            label: ("alive", self._membership.get(label, ("alive", 0))[1])
+            for label in (member_label(m) for m in members)
+        }
+
+    def _live_labels_locked(self) -> list[str]:
+        return sorted(
+            label
+            for label, (status, _inc) in self._membership.items()
+            if status != "down"
+        )
+
+    def _rebuild_from_membership_locked(self, bump: bool) -> None:
+        live = self._live_labels_locked()
+        new_ring = ShardRing(
+            (parse_member(label) for label in live),
+            vnodes=self._ring.vnodes,
+            replica_count=self._ring.replica_count,
+        )
+        self._ring = new_ring
+        self._published = list(new_ring.members)
+        self._memo.clear()
+        self._memo_version = new_ring.version
+        if bump:
+            self._epoch = (self._epoch or 0) + 1
+            self._refreshes += 1
+
+    def membership(self) -> dict[str, tuple[str, int]]:
+        """A snapshot of the table: label -> (status, incarnation)."""
+        with self._lock:
+            return dict(self._membership)
+
+    def member_status(self, member: Member) -> tuple[str, int] | None:
+        """The (status, incarnation) of *member*, or ``None`` if unknown."""
+        with self._lock:
+            return self._membership.get(member_label(member))
+
+    def gossip_delta(self) -> dict[str, Any]:
+        """The full table as a wire gossip payload (piggybacked on
+        ``health``/``probe`` traffic).  Full-state gossip: at ring sizes
+        where a coordinator was ever plausible, the whole table is a few
+        hundred bytes and true anti-entropy beats delta bookkeeping."""
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "members": [
+                    {"member": label, "status": status, "incarnation": inc}
+                    for label, (status, inc) in sorted(
+                        self._membership.items()
+                    )
+                ],
+            }
+
+    def merge_delta(
+        self,
+        entries: Iterable[dict[str, Any]] | None,
+        epoch: int | None = None,
+    ) -> list[str]:
+        """Merge a gossiped table; returns the labels whose entry changed.
+
+        Malformed entries are skipped.  Stale entries (superseded by
+        what the table already holds) are ignored, so merges commute and
+        a wandering old delta can never resurrect a refuted suspicion.
+        The carried *epoch* is adopted when it is newer than the held
+        one; when the merge changes the **live set** under an epoch
+        that does *not* supersede the held view (a joiner announcing
+        itself at epoch 1 into an older, higher-epoch ring), this view
+        mints held+1 itself — a membership change must always surface
+        as a new epoch so reply stamps pull clients to the new view.
+        """
+        changed: list[str] = []
+        with self._lock:
+            live_before = self._live_labels_locked()
+            for entry in entries or []:
+                if not isinstance(entry, dict):
+                    continue
+                label = entry.get("member")
+                status = entry.get("status")
+                incarnation = entry.get("incarnation")
+                if (
+                    not isinstance(label, str)
+                    or not label
+                    or status not in MEMBER_STATUSES
+                    or not isinstance(incarnation, int)
+                    or incarnation < 0
+                ):
+                    continue
+                try:
+                    parse_member(label)
+                except ValueError:
+                    continue
+                proposed = (status, incarnation)
+                current = self._membership.get(label)
+                if current is not None and not _supersedes(proposed, current):
+                    continue
+                self._membership[label] = proposed
+                changed.append(label)
+            carried_newer = isinstance(epoch, int) and (
+                self._epoch is None or epoch > self._epoch
+            )
+            if carried_newer:
+                self._epoch = epoch
+                self._refreshes += 1
+            if changed and self._live_labels_locked() != live_before:
+                self._rebuild_from_membership_locked(bump=not carried_newer)
+        return changed
+
+    def suspect(self, member: Member) -> bool:
+        """Locally suspect *member* (alive -> suspect at the same
+        incarnation).  Suspects stay in the ring — routing still tries
+        them until the suspicion is confirmed — so no epoch is minted."""
+        label = member_label(member)
+        with self._lock:
+            current = self._membership.get(label)
+            if current is None or current[0] != "alive":
+                return False
+            self._membership[label] = ("suspect", current[1])
+        return True
+
+    def confirm_down(self, member: Member) -> bool:
+        """Confirm *member* down (suspect/alive -> down at the same
+        incarnation); drops it from the ring and mints a new epoch."""
+        label = member_label(member)
+        with self._lock:
+            current = self._membership.get(label)
+            if current is None or current[0] == "down":
+                return False
+            self._membership[label] = ("down", current[1])
+            self._rebuild_from_membership_locked(bump=True)
+        return True
+
+    def note_alive(self, member: Member) -> bool:
+        """Assert *member* alive, first-hand.
+
+        A suspected or down member is refuted under a bumped
+        incarnation, so the assertion supersedes the suspicion wherever
+        it has already gossiped.  An unknown member joins (alive,
+        incarnation 0) and mints a new epoch, as does a down member
+        coming back; a suspect one merely clears (it never left the
+        ring).  Returns ``True`` when the entry changed.
+        """
+        label = member_label(member)
+        with self._lock:
+            current = self._membership.get(label)
+            if current is None:
+                self._membership[label] = ("alive", 0)
+                self._rebuild_from_membership_locked(bump=True)
+                return True
+            status, incarnation = current
+            if status == "alive":
+                return False
+            self._membership[label] = ("alive", incarnation + 1)
+            if status == "down":
+                self._rebuild_from_membership_locked(bump=True)
+        return True
+
+    def remove_member(self, member: Member) -> bool:
+        """Purge *member* from the table outright (the end of the
+        suspect -> down -> removed lifecycle, or an operator's scale-in).
+        Mints a new epoch when the member was still in the ring."""
+        label = member_label(member)
+        with self._lock:
+            current = self._membership.pop(label, None)
+            if current is None:
+                return False
+            if current[0] != "down":
+                self._rebuild_from_membership_locked(bump=True)
+        return True
 
     # -- wire shapes ---------------------------------------------------------
 

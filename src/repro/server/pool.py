@@ -64,6 +64,7 @@ class ConnectionPool:
         self._clients: dict[str, ValidationClient] = {}
         self._addresses: dict[str, Member] = {}
         self._down: set[str] = set()
+        self._quarantined: set[str] = set()
 
     # -- addresses -----------------------------------------------------------
 
@@ -91,9 +92,16 @@ class ConnectionPool:
             return member_label(member) in self._down
 
     def mark_up(self, member: Member) -> None:
-        """Forget that *member* was unreachable (it is retried next call)."""
+        """Forget that *member* was unreachable (it is retried next call).
+
+        A quarantined member (see :meth:`quarantine`) stays down: the
+        quarantine is the stronger, sticky verdict of the membership
+        layer and only :meth:`lift_quarantine` clears it.
+        """
         label = member_label(member)
         with self._lock:
+            if label in self._quarantined:
+                return
             was_down = label in self._down
             self._down.discard(label)
         if was_down:
@@ -127,6 +135,38 @@ class ConnectionPool:
             except OSError:
                 pass
 
+    def quarantine(self, member: Member) -> None:
+        """Mark *member* down **stickily** (the gossip/membership verdict).
+
+        A plain :meth:`mark_down` is advisory — the next successful
+        connect (or any :meth:`mark_up`) clears it.  That is exactly
+        wrong for a member the membership layer has declared down: a
+        pooled connection that was **mid-request when the verdict
+        landed** returns successfully a moment later and would
+        resurrect the member, re-routing traffic to a shard the ring
+        has already moved on from.  Quarantine closes that race: the
+        down mark survives replies and reconnects until
+        :meth:`lift_quarantine` (issued when the membership layer sees
+        the member alive again) releases it.
+        """
+        label = member_label(member)
+        with self._lock:
+            self._quarantined.add(label)
+        self.mark_down(member)
+
+    def lift_quarantine(self, member: Member) -> None:
+        """Release a :meth:`quarantine` and mark the member up."""
+        label = member_label(member)
+        with self._lock:
+            if label not in self._quarantined:
+                return
+            self._quarantined.discard(label)
+        self.mark_up(member)
+
+    def is_quarantined(self, member: Member) -> bool:
+        with self._lock:
+            return member_label(member) in self._quarantined
+
     # -- connections ---------------------------------------------------------
 
     def lock(self, member: Member) -> threading.Lock:
@@ -152,8 +192,12 @@ class ConnectionPool:
         with self._lock:
             self._clients[label] = client
             self._addresses[label] = member
-            came_back = label in self._down
-            self._down.discard(label)
+            # A successful connect is only advisory liveness: it clears
+            # a plain down mark, never a quarantine (the membership
+            # layer's sticky verdict — see :meth:`quarantine`).
+            came_back = label in self._down and label not in self._quarantined
+            if label not in self._quarantined:
+                self._down.discard(label)
         if came_back:
             self.events.emit("member-up", member=label)
         return client

@@ -6,7 +6,7 @@ Request object::
 
     {"op": "check" | "classify" | "validate" | "stats"
            | "check-batch" | "put-artifact" | "get-artifact"
-           | "health" | "ring-config" | "metrics",
+           | "health" | "ring-config" | "metrics" | "probe",
      "dtd": "<!ELEMENT ...>",        # required for schema-carrying ops
      "doc": "<r>...</r>",            # required for "check"/"validate"
      "algorithm": "machine" | "kernel" | "figure5" | "earley"
@@ -19,6 +19,10 @@ Request object::
      "members": ["host:port", ...],  # required for "ring-config"
      "replica_count": 2,             # optional for "ring-config"
      "read_policy": "round-robin",   # optional for "ring-config"
+     "gossip": {"epoch": 3,          # optional piggybacked membership
+                "members": [{"member": "host:port", "status": "alive",
+                             "incarnation": 0}, ...]},
+     "target": "host:port",          # required for "probe"
      "trace": "f3a9c2d417b8e05a",    # optional opt-in trace id
      "id": <any JSON value>}         # optional, echoed back verbatim
 
@@ -73,6 +77,22 @@ the shard's current ``epoch``, ``members``, and ``replica_count`` — the
 full refresh a client needs to re-resolve placement without restarting.
 A ``ring-config`` older than the view already held is rejected the same
 way, so two racing membership changes converge on the newest epoch.
+
+Gossip membership
+-----------------
+Servers running with gossip enabled maintain the SWIM-style membership
+table of :class:`~repro.server.placement.PlacementView` and exchange it
+as ``"gossip"`` payloads: a ``health`` request may carry one (the
+server merges it) and the ``health`` reply carries the server's own
+table back; the ``probe`` op asks a shard to reach ``target``'s
+``health`` on the asker's behalf (the SWIM indirect probe) and answers
+``{"ok": true, "op": "probe", "target": ..., "reachable": true|false}``
+plus the prober's gossip.  Success replies additionally stamp a
+``"load": {"inflight", "queue_depth"}`` object (server-reported truth
+for ``least-inflight`` routing) whenever the shard holds a ring view.
+Like ``health``, ``probe`` is not epoch-gated.  Gossip payloads are
+merged loosely: malformed entries are skipped, never rejected — a
+membership rumor must not poison a liveness probe.
 
 .. warning:: **Trust model.**  The protocol has no authentication, and
    ``put-artifact`` payloads are unpickled (after header and fingerprint
@@ -149,6 +169,7 @@ OPS = (
     "health",
     "ring-config",
     "metrics",
+    "probe",
 )
 
 #: Every structured error code a server may answer with, plus the two
@@ -224,6 +245,8 @@ class Request:
     members: list[str] | None = None
     replica_count: int | None = None
     read_policy: str | None = None
+    gossip: dict[str, Any] | None = None
+    target: str | None = None
     trace: str | None = None
     id: Any = field(default=None)
 
@@ -255,7 +278,8 @@ def decode_request(line: str | bytes) -> Request:
             "unsupported-op",
             f"op must be one of {', '.join(OPS)} (got {op!r})",
         )
-    for key in ("dtd", "doc", "root", "fingerprint", "artifact", "trace"):
+    for key in ("dtd", "doc", "root", "fingerprint", "artifact", "trace",
+                "target"):
         value = payload.get(key)
         if value is not None and not isinstance(value, str):
             raise ProtocolError("bad-request", f"{key!r} must be a string")
@@ -301,6 +325,9 @@ def decode_request(line: str | bytes) -> Request:
             "'read_policy' must be one of "
             f"{', '.join(READ_POLICIES)} (got {read_policy!r})",
         )
+    gossip = payload.get("gossip")
+    if gossip is not None and not isinstance(gossip, dict):
+        raise ProtocolError("bad-request", "'gossip' must be an object")
     request = Request(
         op=op,
         dtd=payload.get("dtd"),
@@ -314,6 +341,8 @@ def decode_request(line: str | bytes) -> Request:
         members=members,
         replica_count=replica_count,
         read_policy=read_policy,
+        gossip=gossip,
+        target=payload.get("target"),
         trace=trace,
         id=payload.get("id"),
     )
@@ -329,6 +358,8 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError(
             "bad-request", "op 'ring-config' requires 'epoch' and 'members'"
         )
+    if request.op == "probe" and not request.target:
+        raise ProtocolError("bad-request", "op 'probe' requires 'target'")
     return request
 
 

@@ -374,6 +374,7 @@ class ShardedClient:
                         owner=member_label(owner),
                     )
                 compiled = self._note_schema(label, result)
+                self._note_load(member, result)
                 if compiled and self.placement.replica_count > 1:
                     # The one honest compile just happened: fan the
                     # artifact out to the rest of the replica set now, so
@@ -388,6 +389,26 @@ class ShardedClient:
             f"{last_error}",
             fingerprint=fingerprint,
         )
+
+    def _note_load(self, member: Member, result: Any) -> None:
+        """Feed a reply's server-reported load stamp into the router.
+
+        Servers holding a ring view stamp ``{"inflight", "queue_depth"}``
+        into every success reply (and batch trailer); ``least-inflight``
+        scores on these in preference to client-local counters.
+        """
+        reply = result[1] if isinstance(result, tuple) else result
+        load = reply.get("load") if isinstance(reply, dict) else None
+        if not isinstance(load, dict):
+            return
+        inflight = load.get("inflight")
+        if isinstance(inflight, int):
+            queue_depth = load.get("queue_depth")
+            self.router.note_load(
+                member,
+                inflight,
+                queue_depth if isinstance(queue_depth, int) else 0,
+            )
 
     def _note_schema(self, label: str, result: Any) -> bool:
         """Record which shard holds the schema a reply names; ``True``
@@ -542,10 +563,52 @@ class ShardedClient:
         root: str | None = None,
         trace: bool | str = False,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Stream a corpus for one schema — split across its live
+        replicas when the read policy balances reads.
+
+        Under ``primary-first``, a single-replica ring, a traced call,
+        or a corpus that fits one scheduler window, this is one stream
+        to one owning replica (byte-for-byte the classic behavior, see
+        :meth:`routed_batch`).  Otherwise the documents are handed to
+        the :class:`~repro.server.scheduler.CorpusScheduler`, which
+        splits them into windows spread over the schema's live owners —
+        with straggler hand-off and re-queue on mid-run death — and
+        merges the replies back into document order.
+        """
+        if (
+            not trace
+            and self.placement.replica_count > 1
+            and len(docs) > DEFAULT_WINDOW
+            and self.read_policy != "primary-first"
+        ):
+            scheduler = CorpusScheduler(self)
+            replies, trailer = scheduler.run(
+                [(dtd, docs)], algorithm=algorithm, root=root
+            )[0]
+            if replies is not None:
+                return replies, trailer
+            # The scheduler gave up (every replica dark mid-run); fall
+            # through to the single-stream path, which fails over along
+            # the full preference list and raises the structured error.
+        return self.routed_batch(
+            dtd, docs, algorithm=algorithm, root=root, trace=trace
+        )
+
+    def routed_batch(
+        self,
+        dtd: str,
+        docs: list[str],
+        algorithm: str | None = None,
+        root: str | None = None,
+        trace: bool | str = False,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
         """Stream a whole corpus for one schema to a live owning replica.
 
-        With ``trace`` the batch **trailer** carries the hop records
-        (per-item replies carry lightweight per-item spans).
+        The single-stream primitive :meth:`check_batch` and the corpus
+        scheduler build on: one member, picked by the read policy, with
+        failover down the preference list.  With ``trace`` the batch
+        **trailer** carries the hop records (per-item replies carry
+        lightweight per-item spans).
         """
         fingerprint = self.fingerprint(dtd, root)
         ctx = TraceContext.make(trace)
@@ -610,6 +673,7 @@ class ShardedClient:
                 self.router.finish(member, served=served)
             if wrong_epoch is None:
                 self._note_schema(label, result)
+                self._note_load(member, result)
                 self._maybe_refresh(member, result)
                 return result
             # The member is alive and just taught us the newer view;

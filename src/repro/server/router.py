@@ -12,10 +12,16 @@ candidate list per fingerprint, under a pluggable **read policy**
 * ``round-robin`` — reads rotate across the live replica set,
   per-fingerprint, so a hot schema's load spreads evenly over its R
   owners.
-* ``least-inflight`` — reads go to the live replica with the fewest
-  requests currently in flight *from this client* (the router tracks
-  every call it routes), adapting to stragglers instead of assuming
-  replicas are equally fast.
+* ``least-inflight`` — reads go to the live replica carrying the least
+  load.  The load signal is **server-reported truth** when available:
+  servers holding a ring view stamp ``{"inflight", "queue_depth"}``
+  into every success reply and ``health`` answer, and the client feeds
+  each stamp back via :meth:`Router.note_load`.  A fresh report scores
+  a member as *its* reported load plus whatever this client has sent it
+  since the report — so two clients balancing over the same replicas
+  see each other's traffic, which client-local counters never could.
+  Client-local in-flight counters remain the cold-start fallback (no
+  report yet, a stale report, or ``prefer_reported`` switched off).
 
 Whatever the policy, candidates beyond the live replica set are the
 live remainder of the preference list (availability beats read
@@ -33,19 +39,30 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, OrderedDict
+from time import monotonic
 from typing import Any
 
 from repro.server.placement import Member, PlacementView, member_label
 from repro.server.pool import ConnectionPool
 from repro.server.protocol import READ_POLICIES
 
-__all__ = ["DEFAULT_READ_POLICY", "READ_POLICIES", "Router"]
+__all__ = [
+    "DEFAULT_READ_POLICY",
+    "READ_POLICIES",
+    "REPORT_TTL",
+    "Router",
+]
 
 #: The compatibility default: reads pin to the primary replica.
 DEFAULT_READ_POLICY = "primary-first"
 
 #: Bound on the per-fingerprint round-robin rotation table.
 _ROTATION_SIZE = 1024
+
+#: How long a server-reported load stamp stays authoritative, seconds.
+#: Past this, ``least-inflight`` falls back to client-local counters —
+#: a stale report (the member went quiet) must not pin routing forever.
+REPORT_TTL = 5.0
 
 
 class Router:
@@ -76,6 +93,14 @@ class Router:
         self._inflight: Counter[str] = Counter()
         self._requests: Counter[str] = Counter()
         self._rotation: OrderedDict[str, int] = OrderedDict()
+        #: Whether ``least-inflight`` trusts fresh server-reported load
+        #: stamps over client-local counters.  Public so benchmarks can
+        #: build a client-counter-only control group.
+        self.prefer_reported: bool = True
+        # label -> (reported load, local inflight at report, timestamp):
+        # the server's own inflight+queue_depth, plus the baseline that
+        # lets the score add only the traffic sent *since* the report.
+        self._reported: dict[str, tuple[int, int, float]] = {}
         # Optional observability mirror: served reads per member, as
         # repro_ring_reads_total{member=...} in a MetricsRegistry.
         # Handles are cached per label so the per-call cost is one dict
@@ -147,9 +172,10 @@ class Router:
             start = turn % len(live)
             return live[start:] + live[:start]
         if policy == "least-inflight":
+            now = monotonic()
             with self._lock:
                 load = {
-                    member_label(m): self._inflight[member_label(m)]
+                    member_label(m): self._score_locked(member_label(m), now)
                     for m in live
                 }
             # Stable: preference order breaks ties, so an idle ring
@@ -157,7 +183,51 @@ class Router:
             return sorted(live, key=lambda m: load[member_label(m)])
         return live  # primary-first
 
+    def _score_locked(self, label: str, now: float) -> int:
+        """The least-inflight load score of *label* (lock held).
+
+        A fresh server report wins: the member's own reported load plus
+        the calls this client has put in flight since the report (its
+        local in-flight delta over the report-time baseline).  Without
+        a fresh report — cold start, stale stamp, or
+        :attr:`prefer_reported` off — the client-local counter stands.
+        """
+        local = self._inflight[label]
+        if self.prefer_reported:
+            report = self._reported.get(label)
+            if report is not None:
+                reported, baseline, stamped_at = report
+                if now - stamped_at <= REPORT_TTL:
+                    return reported + max(0, local - baseline)
+        return local
+
     # -- load accounting -----------------------------------------------------
+
+    def note_load(self, member: Member, inflight: int, queue_depth: int = 0,
+                  ) -> None:
+        """Record a server-reported load stamp for *member*.
+
+        Called by the ring client whenever a success reply or ``health``
+        answer carries a ``"load"`` object.  The current client-local
+        in-flight count is kept as the report's baseline, so scoring can
+        add only the traffic sent after the server measured itself.
+        """
+        label = member_label(member)
+        reported = max(0, int(inflight)) + max(0, int(queue_depth))
+        with self._lock:
+            self._reported[label] = (
+                reported, self._inflight[label], monotonic()
+            )
+
+    def reported_load(self, member: Member) -> int | None:
+        """The last fresh server-reported load of *member*, if any."""
+        label = member_label(member)
+        now = monotonic()
+        with self._lock:
+            report = self._reported.get(label)
+            if report is None or now - report[2] > REPORT_TTL:
+                return None
+            return report[0]
 
     def begin(self, member: Member) -> None:
         """Note a routed call entering flight on *member*."""

@@ -47,6 +47,18 @@ __all__ = ["DEFAULT_WINDOW", "CorpusScheduler"]
 DEFAULT_WINDOW = 16
 
 
+def _routed_batch(client: Any) -> Any:
+    """The client's single-stream batch primitive.
+
+    :meth:`ShardedClient.check_batch` delegates *to* this scheduler for
+    balanced policies, so the scheduler must call the underlying
+    single-stream :meth:`~repro.server.ring.ShardedClient.routed_batch`
+    — never back into ``check_batch``.  Fakes and older clients without
+    ``routed_batch`` fall back to ``check_batch`` unchanged.
+    """
+    return getattr(client, "routed_batch", client.check_batch)
+
+
 def _failure_entry(error: Exception) -> tuple[None, dict[str, Any]]:
     """The structured per-batch failure shape of ``check_corpus``."""
     code = getattr(error, "code", None)
@@ -69,8 +81,8 @@ class CorpusScheduler:
     ----------
     client:
         The :class:`~repro.server.ring.ShardedClient` to drive.  The
-        scheduler uses its fingerprint memo, its routed ``check_batch``
-        (seed windows and last-resort failover) and its
+        scheduler uses its fingerprint memo, its single-stream
+        ``routed_batch`` (seed windows and last-resort failover) and its
         ``batch_on_member`` (direct window placement), so every
         artifact-movement and epoch rule stays in one place.
     policy:
@@ -151,7 +163,7 @@ class CorpusScheduler:
             for index in indexes:
                 dtd, docs, batch_root = normalized[index]
                 try:
-                    results[index] = client.check_batch(
+                    results[index] = _routed_batch(client)(
                         dtd, docs, algorithm=algorithm, root=batch_root
                     )
                 except Exception as error:  # noqa: BLE001 - surfaced in place
@@ -219,7 +231,7 @@ class CorpusScheduler:
         # window — balanced reads must add zero compiles.
         seed_count = min(self.window, len(docs))
         try:
-            seed_replies, seed_trailer = client.check_batch(
+            seed_replies, seed_trailer = _routed_batch(client)(
                 dtd, docs[:seed_count], algorithm=algorithm, root=root
             )
         except Exception as error:  # noqa: BLE001 - surfaced in place
@@ -352,7 +364,7 @@ class CorpusScheduler:
         while windows:
             offset, window_docs = windows.popleft()
             try:
-                window_replies, trailer = client.check_batch(
+                window_replies, trailer = _routed_batch(client)(
                     dtd, window_docs, algorithm=algorithm, root=root
                 )
             except Exception as error:  # noqa: BLE001 - surfaced in place

@@ -56,7 +56,9 @@ from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, Stopwatch
 from repro.obs.promtext import render as render_prometheus
 from repro.server import protocol
-from repro.server.placement import PlacementView
+from repro.server.client import ServerError, ValidationClient
+from repro.server.gossip import DEFAULT_PROBE_INTERVAL, GossipAgent
+from repro.server.placement import Member, PlacementView, parse_member
 from repro.server.protocol import ProtocolError, Request
 from repro.service.compiled import CompiledSchema
 from repro.service.dispatch import DEFAULT_POLICY, BackendDispatcher, DispatchPolicy
@@ -81,7 +83,11 @@ HANDLED_OPS = (
     "health",
     "ring-config",
     "metrics",
+    "probe",
 )
+
+#: Socket timeout for the indirect-probe relay's reach attempt.
+_PROBE_TIMEOUT = 2.0
 
 #: Default for how many of the most-requested fingerprints ``stats``
 #: reports — the list a joining shard's prefetch is computed from.
@@ -325,9 +331,14 @@ class ValidationServer:
         events: EventLog | None = None,
         slow_ms: float | None = None,
         hot_limit: int = HOT_FINGERPRINTS,
+        gossip: bool = False,
+        gossip_interval: float = DEFAULT_PROBE_INTERVAL,
+        gossip_seeds: tuple[Member | str, ...] = (),
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if gossip_interval <= 0:
+            raise ValueError("gossip_interval must be > 0")
         if default_algorithm not in protocol.ALGORITHMS:
             raise ValueError(f"unknown default algorithm {default_algorithm!r}")
         if hot_limit < 1:
@@ -415,6 +426,16 @@ class ValidationServer:
         # until a coordinator (or the CLI's local-ring mode) pushes a
         # view; only superseding views replace it.
         self._placement = PlacementView()
+        # Decentralized membership: when enabled, a GossipAgent (started
+        # with the server, once its own address is known) probes peers
+        # and mutates this very placement view — no coordinator needed.
+        self._gossip_enabled = bool(gossip)
+        self._gossip_interval = gossip_interval
+        self._gossip_seeds = tuple(
+            parse_member(seed) if isinstance(seed, str) else seed
+            for seed in gossip_seeds
+        )
+        self._gossip: GossipAgent | None = None
 
     # -- endpoints -----------------------------------------------------------
 
@@ -459,6 +480,18 @@ class ValidationServer:
             )
             self._unix_path = unix_path
             self._servers.append(server)
+        if self._gossip_enabled and self._gossip is None:
+            label = self._member_label()
+            if label is not None:
+                self._gossip = GossipAgent(
+                    self._placement,
+                    label,
+                    seeds=self._gossip_seeds,
+                    interval=self._gossip_interval,
+                    metrics=self.metrics,
+                    events=self.events,
+                )
+                self._gossip.start()
 
     async def serve_forever(self) -> None:
         """Block until :meth:`stop` (or cancellation) ends the server."""
@@ -467,6 +500,10 @@ class ValidationServer:
 
     async def stop(self, drain_timeout: float | None = 30.0) -> None:
         """Stop accepting, drain in-flight requests, tear everything down."""
+        if self._gossip is not None:
+            gossip = self._gossip
+            self._gossip = None
+            await asyncio.to_thread(gossip.stop)
         for server in self._servers:
             server.close()
         for server in self._servers:
@@ -680,6 +717,7 @@ class ValidationServer:
         epoch = self._placement.epoch
         if epoch is not None:
             response.setdefault("epoch", epoch)
+            response.setdefault("load", self._load_fields())
         if request_id is not None:
             response["id"] = request_id
         return response
@@ -753,11 +791,15 @@ class ValidationServer:
         self, request: Request, timings: dict[str, Any]
     ) -> dict[str, Any]:
         if request.op == "health":
-            return self._op_health()
+            return self._op_health(request)
         if request.op == "metrics":
             return self._op_metrics()
         if request.op == "ring-config":
             return self._op_ring_config(request)
+        if request.op == "probe":
+            # Before the epoch gate: failure detection must keep working
+            # while views disagree.
+            return await self._op_probe(request)
         self._check_epoch(request)
         if request.op == "stats":
             return self._op_stats()
@@ -1131,6 +1173,7 @@ class ValidationServer:
         epoch = self._placement.epoch
         if epoch is not None:
             trailer["epoch"] = epoch
+            trailer["load"] = self._load_fields()
         if request.id is not None:
             trailer["id"] = request.id
         writer.write(protocol.encode(trailer))
@@ -1348,18 +1391,27 @@ class ValidationServer:
             "schema": self._schema_fields(schema, disposition),
         }
 
-    def _op_health(self) -> dict[str, Any]:
+    def _op_health(self, request: Request | None = None) -> dict[str, Any]:
         """The liveness probe: cheap, payload-free, always answerable.
 
         Carries the ring view so a client (or coordinator) that learns of
         a newer epoch from a reply stamp can fetch the full membership
-        with one round trip.
+        with one round trip.  With gossip enabled it is also the gossip
+        exchange: any membership table the request piggybacks is merged
+        first, and the reply carries this view's own — one round trip
+        synchronizes both sides.
         """
+        if (
+            self._gossip is not None
+            and request is not None
+            and request.gossip is not None
+        ):
+            self._gossip.merge_wire(request.gossip)
         uptime = (
             monotonic() - self._started_at if self._started_at is not None else 0.0
         )
         view = self._view_details() or {}
-        return {
+        response: dict[str, Any] = {
             "ok": True,
             "op": "health",
             "status": "ok",
@@ -1371,6 +1423,65 @@ class ValidationServer:
             "members": view.get("members"),
             "replica_count": view.get("replica_count"),
             "read_policy": view.get("read_policy"),
+        }
+        if self._gossip is not None:
+            response["gossip"] = self._placement.gossip_delta()
+        return response
+
+    async def _op_probe(self, request: Request) -> dict[str, Any]:
+        """Indirect-probe relay: can *this* server reach ``target``?
+
+        A gossip agent whose direct probe failed asks other members to
+        try on its behalf before raising a suspicion — one flaky link
+        must not take a healthy shard out of the ring.  Gossip tables
+        ride along both ways, so every relay hop also spreads news.
+        """
+        target = request.target
+        assert target is not None  # decode_request guarantees it
+        if self._gossip is not None and request.gossip is not None:
+            self._gossip.merge_wire(request.gossip)
+        reachable = await asyncio.to_thread(self._reach_target, target)
+        response: dict[str, Any] = {
+            "ok": True,
+            "op": "probe",
+            "target": target,
+            "reachable": reachable,
+        }
+        if self._gossip is not None:
+            response["gossip"] = self._placement.gossip_delta()
+        return response
+
+    def _reach_target(self, target: str) -> bool:
+        """One fresh short-timeout ``health`` round trip to *target*."""
+        try:
+            member = parse_member(target)
+        except ValueError:
+            return False
+        try:
+            client = ValidationClient.connect(member, timeout=_PROBE_TIMEOUT)
+        except OSError:
+            return False
+        try:
+            return bool(client.health().get("ok"))
+        except (OSError, ProtocolError, ServerError):
+            return False
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _load_fields(self) -> dict[str, int]:
+        """The server-truth load stamp success replies carry.
+
+        ``inflight`` is verdict work currently executing; ``queue_depth``
+        is the portion beyond worker capacity — what a new request would
+        wait behind.
+        """
+        capacity = self.workers or (os.cpu_count() or 1)
+        return {
+            "inflight": self._inflight,
+            "queue_depth": max(0, self._inflight - capacity),
         }
 
     def _op_ring_config(self, request: Request) -> dict[str, Any]:

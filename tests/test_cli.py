@@ -431,6 +431,52 @@ class TestRingStatusCli:
     def test_empty_address_list_is_usage_error(self):
         assert main(["ring-status", ","]) == 2
 
+    def test_discover_bootstraps_the_ring_from_one_shard(
+        self, tmp_path, capsys
+    ):
+        from repro.server.server import ServerThread
+
+        handles = [
+            ServerThread(unix_path=str(tmp_path / f"shard-{i}.sock"),
+                         port=0).start()
+            for i in range(2)
+        ]
+        for handle in handles:
+            handle.server.set_ring_view(
+                4, [h.unix_path for h in handles], 2
+            )
+        try:
+            # One seed address; the full member list comes from its view
+            # (no coordinator is running anywhere in this test).
+            status = main(
+                ["ring-status", "--discover", handles[0].unix_path]
+            )
+        finally:
+            for handle in handles:
+                handle.stop()
+        out = capsys.readouterr().out
+        assert status == 0
+        assert out.count("up, epoch=4") == 2
+
+    def test_discover_and_addrs_are_mutually_exclusive(self, capsys):
+        status = main(
+            ["ring-status", "a.sock", "--discover", "b.sock"]
+        )
+        assert status == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_no_addrs_and_no_discover_is_usage_error(self, capsys):
+        assert main(["ring-status"]) == 2
+        assert "--discover" in capsys.readouterr().err
+
+    def test_discover_from_a_dark_seed_is_a_runtime_error(
+        self, tmp_path, capsys
+    ):
+        dead = str(tmp_path / "nobody.sock")
+        status = main(["ring-status", "--discover", dead, "--timeout", "2"])
+        assert status == 1
+        assert "cannot discover" in capsys.readouterr().err
+
 
 class TestServeReplicasCli:
     def test_replicas_must_fit_the_ring(self):

@@ -622,6 +622,26 @@ class TestCliMetrics:
             for shard in shards:
                 shard.stop()
 
+    def test_metrics_discovers_the_ring_from_one_shard(
+        self, tmp_path, capsys
+    ):
+        from repro.server.client import ValidationClient
+
+        shards = self.ring(tmp_path)
+        for shard in shards:
+            shard.server.set_ring_view(
+                1, [s.unix_path for s in shards], 2
+            )
+        try:
+            with ValidationClient.connect_unix(shards[0].unix_path) as client:
+                client.check(DTD, DOC)
+            assert main(["metrics", "--discover", shards[0].unix_path]) == 0
+            out = capsys.readouterr().out
+            assert "ring: requests=" in out
+        finally:
+            for shard in shards:
+                shard.stop()
+
     def test_metrics_exits_1_when_a_shard_is_down(self, tmp_path, capsys):
         shards = self.ring(tmp_path, count=1)
         dead = str(tmp_path / "dead.sock")

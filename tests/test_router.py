@@ -152,6 +152,81 @@ class TestLeastInflight:
         assert stats["requests_by_member"] == {}
 
 
+class TestServerReportedLoad:
+    """least-inflight prefers fresh server truth over local counters."""
+
+    def test_fresh_report_beats_the_local_counter(self):
+        router, view, _pool = make_router(policy="least-inflight")
+        key = "hot-schema"
+        primary, replica = view.owners(key)
+        # Locally the primary looks idle, but it reports heavy load
+        # (other clients' traffic the local counter can never see).
+        router.note_load(primary, inflight=7, queue_depth=3)
+        router.note_load(replica, inflight=0)
+        assert router.candidates(key)[0] == replica
+        assert router.reported_load(primary) == 10
+        assert router.reported_load(replica) == 0
+
+    def test_local_delta_since_the_report_is_added(self):
+        router, view, _pool = make_router(policy="least-inflight")
+        key = "hot-schema"
+        primary, replica = view.owners(key)
+        router.note_load(primary, inflight=1)
+        router.note_load(replica, inflight=1)
+        # Three calls sent to the replica *after* its report outweigh
+        # the equal reported base: score = reported + local delta.
+        for _ in range(3):
+            router.begin(replica)
+        assert router.candidates(key)[0] == primary
+
+    def test_traffic_before_the_report_is_not_double_counted(self):
+        router, view, _pool = make_router(policy="least-inflight")
+        key = "hot-schema"
+        primary, replica = view.owners(key)
+        # Two local calls in flight, then the server reports a load that
+        # already includes them: the baseline keeps the score at the
+        # report, not report + 2.
+        router.begin(primary)
+        router.begin(primary)
+        router.note_load(primary, inflight=2)
+        router.note_load(replica, inflight=3)
+        assert router.candidates(key)[0] == primary
+
+    def test_stale_report_falls_back_to_the_local_counter(self):
+        from repro.server import router as router_module
+
+        router, view, _pool = make_router(policy="least-inflight")
+        key = "hot-schema"
+        primary, replica = view.owners(key)
+        router.note_load(primary, inflight=50)
+        # Age the report past the TTL by rewriting its timestamp.
+        label = member_label(primary)
+        reported, baseline, stamped = router._reported[label]
+        router._reported[label] = (
+            reported, baseline, stamped - router_module.REPORT_TTL - 1.0
+        )
+        assert router.reported_load(primary) is None
+        assert router.candidates(key)[0] == primary  # local counter: 0
+        router.begin(primary)
+        assert router.candidates(key)[0] == replica
+
+    def test_prefer_reported_off_is_the_client_counter_control(self):
+        router, view, _pool = make_router(policy="least-inflight")
+        router.prefer_reported = False
+        key = "hot-schema"
+        primary, replica = view.owners(key)
+        router.note_load(primary, inflight=50)
+        assert router.candidates(key)[0] == primary
+        router.begin(primary)
+        assert router.candidates(key)[0] == replica
+
+    def test_negative_stamps_are_clamped(self):
+        router, view, _pool = make_router(policy="least-inflight")
+        member = view.owners("k")[0]
+        router.note_load(member, inflight=-4, queue_depth=-1)
+        assert router.reported_load(member) == 0
+
+
 class _FakeClient:
     def __init__(self) -> None:
         self.closed = False
