@@ -1,0 +1,191 @@
+"""E18 — coarse admission: same verdicts, fewer full checks, more docs/s.
+
+The coarse-to-fine admission stage (:mod:`repro.core.coarse`) claims to
+be free correctness-wise and positive throughput-wise on realistic
+mixed traffic: a skewed corpus (mostly corrupted documents, the shape
+of a validation service sitting in front of a careless producer) should
+see a healthy share of its rejects decided by the constant per-node
+coarse pass, never paying for a full backend.
+
+Four bars, asserted on the same corpus:
+
+1. **Equivalence** — document by document, a batch run with
+   ``admission="on"`` returns exactly the verdicts of the classic
+   ``admission="off"`` run (and reports zero audit mismatches).  Speed
+   claims about a filter that changes answers are meaningless.
+2. **Escalation rate** — at least **30%** of the corrupted documents
+   are short-circuited by the coarse pass (``BatchItem.coarse``).
+3. **Throughput** — the admission-on verdict stage clears **1.2×** the
+   classic verdict stage on the batch surface's default backend (the
+   exact ``machine``), single core, interleaved best-of-rounds (the
+   E15 measurement discipline).
+4. **No regression on the kernel tier** — against the dense-table
+   ``kernel``, the pure-python coarse pass costs roughly what it
+   saves; the bar is only that admission stays near-free (≥ 0.75×),
+   not that it wins.
+
+Measurement notes
+-----------------
+The timed region is the *verdict stage* over parsed documents.  XML
+parsing costs the two modes identically and, on this corpus, runs ~7×
+the kernel's entire verdict time — timing it would bury the effect
+under a constant.  (The end-to-end `BatchChecker` path, parse
+included, is exercised untimed by the equivalence bar; the ring
+client's ``coarse_filter`` additionally skips the wire for definite
+documents, which no local measurement captures.)
+
+``REPRO_BENCH_FAST=1`` shrinks the corpus for the CI smoke job and
+relaxes the throughput bar (small corpora are noise-dominated); the
+equivalence and escalation bars never relax.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+# The corpus generators live with the tests they were built for.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
+
+import corpusgen  # noqa: E402
+from repro.bench.harness import Table, throughput  # noqa: E402
+from repro.core.coarse import CoarseChecker  # noqa: E402
+from repro.core.pv import PVChecker  # noqa: E402
+from repro.service.batch import BatchChecker  # noqa: E402
+from repro.service.registry import DEFAULT_REGISTRY  # noqa: E402
+from repro.xmlmodel.parser import parse_xml  # noqa: E402
+from repro.xmlmodel.serialize import to_xml  # noqa: E402
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "2006"))
+#: Documents per shape preset; the full corpus is three shapes' worth.
+DOCS_PER_SHAPE = 20 if FAST else 80
+#: The skew: most of the corpus is corrupted, one mutation per document.
+CORRUPT_FRACTION = 0.85
+ROUNDS = 3 if FAST else 5
+#: The tentpole throughput bar (single core, vs the machine tier).
+REQUIRED_RATIO = 1.1 if FAST else 1.2
+#: The kernel tier only has to stay near-free, not win.
+KERNEL_FLOOR = 0.7 if FAST else 0.75
+#: The escalation bar: the coarse pass must decide at least this share
+#: of the corrupted documents without a full backend.  Never relaxed.
+REQUIRED_SHORT_CIRCUIT = 0.3
+
+
+def _interleaved_best(workloads: dict[str, object], rounds: int) -> dict[str, float]:
+    """Best-of-*rounds* seconds per workload, alternating within rounds."""
+    for fn in workloads.values():  # one untimed warmup apiece
+        fn()
+    best = {name: math.inf for name in workloads}
+    for _ in range(rounds):
+        for name, fn in workloads.items():
+            started = perf_counter()
+            fn()
+            best[name] = min(best[name], perf_counter() - started)
+    return best
+
+
+def _skewed_corpus(dtd) -> list[tuple[str, str]]:
+    """``(text, provenance)`` across all three shape presets."""
+    corpus: list[tuple[str, str]] = []
+    for offset, shape in enumerate(sorted(corpusgen.SHAPES)):
+        for document, provenance in corpusgen.mixed_corpus(
+            dtd,
+            DOCS_PER_SHAPE,
+            seed=SEED + offset,
+            corrupt_fraction=CORRUPT_FRACTION,
+            shape=shape,
+        ):
+            corpus.append((to_xml(document), provenance))
+    return corpus
+
+
+def test_e18_admission_pipeline(benchmark, manuscript_dtd):
+    schema = DEFAULT_REGISTRY.get(manuscript_dtd)
+    corpus = _skewed_corpus(manuscript_dtd)
+    texts = [text for text, _provenance in corpus]
+
+    # 1. Equivalence first, document by document, through the real batch
+    # surface (parse included): the admission-on run must reproduce the
+    # classic run's verdicts exactly.
+    classic = BatchChecker(schema, admission="off")
+    admitted = BatchChecker(schema, admission="on")
+    baseline = classic.check_texts(texts)
+    filtered = admitted.check_texts(texts)
+    assert filtered.mismatch_count == 0
+    for index, (before, after) in enumerate(zip(baseline.items, filtered.items)):
+        assert before.ok == after.ok, (index, corpus[index][1])
+        if before.ok:
+            assert bool(before.verdict) == bool(after.verdict), (
+                index,
+                corpus[index][1],
+                after.admission,
+            )
+
+    # 2. The escalation rate over the corrupted slice.
+    corrupt = short_circuited = 0
+    for item, (_text, provenance) in zip(filtered.items, corpus):
+        if provenance == "valid":
+            continue
+        corrupt += 1
+        short_circuited += item.coarse
+    assert corrupt > 0
+    rate = short_circuited / corrupt
+    assert rate >= REQUIRED_SHORT_CIRCUIT, (
+        f"coarse admission short-circuited only {short_circuited}/{corrupt} "
+        f"corrupted documents ({rate:.0%})"
+    )
+
+    # 3/4. Verdict-stage throughput over parsed documents, single core.
+    documents = [parse_xml(text) for text in texts]
+    coarse = CoarseChecker(schema.coarse)
+
+    def admitted_pass(checker) -> None:
+        for document in documents:
+            admission = coarse.check_document(document)
+            if not admission.definite:
+                checker.check_document(document)
+
+    table = Table(
+        "E18: coarse admission, verdict stage on a skewed corpus "
+        "(manuscript DTD, single core)",
+        ["backend", "docs", "off (s)", "on (s)", "on docs/s", "ratio"],
+    )
+    ratios: dict[str, float] = {}
+    for backend in ("machine", "kernel"):
+        checker = PVChecker(manuscript_dtd, algorithm=backend)
+        best = _interleaved_best(
+            {
+                "off": lambda c=checker: [
+                    c.check_document(d) for d in documents
+                ],
+                "on": lambda c=checker: admitted_pass(c),
+            },
+            rounds=ROUNDS,
+        )
+        ratios[backend] = best["off"] / best["on"]
+        table.add_row(
+            backend,
+            len(documents),
+            best["off"],
+            best["on"],
+            throughput(len(documents), best["on"]),
+            ratios[backend],
+        )
+    table.print()
+
+    assert ratios["machine"] >= REQUIRED_RATIO, (
+        f"admission only {ratios['machine']:.2f}x the classic machine "
+        f"verdict stage (required {REQUIRED_RATIO}x on {len(documents)} "
+        f"documents, {short_circuited}/{corrupt} corrupt short-circuited)"
+    )
+    assert ratios["kernel"] >= KERNEL_FLOOR, (
+        f"admission costs the kernel tier too much: {ratios['kernel']:.2f}x "
+        f"(floor {KERNEL_FLOOR}x)"
+    )
+
+    # Headline number: the full admission-on batch (parse included).
+    benchmark(lambda: admitted.check_texts(texts))

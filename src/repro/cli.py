@@ -24,7 +24,10 @@ Nine commands wrap the library for shell use:
     shards of a validation-server ring; ``--read-policy`` picks how the
     documents spread over a schema's live replicas (``primary-first``
     pins them to the primary, ``round-robin`` / ``least-inflight``
-    spread windows over all R owners).
+    spread windows over all R owners).  ``--admission on`` runs the
+    coarse admission pre-filter first — locally, or client-side before
+    the wire in ring mode — so definite documents never reach a full
+    backend.
 
 ``serve``
     Run the long-lived NDJSON validation server (TCP and/or a Unix
@@ -155,12 +158,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.schema, args.root)
-    checker = PVChecker(dtd, algorithm=args.algorithm)
-    verdict = checker.check_document(_load_document(args.document))
+    document = _load_document(args.document)
+    admission = None
+    served_coarse = False
+    if args.admission != "off":
+        from repro.core.coarse import CoarseChecker
+
+        schema = DEFAULT_REGISTRY.get(dtd)
+        admission = CoarseChecker(schema.coarse).check_document(document)
+    if args.admission == "on" and admission is not None and admission.definite:
+        from repro.service.dispatch import BackendDispatcher
+
+        verdict = BackendDispatcher.coarse_verdict(admission)
+        served_coarse = True
+    else:
+        verdict = PVChecker(dtd, algorithm=args.algorithm).check_document(document)
+        if (
+            admission is not None
+            and admission.definite
+            and (admission.outcome == "accept") != verdict.potentially_valid
+        ):
+            print(
+                f"warning: coarse admission said {admission.outcome} but the "
+                f"{args.algorithm} backend disagrees — please report this",
+                file=sys.stderr,
+            )
+    note = ", coarse admission" if served_coarse else ""
     if verdict.potentially_valid:
-        print("potentially valid — the encoding can be completed")
+        if served_coarse:
+            print("potentially valid — the encoding can be completed "
+                  "(coarse admission)")
+        else:
+            print("potentially valid — the encoding can be completed")
         return 0
-    print(f"NOT potentially valid ({len(verdict.failures)} blocked node(s)):")
+    print(f"NOT potentially valid ({len(verdict.failures)} blocked node(s){note}):")
     for failure in verdict.failures:
         print(f"  {failure}")
     if verdict.depth_limited:
@@ -173,12 +204,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return _cmd_batch_ring(args)
     schema = DEFAULT_REGISTRY.get(_load_dtd(args.schema, args.root))
     checker = BatchChecker(
-        schema, algorithm=args.algorithm, workers=args.workers
+        schema,
+        algorithm=args.algorithm,
+        workers=args.workers,
+        admission=args.admission,
     )
     result = checker.check_paths(args.documents)
     for item in result.items:
         print(item)
     print(result.summary(), file=sys.stderr)
+    if result.mismatch_count:
+        print(
+            f"warning: {result.mismatch_count} coarse admission "
+            "mismatch(es) against the full backend — please report this",
+            file=sys.stderr,
+        )
     if args.stats:
         print(f"registry: {DEFAULT_REGISTRY.stats}", file=sys.stderr)
         pool = result.pool_registry
@@ -207,7 +247,15 @@ def _cmd_batch_ring(args: argparse.Namespace) -> int:
     dtd_text = Path(args.schema).read_text()
     docs = [Path(path).read_text() for path in args.documents]
     with ShardedClient(
-        members, replica_count=args.replicas, read_policy=args.read_policy
+        members,
+        replica_count=args.replicas,
+        read_policy=args.read_policy,
+        # Admission "on" turns on the client-side coarse pre-filter:
+        # definite documents are answered from the cached per-fingerprint
+        # summary, only the uncertain middle crosses the wire.  "audit"
+        # is a server-side mode (serve --admission audit) and is rejected
+        # by main() for the ring path.
+        coarse_filter=args.admission == "on",
     ) as ring:
         try:
             # One schema, one batch — but the corpus scheduler applies
@@ -318,6 +366,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store=shard_store(index),
             workers=args.workers,
             default_algorithm=args.algorithm,
+            admission=args.admission,
             events=events,
             slow_ms=args.slow_ms,
             hot_limit=args.hot_limit,
@@ -712,6 +761,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default="machine",
         help="checking backend (default: the exact machine)",
     )
+    check.add_argument(
+        "--admission",
+        choices=("on", "off", "audit"),
+        default="off",
+        help=(
+            "coarse-to-fine admission stage: on serves definite coarse "
+            "verdicts without running the backend, audit runs both and "
+            "warns on disagreement (default: off)"
+        ),
+    )
     check.set_defaults(handler=_cmd_check)
 
     batch = sub.add_parser(
@@ -763,6 +822,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "policy, else primary-first)"
         ),
     )
+    batch.add_argument(
+        "--admission",
+        choices=("on", "off", "audit"),
+        default="off",
+        help=(
+            "coarse-to-fine admission stage: on short-circuits definite "
+            "coarse verdicts (with --ring: client-side batch pre-filter "
+            "over the cached summary), audit runs both locally and flags "
+            "disagreements (default: off)"
+        ),
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     complete = sub.add_parser("complete", help="compute a valid extension")
@@ -808,6 +878,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=(*_ALGORITHMS, "auto"),
         default="auto",
         help="backend for requests that name none (default: auto-dispatch)",
+    )
+    serve.add_argument(
+        "--admission",
+        choices=("on", "off", "audit"),
+        default="off",
+        help=(
+            "coarse-to-fine admission stage for auto-dispatched checks: "
+            "on serves definite coarse verdicts without a backend, audit "
+            "runs both and counts mismatches (default: off)"
+        ),
     )
     serve.add_argument(
         "--ring",
@@ -1003,6 +1083,13 @@ def main(argv: list[str] | None = None) -> int:
         return USAGE_ERROR
     if args.handler is _cmd_batch and args.read_policy and not args.ring:
         print("error: --read-policy requires --ring", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_batch and args.ring and args.admission == "audit":
+        print(
+            "error: --admission audit is a server-side mode; start the ring "
+            "with 'repro serve --admission audit' instead",
+            file=sys.stderr,
+        )
         return USAGE_ERROR
     if args.handler is _cmd_serve and args.workers < 0:
         print("error: --workers must be >= 0", file=sys.stderr)

@@ -259,6 +259,13 @@ CATALOG: tuple[MetricSpec, ...] = (
                "Suspicions this agent confirmed down after timeout."),
     MetricSpec("repro_view_epoch", "gauge", (),
                "Placement view epoch this member currently holds."),
+    MetricSpec("repro_admission_total", "counter", ("outcome",),
+               "Coarse admission outcomes: accept, reject, uncertain."),
+    MetricSpec("repro_admission_seconds", "histogram", (),
+               "Coarse admission pass latency."),
+    MetricSpec("repro_admission_mismatches_total", "counter", (),
+               "Audit-mode disagreements between a definite coarse "
+               "outcome and the full backend verdict."),
 )
 
 CATALOG_NAMES: frozenset[str] = frozenset(spec.name for spec in CATALOG)

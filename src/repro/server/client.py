@@ -206,6 +206,7 @@ class ValidationClient:
         id: Any = None,
         epoch: int | None = None,
         trace: str | None = None,
+        coarse: bool | None = None,
     ) -> dict[str, Any]:
         """Potential-validity check; the reply carries the verdict fields.
 
@@ -214,10 +215,13 @@ class ValidationClient:
         ``wrong-epoch`` error carrying the refresh (see ``ring-config``).
         *trace*, when given, opts the request into tracing: the reply
         gains a ``trace`` object with the server's per-phase span.
+        *coarse*, when true, asks the server to stamp the schema's
+        base64 admission summary into the reply under ``"coarse"``.
         """
         return self.request(
             self._payload("check", dtd=dtd, doc=doc, algorithm=algorithm,
-                          root=root, id=id, epoch=epoch, trace=trace)
+                          root=root, id=id, epoch=epoch, trace=trace,
+                          coarse=coarse)
         )
 
     def check_batch(
@@ -230,6 +234,7 @@ class ValidationClient:
         window: int | None = None,
         epoch: int | None = None,
         trace: str | None = None,
+        coarse: bool | None = None,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
         """Stream *docs* through one ``check-batch`` op on this connection.
 
@@ -244,7 +249,7 @@ class ValidationClient:
         window = self.BATCH_WINDOW if window is None else max(1, window)
         header = self._payload(
             "check-batch", dtd=dtd, algorithm=algorithm, root=root, id=id,
-            epoch=epoch, trace=trace,
+            epoch=epoch, trace=trace, coarse=coarse,
         )
         header["count"] = len(docs)
         self.send(header, flush=False)
@@ -375,6 +380,14 @@ class ValidationClient:
         :mod:`repro.service.store` wire/file format bytes."""
         reply = self.request({"op": "get-artifact", "fingerprint": fingerprint})
         return base64.b64decode(reply["artifact"].encode("ascii"))
+
+    def get_coarse(self, fingerprint: str) -> bytes:
+        """The server's coarse admission summary for *fingerprint*, as the
+        pickled :class:`~repro.core.coarse.CoarseSummary` bytes — the
+        few-hundred-byte payload a ring client caches to pre-filter
+        batches locally."""
+        reply = self.request({"op": "get-coarse", "fingerprint": fingerprint})
+        return base64.b64decode(reply["coarse"].encode("ascii"))
 
     def put_artifact(self, fingerprint: str, blob: bytes) -> dict[str, Any]:
         """Seed an artifact (store-format *blob*) into the server."""

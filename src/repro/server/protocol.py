@@ -6,7 +6,8 @@ Request object::
 
     {"op": "check" | "classify" | "validate" | "stats"
            | "check-batch" | "put-artifact" | "get-artifact"
-           | "health" | "ring-config" | "metrics" | "probe",
+           | "get-coarse" | "health" | "ring-config" | "metrics"
+           | "probe",
      "dtd": "<!ELEMENT ...>",        # required for schema-carrying ops
      "doc": "<r>...</r>",            # required for "check"/"validate"
      "algorithm": "machine" | "kernel" | "figure5" | "earley"
@@ -14,6 +15,8 @@ Request object::
      "root": "r",                    # optional DTD root override
      "fingerprint": "9f...",         # required for the artifact ops
      "artifact": "<base64>",         # required for "put-artifact"
+     "coarse": true,                 # optional: stamp the admission
+                                     # summary into the check reply
      "count": 12,                    # optional item count for "check-batch"
      "epoch": 3,                     # optional ring epoch (see below)
      "members": ["host:port", ...],  # required for "ring-config"
@@ -60,6 +63,15 @@ base64-encoded — and ``put-artifact`` seeds one into the registry (and
 the disk store, when attached).  Together they let a ring coordinator
 move artifacts between shards by fingerprint so each schema is compiled
 at most once ring-wide.
+
+``get-coarse`` is the lightweight sibling: it returns only the
+few-hundred-byte coarse admission summary
+(:mod:`repro.core.coarse`, pickled and base64-encoded) for a
+fingerprint this server holds, so a routing client can pre-filter
+batches locally without pulling the full artifact.  A ``check`` or
+``check-batch`` request carrying ``"coarse": true`` additionally gets
+the summary stamped into the (trailer) reply under ``"coarse"`` — the
+first-miss path that saves the extra round trip.
 
 Membership ops and epochs
 -------------------------
@@ -166,6 +178,7 @@ OPS = (
     "check-batch",
     "put-artifact",
     "get-artifact",
+    "get-coarse",
     "health",
     "ring-config",
     "metrics",
@@ -240,6 +253,7 @@ class Request:
     root: str | None = None
     fingerprint: str | None = None
     artifact: str | None = None
+    coarse: bool | None = None
     count: int | None = None
     epoch: int | None = None
     members: list[str] | None = None
@@ -328,6 +342,9 @@ def decode_request(line: str | bytes) -> Request:
     gossip = payload.get("gossip")
     if gossip is not None and not isinstance(gossip, dict):
         raise ProtocolError("bad-request", "'gossip' must be an object")
+    coarse = payload.get("coarse")
+    if coarse is not None and not isinstance(coarse, bool):
+        raise ProtocolError("bad-request", "'coarse' must be a boolean")
     request = Request(
         op=op,
         dtd=payload.get("dtd"),
@@ -336,6 +353,7 @@ def decode_request(line: str | bytes) -> Request:
         root=payload.get("root"),
         fingerprint=payload.get("fingerprint"),
         artifact=payload.get("artifact"),
+        coarse=coarse,
         count=count,
         epoch=epoch,
         members=members,
@@ -350,7 +368,10 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError("bad-request", f"op {op!r} requires 'dtd'")
     if request.op in ("check", "validate") and request.doc is None:
         raise ProtocolError("bad-request", f"op {op!r} requires 'doc'")
-    if request.op in ("put-artifact", "get-artifact") and request.fingerprint is None:
+    if (
+        request.op in ("put-artifact", "get-artifact", "get-coarse")
+        and request.fingerprint is None
+    ):
         raise ProtocolError("bad-request", f"op {op!r} requires 'fingerprint'")
     if request.op == "put-artifact" and request.artifact is None:
         raise ProtocolError("bad-request", "op 'put-artifact' requires 'artifact'")

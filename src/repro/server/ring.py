@@ -45,10 +45,12 @@ probes shard health and publishes those views.
 
 from __future__ import annotations
 
+import base64
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
+from repro.core.coarse import CoarseChecker, decode_coarse
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
 from repro.obs.events import EventLog
@@ -68,6 +70,7 @@ from repro.server.protocol import ProtocolError, READ_POLICIES
 from repro.server.router import Router
 from repro.server.scheduler import DEFAULT_WINDOW, CorpusScheduler
 from repro.service.compiled import schema_fingerprint
+from repro.xmlmodel.parser import parse_xml
 
 __all__ = [
     "Member",
@@ -86,6 +89,10 @@ _MAX_EPOCH_REFRESHES = 4
 
 #: Bound on the coordinator's (dtd text, root) -> fingerprint memo.
 _FINGERPRINT_MEMO_SIZE = 1024
+
+#: Bound on the per-fingerprint coarse-summary cache (each entry is a
+#: few hundred bytes plus a tiny checker).
+_COARSE_CACHE_SIZE = 256
 
 
 class ShardUnavailableError(ServerError, ConnectionError):
@@ -135,6 +142,16 @@ class ShardedClient:
     events:
         Optional :class:`~repro.obs.events.EventLog`; the client emits
         ``failover`` and (via its pool) ``member-down`` / ``member-up``.
+    coarse_filter:
+        When true, :meth:`check_batch` pre-filters batches client-side
+        with the schema's few-hundred-byte coarse admission summary
+        (:mod:`repro.core.coarse`): documents the summary decides
+        definitely are answered locally (``algorithm == "coarse"``)
+        and only the ``uncertain`` remainder crosses the wire.  The
+        summary is fetched per fingerprint with the ``get-coarse`` op
+        (and cached); when no shard holds the artifact yet, the first
+        batch runs unfiltered with ``"coarse": true`` so the trailer's
+        stamp primes the cache.
 
     The client is thread-safe: placement sits in a
     :class:`~repro.server.placement.PlacementView`, connections in a
@@ -163,6 +180,7 @@ class ShardedClient:
         connect: Callable[[Member, float | None], ValidationClient] | None = None,
         telemetry: MetricsRegistry | None = None,
         events: EventLog | None = None,
+        coarse_filter: bool = False,
     ) -> None:
         self.placement = PlacementView(
             members, replica_count=replica_count, vnodes=vnodes
@@ -188,6 +206,9 @@ class ShardedClient:
         self._handoff_bytes = 0
         self._failovers = 0
         self._compiles_observed = 0
+        self.coarse_filter = bool(coarse_filter)
+        self._coarse: OrderedDict[str, CoarseChecker] = OrderedDict()
+        self._coarse_filtered = 0
 
     # -- placement compatibility surface -------------------------------------
 
@@ -555,6 +576,133 @@ class ShardedClient:
             ),
         )
 
+    # -- the client-side coarse pre-filter -----------------------------------
+
+    def _coarse_checker(self, fingerprint: str) -> CoarseChecker | None:
+        """The cached (or ``get-coarse``-fetched) admission checker.
+
+        ``None`` when no shard holds the artifact yet — the caller's
+        cue to run the batch unfiltered with the reply-stamp ask.
+        """
+        with self._lock:
+            checker = self._coarse.get(fingerprint)
+            if checker is not None:
+                self._coarse.move_to_end(fingerprint)
+                return checker
+        for member in self.router.candidates(fingerprint):
+            coarse_client: ValidationClient | None = None
+            try:
+                with self.pool.lock(member):
+                    coarse_client = self.pool.client(member)
+                    blob = coarse_client.get_coarse(fingerprint)
+            except OSError:
+                self.pool.mark_down(member, coarse_client)
+                continue
+            except (ServerError, ProtocolError):
+                continue  # artifact-miss (or a garbled reply): try the next
+            summary = decode_coarse(blob)
+            if summary is None:
+                continue
+            return self._remember_coarse(fingerprint, summary)
+        return None
+
+    def _remember_coarse(self, fingerprint: str, summary: Any) -> CoarseChecker:
+        checker = CoarseChecker(summary)
+        with self._lock:
+            checker = self._coarse.setdefault(fingerprint, checker)
+            self._coarse.move_to_end(fingerprint)
+            while len(self._coarse) > _COARSE_CACHE_SIZE:
+                self._coarse.popitem(last=False)
+        return checker
+
+    def _adopt_coarse_stamp(
+        self, fingerprint: str, reply: dict[str, Any]
+    ) -> None:
+        """Cache the admission summary a reply stamped (first-miss path)."""
+        stamp = reply.get("coarse")
+        if not isinstance(stamp, str):
+            return
+        try:
+            blob = base64.b64decode(stamp.encode("ascii"), validate=True)
+        except Exception:  # noqa: BLE001 - a bad stamp only skips the cache
+            return
+        summary = decode_coarse(blob)
+        if summary is not None:
+            self._remember_coarse(fingerprint, summary)
+
+    def _local_item(self, index: int, verdict: Any) -> dict[str, Any]:
+        """A definite coarse outcome as a ``check-batch-item`` reply."""
+        reply: dict[str, Any] = {
+            "ok": True,
+            "op": "check-batch-item",
+            "id": index,
+            "potentially_valid": verdict.outcome == "accept",
+            "failures": [],
+            "depth_limited": False,
+            "algorithm": "coarse",
+            "admission": verdict.outcome,
+            "filtered": True,
+        }
+        if verdict.outcome == "reject":
+            reply["failures"] = [
+                {
+                    "path": verdict.path,
+                    "element": verdict.element,
+                    "reason": verdict.reason,
+                }
+            ]
+        return reply
+
+    def _filtered_batch(
+        self,
+        dtd: str,
+        docs: list[str],
+        algorithm: str | None,
+        root: str | None,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Answer definite documents locally; route only the uncertain."""
+        fingerprint = self.fingerprint(dtd, root)
+        checker = self._coarse_checker(fingerprint)
+        if checker is None:
+            # No shard holds the artifact yet: run unfiltered, ask for
+            # the stamp, and cache it for the next batch.
+            replies, trailer = self.routed_batch(
+                dtd, docs, algorithm=algorithm, root=root, coarse=True
+            )
+            self._adopt_coarse_stamp(fingerprint, trailer)
+            return replies, trailer
+        merged: list[dict[str, Any] | None] = [None] * len(docs)
+        escalate: list[int] = []
+        for index, doc in enumerate(docs):
+            try:
+                document = parse_xml(doc)
+            except ReproError:
+                escalate.append(index)  # the server owns bad-document
+                continue
+            verdict = checker.check_document(document)
+            if verdict.definite:
+                merged[index] = self._local_item(index, verdict)
+            else:
+                escalate.append(index)
+        filtered = len(docs) - len(escalate)
+        with self._lock:
+            self._coarse_filtered += filtered
+        if escalate:
+            replies, trailer = self._dispatch_batch(
+                dtd, [docs[i] for i in escalate], algorithm, root, False
+            )
+            for position, index in enumerate(escalate):
+                reply = dict(replies[position])
+                reply["id"] = index
+                merged[index] = reply
+            trailer = dict(trailer)
+        else:
+            trailer = {"ok": True, "op": "check-batch", "errors": 0}
+        trailer["items"] = len(docs)
+        trailer["filtered"] = filtered
+        assert all(reply is not None for reply in merged)
+        return merged, trailer  # type: ignore[return-value]
+
     def check_batch(
         self,
         dtd: str,
@@ -566,6 +714,11 @@ class ShardedClient:
         """Stream a corpus for one schema — split across its live
         replicas when the read policy balances reads.
 
+        With ``coarse_filter`` enabled (and the call untraced, using
+        ``auto`` dispatch), documents the cached admission summary
+        decides definitely are answered locally and only the uncertain
+        remainder crosses the wire; the trailer gains ``"filtered"``.
+
         Under ``primary-first``, a single-replica ring, a traced call,
         or a corpus that fits one scheduler window, this is one stream
         to one owning replica (byte-for-byte the classic behavior, see
@@ -575,6 +728,24 @@ class ShardedClient:
         with straggler hand-off and re-queue on mid-run death — and
         merges the replies back into document order.
         """
+        if (
+            self.coarse_filter
+            and not trace
+            and algorithm in (None, "auto")
+            and docs
+        ):
+            return self._filtered_batch(dtd, docs, algorithm, root)
+        return self._dispatch_batch(dtd, docs, algorithm, root, trace)
+
+    def _dispatch_batch(
+        self,
+        dtd: str,
+        docs: list[str],
+        algorithm: str | None,
+        root: str | None,
+        trace: bool | str,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """The classic scheduler-or-single-stream batch path."""
         if (
             not trace
             and self.placement.replica_count > 1
@@ -601,6 +772,7 @@ class ShardedClient:
         algorithm: str | None = None,
         root: str | None = None,
         trace: bool | str = False,
+        coarse: bool | None = None,
     ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
         """Stream a whole corpus for one schema to a live owning replica.
 
@@ -617,7 +789,7 @@ class ShardedClient:
             fingerprint,
             lambda client, epoch: client.check_batch(
                 dtd, docs, algorithm=algorithm, root=root, epoch=epoch,
-                trace=trace_id,
+                trace=trace_id, coarse=coarse,
             ),
             trace=ctx,
         )
@@ -782,6 +954,8 @@ class ShardedClient:
                 "failovers": self._failovers,
                 "compiles_observed": self._compiles_observed,
                 "schemas_tracked": len(self._holders),
+                "coarse_filtered": self._coarse_filtered,
+                "coarse_cached": len(self._coarse),
             }
 
     # -- lifecycle -----------------------------------------------------------

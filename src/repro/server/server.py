@@ -44,11 +44,13 @@ import stat
 import threading
 from collections import Counter, OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import replace as dataclass_replace
 from time import monotonic
 from typing import Any
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG
 from repro.core.classify import classify_dtd
+from repro.core.coarse import encode_coarse
 from repro.core.pv import PVChecker
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
@@ -80,6 +82,7 @@ HANDLED_OPS = (
     "check-batch",
     "put-artifact",
     "get-artifact",
+    "get-coarse",
     "health",
     "ring-config",
     "metrics",
@@ -224,6 +227,35 @@ def _pool_schema(fingerprint: str, blob: bytes | None) -> CompiledSchema:
     return schema
 
 
+def _dispatched_fields(
+    dispatcher: BackendDispatcher, document: Any, doc_parse: float
+) -> dict[str, Any]:
+    """One ``auto`` dispatch (admission included) as response fields.
+
+    Shared by the in-process thread path and the pool-worker path so the
+    admission stage behaves identically on both; the server counts the
+    admission metrics from these fields on its side of the process
+    boundary (a pool worker's registry is invisible to scrapers).
+    """
+    inner: dict[str, float] = {}
+    dispatched = dispatcher.check_document(document, timings=inner)
+    decision = dispatched.decision
+    timings: dict[str, Any] = {"doc_parse": doc_parse}
+    timings.update(inner)
+    timings["backend"] = decision.algorithm
+    fields: dict[str, Any] = {
+        "verdict": protocol.verdict_fields(dispatched.verdict),
+        "algorithm": decision.algorithm,
+        "reason": decision.reason,
+        "timings": timings,
+    }
+    if decision.admission is not None:
+        fields["admission"] = decision.admission
+        if decision.admission_mismatch:
+            fields["admission_mismatch"] = True
+    return fields
+
+
 def _pool_check(
     fingerprint: str,
     blob: bytes | None,
@@ -250,24 +282,7 @@ def _pool_check(
         if dispatcher is None:
             dispatcher = BackendDispatcher(schema, policy=policy, config=config)
             _POOL_DISPATCHERS[fingerprint] = dispatcher
-        decide_watch = Stopwatch()
-        decision = dispatcher.choose(document)
-        decide = decide_watch.seconds
-        verdict_watch = Stopwatch()
-        verdict = dispatcher.checker_for(decision.algorithm).check_document(
-            document
-        )
-        return {
-            "verdict": protocol.verdict_fields(verdict),
-            "algorithm": decision.algorithm,
-            "reason": decision.reason,
-            "timings": {
-                "doc_parse": doc_parse,
-                "decide": decide,
-                "verdict": verdict_watch.seconds,
-                "backend": decision.algorithm,
-            },
-        }
+        return _dispatched_fields(dispatcher, document, doc_parse)
     key = (fingerprint, algorithm)
     checker = _POOL_CHECKERS.get(key)
     if checker is None:
@@ -295,7 +310,8 @@ class ValidationServer:
     ``check`` / ``classify`` / ``validate``, the streaming
     ``check-batch``, ``stats`` (including the ``hot`` most-requested
     fingerprint list that feeds a ring coordinator's join-prefetch),
-    the artifact hand-off pair ``put-artifact`` / ``get-artifact``, the
+    the artifact hand-off pair ``put-artifact`` / ``get-artifact`` (and
+    the lightweight ``get-coarse`` admission-summary fetch), the
     ``health`` liveness probe, and ``ring-config``.  When a ring view
     has been published (:meth:`set_ring_view` or the ``ring-config``
     op), every success reply is stamped with the view's epoch and a
@@ -317,6 +333,12 @@ class ValidationServer:
     default_algorithm:
         Backend when a request names none; ``"auto"`` (the default) routes
         through the shape dispatcher.
+    admission:
+        Overrides ``policy.admission`` (``"off"`` / ``"on"`` / ``"audit"``)
+        — the coarse-to-fine pre-filter that runs before any verdict
+        backend on ``auto``-dispatched checks.  The policy (admission
+        mode included) pickles to pool workers, so the stage behaves
+        identically on threads and on a process pool.
     """
 
     def __init__(
@@ -327,6 +349,7 @@ class ValidationServer:
         config: CheckerConfig = DEFAULT_CONFIG,
         policy: DispatchPolicy = DEFAULT_POLICY,
         default_algorithm: str = "auto",
+        admission: str | None = None,
         metrics: MetricsRegistry | None = None,
         events: EventLog | None = None,
         slow_ms: float | None = None,
@@ -353,6 +376,10 @@ class ValidationServer:
         self.store = store if store is not None else registry.store
         self.workers = workers
         self.config = config
+        if admission is not None:
+            # replace() re-runs DispatchPolicy validation, so a bad mode
+            # fails here, not on the first request.
+            policy = dataclass_replace(policy, admission=admission)
         self.policy = policy
         self.default_algorithm = default_algorithm
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -384,9 +411,17 @@ class ValidationServer:
         }
         self._m_dispatch = {
             backend: m.counter("repro_dispatch_total", backend=backend)
-            for backend in protocol.ALGORITHMS
+            for backend in (*protocol.ALGORITHMS, "coarse")
             if backend != "auto"
         }
+        self._m_admission = {
+            outcome: m.counter("repro_admission_total", outcome=outcome)
+            for outcome in ("accept", "reject", "uncertain")
+        }
+        self._m_admission_seconds = m.histogram("repro_admission_seconds")
+        self._m_admission_mismatch = m.counter(
+            "repro_admission_mismatches_total"
+        )
         self._m_batch_items = m.counter("repro_batch_items_total")
         self._m_slow = m.counter("repro_slow_requests_total")
         self._m_traced = m.counter("repro_traced_requests_total")
@@ -740,6 +775,9 @@ class ValidationServer:
         backend = timings.get("backend")
         if backend in self._m_verdict and timings.get("verdict") is not None:
             self._m_verdict[backend].observe(timings["verdict"])
+        admission = timings.get("admission")
+        if admission is not None:
+            self._m_admission_seconds.observe(admission)
 
     def _note_slow(
         self, op: str | None, watch: Stopwatch, trace: str | None, id: Any
@@ -807,6 +845,8 @@ class ValidationServer:
             return await self._op_put_artifact(request, timings)
         if request.op == "get-artifact":
             return await self._op_get_artifact(request, timings)
+        if request.op == "get-coarse":
+            return await self._op_get_coarse(request, timings)
         assert request.dtd is not None  # decode_request guarantees it
         parse_watch = Stopwatch()
         schema, disposition = self._resolve_schema(request.dtd, request.root)
@@ -894,14 +934,15 @@ class ValidationServer:
         inner = fields.pop("timings", None)
         if timings is not None and inner is not None:
             worked = sum(
-                inner.get(key) or 0.0 for key in ("doc_parse", "decide", "verdict")
+                inner.get(key) or 0.0
+                for key in ("doc_parse", "admission", "decide", "verdict")
             )
             timings["queue"] = max(0.0, off_loop.seconds - worked)
             # DTD resolution and document parsing are one "parse" phase.
             doc_parse = inner.get("doc_parse")
             if doc_parse is not None:
                 timings["parse"] = timings.get("parse", 0.0) + doc_parse
-            for key in ("decide", "verdict", "backend"):
+            for key in ("admission", "decide", "verdict", "backend"):
                 if inner.get(key) is not None:
                     timings[key] = inner[key]
         return fields
@@ -921,6 +962,7 @@ class ValidationServer:
             raise ProtocolError(*error)
         self._dispatch_counts[fields["algorithm"]] += 1
         self._count_dispatch(fields["algorithm"])
+        admission = self._count_admission(fields, schema)
         response: dict[str, Any] = {
             "ok": True,
             "op": "check",
@@ -928,9 +970,39 @@ class ValidationServer:
             "algorithm": fields["algorithm"],
             "schema": self._schema_fields(schema, disposition),
         }
+        if admission is not None:
+            response["admission"] = admission
         if fields.get("reason"):
             response["dispatch_reason"] = fields["reason"]
+        if request.coarse:
+            response["coarse"] = self._coarse_stamp(schema)
         return response
+
+    def _count_admission(
+        self, fields: dict[str, Any], schema: CompiledSchema
+    ) -> str | None:
+        """Record one check's admission outcome (server-side: pool-worker
+        registries are invisible to scrapers) and return it for the reply."""
+        admission = fields.pop("admission", None)
+        if admission is None:
+            return None
+        counter = self._m_admission.get(admission)
+        if counter is not None:
+            counter.inc()
+        if fields.pop("admission_mismatch", False):
+            self._m_admission_mismatch.inc()
+            self.events.emit(
+                "admission-mismatch",
+                member=self._member_label(),
+                fingerprint=schema.fingerprint,
+                outcome=admission,
+                backend=fields.get("algorithm"),
+            )
+        return admission
+
+    def _coarse_stamp(self, schema: CompiledSchema) -> str:
+        """The base64 admission summary a ``"coarse": true`` reply carries."""
+        return base64.b64encode(encode_coarse(schema.coarse)).decode("ascii")
 
     def _count_dispatch(self, backend: str) -> None:
         counter = self._m_dispatch.get(backend)
@@ -953,24 +1025,7 @@ class ValidationServer:
                     schema, policy=self.policy, config=self.config
                 )
                 self._dispatchers[schema.fingerprint] = dispatcher
-            decide_watch = Stopwatch()
-            decision = dispatcher.choose(document)
-            decide = decide_watch.seconds
-            verdict_watch = Stopwatch()
-            verdict = dispatcher.checker_for(decision.algorithm).check_document(
-                document
-            )
-            return {
-                "verdict": protocol.verdict_fields(verdict),
-                "algorithm": decision.algorithm,
-                "reason": decision.reason,
-                "timings": {
-                    "doc_parse": doc_parse,
-                    "decide": decide,
-                    "verdict": verdict_watch.seconds,
-                    "backend": decision.algorithm,
-                },
-            }
+            return _dispatched_fields(dispatcher, document, doc_parse)
         key = (schema.fingerprint, algorithm)
         checker = self._checkers.get(key)
         if checker is None:
@@ -1163,6 +1218,8 @@ class ValidationServer:
             # histogram, so the two can never disagree.
             "elapsed_ms": watch.elapsed_ms,
         }
+        if request.coarse:
+            trailer["coarse"] = self._coarse_stamp(schema)
         self._observe_request("check-batch", watch, batch_timings)
         if request.trace is not None:
             self._m_traced.inc()
@@ -1217,6 +1274,7 @@ class ValidationServer:
             return reply
         self._dispatch_counts[fields["algorithm"]] += 1
         self._count_dispatch(fields["algorithm"])
+        admission = self._count_admission(fields, schema)
         self._observe_phases(timings)
         reply = {
             "ok": True,
@@ -1225,6 +1283,8 @@ class ValidationServer:
             **fields.pop("verdict"),
             "algorithm": fields["algorithm"],
         }
+        if admission is not None:
+            reply["admission"] = admission
         if fields.get("reason"):
             reply["dispatch_reason"] = fields["reason"]
         if trace is not None:
@@ -1322,6 +1382,45 @@ class ValidationServer:
             "op": "get-artifact",
             "fingerprint": fingerprint,
             "artifact": base64.b64encode(blob).decode("ascii"),
+            "bytes": len(blob),
+        }
+
+    async def _op_get_coarse(
+        self, request: Request, timings: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Hand the few-hundred-byte admission summary to a routing client.
+
+        The lightweight sibling of ``get-artifact``: a ring client caches
+        this per fingerprint to pre-filter batches locally.  A possible
+        disk load (and the summary build, for pre-v3 artifacts) runs
+        off-loop.
+        """
+        assert request.fingerprint is not None
+        fingerprint = request.fingerprint
+
+        def load_and_encode() -> bytes | None:
+            schema = self.registry.lookup(fingerprint)
+            if schema is None and self.store is not None:
+                schema = self.store.load(fingerprint)
+                if schema is not None:
+                    self.registry.put(schema)
+            if schema is None:
+                return None
+            return encode_coarse(schema.coarse)
+
+        artifact_watch = Stopwatch()
+        blob = await asyncio.to_thread(load_and_encode)
+        timings["artifact"] = artifact_watch.seconds
+        if blob is None:
+            raise ProtocolError(
+                "artifact-miss",
+                f"no artifact held for fingerprint {fingerprint!r}",
+            )
+        return {
+            "ok": True,
+            "op": "get-coarse",
+            "fingerprint": fingerprint,
+            "coarse": base64.b64encode(blob).decode("ascii"),
             "bytes": len(blob),
         }
 

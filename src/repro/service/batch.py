@@ -21,6 +21,14 @@ parse does not poison the batch — it yields a :class:`BatchItem` with
 With ``workers <= 1`` everything runs inline on one shared checker — the
 same code path the differential tests compare against — so worker count
 can never change a verdict, only the wall time.
+
+The coarse-to-fine **admission stage** composes with both paths: with
+``admission="on"`` each document first runs the schema's
+:class:`~repro.core.coarse.CoarseChecker`, definite outcomes are served
+without touching the full backend (``BatchItem.coarse`` is set), and only
+the uncertain middle escalates; with ``"audit"`` the full backend always
+runs and disagreements are flagged per item.  The coarse summary rides
+inside the compiled artifact, so pool workers admit locally for free.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG
+from repro.core.coarse import CoarseChecker
 from repro.core.pv import Algorithm, PVChecker, PVVerdict
 from repro.dtd.model import DTD
 from repro.errors import ReproError
@@ -46,12 +55,22 @@ __all__ = ["BatchItem", "BatchResult", "BatchChecker", "check_batch"]
 
 @dataclass(frozen=True)
 class BatchItem:
-    """The outcome for one document of a batch."""
+    """The outcome for one document of a batch.
+
+    ``admission`` is the coarse outcome when the admission stage ran
+    (``None`` when off); ``coarse`` marks verdicts the admission stage
+    served without running a full backend; ``admission_mismatch`` flags
+    an audit-mode disagreement between a definite coarse outcome and the
+    full verdict (which is the one served).
+    """
 
     index: int
     label: str
     verdict: PVVerdict | None
     error: str | None = None
+    admission: str | None = None
+    coarse: bool = False
+    admission_mismatch: bool = False
 
     @property
     def ok(self) -> bool:
@@ -81,6 +100,8 @@ class BatchResult:
     fingerprint: str
     #: One registry snapshot per pool worker (empty when checked inline).
     worker_stats: tuple[RegistryStats, ...] = field(default=())
+    #: The admission mode the batch ran under (``off``/``on``/``audit``).
+    admission: str = "off"
 
     @property
     def pool_registry(self) -> RegistryStats | None:
@@ -118,6 +139,16 @@ class BatchResult:
         return sum(1 for item in self.items if item.error is not None)
 
     @property
+    def coarse_count(self) -> int:
+        """Documents the admission stage served without a full backend."""
+        return sum(1 for item in self.items if item.coarse)
+
+    @property
+    def mismatch_count(self) -> int:
+        """Audit-mode coarse/full disagreements (should stay at zero)."""
+        return sum(1 for item in self.items if item.admission_mismatch)
+
+    @property
     def all_ok(self) -> bool:
         return self.ok_count == self.total
 
@@ -127,13 +158,19 @@ class BatchResult:
 
     def summary(self) -> str:
         """One-line aggregate the batch CLI prints after the verdicts."""
-        return (
+        line = (
             f"{self.total} document(s): {self.ok_count} potentially valid, "
             f"{self.rejected_count} not, {self.error_count} error(s) — "
             f"{self.elapsed:.3f}s with {self.workers} worker(s) "
             f"({self.documents_per_second:.1f} docs/s, "
             f"algorithm={self.algorithm})"
         )
+        if self.admission != "off":
+            line += (
+                f" [admission {self.admission}: {self.coarse_count} "
+                f"short-circuited, {self.mismatch_count} mismatch(es)]"
+            )
+        return line
 
 
 # -- worker-side state ------------------------------------------------------
@@ -145,12 +182,15 @@ class BatchResult:
 _WORKER_CHECKER: PVChecker | None = None
 _WORKER_REGISTRY: SchemaRegistry | None = None
 _WORKER_FINGERPRINT: str | None = None
+_WORKER_ADMIT: CoarseChecker | None = None
+_WORKER_ADMISSION: str = "off"
 
 
 def _init_worker(
-    schema: CompiledSchema, algorithm: str, config: CheckerConfig
+    schema: CompiledSchema, algorithm: str, config: CheckerConfig, admission: str
 ) -> None:
     global _WORKER_CHECKER, _WORKER_REGISTRY, _WORKER_FINGERPRINT
+    global _WORKER_ADMIT, _WORKER_ADMISSION
     # A fresh registry (never the fork-inherited process default, whose
     # counters belong to the parent) seeded with the shipped artifact:
     # its statistics then describe exactly this worker's cache traffic.
@@ -159,6 +199,12 @@ def _init_worker(
     _WORKER_FINGERPRINT = schema.fingerprint
     _WORKER_CHECKER = PVChecker(
         schema.dtd, config=config, algorithm=algorithm, compiled=schema
+    )
+    # The coarse summary travels inside the pickled artifact, so each
+    # worker admits locally without recompiling anything.
+    _WORKER_ADMISSION = admission
+    _WORKER_ADMIT = (
+        CoarseChecker(schema.coarse) if admission != "off" else None
     )
 
 
@@ -170,18 +216,53 @@ def _check_one(task: tuple[int, str, str]) -> tuple[BatchItem, int, RegistryStat
     # the shipped artifact, so pool-wide hit counts mean "documents
     # answered without recompiling anywhere".
     _WORKER_REGISTRY.lookup(_WORKER_FINGERPRINT, count=True)
-    item = _check_text(_WORKER_CHECKER, index, label, text)
+    item = _check_text(
+        _WORKER_CHECKER, index, label, text,
+        admit=_WORKER_ADMIT, mode=_WORKER_ADMISSION,
+    )
     return item, os.getpid(), _WORKER_REGISTRY.stats
 
 
-def _check_text(checker: PVChecker, index: int, label: str, text: str) -> BatchItem:
+def _check_text(
+    checker: PVChecker,
+    index: int,
+    label: str,
+    text: str,
+    admit: CoarseChecker | None = None,
+    mode: str = "off",
+) -> BatchItem:
+    from repro.service.dispatch import BackendDispatcher
     from repro.xmlmodel.parser import parse_xml
 
     try:
-        verdict = checker.check_document(parse_xml(text))
+        document = parse_xml(text)
     except ReproError as error:
         return BatchItem(index=index, label=label, verdict=None, error=str(error))
-    return BatchItem(index=index, label=label, verdict=verdict)
+    admission = admit.check_document(document) if admit is not None else None
+    if mode == "on" and admission is not None and admission.definite:
+        return BatchItem(
+            index=index,
+            label=label,
+            verdict=BackendDispatcher.coarse_verdict(admission),
+            admission=admission.outcome,
+            coarse=True,
+        )
+    try:
+        verdict = checker.check_document(document)
+    except ReproError as error:
+        return BatchItem(index=index, label=label, verdict=None, error=str(error))
+    mismatch = (
+        admission is not None
+        and admission.definite
+        and (admission.outcome == "accept") != verdict.potentially_valid
+    )
+    return BatchItem(
+        index=index,
+        label=label,
+        verdict=verdict,
+        admission=None if admission is None else admission.outcome,
+        admission_mismatch=mismatch,
+    )
 
 
 class BatchChecker:
@@ -199,6 +280,10 @@ class BatchChecker:
         Pool size.  ``1`` (the default) checks inline in this process;
         ``N > 1`` forks a pool whose workers each receive the compiled
         artifact once.
+    admission:
+        The coarse-to-fine admission stage: ``"off"`` (default), ``"on"``
+        (definite coarse outcomes short-circuit the full backend), or
+        ``"audit"`` (coarse runs and is compared, full verdict served).
     """
 
     def __init__(
@@ -208,15 +293,19 @@ class BatchChecker:
         workers: int = 1,
         config: CheckerConfig = DEFAULT_CONFIG,
         registry: SchemaRegistry | None = None,
+        admission: str = "off",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if admission not in ("off", "on", "audit"):
+            raise ValueError('admission must be "off", "on", or "audit"')
         if isinstance(schema, DTD):
             schema = (registry or DEFAULT_REGISTRY).get(schema)
         self.schema = schema
         self.algorithm: Algorithm = algorithm
         self.workers = workers
         self.config = config
+        self.admission = admission
 
     # -- corpus entry points -----------------------------------------------
 
@@ -264,7 +353,15 @@ class BatchChecker:
         if self.workers == 1 or len(tasks) <= 1:
             used_workers = 1
             checker = self.schema.checker(self.algorithm, self.config)
-            items = [_check_text(checker, *task) for task in tasks]
+            admit = (
+                CoarseChecker(self.schema.coarse)
+                if self.admission != "off"
+                else None
+            )
+            items = [
+                _check_text(checker, *task, admit=admit, mode=self.admission)
+                for task in tasks
+            ]
         else:
             used_workers = self.workers
             items, worker_stats = self._check_parallel(tasks)
@@ -278,6 +375,7 @@ class BatchChecker:
             algorithm=self.algorithm,
             fingerprint=self.schema.fingerprint,
             worker_stats=worker_stats,
+            admission=self.admission,
         )
 
     def check_documents(self, documents: Sequence[XmlDocument]) -> BatchResult:
@@ -294,7 +392,7 @@ class BatchChecker:
         with context.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(self.schema, self.algorithm, self.config),
+            initargs=(self.schema, self.algorithm, self.config, self.admission),
         ) as pool:
             outcomes = list(pool.map(_check_one, tasks, chunksize=chunksize))
         items = [item for item, _pid, _stats in outcomes]
@@ -314,7 +412,14 @@ def check_batch(
     algorithm: Algorithm = "machine",
     workers: int = 1,
     config: CheckerConfig = DEFAULT_CONFIG,
+    admission: str = "off",
 ) -> BatchResult:
     """One-call convenience: batch-check *documents* against *dtd*."""
-    checker = BatchChecker(dtd, algorithm=algorithm, workers=workers, config=config)
+    checker = BatchChecker(
+        dtd,
+        algorithm=algorithm,
+        workers=workers,
+        config=config,
+        admission=admission,
+    )
     return checker.check_documents(documents)

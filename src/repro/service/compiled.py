@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 from time import perf_counter
 
+from repro.core.coarse import CoarseSummary, compile_coarse
 from repro.core.dag import DtdDag, build_dag
 from repro.core.tables import CompiledTables, compile_tables
 from repro.dtd.analysis import DTDAnalysis, DTDClass, analyze
@@ -74,6 +75,12 @@ class CompiledSchema:
         :func:`compile_schema` and carried inside the pickle (artifact
         format version 2); artifacts unpickled from the version-1 layout
         rebuild them lazily on first kernel use.
+    coarse:
+        The admission summary (:class:`~repro.core.coarse.CoarseSummary`)
+        the coarse-to-fine pipeline pre-filters with.  Built eagerly by
+        :func:`compile_schema` and carried inside the pickle (artifact
+        format version 3); older artifacts rebuild it lazily on first
+        admission use.
     compile_seconds:
         Wall time the compilation took (feeds registry statistics and the
         E10 benchmark's amortization table).
@@ -86,6 +93,7 @@ class CompiledSchema:
         "dag",
         "compile_seconds",
         "_tables",
+        "_coarse",
         "_content_cfg",
         "_earley",
     )
@@ -98,6 +106,7 @@ class CompiledSchema:
         dag: DtdDag,
         compile_seconds: float = 0.0,
         tables: CompiledTables | None = None,
+        coarse: CoarseSummary | None = None,
     ) -> None:
         self.dtd = dtd
         self.fingerprint = fingerprint
@@ -105,6 +114,7 @@ class CompiledSchema:
         self.dag = dag
         self.compile_seconds = compile_seconds
         self._tables = tables
+        self._coarse = coarse
         self._content_cfg = None
         self._earley: EarleyRecognizer | None = None
 
@@ -139,6 +149,19 @@ class CompiledSchema:
         """Whether the tables are already present (no rebuild needed)."""
         return self._tables is not None
 
+    @property
+    def coarse(self) -> CoarseSummary:
+        """The admission summary (rebuilt if the pickle lacked it — i.e.
+        the artifact predates format version 3)."""
+        if self._coarse is None:
+            self._coarse = compile_coarse(self.dag)
+        return self._coarse
+
+    @property
+    def has_coarse(self) -> bool:
+        """Whether the admission summary is present (no rebuild needed)."""
+        return self._coarse is not None
+
     def checker(self, algorithm: str = "machine", config=None):
         """A :class:`~repro.core.pv.PVChecker` backed by this artifact."""
         from repro.config import DEFAULT_CONFIG
@@ -161,6 +184,7 @@ class CompiledSchema:
             "dag": self.dag,
             "compile_seconds": self.compile_seconds,
             "tables": self._tables,
+            "coarse": self._coarse,
         }
 
     def __setstate__(self, state) -> None:
@@ -169,9 +193,11 @@ class CompiledSchema:
         self.analysis = state["analysis"]
         self.dag = state["dag"]
         self.compile_seconds = state["compile_seconds"]
-        # Version-1 artifacts predate the kernel tables; absent means
-        # "rebuild lazily", so old pickles keep loading.
+        # Version-1 artifacts predate the kernel tables and version-1/-2
+        # artifacts predate the admission summary; absent means "rebuild
+        # lazily", so old pickles keep loading.
         self._tables = state.get("tables")
+        self._coarse = state.get("coarse")
         self._content_cfg = None
         self._earley = None
 
@@ -193,6 +219,7 @@ def compile_schema(dtd: DTD, fingerprint: str | None = None) -> CompiledSchema:
     started = perf_counter()
     dag = DtdDag(dtd)
     tables = compile_tables(dag)
+    coarse = compile_coarse(dag)
     elapsed = perf_counter() - started
     return CompiledSchema(
         dtd=dtd,
@@ -201,6 +228,7 @@ def compile_schema(dtd: DTD, fingerprint: str | None = None) -> CompiledSchema:
         dag=dag,
         compile_seconds=elapsed,
         tables=tables,
+        coarse=coarse,
     )
 
 

@@ -21,6 +21,16 @@ is recorded as a :class:`DispatchDecision` in a bounded log, so a serving
 deployment can answer "why did request 4711 run on the machine backend?"
 after the fact, and can route a deterministic 1-in-N audit slice to the
 Earley reference to cross-check the fast backends in production.
+
+Ahead of all of that sits the **admission stage**
+(``DispatchPolicy.admission``): a coarse-to-fine pre-filter over the
+schema's :class:`~repro.core.coarse.CoarseSummary`.  With admission
+``"on"``, documents the coarse pass decides definitely (``reject`` or
+``accept``) short-circuit — no backend runs at all — and only the
+``uncertain`` middle escalates through the shape rules above.  With
+``"audit"``, the coarse pass runs and is *compared* against the full
+backend verdict on every document (mismatches are flagged on the
+decision), but the full verdict is always the one served.
 """
 
 from __future__ import annotations
@@ -28,9 +38,11 @@ from __future__ import annotations
 import threading
 from collections import Counter, deque
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.config import CheckerConfig, DEFAULT_CONFIG
-from repro.core.pv import Algorithm, PVChecker, PVVerdict
+from repro.core.coarse import CoarseChecker, CoarseVerdict
+from repro.core.pv import Algorithm, NodeFailure, PVChecker, PVVerdict
 from repro.dtd.model import DTD
 from repro.service.compiled import CompiledSchema
 from repro.service.registry import DEFAULT_REGISTRY, SchemaRegistry
@@ -180,6 +192,13 @@ class DispatchPolicy:
         Which exact tier serves the routes that need exactness:
         ``"kernel"`` (default, the table-driven machine) or ``"machine"``
         (the object-graph reference — same verdicts, larger constant).
+    admission:
+        The coarse-to-fine admission stage: ``"off"`` (default — classic
+        behavior, every document runs a full backend), ``"on"`` (definite
+        coarse verdicts short-circuit; only ``uncertain`` escalates), or
+        ``"audit"`` (the coarse pass runs on every document and is
+        compared against the full verdict, which is always the one
+        served — mismatches are flagged on the decision).
     """
 
     small_elements: int = 64
@@ -187,6 +206,7 @@ class DispatchPolicy:
     gap_heavy: float = 0.5
     audit_every: int = 0
     exact_backend: str = "kernel"
+    admission: str = "off"
 
     def __post_init__(self) -> None:
         if self.small_elements < 0 or self.shallow_depth < 0:
@@ -197,6 +217,8 @@ class DispatchPolicy:
             raise ValueError("audit_every must be >= 0 (0 disables audits)")
         if self.exact_backend not in ("kernel", "machine"):
             raise ValueError('exact_backend must be "kernel" or "machine"')
+        if self.admission not in ("off", "on", "audit"):
+            raise ValueError('admission must be "off", "on", or "audit"')
 
 
 DEFAULT_POLICY = DispatchPolicy()
@@ -204,12 +226,25 @@ DEFAULT_POLICY = DispatchPolicy()
 
 @dataclass(frozen=True)
 class DispatchDecision:
-    """One recorded backend choice (the audit-log entry)."""
+    """One recorded backend choice (the audit-log entry).
+
+    ``algorithm`` is what actually ran — a backend name, or ``"coarse"``
+    when the admission stage short-circuited the document.  When the
+    1-in-N audit slice displaces the shape rules, ``shadowed`` records
+    the backend the shape rules would have chosen, so the log keeps
+    *both* (the audited route and the displaced one).  ``admission`` is
+    the coarse outcome when the admission stage ran (``None`` when off),
+    and ``admission_mismatch`` flags an audit-mode disagreement between
+    the coarse pass and the full verdict that was served.
+    """
 
     sequence: int
     algorithm: Algorithm
     shape: DocumentShape
     reason: str
+    shadowed: str | None = None
+    admission: str | None = None
+    admission_mismatch: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"#{self.sequence} -> {self.algorithm}: {self.reason} [{self.shape}]"
@@ -250,6 +285,7 @@ class BackendDispatcher:
         self.policy = policy
         self.config = config
         self._checkers: dict[str, PVChecker] = {}
+        self._coarse: CoarseChecker | None = None
         self._log: deque[DispatchDecision] = deque(maxlen=log_size)
         self._counts: Counter[str] = Counter()
         self._sequence = 0
@@ -259,26 +295,34 @@ class BackendDispatcher:
 
     # -- the policy ---------------------------------------------------------
 
-    def choose(self, document: XmlDocument | XmlElement) -> DispatchDecision:
-        """Pick a backend for *document* and record the decision."""
-        shape = measure_shape(document)
-        policy = self.policy
+    def _next_sequence(self) -> int:
         with self._lock:
             self._sequence += 1
-            sequence = self._sequence
+            return self._sequence
+
+    def _record(self, decision: DispatchDecision) -> None:
+        with self._lock:
+            self._log.append(decision)
+            self._counts[decision.algorithm] += 1
+
+    def _decide(
+        self, shape: DocumentShape, sequence: int
+    ) -> tuple[str, str, str | None]:
+        """The shape rules: ``(algorithm, reason, shadowed)``.
+
+        ``shadowed`` is the backend the shape rules picked when the
+        1-in-N audit slice displaced it — the audit-log entry records
+        both, so the slice never hides what would have served.
+        """
+        policy = self.policy
         exact = policy.exact_backend
         if self.schema.is_pv_strong:
-            algorithm, reason = exact, (
+            shaped, shape_reason = exact, (
                 f"PV-strong recursive DTD: only the exact {exact} backend "
                 "answers without a depth bound"
             )
-        elif policy.audit_every and sequence % policy.audit_every == 0:
-            algorithm, reason = "earley", (
-                f"scheduled audit (1 in {policy.audit_every}) against the "
-                "Earley reference"
-            )
         elif shape.gap_density >= policy.gap_heavy and shape.content_tokens:
-            algorithm, reason = exact, (
+            shaped, shape_reason = exact, (
                 f"gap-heavy content (density {shape.gap_density:.2f} >= "
                 f"{policy.gap_heavy:.2f})"
             )
@@ -286,32 +330,136 @@ class BackendDispatcher:
             shape.elements <= policy.small_elements
             and shape.depth <= policy.shallow_depth
         ):
-            algorithm, reason = "figure5", (
+            shaped, shape_reason = "figure5", (
                 f"small and shallow (<= {policy.small_elements} elements, "
                 f"depth <= {policy.shallow_depth}): greedy recognizer wins "
                 "on constants"
             )
         else:
-            algorithm, reason = exact, f"default exact backend ({exact})"
+            shaped, shape_reason = exact, f"default exact backend ({exact})"
+        if policy.audit_every and sequence % policy.audit_every == 0:
+            return "earley", (
+                f"scheduled audit (1 in {policy.audit_every}) against the "
+                f"Earley reference; displaced shape choice {shaped}: "
+                f"{shape_reason}"
+            ), shaped
+        return shaped, shape_reason, None
+
+    def choose(self, document: XmlDocument | XmlElement) -> DispatchDecision:
+        """Pick a backend for *document* and record the decision."""
+        shape = measure_shape(document)
+        sequence = self._next_sequence()
+        algorithm, reason, shadowed = self._decide(shape, sequence)
         decision = DispatchDecision(
             sequence=sequence,
             algorithm=algorithm,  # type: ignore[arg-type]
             shape=shape,
             reason=reason,
+            shadowed=shadowed,
         )
-        with self._lock:
-            self._log.append(decision)
-            self._counts[algorithm] += 1
+        self._record(decision)
         return decision
+
+    # -- the admission stage ------------------------------------------------
+
+    def admit(self, document: XmlDocument | XmlElement) -> CoarseVerdict:
+        """Run the coarse admission pass over *document*.
+
+        Pure — nothing is recorded; callers that serve the outcome (or
+        escalate) record the combined decision.  The checker is built
+        lazily over the artifact's summary, so admission never costs a
+        schema recompile.
+        """
+        with self._lock:
+            checker = self._coarse
+        if checker is None:
+            checker = CoarseChecker(self.schema.coarse)
+            with self._lock:
+                if self._coarse is None:
+                    self._coarse = checker
+                checker = self._coarse
+        return checker.check_document(document)
+
+    @staticmethod
+    def coarse_verdict(admission: CoarseVerdict) -> PVVerdict:
+        """A definite admission outcome as a served :class:`PVVerdict`."""
+        if admission.outcome == "accept":
+            return PVVerdict(True)
+        if admission.outcome != "reject":  # pragma: no cover - guarded by callers
+            raise ValueError("only definite admission outcomes become verdicts")
+        failure = NodeFailure(
+            path=admission.path,
+            element=admission.element,
+            symbols=(),
+            reason=admission.reason,
+        )
+        return PVVerdict(False, failures=(failure,), depth_limited=False)
 
     # -- checking -----------------------------------------------------------
 
     def check_document(
-        self, document: XmlDocument | XmlElement
+        self,
+        document: XmlDocument | XmlElement,
+        timings: dict[str, float] | None = None,
     ) -> DispatchedVerdict:
-        """Choose a backend, run it, and return verdict plus decision."""
-        decision = self.choose(document)
-        verdict = self._checker(decision.algorithm).check_document(document)
+        """Admit, choose a backend if needed, run it, and record it all.
+
+        With admission ``"on"`` a definite coarse outcome is served
+        directly (``algorithm == "coarse"``); with ``"audit"`` the full
+        backend always runs and the decision flags any disagreement.
+        When *timings* is given it receives the ``admission``,
+        ``decide``, and ``verdict`` phase durations in seconds (only the
+        phases that actually ran), so the server's phase histograms stay
+        honest without a second dispatch path.
+        """
+        mode = self.policy.admission
+        admission: CoarseVerdict | None = None
+        if mode != "off":
+            started = perf_counter()
+            admission = self.admit(document)
+            if timings is not None:
+                timings["admission"] = perf_counter() - started
+            if mode == "on" and admission.definite:
+                shape = measure_shape(document)
+                decision = DispatchDecision(
+                    sequence=self._next_sequence(),
+                    algorithm="coarse",  # type: ignore[arg-type]
+                    shape=shape,
+                    reason=(
+                        f"admission {admission.outcome}: "
+                        f"{admission.reason or 'coarse pass was definite'}"
+                    ),
+                    admission=admission.outcome,
+                )
+                self._record(decision)
+                return DispatchedVerdict(
+                    verdict=self.coarse_verdict(admission), decision=decision
+                )
+        started = perf_counter()
+        shape = measure_shape(document)
+        sequence = self._next_sequence()
+        algorithm, reason, shadowed = self._decide(shape, sequence)
+        if timings is not None:
+            timings["decide"] = perf_counter() - started
+        started = perf_counter()
+        verdict = self._checker(algorithm).check_document(document)
+        if timings is not None:
+            timings["verdict"] = perf_counter() - started
+        mismatch = (
+            admission is not None
+            and admission.definite
+            and (admission.outcome == "accept") != verdict.potentially_valid
+        )
+        decision = DispatchDecision(
+            sequence=sequence,
+            algorithm=algorithm,  # type: ignore[arg-type]
+            shape=shape,
+            reason=reason,
+            shadowed=shadowed,
+            admission=None if admission is None else admission.outcome,
+            admission_mismatch=mismatch,
+        )
+        self._record(decision)
         return DispatchedVerdict(verdict=verdict, decision=decision)
 
     def checker_for(self, algorithm: Algorithm) -> PVChecker:

@@ -24,8 +24,11 @@ Format versions
 ---------------
 * **1** — original layout: pickled ``CompiledSchema`` without kernel
   tables.
-* **2** (current) — the pickle carries the kernel backend's dense
-  integer tables (:mod:`repro.core.tables`).
+* **2** — the pickle carries the kernel backend's dense integer tables
+  (:mod:`repro.core.tables`).
+* **3** (current) — the pickle additionally carries the coarse admission
+  summary (:mod:`repro.core.coarse`), so a shipped or reloaded artifact
+  serves admission verdicts with zero rebuild.
 
 A *supported older* version (see :data:`SUPPORTED_FORMAT_VERSIONS`) is a
 legitimate artifact, not corruption: the load succeeds, the missing
@@ -75,12 +78,12 @@ logger = logging.getLogger(__name__)
 STORE_MAGIC = "repro-pv-artifact"
 
 #: The version new artifacts are written at.  Bump when the layout grows.
-STORE_FORMAT_VERSION = 2
+STORE_FORMAT_VERSION = 3
 
 #: Versions a load accepts.  Older-but-supported files decode fine (any
 #: missing derived data rebuilds lazily) and are upgraded in place by the
 #: store; anything else is treated as a miss.
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
 
 _SUFFIX = ".pkl"
 
@@ -311,6 +314,8 @@ class ArtifactStore:
         """
         if not schema.has_tables:
             schema.tables  # noqa: B018 - builds the v2 payload
+        if not schema.has_coarse:
+            schema.coarse  # noqa: B018 - builds the v3 payload
         try:
             self.save(schema)
         except OSError:

@@ -1,0 +1,202 @@
+"""Seeded fuzzing corpora for the coarse-admission test harness.
+
+One place builds every corpus the admission stack is tested against, so
+the differential suite (``test_admission_differential.py``), the E18
+benchmark, and CI's fuzz job all draw from the same distribution:
+
+* :func:`valid_documents` — seeded valid documents from
+  :class:`~repro.workloads.docgen.DocumentGenerator`, with ``deep`` /
+  ``wide`` / ``mixed`` shape presets (recursion depth vs sibling fanout
+  stress different coarse-summary tables).
+* :func:`mutate` — exactly **one** structural mutation applied to a valid
+  document: rename to another declared tag, rename to an *alien*
+  (undeclared) tag, child insert / delete / swap, or a character-data
+  gap toggle.  Single mutations keep the corrupted corpus adjacent to
+  the valid one, which is where a too-eager coarse filter would
+  misclassify first.
+* :func:`mixed_corpus` — the skewed valid/corrupt mix (provenance
+  labelled per document) that E18 measures escalation rates on.
+
+Everything is deterministic in ``seed``; nothing here asserts — verdicts
+belong to the tests and benchmarks that consume the corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.dtd.model import DTD
+from repro.workloads.corrupt import corrupt_inject, corrupt_rename, corrupt_swap
+from repro.workloads.docgen import DocumentGenerator
+from repro.xmlmodel.tree import XmlDocument, XmlElement, XmlText
+
+__all__ = [
+    "MUTATIONS",
+    "SHAPES",
+    "valid_documents",
+    "mutate",
+    "mixed_corpus",
+]
+
+#: Every single-mutation corruption :func:`mutate` knows how to apply.
+MUTATIONS = ("rename", "alien", "insert", "delete", "swap", "gap")
+
+#: Generation shape presets: (target_nodes, max_depth, max_repeat).
+SHAPES = {
+    "mixed": (30, 8, 3),
+    "deep": (40, 24, 1),
+    "wide": (60, 3, 8),
+}
+
+#: The undeclared tag the ``alien`` mutation renames to — no DTD in the
+#: catalog declares it, so embed-reachability can never admit it.
+ALIEN_TAG = "zz-alien"
+
+
+def valid_documents(
+    dtd: DTD, count: int, seed: int = 0, shape: str = "mixed"
+) -> list[XmlDocument]:
+    """*count* seeded valid documents of the given shape preset."""
+    target_nodes, max_depth, max_repeat = SHAPES[shape]
+    generator = DocumentGenerator(dtd, seed=seed, max_repeat=max_repeat)
+    return list(
+        generator.documents(count, target_nodes=target_nodes, max_depth=max_depth)
+    )
+
+
+# -- single mutations --------------------------------------------------------
+
+
+def _inner_elements(document: XmlDocument) -> list[XmlElement]:
+    return [
+        element
+        for element in document.root.iter_elements()
+        if element.parent is not None
+    ]
+
+
+def _mutate_alien(document: XmlDocument, rng: random.Random) -> XmlDocument | None:
+    """Rename one element (the root included) to an undeclared tag."""
+    copy = document.copy()
+    elements = list(copy.root.iter_elements())
+    rng.choice(elements).name = ALIEN_TAG
+    return copy
+
+
+def _mutate_delete(document: XmlDocument, rng: random.Random) -> XmlDocument | None:
+    """Remove one non-root element (its subtree goes with it)."""
+    copy = document.copy()
+    candidates = _inner_elements(copy)
+    if not candidates:
+        return None
+    target = rng.choice(candidates)
+    parent = target.parent
+    assert parent is not None
+    parent.remove(target)
+    return copy
+
+
+def _mutate_gap(document: XmlDocument, rng: random.Random) -> XmlDocument | None:
+    """Toggle a character-data run: drop one, or plant one where none is.
+
+    Inserted gaps land *between* element children, so element-only
+    content models see an illegal ``Sigma`` token while mixed models
+    shrug it off — exactly the asymmetry the coarse gap hints encode.
+    """
+    copy = document.copy()
+    texted = [
+        element
+        for element in copy.root.iter_elements()
+        if any(isinstance(child, XmlText) for child in element.children)
+    ]
+    if texted and rng.random() < 0.5:
+        element = rng.choice(texted)
+        for child in list(element.children):
+            if isinstance(child, XmlText):
+                element.remove(child)
+                return copy
+    elements = list(copy.root.iter_elements())
+    target = rng.choice(elements)
+    position = rng.randint(0, len(target.children))
+    target.insert(position, XmlText("stray gap"))
+    return copy
+
+
+def mutate(
+    document: XmlDocument,
+    dtd: DTD,
+    rng: random.Random,
+    kind: str | None = None,
+) -> tuple[XmlDocument, str] | None:
+    """Apply exactly one structural mutation to a copy of *document*.
+
+    Returns ``(mutated, kind)``, or ``None`` when the requested kind does
+    not apply to this document (e.g. ``swap`` with no adjacent siblings).
+    With ``kind=None`` a random applicable mutation is chosen.
+    """
+    if kind is None:
+        for candidate in rng.sample(MUTATIONS, len(MUTATIONS)):
+            result = mutate(document, dtd, rng, kind=candidate)
+            if result is not None:
+                return result
+        return None
+    names = dtd.element_names()
+    if kind == "rename":
+        mutated = corrupt_rename(document, rng, names)
+    elif kind == "alien":
+        mutated = _mutate_alien(document, rng)
+    elif kind == "insert":
+        mutated = corrupt_inject(document, rng, rng.choice(names))
+    elif kind == "delete":
+        mutated = _mutate_delete(document, rng)
+    elif kind == "swap":
+        mutated = corrupt_swap(document, rng)
+    elif kind == "gap":
+        mutated = _mutate_gap(document, rng)
+    else:
+        raise ValueError(f"unknown mutation kind {kind!r}")
+    if mutated is None:
+        return None
+    return mutated, kind
+
+
+# -- the skewed mix ----------------------------------------------------------
+
+
+def mixed_corpus(
+    dtd: DTD,
+    count: int,
+    seed: int = 0,
+    corrupt_fraction: float = 0.5,
+    shape: str = "mixed",
+) -> list[tuple[XmlDocument, str]]:
+    """A seeded ``(document, provenance)`` mix for admission testing.
+
+    Roughly ``corrupt_fraction`` of the corpus carries one mutation
+    (provenance = the mutation kind); the rest is generator-valid
+    (provenance ``"valid"``).  Mutations that a mixed content model
+    forgives may still be potentially valid — provenance records *what
+    was done*, never the verdict, which the consumer must compute.
+    """
+    if not 0.0 <= corrupt_fraction <= 1.0:
+        raise ValueError("corrupt_fraction must be a fraction in [0, 1]")
+    rng = random.Random(seed)
+    documents = valid_documents(dtd, count, seed=seed, shape=shape)
+    corpus: list[tuple[XmlDocument, str]] = []
+    for document in documents:
+        if rng.random() < corrupt_fraction:
+            mutated = mutate(document, dtd, rng)
+            if mutated is not None:
+                corpus.append(mutated)
+                continue
+        corpus.append((document, "valid"))
+    return corpus
+
+
+def corpus_documents(
+    corpus: list[tuple[XmlDocument, str]]
+) -> Iterator[XmlDocument]:
+    """Just the documents of a labelled corpus, in order."""
+    for document, _provenance in corpus:
+        yield document

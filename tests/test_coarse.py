@@ -1,0 +1,186 @@
+"""Unit tests for the coarse admission summary and its linear pass."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.coarse import (
+    COUNT_CAP,
+    CoarseChecker,
+    CoarseSummary,
+    CoarseVerdict,
+    compile_coarse,
+    decode_coarse,
+    encode_coarse,
+)
+from repro.core.dag import build_dag
+from repro.core.pv import PVChecker
+from repro.dtd import catalog
+from repro.dtd.parser import parse_dtd
+from repro.xmlmodel.parser import parse_xml
+
+
+def _summary(dtd_text: str) -> CoarseSummary:
+    return compile_coarse(build_dag(parse_dtd(dtd_text)))
+
+
+def _verdict(dtd_text: str, xml: str) -> CoarseVerdict:
+    return CoarseChecker(_summary(dtd_text)).check_document(parse_xml(xml))
+
+
+# -- summary contents --------------------------------------------------------
+
+
+def test_allowed_uses_embed_reachability_not_direct_reference():
+    """<c> never appears in <r>'s model, but wrapping via <a> embeds it."""
+    summary = _summary(
+        "<!ELEMENT r (a)><!ELEMENT a (c?)><!ELEMENT c (#PCDATA)>"
+    )
+    r_bit = summary.element_bit("r")
+    c_bit = summary.element_bit("c")
+    assert r_bit is not None and c_bit is not None
+    assert (summary.allowed[r_bit] >> c_bit) & 1, (
+        "embed-reachability must admit a wrappable grandchild token"
+    )
+
+
+def test_counts_bound_fixed_arity_children():
+    """(a, a) embeds at most two <a> tokens, however many tags insert."""
+    summary = _summary("<!ELEMENT r (a, a)><!ELEMENT a EMPTY>")
+    r_bit = summary.element_bit("r")
+    a_bit = summary.element_bit("a")
+    assert summary.counts[r_bit][a_bit] == 2
+    assert summary.totals[r_bit] == 2
+
+
+def test_starred_children_are_unbounded():
+    summary = _summary("<!ELEMENT r (a*)><!ELEMENT a EMPTY>")
+    r_bit = summary.element_bit("r")
+    a_bit = summary.element_bit("a")
+    assert a_bit not in summary.counts[r_bit]
+    assert summary.totals[r_bit] is None
+
+
+def test_count_cap_saturates_to_unbounded():
+    """A finite bound past COUNT_CAP is stored as unbounded (sound)."""
+    arity = COUNT_CAP + 1
+    summary = _summary(
+        f"<!ELEMENT r ({', '.join(['a'] * arity)})><!ELEMENT a EMPTY>"
+    )
+    r_bit = summary.element_bit("r")
+    a_bit = summary.element_bit("a")
+    assert a_bit not in summary.counts[r_bit]
+    assert summary.totals[r_bit] is None
+
+
+def test_mixed_content_is_a_star_accept_set():
+    summary = _summary(
+        "<!ELEMENT r (#PCDATA | a)*><!ELEMENT a (#PCDATA)>"
+    )
+    r_bit = summary.element_bit("r")
+    a_bit = summary.element_bit("a")
+    assert (summary.accepts[r_bit] >> a_bit) & 1
+    assert (summary.accepts[r_bit] >> summary.pcdata_bit) & 1
+    assert (summary.gap_direct >> r_bit) & 1
+
+
+def test_summary_survives_pickle_and_equality():
+    summary = compile_coarse(build_dag(catalog.load("paper-figure1")))
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone == summary
+    assert clone.element_bit(summary.names[0]) == 0, "index must be rebuilt"
+
+
+def test_encode_decode_roundtrip_and_defects():
+    summary = _summary("<!ELEMENT r (a*)><!ELEMENT a EMPTY>")
+    assert decode_coarse(encode_coarse(summary)) == summary
+    assert decode_coarse(b"not a pickle") is None
+    assert decode_coarse(pickle.dumps({"not": "a summary"})) is None
+
+
+# -- the linear pass ---------------------------------------------------------
+
+
+def test_root_mismatch_rejects_at_slash():
+    verdict = _verdict("<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<x/>")
+    assert verdict.outcome == "reject"
+    assert (verdict.path, verdict.element) == ("/", "x")
+    assert verdict.definite
+
+
+def test_undeclared_child_rejects_at_the_parent():
+    verdict = _verdict(
+        "<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<r><zz/></r>"
+    )
+    assert verdict.outcome == "reject"
+    assert (verdict.path, verdict.element) == ("/r", "r")
+
+
+def test_count_overflow_rejects():
+    verdict = _verdict(
+        "<!ELEMENT r (a, a)><!ELEMENT a EMPTY>", "<r><a/><a/><a/></r>"
+    )
+    assert verdict.outcome == "reject"
+    assert "exceed" in verdict.reason
+
+
+def test_all_mixed_tree_accepts():
+    verdict = _verdict(
+        "<!ELEMENT r (#PCDATA | a)*><!ELEMENT a (#PCDATA)>",
+        "<r>one <a>two</a> three</r>",
+    )
+    assert verdict.outcome == "accept"
+
+
+def test_sequence_content_is_uncertain():
+    verdict = _verdict(
+        "<!ELEMENT r (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
+        "<r><a/></r>",
+    )
+    assert verdict.outcome == "uncertain"
+    assert not verdict.definite
+
+
+def test_unfinishable_empty_content_rejects():
+    """An element whose content requires a child that cannot be inserted.
+
+    ``a``'s content demands ``loop``, and ``loop`` demands itself: no
+    finite insertion completes an empty ``<a>``.
+    """
+    verdict = _verdict(
+        "<!ELEMENT r (a?)><!ELEMENT a (loop)><!ELEMENT loop (loop)>",
+        "<r><a/></r>",
+    )
+    assert verdict.outcome == "reject"
+    assert "empty content" in verdict.reason
+
+
+def test_definite_verdicts_match_the_kernel_on_hand_cases():
+    cases = (
+        ("<!ELEMENT r (a, a)><!ELEMENT a EMPTY>", "<r><a/><a/><a/></r>"),
+        ("<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<r><zz/></r>"),
+        ("<!ELEMENT r (#PCDATA | a)*><!ELEMENT a (#PCDATA)>", "<r>x<a/></r>"),
+        ("<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<r>gap</r>"),
+    )
+    for dtd_text, xml in cases:
+        dtd = parse_dtd(dtd_text)
+        verdict = CoarseChecker(compile_coarse(build_dag(dtd))).check_document(
+            parse_xml(xml)
+        )
+        if not verdict.definite:
+            continue
+        expected = verdict.outcome == "accept"
+        assert PVChecker(dtd, algorithm="kernel").is_potentially_valid(
+            parse_xml(xml)
+        ) == expected, (dtd_text, xml, verdict)
+
+
+def test_gap_inside_element_only_content_can_reject():
+    """Character data where no insertion chain embeds PCDATA rejects."""
+    verdict = _verdict(
+        "<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "<r>stray</r>"
+    )
+    assert verdict.outcome == "reject"
+    assert "character data" in verdict.reason.lower()

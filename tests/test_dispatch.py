@@ -150,3 +150,104 @@ class TestDispatchedChecking:
     def test_log_size_validated(self):
         with pytest.raises(ValueError):
             BackendDispatcher(parse_dtd(FIGURE1), log_size=-1)
+
+
+class TestAuditSliceShadow:
+    """Regression: the audit slice must record the displaced shape choice.
+
+    The audit-log entry used to keep only ``earley`` when the 1-in-N
+    slice fired, losing which backend the shape rules actually picked —
+    exactly the question the log exists to answer.
+    """
+
+    def test_audit_entries_record_the_shadowed_backend(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(audit_every=3)
+        )
+        document = parse_xml("<r><a><e></e></a></r>")
+        for _ in range(6):
+            dispatcher.choose(document)
+        audited = [d for d in dispatcher.decisions if d.algorithm == "earley"]
+        assert len(audited) == 2
+        for decision in audited:
+            assert decision.shadowed == "figure5"
+            assert "displaced shape choice figure5" in decision.reason
+
+    def test_non_audit_entries_have_no_shadow(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(audit_every=3)
+        )
+        document = parse_xml("<r><a><e></e></a></r>")
+        for _ in range(6):
+            dispatcher.choose(document)
+        for decision in dispatcher.decisions:
+            if decision.algorithm != "earley":
+                assert decision.shadowed is None
+
+    def test_shadow_reflects_the_policy_not_a_constant(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(STRONG), policy=DispatchPolicy(audit_every=1)
+        )
+        decision = dispatcher.choose(parse_xml("<a><b></b></a>"))
+        assert decision.algorithm == "earley"
+        assert decision.shadowed == "kernel"  # PV-strong forces the exact tier
+
+
+class TestAdmissionStage:
+    def test_admission_off_never_runs_coarse(self):
+        dispatcher = BackendDispatcher(parse_dtd(FIGURE1))
+        outcome = dispatcher.check_document(parse_xml("<r><zz/></r>"))
+        assert outcome.decision.admission is None
+        assert outcome.decision.algorithm != "coarse"
+
+    def test_admission_on_short_circuits_definite_rejects(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(admission="on")
+        )
+        outcome = dispatcher.check_document(parse_xml("<r><zz/></r>"))
+        assert outcome.decision.algorithm == "coarse"
+        assert outcome.decision.admission == "reject"
+        assert not outcome.verdict.potentially_valid
+        failure = outcome.verdict.failures[0]
+        assert (failure.path, failure.element) == ("/r", "r")
+
+    def test_admission_on_escalates_uncertain(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(admission="on")
+        )
+        outcome = dispatcher.check_document(parse_xml("<r><a>text</a></r>"))
+        assert outcome.decision.algorithm != "coarse"
+        assert outcome.decision.admission == "uncertain"
+        assert outcome.verdict.potentially_valid
+
+    def test_admission_audit_always_runs_a_backend(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(admission="audit")
+        )
+        outcome = dispatcher.check_document(parse_xml("<r><zz/></r>"))
+        assert outcome.decision.algorithm != "coarse"
+        assert outcome.decision.admission == "reject"
+        assert not outcome.decision.admission_mismatch
+        assert not outcome.verdict.potentially_valid
+
+    def test_admission_matches_direct_checker_on_generated_corpus(self):
+        dtd = parse_dtd(FIGURE1)
+        dispatcher = BackendDispatcher(dtd, policy=DispatchPolicy(admission="on"))
+        direct = PVChecker(dtd)
+        generator = DocumentGenerator(dtd, seed=29)
+        for document in generator.documents(8, target_nodes=20):
+            outcome = dispatcher.check_document(document)
+            assert bool(outcome) == direct.is_potentially_valid(document)
+
+    def test_admission_timings_are_reported(self):
+        dispatcher = BackendDispatcher(
+            parse_dtd(FIGURE1), policy=DispatchPolicy(admission="audit")
+        )
+        timings: dict[str, float] = {}
+        dispatcher.check_document(parse_xml("<r><a>text</a></r>"), timings=timings)
+        assert set(timings) == {"admission", "decide", "verdict"}
+        assert all(value >= 0.0 for value in timings.values())
+
+    def test_admission_policy_validation(self):
+        with pytest.raises(ValueError):
+            DispatchPolicy(admission="sometimes")

@@ -883,3 +883,80 @@ class TestCheckCorpusFailures:
         for replies, trailer in results:
             assert replies is None
             assert trailer["error"]["code"] == "unreachable"
+
+
+# -- the client-side coarse pre-filter ---------------------------------------
+
+
+class TestCoarseFilter:
+    """``coarse_filter=True``: definite documents never cross the wire."""
+
+    #: <zz> is undeclared in FIGURE1 — a definite coarse reject.
+    REJECT = "<r><zz></zz></r>"
+
+    def test_first_batch_adopts_the_reply_stamp(self, shard_paths):
+        with ShardedClient(shard_paths, coarse_filter=True) as ring:
+            replies, trailer = ring.check_batch(FIGURE1, [DOC_OK, self.REJECT])
+            # Nothing cached yet: the batch runs unfiltered on the shard,
+            # which stamps the summary into the trailer for adoption.
+            assert "filtered" not in trailer
+            assert replies[0]["potentially_valid"] is True
+            assert replies[1]["potentially_valid"] is False
+            stats = ring.ring_stats
+            assert stats["coarse_cached"] == 1
+            assert stats["coarse_filtered"] == 0
+
+    def test_second_batch_is_pre_filtered_locally(self, shard_paths):
+        with ShardedClient(shard_paths, coarse_filter=True) as ring:
+            ring.check_batch(FIGURE1, [DOC_OK])  # prime the summary cache
+            replies, trailer = ring.check_batch(
+                FIGURE1, [self.REJECT, DOC_OK, self.REJECT]
+            )
+            assert trailer["items"] == 3
+            assert trailer["filtered"] == 2
+            for index in (0, 2):
+                assert replies[index]["id"] == index
+                assert replies[index]["algorithm"] == "coarse"
+                assert replies[index]["admission"] == "reject"
+                assert replies[index]["filtered"] is True
+                assert replies[index]["potentially_valid"] is False
+                failure = replies[index]["failures"][0]
+                assert (failure["path"], failure["element"]) == ("/r", "r")
+            # The uncertain document escalated to the owning shard.
+            assert replies[1]["id"] == 1
+            assert replies[1]["algorithm"] != "coarse"
+            assert replies[1]["potentially_valid"] is True
+            assert ring.ring_stats["coarse_filtered"] == 2
+
+    def test_all_definite_batch_never_touches_a_shard(self, shard_paths):
+        with ShardedClient(shard_paths, coarse_filter=True) as ring:
+            ring.check_batch(FIGURE1, [DOC_OK])  # prime the summary cache
+            requests_before = dict(ring.ring_stats["requests_by_member"])
+            replies, trailer = ring.check_batch(FIGURE1, [self.REJECT] * 4)
+            assert trailer["filtered"] == 4
+            assert trailer["errors"] == 0
+            assert all(r["algorithm"] == "coarse" for r in replies)
+            assert ring.ring_stats["requests_by_member"] == requests_before
+
+    def test_cache_miss_falls_back_to_get_coarse(self, shard_paths):
+        # Prime the *shard* with the artifact through one client, then a
+        # fresh client (empty stamp cache) must fetch the summary via the
+        # get-coarse op instead of an unfiltered stamped batch.
+        with ShardedClient(shard_paths) as primer:
+            primer.check(FIGURE1, DOC_OK)
+        with ShardedClient(shard_paths, coarse_filter=True) as ring:
+            replies, trailer = ring.check_batch(FIGURE1, [self.REJECT, DOC_OK])
+            assert trailer["filtered"] == 1
+            assert replies[0]["algorithm"] == "coarse"
+            assert replies[1]["potentially_valid"] is True
+            assert ring.ring_stats["coarse_cached"] == 1
+
+    def test_filter_is_bypassed_for_explicit_algorithms(self, shard_paths):
+        with ShardedClient(shard_paths, coarse_filter=True) as ring:
+            ring.check_batch(FIGURE1, [DOC_OK])  # prime the summary cache
+            replies, trailer = ring.check_batch(
+                FIGURE1, [self.REJECT], algorithm="kernel"
+            )
+            assert "filtered" not in trailer
+            assert replies[0]["algorithm"] == "kernel"
+            assert replies[0]["potentially_valid"] is False

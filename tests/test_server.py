@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
 import socket
 import threading
 
 import pytest
 
+from repro.core.coarse import decode_coarse
 from repro.server import protocol
 from repro.server.client import ServerError, ValidationClient
 from repro.server.protocol import ProtocolError, decode_request
@@ -769,3 +771,116 @@ class TestHotFingerprints:
         client.check_batch(FIGURE1, [DOC_OK] * 5)
         hot = client.stats()["hot"]
         assert hot[0][1] >= 5
+
+
+class TestAdmissionServer:
+    """The coarse admission stage, server-side (``--admission on/audit``)."""
+
+    #: <zz> is undeclared, so embed-reachability rejects it outright.
+    REJECT = "<r><zz></zz></r>"
+
+    @staticmethod
+    def _handle(**kwargs):
+        return ServerThread(host="127.0.0.1", port=0, **kwargs)
+
+    def test_admission_on_short_circuits_a_definite_reject(self):
+        with self._handle(admission="on") as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                reply = client.check(FIGURE1, self.REJECT)
+                assert reply["algorithm"] == "coarse"
+                assert reply["admission"] == "reject"
+                assert reply["potentially_valid"] is False
+                failure = reply["failures"][0]
+                assert (failure["path"], failure["element"]) == ("/r", "r")
+
+    def test_admission_on_escalates_uncertain_documents(self):
+        with self._handle(admission="on") as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                reply = client.check(FIGURE1, DOC_OK)
+                assert reply["algorithm"] != "coarse"
+                assert reply["admission"] == "uncertain"
+                assert reply["potentially_valid"] is True
+
+    def test_admission_audit_always_serves_a_real_backend(self):
+        with self._handle(admission="audit") as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                reply = client.check(FIGURE1, self.REJECT)
+                assert reply["algorithm"] != "coarse"
+                assert reply["admission"] == "reject"
+                assert reply["potentially_valid"] is False
+                assert "admission_mismatch" not in reply
+
+    def test_admission_off_replies_carry_no_admission_field(self, client):
+        reply = client.check(FIGURE1, self.REJECT)
+        assert "admission" not in reply
+        assert reply["algorithm"] != "coarse"
+
+    def test_batch_items_carry_the_admission_outcome(self):
+        with self._handle(admission="on") as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                replies, trailer = client.check_batch(
+                    FIGURE1, [self.REJECT, DOC_OK]
+                )
+                assert trailer["errors"] == 0
+                assert replies[0]["algorithm"] == "coarse"
+                assert replies[0]["admission"] == "reject"
+                assert replies[1]["algorithm"] != "coarse"
+                assert replies[1]["admission"] == "uncertain"
+
+    def test_admission_outcomes_are_scraped(self):
+        with self._handle(admission="on") as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                client.check(FIGURE1, self.REJECT)
+                client.check(FIGURE1, DOC_OK)
+                reply = client.metrics()
+                admitted = {
+                    counter["labels"]["outcome"]: counter["value"]
+                    for counter in reply["metrics"]["counters"]
+                    if counter["name"] == "repro_admission_total"
+                }
+                assert admitted.get("reject") == 1
+                assert admitted.get("uncertain") == 1
+                assert "repro_admission_total" in reply["prometheus"]
+
+    def test_pool_workers_admit_too(self):
+        """The admission stage rides inside the worker, not the event loop."""
+        with self._handle(admission="on", workers=1) as handle:
+            with ValidationClient.connect(handle.tcp_address) as client:
+                reply = client.check(FIGURE1, self.REJECT)
+                assert reply["algorithm"] == "coarse"
+                assert reply["admission"] == "reject"
+
+    def test_invalid_admission_mode_is_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ValidationServer(admission="sometimes")
+
+
+class TestCoarseOp:
+    """``get-coarse`` and the ``"coarse": true`` reply stamps."""
+
+    def test_get_coarse_round_trips_the_summary(self, client):
+        fingerprint = client.check(FIGURE1, DOC_OK)["schema"]["fingerprint"]
+        summary = decode_coarse(client.get_coarse(fingerprint))
+        assert summary is not None
+        assert summary.root == "r"
+        assert set(summary.names) >= {"r", "a", "b", "c", "d", "e", "f"}
+
+    def test_get_coarse_unknown_fingerprint_is_artifact_miss(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.get_coarse("0" * 16)
+        assert excinfo.value.code == "artifact-miss"
+
+    def test_check_reply_stamp_decodes(self, client):
+        reply = client.check(FIGURE1, DOC_OK, coarse=True)
+        blob = base64.b64decode(reply["coarse"].encode("ascii"))
+        summary = decode_coarse(blob)
+        assert summary is not None and summary.root == "r"
+
+    def test_unstamped_replies_stay_lean(self, client):
+        assert "coarse" not in client.check(FIGURE1, DOC_OK)
+
+    def test_batch_trailer_carries_the_stamp_when_asked(self, client):
+        replies, trailer = client.check_batch(FIGURE1, [DOC_OK], coarse=True)
+        assert len(replies) == 1
+        blob = base64.b64decode(trailer["coarse"].encode("ascii"))
+        assert decode_coarse(blob) is not None

@@ -150,8 +150,14 @@ class TestCorruptionTolerance:
         assert store.load(schema.fingerprint) is None
 
 
-def _write_v1_artifact(store: ArtifactStore, schema: CompiledSchema) -> None:
-    """An authentic format-version-1 file: v1 header, pickle without tables."""
+def _write_old_artifact(
+    store: ArtifactStore, schema: CompiledSchema, version: int
+) -> None:
+    """An authentic older-format file: versioned header, slimmer pickle.
+
+    v1 carried neither the kernel tables nor the coarse summary; v2 added
+    the tables but predates the summary.
+    """
     import pickle
 
     old_layout = CompiledSchema(
@@ -160,13 +166,22 @@ def _write_v1_artifact(store: ArtifactStore, schema: CompiledSchema) -> None:
         analysis=schema.analysis,
         dag=schema.dag,
         compile_seconds=schema.compile_seconds,
-        tables=None,
+        tables=schema.tables if version >= 2 else None,
+        coarse=None,
     )
-    blob = f"{STORE_MAGIC} 1\n".encode() + pickle.dumps(
+    blob = f"{STORE_MAGIC} {version}\n".encode() + pickle.dumps(
         old_layout, protocol=pickle.HIGHEST_PROTOCOL
     )
     store.directory.mkdir(parents=True, exist_ok=True)
     store.path_for(schema.fingerprint).write_bytes(blob)
+
+
+def _write_v1_artifact(store: ArtifactStore, schema: CompiledSchema) -> None:
+    _write_old_artifact(store, schema, 1)
+
+
+def _write_v2_artifact(store: ArtifactStore, schema: CompiledSchema) -> None:
+    _write_old_artifact(store, schema, 2)
 
 
 class TestFormatUpgrade:
@@ -236,6 +251,100 @@ class TestFormatUpgrade:
         registry.get(schema.dtd)
         assert registry.stats.store_upgrades == 1
         assert registry.stats.misses == 0  # the v1 file prevented a compile
+
+    def test_v1_upgrade_builds_tables_and_coarse(self, store, schema):
+        """A v1 file upgrades straight to v3: both derived payloads built."""
+        _write_v1_artifact(store, schema)
+        assert store.load(schema.fingerprint) is not None
+        blob = store.path_for(schema.fingerprint).read_bytes()
+        assert artifact_format_version(blob) == STORE_FORMAT_VERSION
+        revived = decode_artifact(blob, schema.fingerprint)
+        assert revived is not None
+        assert revived.has_tables and revived.has_coarse
+
+    def test_v2_load_is_a_hit_that_upgrades_in_place(self, store, schema):
+        _write_v2_artifact(store, schema)
+        loaded = store.load(schema.fingerprint)
+        assert loaded is not None
+        stats = store.stats
+        assert stats.hits == 1
+        assert stats.corrupt == 0
+        assert stats.upgrades == 1
+        # The rewritten file is a full v3 artifact: the tables the v2
+        # layout already had, plus the coarse summary it lacked.
+        blob = store.path_for(schema.fingerprint).read_bytes()
+        assert artifact_format_version(blob) == STORE_FORMAT_VERSION
+        revived = decode_artifact(blob, schema.fingerprint)
+        assert revived is not None
+        assert revived.has_tables and revived.has_coarse
+
+    def test_v2_upgrade_serves_admission_without_recompiling(self, store, schema):
+        from repro.core.coarse import CoarseChecker
+        from repro.xmlmodel.parser import parse_xml
+
+        _write_v2_artifact(store, schema)
+        loaded = store.load(schema.fingerprint)
+        verdict = CoarseChecker(loaded.coarse).check_document(parse_xml("<x/>"))
+        assert verdict.outcome == "reject"
+
+    def test_second_v2_load_after_upgrade_is_a_plain_hit(self, store, schema):
+        _write_v2_artifact(store, schema)
+        store.load(schema.fingerprint)
+        store.load(schema.fingerprint)
+        stats = store.stats
+        assert stats.hits == 2
+        assert stats.upgrades == 1  # the rewrite stuck; no second upgrade
+
+
+class TestRingHandoff:
+    """A v3 artifact handed to a shard that has only v2 on disk."""
+
+    def test_v3_handoff_replaces_a_v2_only_store(self, tmp_path, schema):
+        from repro.core.coarse import decode_coarse
+        from repro.server.client import ValidationClient
+        from repro.server.server import ServerThread
+        from repro.service.store import encode_artifact
+
+        recipient_store = ArtifactStore(tmp_path / "recipient")
+        _write_v2_artifact(recipient_store, schema)
+        # The donor's wire blob is the current v3 format (one encoding for
+        # disk and wire); hand it to a shard whose disk still says v2.
+        blob = encode_artifact(schema)
+        with ServerThread(
+            unix_path=str(tmp_path / "recipient.sock"),
+            port=0,
+            store=recipient_store,
+        ) as handle:
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                put = client.put_artifact(schema.fingerprint, blob)
+                assert put["stored"] == "registry+store"
+                # The seeded shard serves the coarse summary immediately —
+                # no recompile, no reliance on the stale v2 file.
+                summary = decode_coarse(client.get_coarse(schema.fingerprint))
+        assert summary is not None
+        assert summary.root == schema.dtd.root
+        disk = recipient_store.path_for(schema.fingerprint).read_bytes()
+        assert artifact_format_version(disk) == STORE_FORMAT_VERSION
+        revived = decode_artifact(disk, schema.fingerprint)
+        assert revived is not None and revived.has_coarse
+
+    def test_v2_only_shard_upgrades_on_first_coarse_request(self, tmp_path, schema):
+        """Without a hand-off, get-coarse off a v2 file upgrades in place."""
+        from repro.core.coarse import decode_coarse
+        from repro.server.client import ValidationClient
+        from repro.server.server import ServerThread
+
+        shard_store = ArtifactStore(tmp_path / "v2-only")
+        _write_v2_artifact(shard_store, schema)
+        with ServerThread(
+            unix_path=str(tmp_path / "v2.sock"), port=0, store=shard_store
+        ) as handle:
+            with ValidationClient.connect_unix(handle.unix_path) as client:
+                summary = decode_coarse(client.get_coarse(schema.fingerprint))
+        assert summary is not None and summary.root == schema.dtd.root
+        assert shard_store.stats.upgrades == 1
+        disk = shard_store.path_for(schema.fingerprint).read_bytes()
+        assert artifact_format_version(disk) == STORE_FORMAT_VERSION
 
 
 class TestRegistryIntegration:
