@@ -21,7 +21,7 @@ Four bars, asserted on the same corpus:
    E15 measurement discipline).
 4. **No regression on the kernel tier** — against the dense-table
    ``kernel``, the pure-python coarse pass costs roughly what it
-   saves; the bar is only that admission stays near-free (≥ 0.75×),
+   saves; the bar is only that admission stays near-free (≥ 0.85×),
    not that it wins.
 
 Measurement notes
@@ -68,8 +68,10 @@ CORRUPT_FRACTION = 0.85
 ROUNDS = 3 if FAST else 5
 #: The tentpole throughput bar (single core, vs the machine tier).
 REQUIRED_RATIO = 1.1 if FAST else 1.2
-#: The kernel tier only has to stay near-free, not win.
-KERNEL_FLOOR = 0.7 if FAST else 0.75
+#: The kernel tier only has to stay near-free, not win.  Re-measured
+#: after the parse-fusion work (E19): best-of-5 interleaved runs sit at
+#: 0.90-0.96x on this corpus, so the floor holds a ~0.05 noise margin.
+KERNEL_FLOOR = 0.8 if FAST else 0.85
 #: The escalation bar: the coarse pass must decide at least this share
 #: of the corrupted documents without a full backend.  Never relaxed.
 REQUIRED_SHORT_CIRCUIT = 0.3

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Nine commands wrap the library for shell use:
+Ten commands wrap the library for shell use:
 
 ``classify SCHEMA.dtd``
     Print the Definition 6-8 classification report of a DTD.
@@ -29,6 +29,14 @@ Nine commands wrap the library for shell use:
     the wire in ring mode — so definite documents never reach a full
     backend.
 
+``profile SCHEMA.dtd DOC.xml [DOC.xml ...]``
+    Run a ``check`` or ``batch`` workload under :mod:`cProfile` and
+    print the top-N functions by cumulative time — the first stop when
+    a corpus checks slower than expected.  ``--mode batch`` profiles
+    the batch pipeline instead of per-document checks; ``--repeat R``
+    re-runs the workload R times so short corpora produce stable
+    profiles.
+
 ``serve``
     Run the long-lived NDJSON validation server (TCP and/or a Unix
     socket) over one warm schema registry, optionally backed by the
@@ -41,7 +49,9 @@ Nine commands wrap the library for shell use:
     ``--gossip on`` runs a SWIM-style gossip agent on every shard:
     membership truth then lives in the shards themselves (probe,
     suspect, refute, confirm down, mint epochs) and no coordinator is
-    needed.
+    needed.  ``--verdict-cache N`` memoizes up to N verdicts per shard
+    keyed by content digest; repeat documents are answered without
+    parsing, the replies stamped ``"cached": true``.
 
 ``ring-status ADDR[,ADDR...]``
     Probe every shard of a running ring with the ``health`` op and print
@@ -373,6 +383,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             gossip=gossip_on,
             gossip_interval=args.gossip_interval,
             gossip_seeds=gossip_seeds,
+            verdict_cache=args.verdict_cache,
         )
         for index in range(shards)
     ]
@@ -717,6 +728,51 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a check/batch workload; print the cumulative-time top-N."""
+    import cProfile
+    import pstats
+
+    dtd = _load_dtd(args.schema, args.root)
+    texts = [Path(path).read_text() for path in args.documents]
+    all_ok = True
+
+    def run_check() -> None:
+        nonlocal all_ok
+        checker = PVChecker(dtd, algorithm=args.algorithm)
+        for _ in range(args.repeat):
+            for text in texts:
+                if not checker.check_text(text).potentially_valid:
+                    all_ok = False
+
+    def run_batch() -> None:
+        nonlocal all_ok
+        checker = BatchChecker(
+            DEFAULT_REGISTRY.get(dtd), algorithm=args.algorithm
+        )
+        for _ in range(args.repeat):
+            result = checker.check_texts(texts, labels=args.documents)
+            if not result.all_ok:
+                all_ok = False
+
+    workload = run_batch if args.mode == "batch" else run_check
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        workload()
+    finally:
+        profile.disable()
+    runs = len(texts) * args.repeat
+    print(
+        f"profiled {args.mode} of {len(texts)} document(s) x {args.repeat} "
+        f"repeat(s) = {runs} check(s), algorithm {args.algorithm}",
+        file=sys.stderr,
+    )
+    stats = pstats.Stats(profile, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0 if all_ok else 1
+
+
 def _cmd_complete(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.schema, args.root)
     document = _load_document(args.document)
@@ -835,6 +891,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.set_defaults(handler=_cmd_batch)
 
+    profile = sub.add_parser(
+        "profile", help="profile a check/batch workload with cProfile"
+    )
+    profile.add_argument("schema")
+    profile.add_argument("documents", nargs="+", metavar="document")
+    profile.add_argument("--root", default=None)
+    profile.add_argument(
+        "--mode",
+        choices=("check", "batch"),
+        default="check",
+        help="workload shape: per-document checks or the batch pipeline",
+    )
+    profile.add_argument(
+        "--algorithm",
+        choices=_ALGORITHMS,
+        default="machine",
+        help="checking backend to profile",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="print the top N functions by cumulative time (default: 15)",
+    )
+    profile.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="R",
+        help="run the workload R times for a stabler profile (default: 1)",
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
     complete = sub.add_parser("complete", help="compute a valid extension")
     complete.add_argument("schema")
     complete.add_argument("document")
@@ -945,6 +1035,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="append JSON-line observability events to PATH",
+    )
+    serve.add_argument(
+        "--verdict-cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "memoize up to N verdicts per shard, keyed by (schema "
+            "fingerprint, document digest, algorithm); repeat documents "
+            "are answered without parsing (default: 0, disabled)"
+        ),
     )
     serve.add_argument(
         "--gossip",
@@ -1105,6 +1206,15 @@ def main(argv: list[str] | None = None) -> int:
             "error: --read-policy requires a ring view (--ring N >= 2)",
             file=sys.stderr,
         )
+        return USAGE_ERROR
+    if args.handler is _cmd_serve and args.verdict_cache < 0:
+        print("error: --verdict-cache must be >= 0", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_profile and args.top < 1:
+        print("error: --top must be >= 1", file=sys.stderr)
+        return USAGE_ERROR
+    if args.handler is _cmd_profile and args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
         return USAGE_ERROR
     if args.handler is _cmd_serve and args.hot_limit < 1:
         print("error: --hot-limit must be >= 1", file=sys.stderr)

@@ -425,6 +425,27 @@ class CoarseChecker:
             "accept", reason="every node's children already spell a word"
         )
 
+    def check_text(self, source: str) -> CoarseVerdict:
+        """The admission pass straight from document text.
+
+        With the fast parser active this consumes the event stream
+        directly (:func:`repro.core.stream.stream_coarse_check`) —
+        outcome-identical to parsing first, though a reject may name a
+        different node (the tree pass visits children in reverse
+        document order).  ``REPRO_PARSER=reference`` parses and
+        delegates.
+        """
+        from repro.xmlmodel.fastlex import parser_backend
+
+        if parser_backend() == "fast":
+            # Lazy import: stream imports this module for the verdict types.
+            from repro.core.stream import stream_coarse_check
+
+            return stream_coarse_check(self.summary, source)
+        from repro.xmlmodel.parser import parse_xml
+
+        return self.check_document(parse_xml(source))
+
     def _check_content(
         self, node: XmlElement, path: str, bit: int
     ) -> CoarseVerdict | None:

@@ -38,6 +38,7 @@ from repro.dtd.model import DTD
 from repro.errors import DepthBoundExceeded, UnusableElementError
 from repro.grammar.build import content_nonterminal
 from repro.xmlmodel.delta import content_symbols
+from repro.xmlmodel.fastlex import parser_backend
 from repro.xmlmodel.tree import XmlDocument, XmlElement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> core)
@@ -204,6 +205,26 @@ class PVChecker:
         if depth_limited and self.config.strict_depth:
             raise DepthBoundExceeded(self.depth)
         return PVVerdict(verdict_ok, tuple(failures), depth_limited=depth_limited)
+
+    def check_text(self, text: str) -> PVVerdict:
+        """Problem PV straight from document text.
+
+        On the kernel backend with the fast parser active this is the
+        fused single-pass hot path (:mod:`repro.core.stream`): no tree is
+        materialized, tag names are interned to table ids as they are
+        scanned, and the verdict — failures included — is identical to
+        ``check_document(parse_xml(text))``, as is every well-formedness
+        error.  Every other backend (and ``REPRO_PARSER=reference``)
+        parses and delegates, byte-for-byte the classic pipeline.
+        """
+        if self.algorithm == "kernel" and parser_backend() == "fast":
+            # Lazy import: stream sits above pv (it needs the kernel).
+            from repro.core.stream import stream_check_document
+
+            return stream_check_document(self.compiled, text)
+        from repro.xmlmodel.parser import parse_xml
+
+        return self.check_document(parse_xml(text))
 
     def is_potentially_valid(self, document: XmlDocument | XmlElement) -> bool:
         """Boolean convenience wrapper over :meth:`check_document`."""

@@ -1,0 +1,410 @@
+"""Treeless checking: verdicts straight off the event stream.
+
+The classic pipeline materializes an :class:`~repro.xmlmodel.tree.XmlDocument`
+and then walks it node by node, converting each child list through
+``Delta_T``.  For the kernel tier that tree is pure overhead: the merged-GSS
+machine only ever consumes interned symbol ids, one per child, in document
+order — exactly the order :func:`repro.xmlmodel.fastlex.scan_events`
+produces them.  This module fuses the two passes:
+
+* :func:`stream_check_document` — Problem PV with kernel semantics, one
+  pass over the source text, tag names interned to
+  :class:`~repro.core.tables.CompiledTables` ids as they are scanned.
+  Verdict- and failure-identical to
+  ``PVChecker(algorithm="kernel").check_document(parse_xml(text))``,
+  including every well-formedness diagnostic (the fused pass never stops
+  scanning early, so a malformed suffix still raises exactly as the
+  parse-first pipeline would).
+* :func:`stream_coarse_check` — the coarse admission pass over the same
+  events.  Outcome-identical to
+  :meth:`~repro.core.coarse.CoarseChecker.check_document` on the parsed
+  tree; the *reported* node of a reject may differ (the tree pass visits
+  children in reverse document order), which is why admission surfaces
+  that promise byte-identical replies keep the tree path.
+
+Failure paths are computed lazily by walking the open-frame chain — the
+hot loop never builds path strings for nodes that pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.coarse import CoarseSummary, CoarseVerdict
+from repro.core.kernel import KernelMachine
+from repro.core.pv import NodeFailure, PVVerdict
+from repro.errors import XmlSyntaxError
+from repro.service.compiled import CompiledSchema
+from repro.xmlmodel.delta import SIGMA
+from repro.xmlmodel.fastlex import EV_END, EV_START, EV_TEXT, _loc, scan_events
+
+__all__ = ["stream_check_document", "stream_coarse_check"]
+
+# Frame layout for the kernel pass (lists beat attribute access in the
+# inner loop).  ``SYMBOLS is None`` marks a suppressed frame: under an
+# undeclared element or a mismatched root nothing is checked or recorded,
+# matching the tree walker's early returns.
+_NAME = 0
+_MACHINE = 1
+_SYMBOLS = 2
+_FAILURES = 3
+_OWN = 4
+_PARENT = 5
+_INDEX = 6
+_CHILDREN = 7
+_DEAD = 8
+
+_CONTENT_REASON = "content cannot be completed by tag insertions alone"
+
+
+def _frame_path(frame: list) -> str:
+    """The ``/root/child[i]`` path of *frame*, built only on failure."""
+    parts = []
+    while frame[_PARENT] is not None:
+        parts.append(f"/{frame[_NAME]}[{frame[_INDEX]}]")
+        frame = frame[_PARENT]
+    parts.append(f"/{frame[_NAME]}")
+    return "".join(reversed(parts))
+
+
+def stream_check_document(compiled: CompiledSchema, source: str) -> PVVerdict:
+    """Problem PV over *source* with kernel semantics, no tree built."""
+    tables = compiled.tables
+    sid_get = tables.sid.get
+    sigma_id = tables.sid[SIGMA]
+    dtd_root = compiled.dtd.root
+
+    stack: list[list] = []
+    root_failures: list[NodeFailure] | None = None
+    root_mismatch: NodeFailure | None = None
+    root_seen = False
+
+    for kind, payload, offset in scan_events(source):
+        if kind == EV_START:
+            if stack:
+                parent = stack[-1]
+                index = parent[_CHILDREN]
+                parent[_CHILDREN] = index + 1
+                symbols = parent[_SYMBOLS]
+                if symbols is None:
+                    # Suppressed subtree: track nesting only.
+                    stack.append(
+                        [payload, None, None, None, None, parent, index, 0, False]
+                    )
+                    continue
+                symbols.append(payload)
+                if not parent[_MACHINE].step(sid_get(payload, -1)):
+                    parent[_DEAD] = True
+                if sid_get(payload) is None:
+                    frame = [payload, None, None, None, None, parent, index, 0, False]
+                    frame[_OWN] = NodeFailure(
+                        path=_frame_path(frame),
+                        element=payload,
+                        symbols=(),
+                        reason=(
+                            f"element type <{payload}> is not declared in the DTD"
+                        ),
+                    )
+                    stack.append(frame)
+                    continue
+                stack.append(
+                    [
+                        payload,
+                        KernelMachine(tables, payload),
+                        [],
+                        [],
+                        None,
+                        parent,
+                        index,
+                        0,
+                        False,
+                    ]
+                )
+                continue
+            if root_seen:
+                raise XmlSyntaxError(
+                    f"multiple root elements: second root <{payload}>",
+                    *_loc(source, offset),
+                )
+            root_seen = True
+            if payload != dtd_root:
+                root_mismatch = NodeFailure(
+                    path="/",
+                    element=payload,
+                    symbols=(),
+                    reason=(
+                        f"document root is <{payload}> but the DTD root is "
+                        f"<{dtd_root}>"
+                    ),
+                )
+                stack.append([payload, None, None, None, None, None, 0, 0, False])
+                continue
+            stack.append(
+                [
+                    payload,
+                    KernelMachine(tables, payload),
+                    [],
+                    [],
+                    None,
+                    None,
+                    0,
+                    0,
+                    False,
+                ]
+            )
+        elif kind == EV_TEXT:
+            if not stack:
+                if payload.strip():
+                    raise XmlSyntaxError(
+                        "character data outside the root element",
+                        *_loc(source, offset),
+                    )
+                continue
+            if not payload:
+                continue
+            frame = stack[-1]
+            symbols = frame[_SYMBOLS]
+            if symbols is None:
+                continue
+            if not symbols or symbols[-1] != SIGMA:
+                symbols.append(SIGMA)
+                if not frame[_MACHINE].step(sigma_id):
+                    frame[_DEAD] = True
+        else:  # EV_END
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unmatched end tag </{payload}>", *_loc(source, offset)
+                )
+            frame = stack.pop()
+            if frame[_NAME] != payload:
+                raise XmlSyntaxError(
+                    f"end tag </{payload}> does not match open <{frame[_NAME]}>",
+                    *_loc(source, offset),
+                )
+            own = frame[_OWN]
+            subtree = frame[_FAILURES]
+            if frame[_SYMBOLS] is not None:
+                if frame[_DEAD] or not frame[_MACHINE].accepts_now():
+                    own = NodeFailure(
+                        path=_frame_path(frame),
+                        element=frame[_NAME],
+                        symbols=tuple(frame[_SYMBOLS]),
+                        reason=_CONTENT_REASON,
+                    )
+            if own is not None:
+                # Pre-order: a node's own failure precedes its subtree's.
+                if subtree:
+                    subtree.insert(0, own)
+                else:
+                    subtree = [own]
+            parent = frame[_PARENT]
+            if parent is None:
+                root_failures = subtree or []
+            elif subtree and parent[_FAILURES] is not None:
+                parent[_FAILURES].extend(subtree)
+    if stack:
+        raise XmlSyntaxError(
+            f"unclosed element <{stack[-1][_NAME]}>", *_loc(source, len(source))
+        )
+    if not root_seen:
+        raise XmlSyntaxError("document has no root element")
+    if root_mismatch is not None:
+        return PVVerdict(False, (root_mismatch,), depth_limited=False)
+    failures = tuple(root_failures or ())
+    # The kernel tier is exact and unbounded: never depth-limited.
+    return PVVerdict(not failures, failures, depth_limited=False)
+
+
+# Frame layout for the coarse pass: [name, bit, seen, symbols, accept,
+# last_sigma, path, child_index].  ``bit is None`` marks an undeclared
+# element (its parent's token check already rejected; the frame is inert).
+_C_NAME = 0
+_C_BIT = 1
+_C_SEEN = 2
+_C_COUNT = 3
+_C_ACCEPT = 4
+_C_LAST_SIGMA = 5
+_C_PATH = 6
+_C_CHILDREN = 7
+
+
+def stream_coarse_check(summary: CoarseSummary, source: str) -> CoarseVerdict:
+    """The coarse admission pass over *source*, no tree built.
+
+    Outcome-identical to the tree :class:`~repro.core.coarse.CoarseChecker`
+    (a reject here implies a reject there and vice versa); the reported
+    node may differ because the tree pass visits children in reverse
+    document order.  Well-formedness errors raise exactly as the
+    parse-first pipeline would — a pending verdict never swallows one.
+    """
+    pcdata_bit = summary.pcdata_bit
+    element_bit = summary.element_bit
+    allowed_masks = summary.allowed
+    accepts_masks = summary.accepts
+    counts = summary.counts
+    totals = summary.totals
+    empty_ok = summary.empty_ok
+
+    stack: list[list] = []
+    reject: CoarseVerdict | None = None
+    uncertain: CoarseVerdict | None = None
+    root_seen = False
+
+    def child_token(frame: list, token_bit: int | None, symbol: str) -> None:
+        """Apply one ``Delta_T`` token to *frame* (the tree loop, inlined)."""
+        nonlocal reject
+        bit = frame[_C_BIT]
+        name = frame[_C_NAME]
+        frame[_C_COUNT] += 1
+        if token_bit is None or not (allowed_masks[bit] >> token_bit) & 1:
+            if symbol == SIGMA:
+                reason = (
+                    f"character data can never occur inside <{name}> "
+                    "(no insertion chain embeds it)"
+                )
+            elif token_bit is None:
+                reason = (
+                    f"child <{symbol}> is not declared in the DTD, so the "
+                    f"content of <{name}> can never complete"
+                )
+            else:
+                reason = (
+                    f"<{symbol}> can never occur inside <{name}> "
+                    "(no insertion chain embeds it)"
+                )
+            reject = CoarseVerdict(
+                "reject", path=frame[_C_PATH], element=name, reason=reason
+            )
+            return
+        seen = frame[_C_SEEN]
+        tally = seen.get(token_bit, 0) + 1
+        seen[token_bit] = tally
+        limit = counts[bit].get(token_bit)
+        if limit is not None and tally > limit:
+            what = (
+                "character-data runs"
+                if token_bit == pcdata_bit
+                else f"<{symbol}> children"
+            )
+            reject = CoarseVerdict(
+                "reject",
+                path=frame[_C_PATH],
+                element=name,
+                reason=(
+                    f"{tally} {what} exceed the most any completable "
+                    f"content of <{name}> embeds ({limit})"
+                ),
+            )
+            return
+        if not (accepts_masks[bit] >> token_bit) & 1:
+            frame[_C_ACCEPT] = False
+
+    for kind, payload, offset in scan_events(source):
+        if kind == EV_START:
+            if not stack:
+                if root_seen:
+                    raise XmlSyntaxError(
+                        f"multiple root elements: second root <{payload}>",
+                        *_loc(source, offset),
+                    )
+                root_seen = True
+                if reject is None and payload != summary.root:
+                    reject = CoarseVerdict(
+                        "reject",
+                        path="/",
+                        element=payload,
+                        reason=(
+                            f"document root is <{payload}> but the DTD root "
+                            f"is <{summary.root}>"
+                        ),
+                    )
+                bit = element_bit(payload) if reject is None else None
+                stack.append([payload, bit, {}, 0, True, False, f"/{payload}", 0])
+                continue
+            parent = stack[-1]
+            path = f"{parent[_C_PATH]}/{payload}[{parent[_C_CHILDREN]}]"
+            parent[_C_CHILDREN] += 1
+            bit = element_bit(payload)
+            if reject is None and parent[_C_BIT] is not None:
+                parent[_C_LAST_SIGMA] = False
+                child_token(parent, bit, payload)
+            if reject is not None:
+                bit = None
+            stack.append([payload, bit, {}, 0, True, False, path, 0])
+        elif kind == EV_TEXT:
+            if not stack:
+                if payload.strip():
+                    raise XmlSyntaxError(
+                        "character data outside the root element",
+                        *_loc(source, offset),
+                    )
+                continue
+            if not payload:
+                continue
+            frame = stack[-1]
+            if reject is None and frame[_C_BIT] is not None:
+                if not frame[_C_LAST_SIGMA]:
+                    frame[_C_LAST_SIGMA] = True
+                    child_token(frame, pcdata_bit, SIGMA)
+        else:  # EV_END
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unmatched end tag </{payload}>", *_loc(source, offset)
+                )
+            frame = stack.pop()
+            if frame[_C_NAME] != payload:
+                raise XmlSyntaxError(
+                    f"end tag </{payload}> does not match open <{frame[_C_NAME]}>",
+                    *_loc(source, offset),
+                )
+            if reject is not None:
+                continue
+            bit = frame[_C_BIT]
+            if bit is None:
+                continue
+            name = frame[_C_NAME]
+            if frame[_C_COUNT] == 0:
+                if not (empty_ok >> bit) & 1:
+                    reject = CoarseVerdict(
+                        "reject",
+                        path=frame[_C_PATH],
+                        element=name,
+                        reason=(
+                            f"the empty content of <{name}> cannot be "
+                            "completed by tag insertions alone"
+                        ),
+                    )
+                continue
+            total = totals[bit]
+            if total is not None and frame[_C_COUNT] > total:
+                reject = CoarseVerdict(
+                    "reject",
+                    path=frame[_C_PATH],
+                    element=name,
+                    reason=(
+                        f"{frame[_C_COUNT]} children exceed the most any "
+                        f"completable content of <{name}> embeds ({total})"
+                    ),
+                )
+                continue
+            if not frame[_C_ACCEPT] and uncertain is None:
+                uncertain = CoarseVerdict(
+                    "uncertain",
+                    path=frame[_C_PATH],
+                    element=name,
+                    reason=(
+                        "children may need insertions; escalating to a "
+                        "full backend"
+                    ),
+                )
+    if stack:
+        raise XmlSyntaxError(
+            f"unclosed element <{stack[-1][_C_NAME]}>", *_loc(source, len(source))
+        )
+    if not root_seen:
+        raise XmlSyntaxError("document has no root element")
+    if reject is not None:
+        return reject
+    if uncertain is not None:
+        return uncertain
+    return CoarseVerdict(
+        "accept", reason="every node's children already spell a word"
+    )

@@ -266,6 +266,10 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("repro_admission_mismatches_total", "counter", (),
                "Audit-mode disagreements between a definite coarse "
                "outcome and the full backend verdict."),
+    MetricSpec("repro_parse_seconds", "histogram", (),
+               "Document parse latency on the server check path."),
+    MetricSpec("repro_verdict_cache_total", "counter", ("outcome",),
+               "Verdict cache lookups: hit, miss, evict."),
 )
 
 CATALOG_NAMES: frozenset[str] = frozenset(spec.name for spec in CATALOG)

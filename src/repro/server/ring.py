@@ -209,6 +209,7 @@ class ShardedClient:
         self.coarse_filter = bool(coarse_filter)
         self._coarse: OrderedDict[str, CoarseChecker] = OrderedDict()
         self._coarse_filtered = 0
+        self._server_cache_hits = 0
 
     # -- placement compatibility surface -------------------------------------
 
@@ -396,6 +397,7 @@ class ShardedClient:
                     )
                 compiled = self._note_schema(label, result)
                 self._note_load(member, result)
+                self._note_cached(result)
                 if compiled and self.placement.replica_count > 1:
                     # The one honest compile just happened: fan the
                     # artifact out to the rest of the replica set now, so
@@ -430,6 +432,24 @@ class ShardedClient:
                 inflight,
                 queue_depth if isinstance(queue_depth, int) else 0,
             )
+
+    def _note_cached(self, result: Any) -> None:
+        """Tally server-side verdict-cache hits stamped on replies.
+
+        A server running with ``--verdict-cache`` stamps ``"cached":
+        true`` on every reply it answered from its memo cache — single
+        ``check`` replies and ``check-batch-item`` replies alike (for a
+        batch, *result* is the ``(item_replies, trailer)`` tuple).
+        """
+        replies = result[0] if isinstance(result, tuple) else (result,)
+        hits = sum(
+            1
+            for reply in replies
+            if isinstance(reply, dict) and reply.get("cached")
+        )
+        if hits:
+            with self._lock:
+                self._server_cache_hits += hits
 
     def _note_schema(self, label: str, result: Any) -> bool:
         """Record which shard holds the schema a reply names; ``True``
@@ -846,6 +866,7 @@ class ShardedClient:
             if wrong_epoch is None:
                 self._note_schema(label, result)
                 self._note_load(member, result)
+                self._note_cached(result)
                 self._maybe_refresh(member, result)
                 return result
             # The member is alive and just taught us the newer view;
@@ -956,6 +977,7 @@ class ShardedClient:
                 "schemas_tracked": len(self._holders),
                 "coarse_filtered": self._coarse_filtered,
                 "coarse_cached": len(self._coarse),
+                "server_cache_hits": self._server_cache_hits,
             }
 
     # -- lifecycle -----------------------------------------------------------

@@ -62,6 +62,7 @@ from repro.server.client import ServerError, ValidationClient
 from repro.server.gossip import DEFAULT_PROBE_INTERVAL, GossipAgent
 from repro.server.placement import Member, PlacementView, parse_member
 from repro.server.protocol import ProtocolError, Request
+from repro.service.cache import VerdictCache
 from repro.service.compiled import CompiledSchema
 from repro.service.dispatch import DEFAULT_POLICY, BackendDispatcher, DispatchPolicy
 from repro.service.registry import SchemaRegistry
@@ -339,6 +340,13 @@ class ValidationServer:
         backend on ``auto``-dispatched checks.  The policy (admission
         mode included) pickles to pool workers, so the stage behaves
         identically on threads and on a process pool.
+    verdict_cache:
+        Entries in the verdict memo cache (``serve --verdict-cache N``);
+        ``0`` (the default) disables it.  Repeat documents — same schema
+        fingerprint, same bytes, same effective algorithm — are answered
+        from the cache without parsing, the reply stamped ``"cached":
+        true``; hits, misses and evictions feed
+        ``repro_verdict_cache_total``.
     """
 
     def __init__(
@@ -357,9 +365,12 @@ class ValidationServer:
         gossip: bool = False,
         gossip_interval: float = DEFAULT_PROBE_INTERVAL,
         gossip_seeds: tuple[Member | str, ...] = (),
+        verdict_cache: int = 0,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if verdict_cache < 0:
+            raise ValueError("verdict_cache must be >= 0 (0 disables)")
         if gossip_interval <= 0:
             raise ValueError("gossip_interval must be > 0")
         if default_algorithm not in protocol.ALGORITHMS:
@@ -422,6 +433,11 @@ class ValidationServer:
         self._m_admission_mismatch = m.counter(
             "repro_admission_mismatches_total"
         )
+        self._m_cache = {
+            outcome: m.counter("repro_verdict_cache_total", outcome=outcome)
+            for outcome in ("hit", "miss", "evict")
+        }
+        self._m_parse_seconds = m.histogram("repro_parse_seconds")
         self._m_batch_items = m.counter("repro_batch_items_total")
         self._m_slow = m.counter("repro_slow_requests_total")
         self._m_traced = m.counter("repro_traced_requests_total")
@@ -430,6 +446,9 @@ class ValidationServer:
         self.registry.attach_metrics(m)
         if self.store is not None:
             self.store.attach_observability(metrics=m, events=self.events)
+        self._verdict_cache = (
+            VerdictCache(verdict_cache) if verdict_cache > 0 else None
+        )
         self._pool: ProcessPoolExecutor | None = None
         self._shipped: set[str] = set()
         # Derived-object caches hold compiled artifacts alive; bounding
@@ -917,7 +936,28 @@ class ValidationServer:
         balances on.  The off-loop wall clock minus the work the worker
         itself timed is the queue-wait phase — measured on this side of
         the boundary so process-pool workers need no shared clock.
+
+        When the verdict cache is enabled, it is consulted here — on the
+        event-loop side — so one shared cache fronts both the thread and
+        the process-pool execution modes.  A hit skips parsing and
+        checking entirely and returns a stamped copy of the memoized
+        fields; parse errors are memoized too (they are just as
+        deterministic as verdicts).
         """
+        cache = self._verdict_cache
+        key = None
+        if cache is not None:
+            mode = (
+                f"auto:{self.policy.admission}" if algorithm == "auto" else algorithm
+            )
+            key = cache.key(schema.fingerprint, doc_text, mode)
+            hit = cache.get(key)
+            if hit is not None:
+                self._m_cache["hit"].inc()
+                fields = dict(hit)
+                fields["cached"] = True
+                return fields
+            self._m_cache["miss"].inc()
         self._inflight += 1
         self._g_inflight.set(self._inflight)
         off_loop = Stopwatch()
@@ -931,7 +971,13 @@ class ValidationServer:
         finally:
             self._inflight -= 1
             self._g_inflight.set(self._inflight)
+        if key is not None and cache is not None:
+            stored = {k: v for k, v in fields.items() if k != "timings"}
+            if cache.put(key, stored):
+                self._m_cache["evict"].inc()
         inner = fields.pop("timings", None)
+        if inner is not None and inner.get("doc_parse") is not None:
+            self._m_parse_seconds.observe(inner["doc_parse"])
         if timings is not None and inner is not None:
             worked = sum(
                 inner.get(key) or 0.0
@@ -960,16 +1006,26 @@ class ValidationServer:
         error = fields.pop("error", None)
         if error is not None:
             raise ProtocolError(*error)
-        self._dispatch_counts[fields["algorithm"]] += 1
-        self._count_dispatch(fields["algorithm"])
-        admission = self._count_admission(fields, schema)
+        cached = fields.pop("cached", False)
+        if cached:
+            # A replayed verdict: no backend ran, so the dispatch and
+            # admission tallies stay untouched; the reply still carries
+            # the memoized admission outcome.
+            admission = fields.pop("admission", None)
+            fields.pop("admission_mismatch", None)
+        else:
+            self._dispatch_counts[fields["algorithm"]] += 1
+            self._count_dispatch(fields["algorithm"])
+            admission = self._count_admission(fields, schema)
         response: dict[str, Any] = {
             "ok": True,
             "op": "check",
-            **fields.pop("verdict"),
+            **fields["verdict"],
             "algorithm": fields["algorithm"],
             "schema": self._schema_fields(schema, disposition),
         }
+        if cached:
+            response["cached"] = True
         if admission is not None:
             response["admission"] = admission
         if fields.get("reason"):
@@ -1272,17 +1328,24 @@ class ValidationServer:
             )
             reply["op"] = "check-batch-item"
             return reply
-        self._dispatch_counts[fields["algorithm"]] += 1
-        self._count_dispatch(fields["algorithm"])
-        admission = self._count_admission(fields, schema)
+        cached = fields.pop("cached", False)
+        if cached:
+            admission = fields.pop("admission", None)
+            fields.pop("admission_mismatch", None)
+        else:
+            self._dispatch_counts[fields["algorithm"]] += 1
+            self._count_dispatch(fields["algorithm"])
+            admission = self._count_admission(fields, schema)
         self._observe_phases(timings)
         reply = {
             "ok": True,
             "op": "check-batch-item",
             "id": item_id,
-            **fields.pop("verdict"),
+            **fields["verdict"],
             "algorithm": fields["algorithm"],
         }
+        if cached:
+            reply["cached"] = True
         if admission is not None:
             reply["admission"] = admission
         if fields.get("reason"):
@@ -1615,6 +1678,11 @@ class ValidationServer:
                 "ring_epoch": self._placement.epoch,
                 "hot_limit": self.hot_limit,
                 "slow_ms": self.slow_ms,
+                "verdict_cache": (
+                    self._verdict_cache.stats
+                    if self._verdict_cache is not None
+                    else None
+                ),
             },
             "registry": self.registry.stats.as_dict(),
             "store": self.store.stats.as_dict() if self.store is not None else None,

@@ -45,6 +45,7 @@ from repro.core.coarse import CoarseChecker
 from repro.core.pv import Algorithm, PVChecker, PVVerdict
 from repro.dtd.model import DTD
 from repro.errors import ReproError
+from repro.service.cache import VerdictCache
 from repro.service.compiled import CompiledSchema
 from repro.service.registry import DEFAULT_REGISTRY, RegistryStats, SchemaRegistry
 from repro.xmlmodel.serialize import to_xml
@@ -230,15 +231,37 @@ def _check_text(
     text: str,
     admit: CoarseChecker | None = None,
     mode: str = "off",
+    cache: VerdictCache | None = None,
 ) -> BatchItem:
     from repro.service.dispatch import BackendDispatcher
     from repro.xmlmodel.parser import parse_xml
 
+    if admit is None:
+        # The classic (no-admission) path checks straight from text: on
+        # the kernel tier that is the fused single-pass hot path, and a
+        # verdict cache — keyed by schema fingerprint, content digest and
+        # backend — serves repeats without parsing at all.  Parse and
+        # check failures surface identically to the parse-first pipeline.
+        key = None
+        if cache is not None:
+            key = cache.key(checker.compiled.fingerprint, text, checker.algorithm)
+            hit = cache.get(key)
+            if hit is not None:
+                return BatchItem(index=index, label=label, verdict=hit)
+        try:
+            verdict = checker.check_text(text)
+        except ReproError as error:
+            return BatchItem(
+                index=index, label=label, verdict=None, error=str(error)
+            )
+        if cache is not None:
+            cache.put(key, verdict)
+        return BatchItem(index=index, label=label, verdict=verdict)
     try:
         document = parse_xml(text)
     except ReproError as error:
         return BatchItem(index=index, label=label, verdict=None, error=str(error))
-    admission = admit.check_document(document) if admit is not None else None
+    admission = admit.check_document(document)
     if mode == "on" and admission is not None and admission.definite:
         return BatchItem(
             index=index,
@@ -284,6 +307,11 @@ class BatchChecker:
         The coarse-to-fine admission stage: ``"off"`` (default), ``"on"``
         (definite coarse outcomes short-circuit the full backend), or
         ``"audit"`` (coarse runs and is compared, full verdict served).
+    verdict_cache:
+        A :class:`VerdictCache` (or a positive int size; ``0``/``None``
+        disables) serving repeat documents in O(1) on the inline
+        no-admission path.  Pool workers never share it — cache state
+        lives in the parent process only.
     """
 
     def __init__(
@@ -294,6 +322,7 @@ class BatchChecker:
         config: CheckerConfig = DEFAULT_CONFIG,
         registry: SchemaRegistry | None = None,
         admission: str = "off",
+        verdict_cache: VerdictCache | int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -306,6 +335,9 @@ class BatchChecker:
         self.workers = workers
         self.config = config
         self.admission = admission
+        if isinstance(verdict_cache, int):
+            verdict_cache = VerdictCache(verdict_cache) if verdict_cache > 0 else None
+        self.verdict_cache = verdict_cache
 
     # -- corpus entry points -----------------------------------------------
 
@@ -358,8 +390,11 @@ class BatchChecker:
                 if self.admission != "off"
                 else None
             )
+            cache = self.verdict_cache if self.admission == "off" else None
             items = [
-                _check_text(checker, *task, admit=admit, mode=self.admission)
+                _check_text(
+                    checker, *task, admit=admit, mode=self.admission, cache=cache
+                )
                 for task in tasks
             ]
         else:

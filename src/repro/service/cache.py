@@ -1,0 +1,92 @@
+"""The verdict memo cache: repeat documents answered in O(1).
+
+Validation traffic repeats itself — editors re-check on every keystroke,
+pipelines re-submit the same artifacts, ring clients retry.  A verdict is
+a pure function of ``(schema, document bytes, checking policy)``, so a
+bounded LRU over that key serves repeats without parsing a byte.
+
+:class:`VerdictCache` is that LRU.  Keys are
+``(schema_fingerprint, blake2b(doc_bytes), mode)`` — the fingerprint pins
+the schema revision (a recompiled schema can never serve stale verdicts),
+the 16-byte blake2b digest stands in for the document text, and ``mode``
+names the checking policy (a backend token, or ``auto:<admission>`` on
+the dispatcher path) so differently-configured surfaces never alias.
+Values are whatever verdict object the caller serves (:class:`PVVerdict`,
+``DispatchedVerdict`` — the cache never inspects them).
+
+One instance is shared across threads (``ValidationServer`` consults it
+from every connection); a single lock guards the ordered dict, and the
+hit/miss/eviction counters feed ``repro_verdict_cache_total``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["VerdictCache"]
+
+
+class VerdictCache:
+    """A thread-safe bounded LRU for verdicts keyed by content digest."""
+
+    __slots__ = ("maxsize", "_entries", "_lock", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache size must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def digest(text: str) -> bytes:
+        """The 16-byte blake2b digest standing in for *text*."""
+        return hashlib.blake2b(text.encode("utf-8"), digest_size=16).digest()
+
+    @classmethod
+    def key(cls, fingerprint: str, text: str, mode: str) -> Hashable:
+        """The cache key for *text* checked under *fingerprint*/*mode*."""
+        return (fingerprint, cls.digest(text), mode)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached verdict, freshened to most-recent, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Store *value*; returns True when an older entry was evicted."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                return True
+            return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters for the ``stats`` op and the metrics bridge."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }

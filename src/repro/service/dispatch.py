@@ -44,9 +44,11 @@ from repro.config import CheckerConfig, DEFAULT_CONFIG
 from repro.core.coarse import CoarseChecker, CoarseVerdict
 from repro.core.pv import Algorithm, NodeFailure, PVChecker, PVVerdict
 from repro.dtd.model import DTD
+from repro.service.cache import VerdictCache
 from repro.service.compiled import CompiledSchema
 from repro.service.registry import DEFAULT_REGISTRY, SchemaRegistry
 from repro.xmlmodel.delta import SIGMA, content_symbols
+from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.tree import XmlDocument, XmlElement
 
 __all__ = [
@@ -276,6 +278,7 @@ class BackendDispatcher:
         config: CheckerConfig = DEFAULT_CONFIG,
         registry: SchemaRegistry | None = None,
         log_size: int = 256,
+        verdict_cache: VerdictCache | int | None = None,
     ) -> None:
         if log_size < 0:
             raise ValueError("log_size must be >= 0")
@@ -284,6 +287,12 @@ class BackendDispatcher:
         self.schema = schema
         self.policy = policy
         self.config = config
+        if isinstance(verdict_cache, int):
+            verdict_cache = VerdictCache(verdict_cache) if verdict_cache > 0 else None
+        self.verdict_cache = verdict_cache
+        #: Cache keys carry the routing policy, so dispatchers with
+        #: different admission modes sharing one cache never alias.
+        self._cache_mode = f"auto:{policy.admission}"
         self._checkers: dict[str, PVChecker] = {}
         self._coarse: CoarseChecker | None = None
         self._log: deque[DispatchDecision] = deque(maxlen=log_size)
@@ -461,6 +470,33 @@ class BackendDispatcher:
         )
         self._record(decision)
         return DispatchedVerdict(verdict=verdict, decision=decision)
+
+    def check_text(
+        self,
+        text: str,
+        timings: dict[str, float] | None = None,
+    ) -> tuple[DispatchedVerdict, bool]:
+        """Check document *text*, serving repeats from the verdict cache.
+
+        Returns ``(dispatched, cached)``.  A hit replays the stored
+        :class:`DispatchedVerdict` without parsing a byte — the decision
+        log and counters are untouched (the cache sits *in front of* the
+        dispatcher), which is why callers surface the ``cached`` flag.
+        On a miss the classic parse → dispatch pipeline runs and the
+        result is stored under ``(fingerprint, blake2b(text), policy)``.
+        """
+        cache = self.verdict_cache
+        if cache is None:
+            document = parse_xml(text)
+            return self.check_document(document, timings), False
+        key = cache.key(self.schema.fingerprint, text, self._cache_mode)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit, True
+        document = parse_xml(text)
+        dispatched = self.check_document(document, timings)
+        cache.put(key, dispatched)
+        return dispatched, False
 
     def checker_for(self, algorithm: Algorithm) -> PVChecker:
         """The cached checker for *algorithm*.

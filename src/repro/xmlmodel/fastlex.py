@@ -1,0 +1,416 @@
+"""Regex-scanner tokenizer: the fast half of the ``REPRO_PARSER`` seam.
+
+Two surfaces over the same scanning core:
+
+* :func:`tokenize_xml_fast` — a drop-in replacement for
+  :func:`repro.xmlmodel.lexer.tokenize_xml`, token-identical (including
+  error messages and their line/column positions) but driven by compiled
+  regular expressions instead of a per-character cursor loop.  Any tag
+  construct the fast patterns do not recognise is handed to the reference
+  scanner at the same position, so the hard cases (entities in attribute
+  values, zero-whitespace attribute runs, every malformed-tag diagnostic)
+  are *by construction* the reference's behavior, not a reimplementation.
+* :func:`scan_events` — the fused hot path.  It yields bare
+  ``(kind, payload, offset)`` tuples (no token objects, no attribute
+  dicts, no line/column bookkeeping) for event-driven checking in
+  :mod:`repro.core.stream`; positions are recomputed from the offset only
+  when an error must be raised.
+
+The seam itself is :func:`parser_backend` / :func:`active_tokenizer`,
+reading ``REPRO_PARSER`` per call: ``reference`` selects the original
+character-at-a-time lexer, anything else (including unset) selects the
+fast scanner.  ``tests/test_parse_fusion.py`` pins the two token streams
+against each other over the fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Callable, Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.xmlmodel import lexer as _ref
+from repro.xmlmodel.lexer import XmlToken, XmlTokenKind, tokenize_xml
+
+__all__ = [
+    "EV_START",
+    "EV_END",
+    "EV_TEXT",
+    "PARSER_ENV",
+    "active_tokenizer",
+    "parser_backend",
+    "scan_events",
+    "tokenize_xml_fast",
+]
+
+#: Environment variable naming the tokenizer: ``reference`` or ``fast``.
+PARSER_ENV = "REPRO_PARSER"
+
+_NAME = r"[A-Za-z_:][A-Za-z0-9._:\-]*"
+_S = r"[ \t\r\n]"
+#: One quoted attribute value free of ``&`` and ``<`` — nothing to decode,
+#: nothing to reject, so the raw slice *is* the value.
+_VALUE = r"(?:\"[^\"<&]*\"|'[^'<&]*')"
+#: A complete start/empty tag whose attributes are all easy values and
+#: whitespace-separated.  Anything else falls back to the reference scanner.
+_START_TAG = re.compile(rf"<({_NAME})((?:{_S}+{_NAME}{_S}*={_S}*{_VALUE})*){_S}*(/?)>")
+_END_TAG = re.compile(rf"</({_NAME}){_S}*>")
+_ATTR = re.compile(rf"({_NAME}){_S}*={_S}*({_VALUE})")
+
+#: Event kinds yielded by :func:`scan_events`.
+EV_START = 0
+EV_END = 1
+EV_TEXT = 2
+
+
+def parser_backend() -> str:
+    """The active tokenizer name: ``"reference"`` or ``"fast"`` (default)."""
+    value = os.environ.get(PARSER_ENV, "").strip().lower()
+    return "reference" if value == "reference" else "fast"
+
+
+def active_tokenizer() -> Callable[[str], Iterator[XmlToken]]:
+    """The token stream the parser should consume, per ``REPRO_PARSER``."""
+    return tokenize_xml if parser_backend() == "reference" else tokenize_xml_fast
+
+
+def _loc(source: str, offset: int) -> tuple[int, int]:
+    """(line, column) of *offset*, computed from scratch (error paths only)."""
+    line = source.count("\n", 0, offset) + 1
+    newline = source.rfind("\n", 0, offset)
+    return line, offset - newline
+
+
+def _attributes(blob: str) -> tuple[tuple[str, str], ...]:
+    """Decode the attribute blob of a fast-matched start tag."""
+    return tuple(
+        (match.group(1), match.group(2)[1:-1]) for match in _ATTR.finditer(blob)
+    )
+
+
+def tokenize_xml_fast(source: str) -> Iterator[XmlToken]:
+    """Yield exactly the tokens of :func:`tokenize_xml`, regex-driven."""
+    pos = 0
+    length = len(source)
+    # Incremental line/column tracker: every token needs a position, so
+    # amortise the newline counting instead of rescanning the prefix.
+    anchor = 0
+    line = 1
+    line_start = 0
+
+    def advance(offset: int) -> tuple[int, int]:
+        nonlocal anchor, line, line_start
+        if offset > anchor:
+            added = source.count("\n", anchor, offset)
+            if added:
+                line += added
+                line_start = source.rfind("\n", anchor, offset) + 1
+            anchor = offset
+        return line, offset - line_start + 1
+
+    def delegate() -> XmlToken:
+        """Hand the tag at *pos* to the reference scanner, then resync."""
+        nonlocal pos, anchor, line, line_start
+        at_line, at_column = advance(pos)
+        cursor = _ref._Cursor(source)
+        cursor.position = pos
+        cursor.line = at_line
+        cursor.column = at_column
+        token = _ref._scan_tag(cursor)  # raises the reference diagnostics
+        pos = anchor = cursor.position
+        line = cursor.line
+        line_start = cursor.position - (cursor.column - 1)
+        return token
+
+    text_pieces: list[str] = []
+    text_line, text_column = 1, 1
+
+    while pos < length:
+        char = source[pos]
+        if char == "<":
+            if source.startswith("<!--", pos):
+                if text_pieces:
+                    yield XmlToken(
+                        XmlTokenKind.TEXT,
+                        text="".join(text_pieces),
+                        line=text_line,
+                        column=text_column,
+                    )
+                    text_pieces = []
+                end = source.find("-->", pos)
+                if end < 0:
+                    at_line, at_column = advance(pos)
+                    raise XmlSyntaxError("unterminated comment", at_line, at_column)
+                pos = end + 3
+                continue
+            if source.startswith("<![CDATA[", pos):
+                if not text_pieces:
+                    text_line, text_column = advance(pos)
+                end = source.find("]]>", pos + 9)
+                if end < 0:
+                    at_line, at_column = advance(pos)
+                    raise XmlSyntaxError(
+                        "unterminated CDATA section", at_line, at_column
+                    )
+                text_pieces.append(source[pos + 9 : end])
+                pos = end + 3
+                continue
+            if source.startswith("<?", pos):
+                if text_pieces:
+                    yield XmlToken(
+                        XmlTokenKind.TEXT,
+                        text="".join(text_pieces),
+                        line=text_line,
+                        column=text_column,
+                    )
+                    text_pieces = []
+                end = source.find("?>", pos)
+                if end < 0:
+                    at_line, at_column = advance(pos)
+                    raise XmlSyntaxError(
+                        "unterminated processing instruction", at_line, at_column
+                    )
+                pos = end + 2
+                continue
+            if source.startswith("<!DOCTYPE", pos):
+                if text_pieces:
+                    yield XmlToken(
+                        XmlTokenKind.TEXT,
+                        text="".join(text_pieces),
+                        line=text_line,
+                        column=text_column,
+                    )
+                    text_pieces = []
+                depth = 0
+                scan = pos
+                while scan < length:
+                    item = source[scan]
+                    scan += 1
+                    if item == "[":
+                        depth += 1
+                    elif item == "]":
+                        depth -= 1
+                    elif item == ">" and depth <= 0:
+                        break
+                else:
+                    at_line, at_column = advance(length)
+                    raise XmlSyntaxError("unterminated DOCTYPE", at_line, at_column)
+                pos = scan
+                continue
+            if text_pieces:
+                yield XmlToken(
+                    XmlTokenKind.TEXT,
+                    text="".join(text_pieces),
+                    line=text_line,
+                    column=text_column,
+                )
+                text_pieces = []
+            match = _START_TAG.match(source, pos)
+            if match is not None:
+                at_line, at_column = advance(pos)
+                kind = (
+                    XmlTokenKind.EMPTY_TAG if match.group(3) else XmlTokenKind.START_TAG
+                )
+                yield XmlToken(
+                    kind,
+                    name=match.group(1),
+                    attributes=_attributes(match.group(2)),
+                    line=at_line,
+                    column=at_column,
+                )
+                pos = match.end()
+                continue
+            match = _END_TAG.match(source, pos)
+            if match is not None:
+                at_line, at_column = advance(pos)
+                yield XmlToken(
+                    XmlTokenKind.END_TAG,
+                    name=match.group(1),
+                    line=at_line,
+                    column=at_column,
+                )
+                pos = match.end()
+                continue
+            yield delegate()
+            continue
+        if char == "&":
+            if not text_pieces:
+                text_line, text_column = advance(pos)
+            end = source.find(";", pos + 1)
+            if end < 0 or end - (pos + 1) > 10:
+                at_line, at_column = advance(pos)
+                raise XmlSyntaxError(
+                    "unterminated entity reference", at_line, at_column
+                )
+            body = source[pos + 1 : end]
+            if body.startswith("#x") or body.startswith("#X"):
+                text_pieces.append(chr(int(body[2:], 16)))
+            elif body.startswith("#"):
+                text_pieces.append(chr(int(body[1:])))
+            elif body in _ref._ENTITIES:
+                text_pieces.append(_ref._ENTITIES[body])
+            else:
+                at_line, at_column = advance(pos)
+                raise XmlSyntaxError(f"unknown entity &{body};", at_line, at_column)
+            pos = end + 1
+            continue
+        # A maximal plain-text run: jump straight to the next markup start.
+        if not text_pieces:
+            text_line, text_column = advance(pos)
+        lt = source.find("<", pos)
+        amp = source.find("&", pos)
+        stop = length
+        if lt >= 0:
+            stop = lt
+        if 0 <= amp < stop:
+            stop = amp
+        text_pieces.append(source[pos:stop])
+        pos = stop
+    if text_pieces:
+        yield XmlToken(
+            XmlTokenKind.TEXT,
+            text="".join(text_pieces),
+            line=text_line,
+            column=text_column,
+        )
+    at_line, at_column = advance(length)
+    yield XmlToken(XmlTokenKind.EOF, line=at_line, column=at_column)
+
+
+def scan_events(source: str) -> Iterator[tuple[int, str, int]]:
+    """Yield ``(kind, payload, offset)`` events without building tokens.
+
+    ``EV_START``/``EV_END`` carry the tag name (an empty tag yields both
+    at the same offset); ``EV_TEXT`` carries the decoded character data of
+    a maximal run.  Offsets point at the first source character of the
+    construct so error positions can be recovered lazily via :func:`_loc`.
+    Syntax diagnostics are identical to the reference lexer's.
+    """
+    pos = 0
+    length = len(source)
+    text_pieces: list[str] = []
+    text_offset = 0
+
+    def delegate() -> XmlToken:
+        nonlocal pos
+        at_line, at_column = _loc(source, pos)
+        cursor = _ref._Cursor(source)
+        cursor.position = pos
+        cursor.line = at_line
+        cursor.column = at_column
+        token = _ref._scan_tag(cursor)
+        pos = cursor.position
+        return token
+
+    while pos < length:
+        char = source[pos]
+        if char == "<":
+            if source.startswith("<!--", pos):
+                if text_pieces:
+                    yield EV_TEXT, "".join(text_pieces), text_offset
+                    text_pieces = []
+                end = source.find("-->", pos)
+                if end < 0:
+                    raise XmlSyntaxError("unterminated comment", *_loc(source, pos))
+                pos = end + 3
+                continue
+            if source.startswith("<![CDATA[", pos):
+                if not text_pieces:
+                    text_offset = pos
+                end = source.find("]]>", pos + 9)
+                if end < 0:
+                    raise XmlSyntaxError(
+                        "unterminated CDATA section", *_loc(source, pos)
+                    )
+                text_pieces.append(source[pos + 9 : end])
+                pos = end + 3
+                continue
+            if source.startswith("<?", pos):
+                if text_pieces:
+                    yield EV_TEXT, "".join(text_pieces), text_offset
+                    text_pieces = []
+                end = source.find("?>", pos)
+                if end < 0:
+                    raise XmlSyntaxError(
+                        "unterminated processing instruction", *_loc(source, pos)
+                    )
+                pos = end + 2
+                continue
+            if source.startswith("<!DOCTYPE", pos):
+                if text_pieces:
+                    yield EV_TEXT, "".join(text_pieces), text_offset
+                    text_pieces = []
+                depth = 0
+                scan = pos
+                while scan < length:
+                    item = source[scan]
+                    scan += 1
+                    if item == "[":
+                        depth += 1
+                    elif item == "]":
+                        depth -= 1
+                    elif item == ">" and depth <= 0:
+                        break
+                else:
+                    raise XmlSyntaxError(
+                        "unterminated DOCTYPE", *_loc(source, length)
+                    )
+                pos = scan
+                continue
+            if text_pieces:
+                yield EV_TEXT, "".join(text_pieces), text_offset
+                text_pieces = []
+            start = pos
+            match = _START_TAG.match(source, pos)
+            if match is not None:
+                yield EV_START, match.group(1), start
+                if match.group(3):
+                    yield EV_END, match.group(1), start
+                pos = match.end()
+                continue
+            match = _END_TAG.match(source, pos)
+            if match is not None:
+                yield EV_END, match.group(1), start
+                pos = match.end()
+                continue
+            token = delegate()
+            if token.kind is XmlTokenKind.END_TAG:
+                yield EV_END, token.name, start
+            else:
+                yield EV_START, token.name, start
+                if token.kind is XmlTokenKind.EMPTY_TAG:
+                    yield EV_END, token.name, start
+            continue
+        if char == "&":
+            if not text_pieces:
+                text_offset = pos
+            end = source.find(";", pos + 1)
+            if end < 0 or end - (pos + 1) > 10:
+                raise XmlSyntaxError(
+                    "unterminated entity reference", *_loc(source, pos)
+                )
+            body = source[pos + 1 : end]
+            if body.startswith("#x") or body.startswith("#X"):
+                text_pieces.append(chr(int(body[2:], 16)))
+            elif body.startswith("#"):
+                text_pieces.append(chr(int(body[1:])))
+            elif body in _ref._ENTITIES:
+                text_pieces.append(_ref._ENTITIES[body])
+            else:
+                raise XmlSyntaxError(f"unknown entity &{body};", *_loc(source, pos))
+            pos = end + 1
+            continue
+        if not text_pieces:
+            text_offset = pos
+        lt = source.find("<", pos)
+        amp = source.find("&", pos)
+        stop = length
+        if lt >= 0:
+            stop = lt
+        if 0 <= amp < stop:
+            stop = amp
+        text_pieces.append(source[pos:stop])
+        pos = stop
+    if text_pieces:
+        yield EV_TEXT, "".join(text_pieces), text_offset

@@ -8,7 +8,8 @@ Character data outside the root is rejected unless it is all whitespace.
 from __future__ import annotations
 
 from repro.errors import XmlSyntaxError
-from repro.xmlmodel.lexer import XmlTokenKind, tokenize_xml
+from repro.xmlmodel.fastlex import active_tokenizer
+from repro.xmlmodel.lexer import XmlTokenKind
 from repro.xmlmodel.tree import XmlDocument, XmlElement, XmlText
 
 __all__ = ["parse_xml", "parse_fragment"]
@@ -39,7 +40,7 @@ def parse_fragment(source: str) -> XmlElement:
 def _parse(source: str, fragment: bool) -> XmlElement:
     root: XmlElement | None = None
     stack: list[XmlElement] = []
-    for token in tokenize_xml(source):
+    for token in active_tokenizer()(source):
         if token.kind is XmlTokenKind.TEXT:
             if not stack:
                 if token.text.strip():

@@ -1,0 +1,335 @@
+"""The fused parse→verdict hot path never changes an answer.
+
+Three seams guard the E19 speedups, and each gets a differential here:
+
+* **Tokenizer** — :func:`repro.xmlmodel.fastlex.tokenize_xml_fast` must
+  yield *exactly* the tokens of the reference character lexer — kind,
+  name, text, attributes, line, and column — including every syntax
+  error's message and position (malformed tags delegate to a positioned
+  reference cursor precisely so the diagnostics stay the reference's).
+* **Treeless checking** — the streaming kernel pass
+  (:func:`repro.core.stream.stream_check_document`, reached through
+  ``PVChecker.check_text``) must return the tree checker's verdict
+  *failure-for-failure*, and the streaming coarse pass must classify
+  every document into the same ``accept``/``reject``/``uncertain``
+  outcome (the rejected *node* may differ — tree traversal order is the
+  only thing the outcomes never depended on).
+* **The memo cache** — :class:`repro.service.cache.VerdictCache` keyed by
+  ``(fingerprint, digest, mode)`` must replay verdicts exactly, and the
+  surfaces threaded through it (dispatcher, batch, server) must answer
+  repeats from it without changing a single verdict field.
+
+Corpora come from :mod:`corpusgen`; ``REPRO_FUZZ_SEED`` and
+``REPRO_FUZZ_DOCS`` scale the run exactly as in the admission suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import corpusgen
+from repro.core.coarse import CoarseChecker
+from repro.core.pv import PVChecker
+from repro.core.stream import stream_check_document, stream_coarse_check
+from repro.dtd import catalog
+from repro.errors import ReproError
+from repro.service.batch import BatchChecker
+from repro.service.cache import VerdictCache
+from repro.service.dispatch import BackendDispatcher
+from repro.service.registry import DEFAULT_REGISTRY
+from repro.xmlmodel.fastlex import (
+    PARSER_ENV,
+    active_tokenizer,
+    parser_backend,
+    tokenize_xml_fast,
+)
+from repro.xmlmodel.lexer import XmlSyntaxError, tokenize_xml
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+
+DTD_NAMES = ("paper-figure1", "play", "dictionary", "manuscript", "with-any")
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "2006"))
+DOCS_PER_DTD = int(os.environ.get("REPRO_FUZZ_DOCS", "24"))
+
+
+def _corpus_texts(name: str) -> list[str]:
+    dtd = catalog.load(name)
+    corpus = corpusgen.mixed_corpus(
+        dtd, DOCS_PER_DTD, seed=SEED, corrupt_fraction=0.6
+    )
+    return [to_xml(document) for document, _provenance in corpus]
+
+
+# -- tokenizer differential --------------------------------------------------
+
+#: Handcrafted sources covering every lexer construct and quirk: CDATA
+#: merging into adjacent text, empty CDATA, entity forms, attribute
+#: whitespace freedom, comments/PIs/DOCTYPE, and multi-line positions.
+HANDCRAFTED = (
+    "<r/>",
+    "<r></r>",
+    "<r a='1' b=\"two\"/>",
+    '<r a="x"b="y"/>',
+    "<r>text</r>",
+    "<r>a<!--comment-->b</r>",
+    "<r><![CDATA[raw <&>]]></r>",
+    "<r><![CDATA[]]></r>",
+    "<r>pre<![CDATA[mid]]>post</r>",
+    "<r>&lt;&gt;&amp;&apos;&quot;</r>",
+    "<r>&#65;&#x41;&#x6a;</r>",
+    "<r a='&amp;&#x3C;'>x</r>",
+    "<?xml version='1.0'?>\n<r/>",
+    "<!DOCTYPE r [<!ELEMENT r EMPTY>]>\n<r/>",
+    "<!DOCTYPE r SYSTEM 'r.dtd'>\n<r/>",
+    "<r>\n  <a>one</a>\n  <a>two</a>\n</r>",
+    "<ns:r xmlns:ns='u'><ns:a/></ns:r>",
+    "</r >x",
+    "  \n\t<r/>\n  ",
+    "<r><a/><a></a><a x='y'/></r>",
+)
+
+#: Sources the lexer must reject — the fast scanner has to raise the
+#: byte-identical message at the byte-identical position.
+MALFORMED = (
+    "<r",
+    "<r a=1/>",
+    "<r a='1/>",
+    "< r/>",
+    "</r x>",
+    "<r><a attr></a></r>",
+    "<r>&unknown;</r>",
+    "<r>&lt</r>",
+    "<r>&;</r>",
+    "<r>&#xZZ;</r>",
+    "<r a='<'/>",
+    "<!DOCTYPE r [<!ELEMENT r EMPTY>",
+    "<r><!-- never closed </r>",
+    "<r><![CDATA[never closed</r>",
+    "<r><?pi never closed</r>",
+    "<r/",
+    "</r/>",
+)
+
+
+def _token_tuple(token):
+    return (
+        token.kind,
+        token.name,
+        token.text,
+        token.attributes,
+        token.line,
+        token.column,
+    )
+
+
+@pytest.mark.parametrize("source", HANDCRAFTED)
+def test_fast_tokenizer_matches_reference_handcrafted(source):
+    fast = [_token_tuple(t) for t in tokenize_xml_fast(source)]
+    reference = [_token_tuple(t) for t in tokenize_xml(source)]
+    assert fast == reference
+
+
+@pytest.mark.parametrize("source", MALFORMED)
+def test_fast_tokenizer_matches_reference_errors(source):
+    # ``&#xZZ;`` raises a bare ValueError in the reference lexer, so the
+    # comparison is over exception type + message, with the position
+    # checked whenever the error is a positioned syntax error.
+    with pytest.raises(Exception) as reference:
+        list(tokenize_xml(source))
+    with pytest.raises(Exception) as fast:
+        list(tokenize_xml_fast(source))
+    assert type(fast.value) is type(reference.value)
+    assert str(fast.value) == str(reference.value)
+    if isinstance(reference.value, XmlSyntaxError):
+        assert (fast.value.line, fast.value.column) == (
+            reference.value.line,
+            reference.value.column,
+        )
+
+
+@pytest.mark.parametrize("name", DTD_NAMES)
+def test_fast_tokenizer_matches_reference_on_corpus(name):
+    for text in _corpus_texts(name):
+        fast = [_token_tuple(t) for t in tokenize_xml_fast(text)]
+        reference = [_token_tuple(t) for t in tokenize_xml(text)]
+        assert fast == reference, f"token divergence on: {text[:120]!r}"
+
+
+def test_parser_seam_selects_reference(monkeypatch):
+    """``REPRO_PARSER=reference`` routes parsing through the old lexer."""
+    monkeypatch.setenv(PARSER_ENV, "reference")
+    assert parser_backend() == "reference"
+    assert active_tokenizer() is tokenize_xml
+    document = parse_xml("<r><a>x</a></r>")
+    assert document.root.name == "r"
+    monkeypatch.setenv(PARSER_ENV, "fast")
+    assert active_tokenizer() is tokenize_xml_fast
+    monkeypatch.delenv(PARSER_ENV)
+    assert parser_backend() == "fast"
+
+
+# -- treeless checking differential ------------------------------------------
+
+
+@pytest.mark.parametrize("name", DTD_NAMES)
+def test_stream_kernel_verdicts_identical_to_tree(name):
+    """Fused kernel checking == parse-then-check, failure tuples included."""
+    dtd = catalog.load(name)
+    schema = DEFAULT_REGISTRY.get(dtd)
+    checker = PVChecker(dtd, algorithm="kernel")
+    for text in _corpus_texts(name):
+        streamed = stream_check_document(schema, text)
+        treed = checker.check_document(parse_xml(text))
+        assert streamed.potentially_valid == treed.potentially_valid
+        assert streamed.failures == treed.failures
+        assert streamed.depth_limited == treed.depth_limited
+        # The public fused entry point takes the same shortcut.
+        assert checker.check_text(text).failures == treed.failures
+
+
+@pytest.mark.parametrize("name", DTD_NAMES)
+def test_stream_coarse_outcomes_identical_to_tree(name):
+    dtd = catalog.load(name)
+    schema = DEFAULT_REGISTRY.get(dtd)
+    coarse = CoarseChecker(schema.coarse)
+    for text in _corpus_texts(name):
+        streamed = stream_coarse_check(schema.coarse, text)
+        treed = coarse.check_document(parse_xml(text))
+        assert streamed.outcome == treed.outcome, text[:120]
+        assert coarse.check_text(text).outcome == treed.outcome
+
+
+@pytest.mark.parametrize(
+    "source",
+    (
+        "<manuscript><unclosed>",
+        "<manuscript></mismatch>",
+        "stray text",
+        "",
+        "<a/><b/>",
+    ),
+)
+def test_stream_checking_raises_reference_errors(source):
+    """Malformed input fails the fused path with the parser's exact error."""
+    schema = DEFAULT_REGISTRY.get(catalog.manuscript())
+    try:
+        parse_xml(source)
+    except ReproError as error:
+        expected = str(error)
+    else:  # pragma: no cover - every case above is malformed
+        pytest.fail("case is well-formed")
+    with pytest.raises(ReproError) as streamed:
+        stream_check_document(schema, source)
+    assert str(streamed.value) == expected
+    with pytest.raises(ReproError) as coarse:
+        stream_coarse_check(schema.coarse, source)
+    assert str(coarse.value) == expected
+
+
+# -- the verdict memo cache --------------------------------------------------
+
+
+def test_verdict_cache_lru_hit_miss_evict():
+    cache = VerdictCache(2)
+    k1 = cache.key("fp", "<a/>", "kernel")
+    k2 = cache.key("fp", "<b/>", "kernel")
+    k3 = cache.key("fp", "<c/>", "kernel")
+    assert cache.get(k1) is None
+    assert not cache.put(k1, "v1")
+    assert not cache.put(k2, "v2")
+    assert cache.get(k1) == "v1"  # freshens k1: k2 is now LRU
+    assert cache.put(k3, "v3")  # evicts k2
+    assert cache.get(k2) is None
+    assert cache.get(k1) == "v1"
+    assert cache.get(k3) == "v3"
+    assert cache.stats == {
+        "hits": 3,
+        "misses": 2,
+        "evictions": 1,
+        "size": 2,
+        "maxsize": 2,
+    }
+
+
+def test_verdict_cache_key_separates_schema_and_mode():
+    text = "<r/>"
+    assert VerdictCache.key("fp1", text, "kernel") != VerdictCache.key(
+        "fp2", text, "kernel"
+    )
+    assert VerdictCache.key("fp1", text, "kernel") != VerdictCache.key(
+        "fp1", text, "machine"
+    )
+    assert VerdictCache.key("fp1", text, "kernel") == VerdictCache.key(
+        "fp1", text, "kernel"
+    )
+
+
+def test_verdict_cache_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        VerdictCache(0)
+
+
+def test_dispatcher_check_text_uses_cache():
+    schema = DEFAULT_REGISTRY.get(catalog.manuscript())
+    cache = VerdictCache(16)
+    dispatcher = BackendDispatcher(schema, verdict_cache=cache)
+    text = to_xml(
+        corpusgen.valid_documents(catalog.manuscript(), 1, seed=SEED)[0]
+    )
+    first, was_cached = dispatcher.check_text(text)
+    assert was_cached is False
+    replay, was_cached = dispatcher.check_text(text)
+    assert was_cached is True
+    assert replay is first
+    assert cache.stats["hits"] == 1
+    # An int size builds the cache internally; no cache means no replay.
+    assert BackendDispatcher(schema, verdict_cache=16).verdict_cache is not None
+    bare = BackendDispatcher(schema)
+    verdict, was_cached = bare.check_text(text)
+    assert was_cached is False
+    assert verdict.verdict.potentially_valid == first.verdict.potentially_valid
+
+
+def test_batch_checker_replays_repeats_from_cache():
+    dtd = catalog.manuscript()
+    schema = DEFAULT_REGISTRY.get(dtd)
+    texts = [
+        to_xml(document)
+        for document in corpusgen.valid_documents(dtd, 3, seed=SEED)
+    ]
+    cache = VerdictCache(16)
+    checker = BatchChecker(schema, algorithm="kernel", verdict_cache=cache)
+    baseline = BatchChecker(schema, algorithm="kernel")
+    first = checker.check_texts(texts + texts)
+    plain = baseline.check_texts(texts + texts)
+    assert [item.ok for item in first.items] == [item.ok for item in plain.items]
+    assert cache.stats["hits"] == len(texts)
+    assert cache.stats["misses"] == len(texts)
+
+
+def test_server_stamps_cached_replies(tmp_path):
+    from repro.server.client import ValidationClient
+    from repro.server.server import ServerThread
+
+    dtd_text = "<!ELEMENT r (a*)>\n<!ELEMENT a (#PCDATA)>"
+    doc = "<r><a>x</a></r>"
+    with ServerThread(
+        unix_path=str(tmp_path / "pv.sock"), verdict_cache=8
+    ) as handle:
+        with ValidationClient.connect_unix(handle.unix_path) as client:
+            cold = client.check(dtd_text, doc)
+            warm = client.check(dtd_text, doc)
+            assert "cached" not in cold
+            assert warm.get("cached") is True
+            assert warm["potentially_valid"] == cold["potentially_valid"]
+            replies, _trailer = client.check_batch(dtd_text, [doc, "<r/>"])
+            assert replies[0].get("cached") is True
+            assert "cached" not in replies[1]
+            stats = client.stats()["server"]["verdict_cache"]
+            assert stats["hits"] == 2 and stats["misses"] == 2
+            exposition = client.metrics()["prometheus"]
+            assert "repro_verdict_cache_total" in exposition
+            assert "repro_parse_seconds" in exposition
